@@ -1,0 +1,240 @@
+//! Closure-flow analysis (a light 0-CFA).
+//!
+//! §5.1 computes GC points with a first-order fixpoint and remarks that "a
+//! similar analysis on programs with higher order functions is more
+//! difficult", pointing at abstract interpretation. This module is that
+//! extension: a flow-insensitive, context-insensitive propagation of
+//! closure *targets* through slots, calls, and returns. A closure value
+//! that escapes into the heap (stored in a tuple/datatype/another
+//! closure's environment) degrades to ⊤ = "any closure-entered function",
+//! which is exactly the paper's original approximation — so the analysis
+//! only ever refines it.
+//!
+//! [`crate::gcpoints::GcPoints::compute_refined`] consumes the result:
+//! a closure-call site may trigger a collection only if one of its
+//! possible targets may.
+
+use std::collections::BTreeSet;
+use tfgc_ir::{FnId, FnKind, Instr, IrProgram};
+
+/// The abstract value of a slot: which closure-entered functions could a
+/// closure stored here belong to?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowVal {
+    /// Nothing known to be a closure (integers, data, never-assigned).
+    Bot,
+    /// A closure over one of exactly these functions.
+    Fns(BTreeSet<FnId>),
+    /// Escaped through the heap: any closure-entered function.
+    Top,
+}
+
+impl FlowVal {
+    fn join_in(&mut self, other: &FlowVal) -> bool {
+        match (&mut *self, other) {
+            (_, FlowVal::Bot) => false,
+            (FlowVal::Top, _) => false,
+            (slot @ FlowVal::Bot, v) => {
+                *slot = v.clone();
+                true
+            }
+            (FlowVal::Fns(_), FlowVal::Top) => {
+                *self = FlowVal::Top;
+                true
+            }
+            (FlowVal::Fns(a), FlowVal::Fns(b)) => {
+                let before = a.len();
+                a.extend(b.iter().copied());
+                a.len() != before
+            }
+        }
+    }
+}
+
+/// Result of the flow analysis.
+#[derive(Debug, Clone)]
+pub struct ClosureFlow {
+    /// Per call site id: the possible closure targets of a
+    /// `CallClosure` at that site (`None` = not a closure call).
+    pub site_targets: Vec<Option<FlowVal>>,
+}
+
+impl ClosureFlow {
+    /// Runs the fixpoint over the whole program.
+    pub fn compute(prog: &IrProgram) -> ClosureFlow {
+        let nf = prog.funs.len();
+        // Per function: per-slot value, plus the return value.
+        let mut slots: Vec<Vec<FlowVal>> = prog
+            .funs
+            .iter()
+            .map(|f| vec![FlowVal::Bot; f.slots.len()])
+            .collect();
+        let mut rets: Vec<FlowVal> = vec![FlowVal::Bot; nf];
+        let all_closures: BTreeSet<FnId> = prog
+            .funs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.kind == FnKind::ClosureEntered)
+            .map(|(i, _)| FnId(i as u32))
+            .collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fi, f) in prog.funs.iter().enumerate() {
+                for ins in &f.code {
+                    match ins {
+                        Instr::Move(d, s) => {
+                            let v = slots[fi][s.0 as usize].clone();
+                            changed |= slots[fi][d.0 as usize].join_in(&v);
+                        }
+                        Instr::MakeClosure { dst, f: target, .. } => {
+                            let v = FlowVal::Fns(BTreeSet::from([*target]));
+                            changed |= slots[fi][dst.0 as usize].join_in(&v);
+                        }
+                        // Anything read back out of the heap may be any
+                        // escaped closure.
+                        Instr::GetField(d, _, _) | Instr::LoadGlobal(d, _) => {
+                            changed |= slots[fi][d.0 as usize].join_in(&FlowVal::Top);
+                        }
+                        Instr::CallDirect {
+                            dst,
+                            f: callee,
+                            args,
+                            ..
+                        } => {
+                            let ci = callee.0 as usize;
+                            for (k, a) in args.iter().enumerate() {
+                                let v = slots[fi][a.0 as usize].clone();
+                                changed |= slots[ci][k].join_in(&v);
+                            }
+                            let r = rets[ci].clone();
+                            changed |= slots[fi][dst.0 as usize].join_in(&r);
+                        }
+                        Instr::CallClosure {
+                            dst, clos, arg, ..
+                        } => {
+                            let cv = slots[fi][clos.0 as usize].clone();
+                            let targets: Vec<FnId> = match &cv {
+                                FlowVal::Bot => Vec::new(),
+                                FlowVal::Fns(s) => s.iter().copied().collect(),
+                                FlowVal::Top => all_closures.iter().copied().collect(),
+                            };
+                            let av = slots[fi][arg.0 as usize].clone();
+                            for t in targets {
+                                let ti = t.0 as usize;
+                                // slot 0 = the closure itself, slot 1 = arg.
+                                changed |= slots[ti][0].join_in(&cv);
+                                changed |= slots[ti][1].join_in(&av);
+                                let r = rets[ti].clone();
+                                changed |= slots[fi][dst.0 as usize].join_in(&r);
+                            }
+                        }
+                        Instr::Return(s) => {
+                            let v = slots[fi][s.0 as usize].clone();
+                            changed |= rets[fi].join_in(&v);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Summarize per call site.
+        let site_targets = prog
+            .sites
+            .iter()
+            .map(|site| match &site.kind {
+                tfgc_ir::SiteKind::Closure { clos, .. } => {
+                    Some(slots[site.fn_id.0 as usize][clos.0 as usize].clone())
+                }
+                _ => None,
+            })
+            .collect();
+        ClosureFlow { site_targets }
+    }
+
+    /// Possible targets of the closure call at `site` (empty slice for a
+    /// precise never-assigned value; `None` = ⊤).
+    pub fn targets_of(&self, site: tfgc_ir::CallSiteId) -> Option<Option<&BTreeSet<FnId>>> {
+        self.site_targets[site.0 as usize]
+            .as_ref()
+            .map(|v| match v {
+                FlowVal::Top => None,
+                FlowVal::Fns(s) => Some(s),
+                FlowVal::Bot => Some(EMPTY.get_or_init(BTreeSet::new)),
+            })
+    }
+}
+
+static EMPTY: std::sync::OnceLock<BTreeSet<FnId>> = std::sync::OnceLock::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_ir::lower;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    fn compile(src: &str) -> IrProgram {
+        lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn direct_lambda_flow_is_precise() {
+        let p = compile(
+            "fun apply f x = f x ;
+             apply (fn n => n + 1) 3",
+        );
+        let flow = ClosureFlow::compute(&p);
+        // The closure call inside `apply` sees exactly one target.
+        let site = p
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, tfgc_ir::SiteKind::Closure { .. }))
+            .unwrap();
+        match flow.targets_of(site.id) {
+            Some(Some(ts)) => assert_eq!(ts.len(), 1, "exactly the lambda"),
+            other => panic!("expected precise targets, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_lambdas_flow_to_two_targets() {
+        let p = compile(
+            "fun apply f x = f x ;
+             apply (fn n => n + 1) 3 + apply (fn n => n * 2) 4",
+        );
+        let flow = ClosureFlow::compute(&p);
+        let site = p
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, tfgc_ir::SiteKind::Closure { .. }))
+            .unwrap();
+        match flow.targets_of(site.id) {
+            Some(Some(ts)) => assert_eq!(ts.len(), 2),
+            other => panic!("expected two targets, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heap_escape_degrades_to_top() {
+        // The closure goes through a list; reading it back is ⊤.
+        let p = compile(
+            "fun first xs = case xs of [] => fn z => z | f :: _ => f ;
+             (first [fn n => n + 1]) 5",
+        );
+        let flow = ClosureFlow::compute(&p);
+        let site = p
+            .sites
+            .iter()
+            .filter(|s| matches!(s.kind, tfgc_ir::SiteKind::Closure { .. }))
+            .last()
+            .unwrap();
+        assert_eq!(
+            flow.targets_of(site.id),
+            Some(None),
+            "heap-escaped closures are top"
+        );
+    }
+}

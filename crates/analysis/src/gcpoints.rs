@@ -1,0 +1,241 @@
+//! GC-point analysis (§5.1).
+//!
+//! "Garbage collection can be initiated only when a heap allocation
+//! request is made. [...] The set S of functions that may ultimately lead
+//! to garbage collection can be computed by a simple fixpoint iteration:
+//! S⁰ = {new}; Sⁱ = Sⁱ⁻¹ ∪ {f | f contains a call to a function in Sⁱ⁻¹}."
+//!
+//! We implement exactly that fixpoint over the direct call graph, with the
+//! paper's suggested higher-order approximation (§5.1 notes that a
+//! higher-order analysis is harder): a closure call may reach any
+//! closure-entered function, so closure call sites allocate iff *some*
+//! closure-entered function may allocate.
+//!
+//! A call site that cannot trigger a collection needs no gc_word at all
+//! ("the gc_word following the call instruction can be omitted", §2.4) —
+//! experiment E6 counts the savings.
+
+use crate::cfa::{ClosureFlow, FlowVal};
+use tfgc_ir::{CallSiteId, FnId, FnKind, Instr, IrProgram, SiteKind};
+
+/// Result of the §5.1 fixpoint.
+#[derive(Debug, Clone)]
+pub struct GcPoints {
+    /// Per function: may executing this function trigger a collection?
+    pub fn_may_gc: Vec<bool>,
+    /// Per call site: can a collection happen while suspended here?
+    pub site_may_gc: Vec<bool>,
+    /// Whether any closure-entered function may allocate (the
+    /// higher-order approximation's single global fact).
+    pub any_closure_allocates: bool,
+}
+
+impl GcPoints {
+    /// Runs the fixpoint with the paper's first-order approximation:
+    /// every closure call may reach any closure-entered function.
+    pub fn compute(p: &IrProgram) -> GcPoints {
+        GcPoints::compute_inner(p, None)
+    }
+
+    /// Runs the fixpoint with closure-flow refinement (the higher-order
+    /// analysis §5.1 points at): a closure call may trigger a collection
+    /// only if one of its *possible* targets may. Strictly more sites
+    /// lose their gc_words.
+    pub fn compute_refined(p: &IrProgram, flow: &ClosureFlow) -> GcPoints {
+        GcPoints::compute_inner(p, Some(flow))
+    }
+
+    fn compute_inner(p: &IrProgram, flow: Option<&ClosureFlow>) -> GcPoints {
+        let n = p.funs.len();
+        // Seed: functions containing an allocation instruction.
+        let mut may: Vec<bool> = p
+            .funs
+            .iter()
+            .map(|f| {
+                f.code.iter().any(|i| {
+                    matches!(
+                        i,
+                        Instr::MakeTuple { .. }
+                            | Instr::MakeData { .. }
+                            | Instr::MakeClosure { .. }
+                    )
+                })
+            })
+            .collect();
+
+        // Fixpoint over the call graph. Unrefined closure calls resolve
+        // with the global approximation, which itself depends on the
+        // fixpoint, so iterate the pair together.
+        loop {
+            let any_closure =
+                (0..n).any(|i| p.funs[i].kind == FnKind::ClosureEntered && may[i]);
+            let closure_site_may = |site: CallSiteId, may: &[bool]| -> bool {
+                match flow {
+                    None => any_closure,
+                    Some(fl) => match &fl.site_targets[site.0 as usize] {
+                        Some(FlowVal::Top) | None => any_closure,
+                        Some(FlowVal::Bot) => false,
+                        Some(FlowVal::Fns(ts)) => ts.iter().any(|t| may[t.0 as usize]),
+                    },
+                }
+            };
+            let mut changed = false;
+            for (i, f) in p.funs.iter().enumerate() {
+                if may[i] {
+                    continue;
+                }
+                let calls_gc = f.code.iter().any(|ins| match ins {
+                    Instr::CallDirect { f: callee, .. } => may[callee.0 as usize],
+                    Instr::CallClosure { site, .. } => closure_site_may(*site, &may),
+                    _ => false,
+                });
+                if calls_gc {
+                    may[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let any_closure_allocates =
+            (0..n).any(|i| p.funs[i].kind == FnKind::ClosureEntered && may[i]);
+
+        let site_may_gc = p
+            .sites
+            .iter()
+            .map(|s| match &s.kind {
+                SiteKind::Alloc { .. } => true,
+                SiteKind::Direct { callee, .. } => may[callee.0 as usize],
+                SiteKind::Closure { .. } => match flow {
+                    None => any_closure_allocates,
+                    Some(fl) => match &fl.site_targets[s.id.0 as usize] {
+                        Some(FlowVal::Top) | None => any_closure_allocates,
+                        Some(FlowVal::Bot) => false,
+                        Some(FlowVal::Fns(ts)) => {
+                            ts.iter().any(|t| may[t.0 as usize])
+                        }
+                    },
+                },
+            })
+            .collect();
+        GcPoints {
+            fn_may_gc: may,
+            site_may_gc,
+            any_closure_allocates,
+        }
+    }
+
+    /// Can the function trigger a collection?
+    pub fn fun_may_gc(&self, f: FnId) -> bool {
+        self.fn_may_gc[f.0 as usize]
+    }
+
+    /// Can a collection happen while suspended at this site?
+    pub fn site_may_gc(&self, s: CallSiteId) -> bool {
+        self.site_may_gc[s.0 as usize]
+    }
+
+    /// Number of sites whose gc_word can be omitted entirely.
+    pub fn omitted_gc_words(&self) -> usize {
+        self.site_may_gc.iter().filter(|b| !**b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_ir::lower;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    fn compile(src: &str) -> IrProgram {
+        lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn fn_id(p: &IrProgram, prefix: &str) -> FnId {
+        FnId(
+            p.funs
+                .iter()
+                .position(|f| f.name.starts_with(prefix))
+                .unwrap_or_else(|| panic!("no fn `{prefix}`")) as u32,
+        )
+    }
+
+    #[test]
+    fn pure_arithmetic_cannot_gc() {
+        let p = compile("fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib 10");
+        let gp = GcPoints::compute(&p);
+        assert!(!gp.fun_may_gc(fn_id(&p, "fib")));
+        // Every site in fib is a non-GC site: all its gc_words are
+        // omitted.
+        for s in &p.sites {
+            if s.fn_id == fn_id(&p, "fib") {
+                assert!(!gp.site_may_gc(s.id));
+            }
+        }
+        assert!(gp.omitted_gc_words() > 0);
+    }
+
+    #[test]
+    fn allocation_marks_function() {
+        let p = compile("fun dup x = (x, x) ; dup 3");
+        let gp = GcPoints::compute(&p);
+        assert!(gp.fun_may_gc(fn_id(&p, "dup")));
+        // The call site to dup in main may GC.
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.fn_id == p.main && matches!(s.kind, SiteKind::Direct { .. }))
+            .unwrap();
+        assert!(gp.site_may_gc(site.id));
+    }
+
+    #[test]
+    fn transitivity_through_calls() {
+        let p = compile(
+            "fun alloc n = [n] ;
+             fun middle n = alloc n ;
+             fun top n = middle n ;
+             top 1",
+        );
+        let gp = GcPoints::compute(&p);
+        assert!(gp.fun_may_gc(fn_id(&p, "alloc")));
+        assert!(gp.fun_may_gc(fn_id(&p, "middle")));
+        assert!(gp.fun_may_gc(fn_id(&p, "top")));
+    }
+
+    #[test]
+    fn closure_calls_use_global_approximation() {
+        // The lambda allocates, so every closure call site may GC.
+        let p = compile(
+            "fun apply f x = f x ;
+             apply (fn n => [n]) 3",
+        );
+        let gp = GcPoints::compute(&p);
+        assert!(gp.any_closure_allocates);
+        assert!(gp.fun_may_gc(fn_id(&p, "apply")));
+    }
+
+    #[test]
+    fn pure_closures_do_not_poison() {
+        // No closure-entered function allocates; closure calls are clean.
+        let p = compile(
+            "fun apply f x = f x ;
+             apply (fn n => n + 1) 3",
+        );
+        let gp = GcPoints::compute(&p);
+        assert!(!gp.any_closure_allocates);
+        assert!(!gp.fun_may_gc(fn_id(&p, "apply")));
+    }
+
+    #[test]
+    fn paper_append_may_gc_via_cons() {
+        let p = compile(
+            "fun append [] ys = ys | append (x :: xs) ys = x :: append xs ys ;
+             append [1] [2]",
+        );
+        let gp = GcPoints::compute(&p);
+        assert!(gp.fun_may_gc(fn_id(&p, "append")));
+    }
+}

@@ -1,0 +1,42 @@
+//! # tfgc-analysis — compile-time analyses for tag-free GC
+//!
+//! The analyses §5 of the paper proposes to optimize collection:
+//!
+//! * [`liveness`] — live-variable analysis (§5.2): frame routines trace
+//!   only live slots, reclaiming structures the conventional "trace every
+//!   variable in every activation record" collector would retain.
+//! * [`gcpoints`] — the §5.1 fixpoint finding call sites that can never
+//!   trigger a collection; their gc_words are omitted.
+//! * [`init`] — definite assignment: the guard against tracing
+//!   uninitialized slots (§1.1.1's correctness concern).
+//!
+//! ```
+//! use tfgc_syntax::parse_program;
+//! use tfgc_types::elaborate;
+//! use tfgc_ir::lower;
+//! use tfgc_analysis::{GcPoints, Liveness};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = lower(&elaborate(&parse_program(
+//!     "fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib 10",
+//! )?)?)?;
+//! let gp = GcPoints::compute(&p);
+//! // Pure arithmetic: every one of fib's gc_words is omitted (§2.4).
+//! assert!(gp.omitted_gc_words() > 0);
+//! let live = Liveness::compute(&p);
+//! assert_eq!(live.site_live.len(), p.sites.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bitset;
+pub mod cfa;
+pub mod gcpoints;
+pub mod init;
+pub mod liveness;
+
+pub use bitset::SlotSet;
+pub use cfa::{ClosureFlow, FlowVal};
+pub use gcpoints::GcPoints;
+pub use init::{FunInit, InitAnalysis};
+pub use liveness::{FunLiveness, Liveness};

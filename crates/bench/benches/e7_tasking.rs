@@ -1,0 +1,41 @@
+//! E7 — §4 tasking: end-to-end multi-task runs per suspension policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tfgc::tasking::{find_fn, run_tasks, SuspendPolicy, TaskConfig};
+use tfgc::{Compiled, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_tasking");
+    g.sample_size(10);
+    let src = "
+        fun build n = if n = 0 then [] else n :: build (n - 1) ;
+        fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+        fun worker n = if n = 0 then 0
+                       else (sum (build 20) + worker (n - 1)) - sum (build 20) ;
+        0";
+    let compiled = Compiled::compile(src).expect("compiles");
+    let worker = find_fn(&compiled.program, "worker").expect("worker");
+    let entries = vec![(worker, 40), (worker, 40)];
+    for policy in [
+        SuspendPolicy::AllocationOnly,
+        SuspendPolicy::EveryCall,
+        SuspendPolicy::EveryCallRgc,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("2workers", format!("{policy}")),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut cfg = TaskConfig::new(Strategy::Compiled);
+                    cfg.heap_words = 1 << 11;
+                    cfg.policy = *policy;
+                    run_tasks(&compiled.program, &entries, cfg).expect("tasks run")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Prints every experiment table (E1–E8). The recorded output backs
+//! EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p tfgc-bench --bin experiments
+//! ```
+
+fn main() {
+    println!("{}", tfgc_bench::all_experiments());
+}

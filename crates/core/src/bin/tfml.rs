@@ -1,0 +1,277 @@
+//! `tfml` — command-line driver for the tag-free GC reproduction.
+//!
+//! ```text
+//! tfml run [OPTS] <file.tfml | -e SRC>     run a program
+//! tfml disasm <file | -e SRC>              show bytecode + frame layouts
+//! tfml gcmap [OPTS] <file | -e SRC>        show per-site gc_words/routines
+//! tfml analyze <file | -e SRC>             liveness / GC points / RTTI report
+//! tfml compare [OPTS] <file | -e SRC>      run under all five strategies
+//!
+//! OPTS:
+//!   --strategy S     compiled | compiled-nolive | interpreted | appel | tagged
+//!   --heap N         semispace words (default 65536)
+//!   --force-gc N     force a collection every N allocations
+//!   --refined        use the closure-flow-refined GC-point analysis
+//!   --stats          print run statistics
+//! ```
+
+use std::process::ExitCode;
+use tfgc::gc::NO_TRACE;
+use tfgc::{Compiled, Strategy, Table, VmConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tfml: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    strategy: Strategy,
+    heap: usize,
+    force_gc: Option<u64>,
+    refined: bool,
+    stats: bool,
+    source: String,
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    Ok(match s {
+        "compiled" => Strategy::Compiled,
+        "compiled-nolive" => Strategy::CompiledNoLiveness,
+        "interpreted" => Strategy::Interpreted,
+        "appel" => Strategy::AppelPerFn,
+        "tagged" => Strategy::Tagged,
+        other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut strategy = Strategy::Compiled;
+    let mut heap = 1usize << 16;
+    let mut force_gc = None;
+    let mut refined = false;
+    let mut stats = false;
+    let mut source: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strategy" => {
+                i += 1;
+                strategy = parse_strategy(args.get(i).ok_or("--strategy needs a value")?)?;
+            }
+            "--heap" => {
+                i += 1;
+                heap = args
+                    .get(i)
+                    .ok_or("--heap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --heap: {e}"))?;
+            }
+            "--force-gc" => {
+                i += 1;
+                force_gc = Some(
+                    args.get(i)
+                        .ok_or("--force-gc needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --force-gc: {e}"))?,
+                );
+            }
+            "--refined" => refined = true,
+            "--stats" => stats = true,
+            "-e" => {
+                i += 1;
+                source = Some(args.get(i).ok_or("-e needs source text")?.clone());
+            }
+            path => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                source = Some(text);
+            }
+        }
+        i += 1;
+    }
+    Ok(Opts {
+        strategy,
+        heap,
+        force_gc,
+        refined,
+        stats,
+        source: source.ok_or("no program given (file path or -e SRC)")?,
+    })
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("usage: tfml <run|disasm|gcmap|analyze|compare> ... (see --help)".into());
+    };
+    if cmd == "--help" || cmd == "help" {
+        println!(
+            "tfml run|disasm|gcmap|analyze|compare [--strategy S] [--heap N] \
+             [--force-gc N] [--refined] [--stats] <file | -e SRC>"
+        );
+        return Ok(());
+    }
+    let opts = parse_opts(rest)?;
+    let compiled = Compiled::compile(&opts.source).map_err(|e| e.to_string())?;
+
+    match cmd.as_str() {
+        "run" => cmd_run(&compiled, &opts),
+        "disasm" => {
+            print!("{}", tfgc::ir::display::disasm(&compiled.program));
+            Ok(())
+        }
+        "gcmap" => cmd_gcmap(&compiled, &opts),
+        "analyze" => cmd_analyze(&compiled),
+        "compare" => cmd_compare(&compiled, &opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn vm_config(opts: &Opts) -> VmConfig {
+    let mut cfg = VmConfig::new(opts.strategy).heap_words(opts.heap);
+    if let Some(n) = opts.force_gc {
+        cfg = cfg.force_gc_every(n);
+    }
+    cfg
+}
+
+fn cmd_run(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
+    let out = if opts.refined {
+        let meta = compiled.metadata_refined(opts.strategy);
+        compiled.run_with_meta(vm_config(opts), meta)
+    } else {
+        compiled.run_with(vm_config(opts))
+    }
+    .map_err(|e| e.to_string())?;
+    for v in &out.printed {
+        println!("{v}");
+    }
+    println!("{}", out.result);
+    if opts.stats {
+        eprintln!(
+            "instructions {}  tag-ops {}  allocations {}  words {}  GCs {}  copied {}  \
+             pause-ns {}  metadata-bytes {}",
+            out.mutator.instructions,
+            out.mutator.tag_ops,
+            out.heap.allocations,
+            out.heap.words_allocated,
+            out.heap.collections,
+            out.heap.words_copied,
+            out.gc.pause_nanos,
+            out.metadata_bytes,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gcmap(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
+    let meta = if opts.refined {
+        compiled.metadata_refined(opts.strategy)
+    } else {
+        compiled.metadata(opts.strategy)
+    };
+    let mut t = Table::new(&["site", "function", "pc", "kind", "gc_word"]);
+    for site in &compiled.program.sites {
+        let f = &compiled.program.funs[site.fn_id.0 as usize];
+        let kind = match &site.kind {
+            tfgc::ir::SiteKind::Direct { callee, .. } => {
+                format!("call {}", compiled.program.funs[callee.0 as usize].name)
+            }
+            tfgc::ir::SiteKind::Closure { .. } => "callclos".to_string(),
+            tfgc::ir::SiteKind::Alloc { operand_tys } => {
+                format!("alloc/{}", operand_tys.len())
+            }
+        };
+        let word = match meta.sites[site.id.0 as usize].routine {
+            None => "omitted".to_string(),
+            Some(NO_TRACE) => "no_trace".to_string(),
+            Some(r) => format!(
+                "routine#{} ({} ops)",
+                r.0,
+                meta.routines.routine(r).ops.len()
+            ),
+        };
+        t.row(vec![
+            site.id.0.to_string(),
+            f.name.clone(),
+            site.pc.to_string(),
+            kind,
+            word,
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "{} sites; {} omitted; {} no_trace; {} distinct routines; {} metadata bytes",
+        compiled.program.sites.len(),
+        meta.omitted_gc_words(),
+        meta.no_trace_sites(),
+        meta.distinct_routines(),
+        meta.metadata_bytes()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(compiled: &Compiled) -> Result<(), String> {
+    println!(
+        "monomorphic: {}  functions: {}  sites: {}  instructions: {}",
+        compiled.is_monomorphic(),
+        compiled.program.funs.len(),
+        compiled.program.sites.len(),
+        compiled.program.code_len()
+    );
+    let mut t = Table::new(&["function", "kind", "slots", "frame params", "may GC"]);
+    for (i, f) in compiled.program.funs.iter().enumerate() {
+        t.row(vec![
+            f.name.clone(),
+            format!("{:?}", f.kind),
+            f.slots.len().to_string(),
+            f.frame_params.len().to_string(),
+            compiled
+                .analyses
+                .gcpoints
+                .fun_may_gc(tfgc::ir::FnId(i as u32))
+                .to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "hidden descriptors required: {} (the 1991 scheme's completeness gap)",
+        compiled.rtti.total_desc_fields()
+    );
+    Ok(())
+}
+
+fn cmd_compare(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
+    let mut t = Table::new(&[
+        "strategy",
+        "result",
+        "words",
+        "GCs",
+        "copied",
+        "tag-ops",
+        "meta B",
+    ]);
+    for s in Strategy::ALL {
+        let mut cfg = VmConfig::new(s).heap_words(opts.heap);
+        if let Some(n) = opts.force_gc {
+            cfg = cfg.force_gc_every(n);
+        }
+        let out = compiled.run_with(cfg).map_err(|e| format!("{s}: {e}"))?;
+        t.row(vec![
+            s.to_string(),
+            out.result.clone(),
+            out.heap.words_allocated.to_string(),
+            out.heap.collections.to_string(),
+            out.heap.words_copied.to_string(),
+            out.mutator.tag_ops.to_string(),
+            out.metadata_bytes.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}

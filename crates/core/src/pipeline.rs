@@ -1,0 +1,171 @@
+//! The end-to-end pipeline: source → typed AST → bytecode → analyses →
+//! GC metadata → execution under a strategy.
+
+use std::fmt;
+use tfgc_gc::{Analyses, GcMeta, Strategy};
+use tfgc_ir::{lower_full, IrProgram, RttiInfo};
+use tfgc_syntax::parse_program;
+use tfgc_types::{elaborate, is_monomorphic, TProgram};
+use tfgc_vm::{run_program, RunOutcome, VmConfig, VmError};
+
+/// A front-end error from any stage.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    Parse(tfgc_syntax::ParseError),
+    Type(tfgc_types::TypeError),
+    Lower(tfgc_ir::LowerError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Type(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<tfgc_syntax::ParseError> for CompileError {
+    fn from(e: tfgc_syntax::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<tfgc_types::TypeError> for CompileError {
+    fn from(e: tfgc_types::TypeError) -> Self {
+        CompileError::Type(e)
+    }
+}
+
+impl From<tfgc_ir::LowerError> for CompileError {
+    fn from(e: tfgc_ir::LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+/// A compiled program with its analyses, ready to run under any strategy.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub typed: TProgram,
+    pub program: IrProgram,
+    pub rtti: RttiInfo,
+    pub analyses: Analyses,
+}
+
+impl Compiled {
+    /// Runs the full front end on TFML source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse, type, or lowering error.
+    pub fn compile(src: &str) -> Result<Compiled, CompileError> {
+        let parsed = parse_program(src)?;
+        let typed = elaborate(&parsed)?;
+        let (program, rtti) = lower_full(&typed)?;
+        let analyses = Analyses::compute(&program);
+        Ok(Compiled {
+            typed,
+            program,
+            rtti,
+            analyses,
+        })
+    }
+
+    /// Is the program fully monomorphic (§2's setting)?
+    pub fn is_monomorphic(&self) -> bool {
+        is_monomorphic(&self.typed)
+    }
+
+    /// Builds GC metadata for a strategy (reusing the analyses).
+    pub fn metadata(&self, strategy: Strategy) -> GcMeta {
+        GcMeta::build(&self.program, &self.analyses, strategy)
+    }
+
+    /// Builds GC metadata with the higher-order (closure-flow-refined)
+    /// GC-point analysis — §5.1's suggested extension. Omits strictly
+    /// more gc_words.
+    pub fn metadata_refined(&self, strategy: Strategy) -> GcMeta {
+        let an = Analyses::compute_refined(&self.program);
+        GcMeta::build(&self.program, &an, strategy)
+    }
+
+    /// Runs with explicit, possibly refined, metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM runtime errors.
+    pub fn run_with_meta(
+        &self,
+        cfg: VmConfig,
+        meta: GcMeta,
+    ) -> Result<RunOutcome, VmError> {
+        let mut vm = tfgc_vm::Vm::with_meta(&self.program, cfg, meta);
+        vm.run()
+    }
+
+    /// Runs under a strategy with default VM settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM runtime errors.
+    pub fn run(&self, strategy: Strategy) -> Result<RunOutcome, VmError> {
+        run_program(&self.program, VmConfig::new(strategy))
+    }
+
+    /// Runs with a custom VM configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM runtime errors.
+    pub fn run_with(&self, cfg: VmConfig) -> Result<RunOutcome, VmError> {
+        run_program(&self.program, cfg)
+    }
+
+    /// Runs under every strategy, asserting identical observable output;
+    /// returns the outcomes keyed by strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first VM error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two strategies disagree on the result or printed output
+    /// — that would be a collector soundness bug.
+    pub fn run_all_strategies(
+        &self,
+        heap_words: usize,
+    ) -> Result<Vec<(Strategy, RunOutcome)>, VmError> {
+        let mut outs = Vec::new();
+        for s in Strategy::ALL {
+            let out = self.run_with(VmConfig::new(s).heap_words(heap_words))?;
+            outs.push((s, out));
+        }
+        for (s, o) in &outs[1..] {
+            assert_eq!(
+                o.result, outs[0].1.result,
+                "strategy {s} disagrees with {} on the result",
+                outs[0].0
+            );
+            assert_eq!(
+                o.printed, outs[0].1.printed,
+                "strategy {s} disagrees with {} on printed output",
+                outs[0].0
+            );
+        }
+        Ok(outs)
+    }
+}
+
+/// One-call convenience: compile and run under a strategy.
+///
+/// # Errors
+///
+/// Returns a rendered message for both compile- and run-time failures.
+pub fn compile_and_run(src: &str, strategy: Strategy) -> Result<RunOutcome, String> {
+    let c = Compiled::compile(src).map_err(|e| e.to_string())?;
+    c.run(strategy).map_err(|e| e.to_string())
+}

@@ -1,0 +1,619 @@
+//! The tag-free copying collector.
+//!
+//! Implements Figure 2's loop: walk the dynamic chain, select each frame's
+//! `frame_gc_routine` through the return-address → gc_word mapping, and
+//! run it. Three strategy families share this module:
+//!
+//! * **Compiled / Interpreted** (§2, §2.4): monomorphic frames trace with
+//!   precompiled ground routines (or byte descriptors); polymorphic frames
+//!   use §3's scheme — the dynamic chain is decoded in one pass (the
+//!   paper does this by pointer-reversing the links; collecting frame
+//!   records is the equivalent traversal, see DESIGN.md) and then walked
+//!   **oldest → newest**, each frame routine evaluating the static θ of
+//!   its call site to hand the next routine its type_gc_routine arguments.
+//! * **Appel** (§1.1.1): one routine per procedure, traversal newest →
+//!   oldest, re-descending the chain for every frame's type resolution
+//!   with no caching — the cost Goldberg's forward scheme avoids;
+//!   [`GcStats::chain_steps`] counts it.
+//!
+//! Values are traced through a typed worklist (no recursion in data
+//! depth), so million-element lists collect in constant Rust stack space.
+
+use crate::bytes::{BytePool, DescView};
+use crate::desc::{DescArena, DescId};
+use crate::ground::{GroundTable, TypeRt};
+use crate::meta::{CalleePlan, ClosParamSrc, FnGcMeta, FrameParamSrc, GcMeta, SiteMeta};
+use crate::routines::{RoutineTable, TraceOp};
+use crate::rtval::{desc_to_rt, eval_sx, extract_path, RtBuildStats, RtVal};
+use crate::stack::{walk_frames, FrameInfo, FRAME_HDR};
+use crate::stats::GcStats;
+use crate::strategy::Strategy;
+use crate::sx::TypeSx;
+use std::rc::Rc;
+use std::time::Instant;
+use tfgc_ir::{CallSiteId, CtorRep, IrProgram};
+use tfgc_runtime::{Addr, Encoding, Heap, HeapMode, Word, HEAP_BASE};
+use tfgc_types::DataId;
+
+/// One task's activation-record stack (a single-task program has exactly
+/// one; §4's shared-memory tasks each contribute one).
+#[derive(Debug)]
+pub struct StackRoots<'m> {
+    /// The whole activation-record stack.
+    pub stack: &'m mut [Word],
+    /// Base of the newest frame.
+    pub top_fp: usize,
+    /// Site the newest frame is suspended at (the allocation that
+    /// triggered this collection, or the call a task is parked at — §4
+    /// suspends tasks only at procedure calls).
+    pub current_site: CallSiteId,
+}
+
+/// The mutator state handed to the collector.
+#[derive(Debug)]
+pub struct MachineRoots<'m> {
+    /// All task stacks ("garbage collection starts and the stack of each
+    /// process is traversed in turn", §4).
+    pub stacks: Vec<StackRoots<'m>>,
+    /// Global variable words.
+    pub globals: &'m mut [Word],
+    /// Pending operand words of the allocation in progress — "the
+    /// parameters of the allocation primitive", traced by the collector
+    /// itself (§2.4). Typed by `stacks[operand_stack]`'s current site.
+    pub operands: &'m mut [Word],
+    /// Index of the stack whose suspension site types the operands.
+    pub operand_stack: usize,
+}
+
+/// A tracing type at collection time: an evaluated routine value, or an
+/// interpreted byte descriptor under an environment.
+#[derive(Debug, Clone)]
+enum WTy {
+    Rt(RtVal),
+    Bytes { pos: u32, env: Rc<Vec<WTy>> },
+}
+
+#[derive(Debug)]
+struct WorkItem {
+    addr: Addr,
+    off: u16,
+    ty: WTy,
+}
+
+/// Runs one tag-free collection.
+///
+/// # Panics
+///
+/// Panics if a frame is suspended at a site whose gc_word was omitted —
+/// that would falsify the §5.1 analysis — or on heap corruption.
+pub fn collect_tagfree(
+    meta: &mut GcMeta,
+    prog: &IrProgram,
+    heap: &mut Heap,
+    descs: &DescArena,
+    stats: &mut GcStats,
+    mut roots: MachineRoots<'_>,
+) {
+    assert_ne!(meta.strategy, Strategy::Tagged, "use collect_tagged");
+    let t0 = Instant::now();
+    let strategy = meta.strategy;
+    let mut cx = Collector {
+        prog,
+        heap,
+        descs,
+        ground: &mut meta.ground,
+        routines: &meta.routines,
+        pool: &meta.pool,
+        sites: &meta.sites,
+        fns: &meta.fns,
+        data_variants: &meta.data_variants,
+        stats,
+        build: RtBuildStats::default(),
+        work: Vec::new(),
+        enc: Encoding::new(HeapMode::TagFree),
+    };
+
+    // Globals first: their routines are known statically (§1.1).
+    for (i, g) in meta.globals.iter().enumerate() {
+        if let Some(sx) = g {
+            let rt = eval_sx(sx, &[], &mut cx.build);
+            roots.globals[i] = cx.reloc(roots.globals[i], &WTy::Rt(rt));
+        }
+    }
+
+    // Each task's stack is traversed in turn (§4).
+    let mut operand_env: Vec<RtVal> = Vec::new();
+    let mut operand_site = None;
+    for (ti, sr) in roots.stacks.iter_mut().enumerate() {
+        let frames = walk_frames(sr.stack, sr.top_fp, sr.current_site, prog);
+        cx.stats.frames_visited += frames.len() as u64;
+        let newest_env = match strategy {
+            Strategy::AppelPerFn => cx.appel_walk(&frames, sr.stack),
+            _ => cx.forward_walk(&frames, sr.stack),
+        };
+        if ti == roots.operand_stack {
+            operand_env = newest_env;
+            operand_site = Some(sr.current_site);
+        }
+    }
+
+    // Pending allocation operands, typed by the triggering task's site,
+    // traced under its newest frame's environment.
+    // (`operands` may be empty even at an allocation site: §4 tasks
+    // re-execute a blocked allocation after the collection.)
+    if let Some(site) = operand_site {
+        let op_sxs: Vec<Option<TypeSx>> = cx.sites[site.0 as usize].operands.clone();
+        for (op, w) in op_sxs.iter().zip(roots.operands.iter_mut()) {
+            if let Some(sx) = op {
+                let rt = eval_sx(sx, &operand_env, &mut cx.build);
+                *w = cx.reloc(*w, &WTy::Rt(rt));
+            }
+        }
+    }
+
+    cx.drain();
+    let built = cx.build.nodes_built;
+    stats.rt_nodes_built += built;
+    heap.flip();
+    stats.collections += 1;
+    stats.pause_nanos += t0.elapsed().as_nanos();
+}
+
+struct Collector<'c> {
+    prog: &'c IrProgram,
+    heap: &'c mut Heap,
+    descs: &'c DescArena,
+    ground: &'c mut GroundTable,
+    routines: &'c RoutineTable,
+    pool: &'c BytePool,
+    sites: &'c [SiteMeta],
+    fns: &'c [FnGcMeta],
+    data_variants: &'c [Vec<Vec<TypeSx>>],
+    stats: &'c mut GcStats,
+    build: RtBuildStats,
+    work: Vec<WorkItem>,
+    enc: Encoding,
+}
+
+/// Head classification of a pointer-object relocation.
+enum Head {
+    /// Immediate value (or null-like): unchanged.
+    Imm(Word),
+    /// Already relocated: the new encoded word.
+    Done(Word),
+    /// Freshly copied to `new`; fields still need enqueueing.
+    Copied(Addr),
+}
+
+impl Collector<'_> {
+    /// §3's traversal: oldest to newest, propagating type routine
+    /// environments through the recorded θ / closure-type plans. Returns
+    /// the newest frame's environment.
+    fn forward_walk(&mut self, frames: &[FrameInfo], stack: &mut [Word]) -> Vec<RtVal> {
+        let mut theta_rts: Option<Vec<RtVal>> = None;
+        let mut clos_rt: Option<RtVal> = None;
+        let mut env: Vec<RtVal> = Vec::new();
+        for fr in frames.iter().rev() {
+            env = self.frame_env(fr, stack, theta_rts.as_deref(), clos_rt.as_ref());
+            self.run_frame_routine(fr, &env, stack);
+            (theta_rts, clos_rt) = self.eval_plan(fr.site, &env);
+        }
+        env
+    }
+
+    /// Appel's traversal: newest to oldest, re-deriving each frame's
+    /// environment by walking down the chain with no caching. Returns the
+    /// newest frame's environment.
+    fn appel_walk(&mut self, frames: &[FrameInfo], stack: &mut [Word]) -> Vec<RtVal> {
+        let mut newest_env = Vec::new();
+        for k in 0..frames.len() {
+            let env = self.appel_env(frames, k, stack);
+            self.run_frame_routine(&frames[k], &env, stack);
+            if k == 0 {
+                newest_env = env;
+            }
+        }
+        newest_env
+    }
+
+    /// Re-derives frame `k`'s environment by descending to the bottom of
+    /// the chain and evaluating plans back up — O(depth) per frame.
+    fn appel_env(&mut self, frames: &[FrameInfo], k: usize, stack: &[Word]) -> Vec<RtVal> {
+        let mut theta_rts: Option<Vec<RtVal>> = None;
+        let mut clos_rt: Option<RtVal> = None;
+        let mut env = Vec::new();
+        for j in (k..frames.len()).rev() {
+            self.stats.chain_steps += 1;
+            let fr = &frames[j];
+            env = self.frame_env(fr, stack, theta_rts.as_deref(), clos_rt.as_ref());
+            if j == k {
+                break;
+            }
+            (theta_rts, clos_rt) = self.eval_plan(fr.site, &env);
+        }
+        env
+    }
+
+    /// Evaluates a site's callee plan under the caller's environment —
+    /// "the type_gc_routines passed to the next frame's frame_gc_routine
+    /// correspond to the types of the arguments passed by f" (§3).
+    fn eval_plan(
+        &mut self,
+        site: CallSiteId,
+        env: &[RtVal],
+    ) -> (Option<Vec<RtVal>>, Option<RtVal>) {
+        let sites = self.sites;
+        match &sites[site.0 as usize].plan {
+            CalleePlan::Direct { theta } => (
+                Some(
+                    theta
+                        .iter()
+                        .map(|sx| eval_sx(sx, env, &mut self.build))
+                        .collect(),
+                ),
+                None,
+            ),
+            CalleePlan::Closure { clos_ty } => {
+                (None, Some(eval_sx(clos_ty, env, &mut self.build)))
+            }
+            CalleePlan::None => (None, None),
+        }
+    }
+
+    /// Builds a frame's type-routine environment from its parameter
+    /// sources.
+    fn frame_env(
+        &mut self,
+        fr: &FrameInfo,
+        stack: &[Word],
+        theta: Option<&[RtVal]>,
+        clos_rt: Option<&RtVal>,
+    ) -> Vec<RtVal> {
+        let fns = self.fns;
+        let fm = &fns[fr.fn_id.0 as usize];
+        fm.frame_param_src
+            .iter()
+            .enumerate()
+            .map(|(i, src)| match src {
+                FrameParamSrc::Opaque => RtVal::Const,
+                FrameParamSrc::Theta => theta
+                    .and_then(|t| t.get(i))
+                    .cloned()
+                    .unwrap_or(RtVal::Const),
+                FrameParamSrc::ArrowPath(p) => match clos_rt {
+                    Some(rt) => extract_path(rt, p, self.prog, self.ground),
+                    None => RtVal::Const,
+                },
+                FrameParamSrc::DescSlot(s) => {
+                    let w = stack[fr.fp + FRAME_HDR + s.0 as usize];
+                    desc_to_rt(self.descs, DescId(w as u32), &mut self.build)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the frame routine selected by the frame's suspension site —
+    /// the gc_word lookup of §2.1.
+    fn run_frame_routine(&mut self, fr: &FrameInfo, env: &[RtVal], stack: &mut [Word]) {
+        let sites = self.sites;
+        let rid = sites[fr.site.0 as usize].routine.unwrap_or_else(|| {
+            panic!(
+                "collection while suspended at site {} whose gc_word was omitted \
+                 (GC-point analysis would be unsound)",
+                fr.site.0
+            )
+        });
+        self.stats.routine_invocations += 1;
+        let ops = self.routines.routine(rid).ops.clone();
+        for op in ops {
+            self.stats.slots_traced += 1;
+            match op {
+                TraceOp::Slot { slot, sx } => {
+                    let rt = eval_sx(&sx, env, &mut self.build);
+                    let idx = fr.fp + FRAME_HDR + slot.0 as usize;
+                    stack[idx] = self.reloc(stack[idx], &WTy::Rt(rt));
+                }
+                TraceOp::SlotBytes { slot, pos } => {
+                    let benv: Rc<Vec<WTy>> =
+                        Rc::new(env.iter().cloned().map(WTy::Rt).collect());
+                    let idx = fr.fp + FRAME_HDR + slot.0 as usize;
+                    stack[idx] = self.reloc(stack[idx], &WTy::Bytes { pos, env: benv });
+                }
+            }
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some(item) = self.work.pop() {
+            let w = self.heap.read(item.addr, item.off);
+            let nw = self.reloc(w, &item.ty);
+            self.heap.write(item.addr, item.off, nw);
+        }
+    }
+
+    /// Relocates one value of the given tracing type, returning the new
+    /// word and enqueueing the object's fields.
+    fn reloc(&mut self, w: Word, ty: &WTy) -> Word {
+        match ty {
+            WTy::Rt(RtVal::Const) => w,
+            WTy::Rt(RtVal::Ground(id)) => {
+                let rt = self.ground.rt(*id).clone();
+                match rt {
+                    TypeRt::Prim => w,
+                    TypeRt::Tuple(fields) => match self.head(w, fields.len()) {
+                        Head::Imm(w) | Head::Done(w) => w,
+                        Head::Copied(new) => {
+                            for (i, f) in fields.iter().enumerate() {
+                                self.push(new, i as u16, WTy::Rt(RtVal::Ground(*f)));
+                            }
+                            self.enc.ptr(new)
+                        }
+                    },
+                    TypeRt::Data { data, variants } => {
+                        match self.data_head(w, data) {
+                            DataHead::Imm(w) | DataHead::Done(w) => w,
+                            DataHead::Copied { ctor, rep, new } => {
+                                for (i, f) in variants[ctor].fields.iter().enumerate() {
+                                    self.push(
+                                        new,
+                                        rep.field_offset(i as u16),
+                                        WTy::Rt(RtVal::Ground(*f)),
+                                    );
+                                }
+                                self.enc.ptr(new)
+                            }
+                        }
+                    }
+                    TypeRt::Arrow(_) => self.reloc_closure(w, RtVal::Ground(*id)),
+                }
+            }
+            WTy::Rt(RtVal::Tuple(fields)) => {
+                let fields = fields.clone();
+                match self.head(w, fields.len()) {
+                    Head::Imm(w) | Head::Done(w) => w,
+                    Head::Copied(new) => {
+                        for (i, f) in fields.iter().enumerate() {
+                            self.push(new, i as u16, WTy::Rt(f.clone()));
+                        }
+                        self.enc.ptr(new)
+                    }
+                }
+            }
+            WTy::Rt(RtVal::Data(d, args)) => {
+                let args = args.clone();
+                match self.data_head(w, *d) {
+                    DataHead::Imm(w) | DataHead::Done(w) => w,
+                    DataHead::Copied { ctor, rep, new } => {
+                        let templates = self.data_variants[d.0 as usize][ctor].clone();
+                        for (i, sx) in templates.iter().enumerate() {
+                            let rt = eval_sx(sx, &args, &mut self.build);
+                            self.push(new, rep.field_offset(i as u16), WTy::Rt(rt));
+                        }
+                        self.enc.ptr(new)
+                    }
+                }
+            }
+            WTy::Rt(rt @ RtVal::Arrow(_, _)) => self.reloc_closure(w, rt.clone()),
+            WTy::Bytes { pos, env } => {
+                let env = env.clone();
+                match self.pool.parse(*pos, &mut self.stats.desc_bytes_read) {
+                    DescView::Prim => w,
+                    DescView::Param(i) => {
+                        let sub = env[i as usize].clone();
+                        self.reloc(w, &sub)
+                    }
+                    DescView::Tuple(fields) => match self.head(w, fields.len()) {
+                        Head::Imm(w) | Head::Done(w) => w,
+                        Head::Copied(new) => {
+                            for (i, p) in fields.iter().enumerate() {
+                                self.push(
+                                    new,
+                                    i as u16,
+                                    WTy::Bytes {
+                                        pos: *p,
+                                        env: env.clone(),
+                                    },
+                                );
+                            }
+                            self.enc.ptr(new)
+                        }
+                    },
+                    DescView::Data(d, arg_positions) => {
+                        match self.data_head(w, d) {
+                            DataHead::Imm(w) | DataHead::Done(w) => w,
+                            DataHead::Copied { ctor, rep, new } => {
+                                let arg_env: Rc<Vec<WTy>> = Rc::new(
+                                    arg_positions
+                                        .iter()
+                                        .map(|p| WTy::Bytes {
+                                            pos: *p,
+                                            env: env.clone(),
+                                        })
+                                        .collect(),
+                                );
+                                let fields =
+                                    self.pool.data_fields[d.0 as usize][ctor].clone();
+                                for (i, p) in fields.iter().enumerate() {
+                                    self.push(
+                                        new,
+                                        rep.field_offset(i as u16),
+                                        WTy::Bytes {
+                                            pos: *p,
+                                            env: arg_env.clone(),
+                                        },
+                                    );
+                                }
+                                self.enc.ptr(new)
+                            }
+                        }
+                    }
+                    DescView::Arrow(a, b) => {
+                        let ra = self.wty_to_rt(&WTy::Bytes {
+                            pos: a,
+                            env: env.clone(),
+                        });
+                        let rb = self.wty_to_rt(&WTy::Bytes { pos: b, env });
+                        self.reloc_closure(w, RtVal::Arrow(Rc::new(ra), Rc::new(rb)))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Converts a tracing type to a routine value (used when the
+    /// interpreted path meets a closure and needs Figure-3 extraction).
+    fn wty_to_rt(&mut self, ty: &WTy) -> RtVal {
+        match ty {
+            WTy::Rt(rt) => rt.clone(),
+            WTy::Bytes { pos, env } => {
+                let env = env.clone();
+                match self.pool.parse(*pos, &mut self.stats.desc_bytes_read) {
+                    DescView::Prim => RtVal::Const,
+                    DescView::Param(i) => {
+                        let sub = env[i as usize].clone();
+                        self.wty_to_rt(&sub)
+                    }
+                    DescView::Tuple(fields) => {
+                        self.build.nodes_built += 1;
+                        let fs = fields
+                            .iter()
+                            .map(|p| {
+                                self.wty_to_rt(&WTy::Bytes {
+                                    pos: *p,
+                                    env: env.clone(),
+                                })
+                            })
+                            .collect();
+                        RtVal::Tuple(Rc::new(fs))
+                    }
+                    DescView::Data(d, args) => {
+                        self.build.nodes_built += 1;
+                        let xs = args
+                            .iter()
+                            .map(|p| {
+                                self.wty_to_rt(&WTy::Bytes {
+                                    pos: *p,
+                                    env: env.clone(),
+                                })
+                            })
+                            .collect();
+                        RtVal::Data(d, Rc::new(xs))
+                    }
+                    DescView::Arrow(a, b) => {
+                        self.build.nodes_built += 1;
+                        let ra = self.wty_to_rt(&WTy::Bytes {
+                            pos: a,
+                            env: env.clone(),
+                        });
+                        let rb = self.wty_to_rt(&WTy::Bytes { pos: b, env });
+                        RtVal::Arrow(Rc::new(ra), Rc::new(rb))
+                    }
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, addr: Addr, off: u16, ty: WTy) {
+        self.work.push(WorkItem { addr, off, ty });
+    }
+
+    /// Head handling for fixed-size objects (tuples).
+    fn head(&mut self, w: Word, size: usize) -> Head {
+        if w < HEAP_BASE {
+            return Head::Imm(w);
+        }
+        let a = self.enc.addr_of(w);
+        if self.heap.in_to(a) {
+            return Head::Done(w);
+        }
+        if let Some(n) = self.heap.forward_of(a) {
+            return Head::Done(self.enc.ptr(n));
+        }
+        let new = self.heap.copy_out(a, size);
+        self.heap.set_forward(a, new);
+        Head::Copied(new)
+    }
+
+    /// Head handling for datatype values: immediate test, discriminant
+    /// read (§2.3), variant-sized copy.
+    fn data_head(&mut self, w: Word, d: DataId) -> DataHead {
+        if w < HEAP_BASE {
+            return DataHead::Imm(w);
+        }
+        let a = self.enc.addr_of(w);
+        if self.heap.in_to(a) {
+            return DataHead::Done(w);
+        }
+        if let Some(n) = self.heap.forward_of(a) {
+            return DataHead::Done(self.enc.ptr(n));
+        }
+        let reps = &self.prog.ctor_reps[d.0 as usize];
+        let ctor = if reps
+            .iter()
+            .any(|r| matches!(r, CtorRep::Ptr { tag: Some(_), .. }))
+        {
+            let t = self.heap.read(a, 0) as u32;
+            reps.iter()
+                .position(|r| matches!(r, CtorRep::Ptr { tag: Some(tag), .. } if *tag == t))
+                .expect("valid discriminant in heap object")
+        } else {
+            reps.iter()
+                .position(|r| matches!(r, CtorRep::Ptr { .. }))
+                .expect("pointer object of pointerless datatype")
+        };
+        let rep = reps[ctor];
+        let new = self.heap.copy_out(a, rep.heap_words());
+        self.heap.set_forward(a, new);
+        DataHead::Copied { ctor, rep, new }
+    }
+
+    /// Relocates a closure value: follow the code pointer to the
+    /// compiler-emitted closure routine (§2.2's word at `code − 4`),
+    /// rebuild the environment's type routines (§3, Figure 4), trace the
+    /// captures.
+    fn reloc_closure(&mut self, w: Word, arrow_rt: RtVal) -> Word {
+        if w < HEAP_BASE {
+            return w;
+        }
+        let a = self.enc.addr_of(w);
+        if self.heap.in_to(a) {
+            return w;
+        }
+        if let Some(n) = self.heap.forward_of(a) {
+            return self.enc.ptr(n);
+        }
+        let fn_id = self.heap.read(a, 0) as usize;
+        let fns = self.fns;
+        let fm = &fns[fn_id];
+        let size = fm.closure_size as usize;
+        let new = self.heap.copy_out(a, size);
+        self.heap.set_forward(a, new);
+
+        if !fm.closure_param_src.is_empty() {
+            self.stats.closure_envs_built += 1;
+        }
+        let mut env: Vec<RtVal> = Vec::with_capacity(fm.closure_param_src.len());
+        for src in &fm.closure_param_src {
+            let rt = match src {
+                ClosParamSrc::Opaque => RtVal::Const,
+                ClosParamSrc::Path(p) => extract_path(&arrow_rt, p, self.prog, self.ground),
+                ClosParamSrc::DescField(off) => {
+                    let dw = self.heap.read(new, *off);
+                    desc_to_rt(self.descs, DescId(dw as u32), &mut self.build)
+                }
+            };
+            env.push(rt);
+        }
+        for (off, sx) in fm.closure_fields.clone() {
+            let rt = eval_sx(&sx, &env, &mut self.build);
+            self.push(new, off, WTy::Rt(rt));
+        }
+        self.enc.ptr(new)
+    }
+}
+
+enum DataHead {
+    Imm(Word),
+    Done(Word),
+    Copied { ctor: usize, rep: CtorRep, new: Addr },
+}

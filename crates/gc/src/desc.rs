@@ -1,0 +1,168 @@
+//! Runtime type descriptors.
+//!
+//! The completion mechanism for the polymorphic cases Goldberg '91 leaves
+//! open (see `tfgc_ir::rtti`): a closure whose captures' types are not
+//! determined by its own type carries descriptor words for the missing
+//! parameters, built by the mutator at closure-creation time.
+//!
+//! Descriptors are **interned in a side arena**, never allocated on the
+//! TFML heap: a descriptor word in a slot or closure field is an arena
+//! index, which the collector treats like an integer (`const_gc`). This
+//! keeps descriptor construction allocation-free (no GC reentrancy) and
+//! keeps the paper's zero-heap-overhead claim intact for programs that
+//! never need descriptors.
+
+use std::collections::HashMap;
+use tfgc_types::{DataId, ParamId, Type};
+
+/// Index of an interned descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DescId(pub u32);
+
+/// One interned descriptor node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DescNode {
+    /// No heap pointers (int/bool/unit).
+    Prim,
+    /// Opaque (locally quantified) — traced as no pointers.
+    Opaque,
+    /// Tuple of fields.
+    Tuple(Vec<DescId>),
+    /// Datatype instance.
+    Data(DataId, Vec<DescId>),
+    /// Function value.
+    Arrow(DescId, DescId),
+}
+
+/// Hash-consing arena for descriptors.
+#[derive(Debug, Default, Clone)]
+pub struct DescArena {
+    nodes: Vec<DescNode>,
+    index: HashMap<DescNode, DescId>,
+    /// Interning operations performed (mutator-side RTTI cost metric).
+    pub intern_ops: u64,
+}
+
+impl DescArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        DescArena::default()
+    }
+
+    /// Interns a node.
+    pub fn intern(&mut self, n: DescNode) -> DescId {
+        self.intern_ops += 1;
+        if let Some(id) = self.index.get(&n) {
+            return *id;
+        }
+        let id = DescId(self.nodes.len() as u32);
+        self.nodes.push(n.clone());
+        self.index.insert(n, id);
+        id
+    }
+
+    /// The node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this arena.
+    pub fn node(&self, id: DescId) -> &DescNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of distinct descriptors interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Builds the descriptor for `ty`, resolving generic parameters
+    /// through `lookup` (a frame's descriptor slots at `EvalDesc` time).
+    /// Parameters with no entry are opaque.
+    pub fn eval_type(&mut self, ty: &Type, lookup: &impl Fn(ParamId) -> Option<DescId>) -> DescId {
+        match ty {
+            Type::Int | Type::Bool | Type::Unit => self.intern(DescNode::Prim),
+            Type::Var(_) => self.intern(DescNode::Prim),
+            Type::Param(p) => match lookup(*p) {
+                Some(d) => d,
+                None => self.intern(DescNode::Opaque),
+            },
+            Type::Tuple(ts) => {
+                let ds = ts.iter().map(|t| self.eval_type(t, lookup)).collect();
+                self.intern(DescNode::Tuple(ds))
+            }
+            Type::Data(d, ts) => {
+                let ds = ts.iter().map(|t| self.eval_type(t, lookup)).collect();
+                self.intern(DescNode::Data(*d, ds))
+            }
+            Type::Arrow(a, b) => {
+                let da = self.eval_type(a, lookup);
+                let db = self.eval_type(b, lookup);
+                self.intern(DescNode::Arrow(da, db))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut a = DescArena::new();
+        let p1 = a.intern(DescNode::Prim);
+        let p2 = a.intern(DescNode::Prim);
+        assert_eq!(p1, p2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.intern_ops, 2);
+    }
+
+    #[test]
+    fn eval_ground_type() {
+        let mut a = DescArena::new();
+        let d = a.eval_type(&Type::list(Type::Int), &|_| None);
+        match a.node(d) {
+            DescNode::Data(data, args) => {
+                assert_eq!(*data, tfgc_types::LIST_DATA);
+                assert_eq!(a.node(args[0]), &DescNode::Prim);
+            }
+            other => panic!("expected data node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_resolves_params() {
+        use tfgc_types::{ParamId, SchemeId};
+        let mut a = DescArena::new();
+        let q = ParamId {
+            scheme: SchemeId(1),
+            index: 0,
+        };
+        let bool_desc = a.eval_type(&Type::Bool, &|_| None);
+        let d = a.eval_type(&Type::list(Type::Param(q)), &|p| {
+            assert_eq!(p, q);
+            Some(bool_desc)
+        });
+        match a.node(d) {
+            DescNode::Data(_, args) => assert_eq!(args[0], bool_desc),
+            other => panic!("expected data node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolved_param_is_opaque() {
+        use tfgc_types::{ParamId, SchemeId};
+        let mut a = DescArena::new();
+        let q = ParamId {
+            scheme: SchemeId(9),
+            index: 3,
+        };
+        let d = a.eval_type(&Type::Param(q), &|_| None);
+        assert_eq!(a.node(d), &DescNode::Opaque);
+    }
+}

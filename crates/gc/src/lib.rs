@@ -1,0 +1,82 @@
+//! # tfgc-gc — tag-free garbage collection (the paper's contribution)
+//!
+//! Everything Goldberg's PLDI 1991 paper describes, as executable Rust:
+//!
+//! * [`meta`] — the compiler pass that generates per-call-site
+//!   `frame_gc_routine`s (§2.1), per-type routines ([`ground`]),
+//!   per-function closure routines (§2.2), variant-record discriminant
+//!   plans (§2.3), and the instantiation templates the polymorphic
+//!   collector evaluates (§3).
+//! * [`routines`] — hash-consed frame routines; the shared empty routine
+//!   is §2.4's `no_trace`.
+//! * [`bytes`] — the **interpreted method**'s byte descriptors (§1.1,
+//!   §2.4's space/time trade-off).
+//! * [`mod@collect`] — Figure 2's collector loop; §3's oldest→newest
+//!   traversal with type_gc_routine closures ([`rtval`], Figures 3–4);
+//!   Appel's backward-resolution comparator (§1.1.1).
+//! * [`collect_tagged`] — the tagged ML baseline (§1).
+//! * [`desc`] — interned runtime type descriptors: the completion
+//!   mechanism for polymorphic captures the 1991 scheme cannot recover
+//!   (see DESIGN.md).
+//! * [`stack`] — Figure 1's activation-record layout: the return word *is*
+//!   the gc_word key.
+//!
+//! The entry point a VM uses is [`fn@collect`]:
+//!
+//! ```no_run
+//! use tfgc_gc::{collect, Analyses, DescArena, GcMeta, GcStats, MachineRoots, StackRoots, Strategy};
+//! # fn demo(prog: &tfgc_ir::IrProgram, heap: &mut tfgc_runtime::Heap,
+//! #         stack: &mut [u64], globals: &mut [u64], operands: &mut [u64],
+//! #         site: tfgc_ir::CallSiteId) {
+//! let analyses = Analyses::compute(prog);
+//! let mut meta = GcMeta::build(prog, &analyses, Strategy::Compiled);
+//! let descs = DescArena::new();
+//! let mut stats = GcStats::default();
+//! collect(&mut meta, prog, heap, &descs, &mut stats, MachineRoots {
+//!     stacks: vec![StackRoots { stack, top_fp: 0, current_site: site }],
+//!     globals, operands, operand_stack: 0,
+//! });
+//! # }
+//! ```
+
+pub mod bytes;
+pub mod collect;
+pub mod collect_tagged;
+pub mod desc;
+pub mod ground;
+pub mod meta;
+pub mod routines;
+pub mod rtval;
+pub mod stack;
+pub mod stats;
+pub mod strategy;
+pub mod sx;
+
+pub use collect::{collect_tagfree, MachineRoots, StackRoots};
+pub use desc::{DescArena, DescId, DescNode};
+pub use ground::{GroundTable, TypeRt, TypeRtId};
+pub use meta::{Analyses, CalleePlan, FnGcMeta, GcMeta, SiteMeta};
+pub use routines::{FrameRoutine, FrameRoutineId, RoutineTable, TraceOp, NO_TRACE};
+pub use rtval::RtVal;
+pub use stack::{pack_ret, unpack_ret, walk_frames, FrameInfo, FRAME_HDR, MAIN_RET, NO_FP};
+pub use stats::GcStats;
+pub use strategy::Strategy;
+pub use sx::TypeSx;
+
+use tfgc_ir::IrProgram;
+use tfgc_runtime::Heap;
+
+/// Runs one collection under the metadata's strategy.
+pub fn collect(
+    meta: &mut GcMeta,
+    prog: &IrProgram,
+    heap: &mut Heap,
+    descs: &DescArena,
+    stats: &mut GcStats,
+    roots: MachineRoots<'_>,
+) {
+    match meta.strategy {
+        Strategy::Tagged => collect_tagged::collect_tagged(prog, heap, stats, roots),
+        _ => collect_tagfree(meta, prog, heap, descs, stats, roots),
+    }
+}

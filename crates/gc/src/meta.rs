@@ -1,0 +1,639 @@
+//! GC metadata compilation — "when compiling a program, the compiler
+//! generates the code necessary to support garbage collection" (§1).
+//!
+//! [`GcMeta::build`] is the compiler back-end pass the paper describes:
+//! for every call site it emits (or shares) a frame routine; for every
+//! direct call it compiles the instantiation θ the caller's routine will
+//! evaluate; for every function it emits the closure-tracing routine
+//! reachable from the value's code pointer (§2.2's word at `code − 4`);
+//! and under the interpreted strategy it emits byte descriptors instead of
+//! routines (§2.4's trade-off).
+
+use crate::bytes::BytePool;
+use crate::ground::GroundTable;
+use crate::routines::{FrameRoutine, FrameRoutineId, RoutineTable, TraceOp, NO_TRACE};
+use crate::strategy::Strategy;
+use crate::sx::{SxCx, TypeSx};
+use std::collections::HashMap;
+use tfgc_analysis::{GcPoints, InitAnalysis, Liveness, SlotSet};
+use tfgc_ir::{
+    IrProgram, ParamSource, SiteKind, Slot, SlotTy,
+};
+use tfgc_types::ParamId;
+
+/// The compile-time analyses metadata generation consumes.
+#[derive(Debug, Clone)]
+pub struct Analyses {
+    pub liveness: Liveness,
+    pub init: InitAnalysis,
+    pub gcpoints: GcPoints,
+}
+
+impl Analyses {
+    /// Runs all analyses on a program (first-order GC points, as in the
+    /// paper).
+    pub fn compute(prog: &IrProgram) -> Analyses {
+        Analyses {
+            liveness: Liveness::compute(prog),
+            init: InitAnalysis::compute(prog),
+            gcpoints: GcPoints::compute(prog),
+        }
+    }
+
+    /// Like [`Analyses::compute`], with the higher-order closure-flow
+    /// refinement of the GC-point analysis (§5.1's suggested extension):
+    /// strictly more gc_words can be omitted.
+    pub fn compute_refined(prog: &IrProgram) -> Analyses {
+        let flow = tfgc_analysis::ClosureFlow::compute(prog);
+        Analyses {
+            liveness: Liveness::compute(prog),
+            init: InitAnalysis::compute(prog),
+            gcpoints: GcPoints::compute_refined(prog, &flow),
+        }
+    }
+}
+
+/// Where a frame's type-routine parameter comes from at collection time
+/// (compiled form of [`tfgc_ir::ParamSource`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameParamSrc {
+    /// Locally quantified: `const_gc`.
+    Opaque,
+    /// Supplied by the caller's routine (position aligned with
+    /// `frame_params`).
+    Theta,
+    /// Extracted from the entered closure's type routine at this path.
+    ArrowPath(Vec<u16>),
+    /// Evaluated from the runtime descriptor in this frame slot.
+    DescSlot(Slot),
+}
+
+/// Where a *closure object's* parameter comes from when tracing the
+/// closure value itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClosParamSrc {
+    Opaque,
+    /// Extract from the value's own type routine.
+    Path(Vec<u16>),
+    /// Read the descriptor stored at this absolute field offset.
+    DescField(u16),
+}
+
+/// The callee-environment plan recorded at a call site (what the caller's
+/// frame routine passes to the next frame's routine, §3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalleePlan {
+    /// Allocation site (or tagged strategy): nothing to pass.
+    None,
+    /// Direct call: θ templates, aligned with the callee's frame params.
+    Direct { theta: Vec<TypeSx> },
+    /// Closure call: the static type of the invoked closure.
+    Closure { clos_ty: TypeSx },
+}
+
+/// Per-site metadata: the gc_word (`routine`) and the callee plan.
+#[derive(Debug, Clone)]
+pub struct SiteMeta {
+    /// `None` = the gc_word is omitted (§5.1 proved no collection can
+    /// happen here). The collector panics if it ever needs a missing
+    /// routine — that would falsify the analysis.
+    pub routine: Option<FrameRoutineId>,
+    pub plan: CalleePlan,
+    /// Allocation sites: per operand, the tracing template (`None` for
+    /// descriptor/prim operands).
+    pub operands: Vec<Option<TypeSx>>,
+}
+
+/// Per-function metadata.
+#[derive(Debug, Clone)]
+pub struct FnGcMeta {
+    /// How to build the frame's type-routine environment, aligned with
+    /// `frame_params`.
+    pub frame_param_src: Vec<FrameParamSrc>,
+    /// Appel strategy: the single per-procedure routine.
+    pub appel_routine: FrameRoutineId,
+    /// Closure value tracing: pointerful capture fields (absolute offset,
+    /// template).
+    pub closure_fields: Vec<(u16, TypeSx)>,
+    /// How to resolve the closure's parameters when tracing the value.
+    pub closure_param_src: Vec<ClosParamSrc>,
+    /// Total closure object size in payload words (1 + captures).
+    pub closure_size: u16,
+}
+
+/// All metadata for one (program, strategy) pair.
+#[derive(Debug, Clone)]
+pub struct GcMeta {
+    pub strategy: Strategy,
+    pub ground: GroundTable,
+    pub routines: RoutineTable,
+    pub pool: BytePool,
+    pub sites: Vec<SiteMeta>,
+    pub fns: Vec<FnGcMeta>,
+    /// Per global: tracing template (`None` = no pointers).
+    pub globals: Vec<Option<TypeSx>>,
+    /// `data_variants[data][ctor]` = field templates over the datatype's
+    /// own parameters (evaluated under the instance's argument routines
+    /// when tracing a polymorphic datatype value).
+    pub data_variants: Vec<Vec<Vec<TypeSx>>>,
+}
+
+impl GcMeta {
+    /// Compiles the metadata for `strategy` (sequential programs: §5.1
+    /// gc_word omission enabled where the strategy allows).
+    pub fn build(prog: &IrProgram, an: &Analyses, strategy: Strategy) -> GcMeta {
+        GcMeta::build_opts(prog, an, strategy, true)
+    }
+
+    /// Compiles metadata for a **multi-task** program: §5.1's gc_word
+    /// omission must be disabled, because another task can trigger a
+    /// collection while this one is suspended at a site that could never
+    /// cause one itself. (The paper presents §5.1 for sequential programs
+    /// and does not note this interaction with §4.)
+    pub fn build_multi_task(prog: &IrProgram, an: &Analyses, strategy: Strategy) -> GcMeta {
+        GcMeta::build_opts(prog, an, strategy, false)
+    }
+
+    fn build_opts(
+        prog: &IrProgram,
+        an: &Analyses,
+        strategy: Strategy,
+        use_gc_points: bool,
+    ) -> GcMeta {
+        let mut ground = GroundTable::new();
+        let mut routines = RoutineTable::new();
+        let mut pool = BytePool::new(prog);
+        let opaque = &prog.opaque_schemes;
+
+        // Per-function param index maps.
+        let param_indexes: Vec<HashMap<ParamId, u16>> = prog
+            .funs
+            .iter()
+            .map(|f| {
+                f.frame_params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| (*q, i as u16))
+                    .collect()
+            })
+            .collect();
+
+        // Per-function metadata.
+        let mut fns = Vec::with_capacity(prog.funs.len());
+        for (fi, f) in prog.funs.iter().enumerate() {
+            let frame_param_src = f
+                .param_source
+                .iter()
+                .map(|s| match s {
+                    ParamSource::Opaque => FrameParamSrc::Opaque,
+                    ParamSource::CallerTheta => FrameParamSrc::Theta,
+                    ParamSource::ArrowPath(p) => FrameParamSrc::ArrowPath(p.clone()),
+                    ParamSource::DescSlot(s) => FrameParamSrc::DescSlot(*s),
+                })
+                .collect();
+
+            // Closure layout: value captures then descriptor fields.
+            let n_desc = f.desc_fields.len();
+            let n_caps = f.captures.len();
+            let desc_field_offset = |j: usize| (1 + n_caps - n_desc + j) as u16;
+            let mut closure_fields = Vec::new();
+            for (i, c) in f.captures.iter().enumerate() {
+                if let SlotTy::Val(ty) = c {
+                    let mut cx = SxCx {
+                        prog,
+                        ground: &mut ground,
+                        param_index: &param_indexes[fi],
+                        opaque,
+                    };
+                    let sx = cx.compile(ty);
+                    if !sx.is_prim() {
+                        closure_fields.push(((1 + i) as u16, sx));
+                    }
+                }
+            }
+            let closure_param_src = f
+                .frame_params
+                .iter()
+                .zip(&f.param_source)
+                .map(|(q, s)| match s {
+                    ParamSource::Opaque => ClosParamSrc::Opaque,
+                    ParamSource::ArrowPath(p) => ClosParamSrc::Path(p.clone()),
+                    ParamSource::DescSlot(_) => {
+                        let j = f
+                            .desc_fields
+                            .iter()
+                            .position(|d| d == q)
+                            .expect("desc-sourced param has a desc field");
+                        ClosParamSrc::DescField(desc_field_offset(j))
+                    }
+                    // Direct functions are never closure values; their
+                    // wrappers are. Defensive default:
+                    ParamSource::CallerTheta => ClosParamSrc::Opaque,
+                })
+                .collect();
+
+            // Appel: one routine per procedure, covering every value slot.
+            let appel_routine = if strategy == Strategy::AppelPerFn {
+                let mut ops = Vec::new();
+                for (si, sty) in f.slots.iter().enumerate() {
+                    if let SlotTy::Val(ty) = sty {
+                        let mut cx = SxCx {
+                            prog,
+                            ground: &mut ground,
+                            param_index: &param_indexes[fi],
+                            opaque,
+                        };
+                        let sx = cx.compile(ty);
+                        if !sx.is_prim() {
+                            ops.push(TraceOp::Slot {
+                                slot: Slot(si as u16),
+                                sx,
+                            });
+                        }
+                    }
+                }
+                routines.intern(FrameRoutine { ops })
+            } else {
+                NO_TRACE
+            };
+
+            fns.push(FnGcMeta {
+                frame_param_src,
+                appel_routine,
+                closure_fields,
+                closure_param_src,
+                closure_size: (1 + n_caps) as u16,
+            });
+        }
+
+        // Per-site metadata.
+        let mut sites = Vec::with_capacity(prog.sites.len());
+        for site in &prog.sites {
+            let fi = site.fn_id.0 as usize;
+            let f = &prog.funs[fi];
+            let idx = &param_indexes[fi];
+
+            let routine = match strategy {
+                Strategy::Tagged => None,
+                Strategy::AppelPerFn => Some(fns[fi].appel_routine),
+                Strategy::Compiled | Strategy::CompiledNoLiveness | Strategy::Interpreted => {
+                    if use_gc_points
+                        && strategy.uses_gc_points()
+                        && !an.gcpoints.site_may_gc(site.id)
+                    {
+                        None
+                    } else {
+                        let assigned = &an.init.site_assigned[site.id.0 as usize];
+                        let mut set: SlotSet = assigned.clone();
+                        if strategy.uses_liveness() {
+                            set.intersect_with(&an.liveness.site_live[site.id.0 as usize]);
+                        }
+                        let mut ops = Vec::new();
+                        for slot in set.iter() {
+                            if let SlotTy::Val(ty) = f.slot_ty(slot) {
+                                if strategy == Strategy::Interpreted {
+                                    if !ty_is_prim(prog, &mut ground, idx, opaque, ty) {
+                                        let pos = pool.encode_type(ty, idx, opaque);
+                                        ops.push(TraceOp::SlotBytes { slot, pos });
+                                    }
+                                } else {
+                                    let mut cx = SxCx {
+                                        prog,
+                                        ground: &mut ground,
+                                        param_index: idx,
+                                        opaque,
+                                    };
+                                    let sx = cx.compile(ty);
+                                    if !sx.is_prim() {
+                                        ops.push(TraceOp::Slot { slot, sx });
+                                    }
+                                }
+                            }
+                        }
+                        Some(routines.intern(FrameRoutine { ops }))
+                    }
+                }
+            };
+
+            let plan = match &site.kind {
+                SiteKind::Alloc { .. } => CalleePlan::None,
+                SiteKind::Direct { theta, .. } => {
+                    let theta = theta
+                        .iter()
+                        .map(|t| {
+                            let mut cx = SxCx {
+                                prog,
+                                ground: &mut ground,
+                                param_index: idx,
+                                opaque,
+                            };
+                            cx.compile(t)
+                        })
+                        .collect();
+                    CalleePlan::Direct { theta }
+                }
+                SiteKind::Closure { clos_ty, .. } => {
+                    let mut cx = SxCx {
+                        prog,
+                        ground: &mut ground,
+                        param_index: idx,
+                        opaque,
+                    };
+                    CalleePlan::Closure {
+                        clos_ty: cx.compile(clos_ty),
+                    }
+                }
+            };
+
+            let operands = match &site.kind {
+                SiteKind::Alloc { operand_tys } => operand_tys
+                    .iter()
+                    .map(|o| match o {
+                        SlotTy::Desc => None,
+                        SlotTy::Val(ty) => {
+                            let mut cx = SxCx {
+                                prog,
+                                ground: &mut ground,
+                                param_index: idx,
+                                opaque,
+                            };
+                            let sx = cx.compile(ty);
+                            if sx.is_prim() {
+                                None
+                            } else {
+                                Some(sx)
+                            }
+                        }
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+
+            sites.push(SiteMeta {
+                routine,
+                plan,
+                operands,
+            });
+        }
+
+        // Globals: parameters are opaque by construction.
+        let globals = prog
+            .globals
+            .iter()
+            .map(|g| {
+                let idx = HashMap::new();
+                let mut cx = SxCx {
+                    prog,
+                    ground: &mut ground,
+                    param_index: &idx,
+                    opaque,
+                };
+                let sx = cx.compile_opaque(&g.ty);
+                if sx.is_prim() {
+                    None
+                } else {
+                    Some(sx)
+                }
+            })
+            .collect();
+
+        // Variant field templates over the datatype's own parameters.
+        let data_variants = prog
+            .data_env
+            .iter()
+            .map(|(id, def)| {
+                let scheme = tfgc_types::data_scheme(id);
+                let idx: HashMap<ParamId, u16> = (0..def.arity)
+                    .map(|i| (ParamId { scheme, index: i }, i as u16))
+                    .collect();
+                def.ctors
+                    .iter()
+                    .map(|c| {
+                        c.fields
+                            .iter()
+                            .map(|ft| {
+                                let mut cx = SxCx {
+                                    prog,
+                                    ground: &mut ground,
+                                    param_index: &idx,
+                                    opaque,
+                                };
+                                cx.compile(ft)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        GcMeta {
+            strategy,
+            ground,
+            routines,
+            pool,
+            sites,
+            fns,
+            globals,
+            data_variants,
+        }
+    }
+
+    /// Metadata footprint in bytes, per the strategy's representation
+    /// (E4/E6).
+    pub fn metadata_bytes(&self) -> usize {
+        match self.strategy {
+            Strategy::Tagged => 0,
+            Strategy::Interpreted => {
+                // Byte pool plus per-site (slot, pos) entries.
+                self.pool.size_bytes()
+                    + self
+                        .routines
+                        .approx_bytes()
+            }
+            _ => self.routines.approx_bytes() + self.ground.approx_bytes(),
+        }
+    }
+
+    /// Number of sites whose gc_word was omitted (§5.1, E6).
+    pub fn omitted_gc_words(&self) -> usize {
+        self.sites.iter().filter(|s| s.routine.is_none()).count()
+    }
+
+    /// Number of sites whose gc_word is the shared `no_trace` routine
+    /// (§2.4, E6).
+    pub fn no_trace_sites(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.routine == Some(NO_TRACE))
+            .count()
+    }
+
+    /// Number of distinct frame routines after sharing (E6).
+    pub fn distinct_routines(&self) -> usize {
+        self.routines.len()
+    }
+}
+
+/// Cheap primness check used by the interpreted strategy (which encodes
+/// bytes rather than templates).
+fn ty_is_prim(
+    prog: &IrProgram,
+    ground: &mut GroundTable,
+    idx: &HashMap<ParamId, u16>,
+    opaque: &[tfgc_types::SchemeId],
+    ty: &tfgc_types::Type,
+) -> bool {
+    let mut cx = SxCx {
+        prog,
+        ground,
+        param_index: idx,
+        opaque,
+    };
+    cx.compile(ty).is_prim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_ir::lower;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    fn build(src: &str, strategy: Strategy) -> (IrProgram, GcMeta) {
+        let p = lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap();
+        let an = Analyses::compute(&p);
+        let meta = GcMeta::build(&p, &an, strategy);
+        (p, meta)
+    }
+
+    #[test]
+    fn append_sites_share_no_trace() {
+        // §2.4: both calls in append's body get the shared `no_trace`.
+        let (p, meta) = build(
+            "fun append [] (ys : int list) = ys
+               | append (x :: xs) ys = x :: append xs ys ;
+             append [1] [2]",
+            Strategy::Compiled,
+        );
+        let append_id = p
+            .funs
+            .iter()
+            .position(|f| f.name.starts_with("append"))
+            .unwrap();
+        let mut append_sites = 0;
+        for s in &p.sites {
+            if s.fn_id.0 as usize == append_id {
+                append_sites += 1;
+                let m = &meta.sites[s.id.0 as usize];
+                assert!(
+                    m.routine.is_none() || m.routine == Some(NO_TRACE),
+                    "append site {} should be no_trace or omitted, got {:?}",
+                    s.id.0,
+                    m.routine
+                );
+            }
+        }
+        assert!(append_sites >= 2);
+        assert!(meta.no_trace_sites() > 0);
+    }
+
+    #[test]
+    fn fib_gc_words_omitted() {
+        let (_, meta) = build(
+            "fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib 10",
+            Strategy::Compiled,
+        );
+        assert!(meta.omitted_gc_words() > 0);
+    }
+
+    #[test]
+    fn appel_has_one_routine_per_function_site() {
+        let (p, meta) = build(
+            "fun build n = if n = 0 then [] else n :: build (n - 1) ; build 3",
+            Strategy::AppelPerFn,
+        );
+        // All sites of a function share that function's single routine.
+        let build_id = p
+            .funs
+            .iter()
+            .position(|f| f.name.starts_with("build"))
+            .unwrap();
+        let routines: std::collections::HashSet<_> = p
+            .sites
+            .iter()
+            .filter(|s| s.fn_id.0 as usize == build_id)
+            .map(|s| meta.sites[s.id.0 as usize].routine)
+            .collect();
+        assert_eq!(routines.len(), 1);
+    }
+
+    #[test]
+    fn interpreted_uses_bytes() {
+        // `xs` is live across the allocating call to `build`, so the
+        // pairup frame routine must trace it.
+        let (_, meta) = build(
+            "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+             fun pairup (xs : int list) = (xs, build 3) ;
+             pairup (build 2)",
+            Strategy::Interpreted,
+        );
+        let has_bytes = (0..meta.routines.len()).any(|i| {
+            meta.routines
+                .routine(FrameRoutineId(i as u32))
+                .ops
+                .iter()
+                .any(|op| matches!(op, TraceOp::SlotBytes { .. }))
+        });
+        assert!(has_bytes, "interpreted strategy must emit byte descriptors");
+        assert!(meta.pool.size_bytes() > 0);
+    }
+
+    #[test]
+    fn compiled_vs_interpreted_metadata_sizes() {
+        // §2.4's conjecture: descriptors are smaller.
+        let src = "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree ;
+             fun insert t x = case t of Leaf => Node (Leaf, x, Leaf)
+               | Node (l, v, r) => if x < v then Node (insert l x, v, r)
+                 else Node (l, v, insert r x) ;
+             fun build n = if n = 0 then Leaf else insert (build (n - 1)) n ;
+             build 10";
+        let (_, compiled) = build(src, Strategy::Compiled);
+        let (_, interp) = build(src, Strategy::Interpreted);
+        assert!(compiled.metadata_bytes() > 0);
+        assert!(interp.pool.size_bytes() > 0);
+    }
+
+    #[test]
+    fn theta_compiles_at_direct_sites() {
+        let (p, meta) = build("fun id x = x ; id [1]", Strategy::Compiled);
+        let site = p
+            .sites
+            .iter()
+            .find(|s| {
+                matches!(&s.kind, SiteKind::Direct { callee, .. }
+                    if p.funs[callee.0 as usize].name.starts_with("id"))
+            })
+            .unwrap();
+        match &meta.sites[site.id.0 as usize].plan {
+            CalleePlan::Direct { theta } => {
+                assert_eq!(theta.len(), 1);
+                assert!(matches!(theta[0], TypeSx::Ground(_)));
+            }
+            other => panic!("expected direct plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tagged_strategy_has_no_metadata() {
+        let (_, meta) = build("[1, 2, 3]", Strategy::Tagged);
+        assert_eq!(meta.metadata_bytes(), 0);
+        assert!(meta.sites.iter().all(|s| s.routine.is_none()));
+    }
+
+    #[test]
+    fn globals_get_templates() {
+        let (_, meta) = build("val xs = [1, 2] ; fun f y = y ; f 0", Strategy::Compiled);
+        assert_eq!(meta.globals.len(), 1);
+        assert!(meta.globals[0].is_some());
+    }
+}

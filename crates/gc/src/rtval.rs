@@ -1,0 +1,253 @@
+//! GC-time type routine values — the paper's Figure 3/4 closures.
+//!
+//! During a collection of a polymorphic program, frame routines construct
+//! and pass **type_gc_routine closures**: `trace_list_of(const_gc)` is
+//! [`RtVal::Data`]`(list, [Const])` here. They are built by evaluating the
+//! compiled templates ([`crate::sx::TypeSx`]) under the current frame's
+//! environment, mirroring §3's "closures representing type_gc_routines may
+//! be constructed during garbage collection".
+
+use crate::desc::{DescArena, DescId, DescNode};
+use crate::ground::{GroundTable, TypeRt, TypeRtId};
+use crate::sx::TypeSx;
+use std::rc::Rc;
+use tfgc_ir::IrProgram;
+use tfgc_types::{DataId, Type};
+
+/// A type routine value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtVal {
+    /// `const_gc`: single-word, never a pointer.
+    Const,
+    /// A precompiled ground routine.
+    Ground(TypeRtId),
+    /// Tuple with per-field routines.
+    Tuple(Rc<Vec<RtVal>>),
+    /// Datatype instance with per-argument routines — Figure 3's
+    /// `trace_list_of(r)` is `Data(list, [r])`.
+    Data(DataId, Rc<Vec<RtVal>>),
+    /// Function value: traced through the closure's layout; the argument
+    /// and result routines are kept for parameter extraction (Figure 4).
+    Arrow(Rc<RtVal>, Rc<RtVal>),
+}
+
+/// Counters for closure-construction work during collection (E5 metric).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RtBuildStats {
+    /// RtVal nodes constructed.
+    pub nodes_built: u64,
+}
+
+/// Evaluates a template under `env` (the frame's type-routine
+/// environment, aligned with its `frame_params`).
+pub fn eval_sx(sx: &TypeSx, env: &[RtVal], stats: &mut RtBuildStats) -> RtVal {
+    match sx {
+        TypeSx::Prim => RtVal::Const,
+        TypeSx::Ground(id) => RtVal::Ground(*id),
+        TypeSx::Param(i) => env
+            .get(*i as usize)
+            .cloned()
+            .unwrap_or(RtVal::Const),
+        TypeSx::Tuple(ts) => {
+            stats.nodes_built += 1;
+            RtVal::Tuple(Rc::new(
+                ts.iter().map(|t| eval_sx(t, env, stats)).collect(),
+            ))
+        }
+        TypeSx::Data(d, ts) => {
+            stats.nodes_built += 1;
+            RtVal::Data(
+                *d,
+                Rc::new(ts.iter().map(|t| eval_sx(t, env, stats)).collect()),
+            )
+        }
+        TypeSx::Arrow(a, b) => {
+            stats.nodes_built += 1;
+            RtVal::Arrow(
+                Rc::new(eval_sx(a, env, stats)),
+                Rc::new(eval_sx(b, env, stats)),
+            )
+        }
+    }
+}
+
+/// Extracts the sub-routine at `path` — §3's "the type_gc_routine for x
+/// can be extracted from the closure (see Figure 3)". Ground routines
+/// extract through their retained ground type.
+pub fn extract_path(
+    rt: &RtVal,
+    path: &[u16],
+    prog: &IrProgram,
+    ground: &mut GroundTable,
+) -> RtVal {
+    let mut cur = rt.clone();
+    for (k, step) in path.iter().enumerate() {
+        cur = match cur {
+            RtVal::Tuple(fs) | RtVal::Data(_, fs) => fs
+                .get(*step as usize)
+                .cloned()
+                .unwrap_or(RtVal::Const),
+            RtVal::Arrow(a, b) => {
+                if *step == 0 {
+                    (*a).clone()
+                } else {
+                    (*b).clone()
+                }
+            }
+            RtVal::Ground(id) => {
+                // Ground subtree: walk the retained type instead.
+                return extract_ground_path(id, &path[k..], prog, ground);
+            }
+            RtVal::Const => return RtVal::Const,
+        };
+    }
+    cur
+}
+
+fn extract_ground_path(
+    id: TypeRtId,
+    path: &[u16],
+    prog: &IrProgram,
+    ground: &mut GroundTable,
+) -> RtVal {
+    // Recover the ground type at the path. Only arrows retain their type;
+    // data/tuple grounds re-derive through the type argument structure is
+    // unnecessary because extraction paths always start at an arrow (the
+    // closure's type). Defensive: everything else extracts as Const.
+    let ty = match ground.rt(id) {
+        TypeRt::Arrow(t) => t.clone(),
+        _ => return RtVal::Const,
+    };
+    let mut cur: &Type = &ty;
+    for step in path {
+        cur = match cur {
+            Type::Tuple(ts) | Type::Data(_, ts) => match ts.get(*step as usize) {
+                Some(t) => t,
+                None => return RtVal::Const,
+            },
+            Type::Arrow(a, b) => {
+                if *step == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            _ => return RtVal::Const,
+        };
+    }
+    let sub = cur.clone();
+    let sub_id = ground.make(prog, &sub);
+    if ground.rt(sub_id).is_prim() {
+        RtVal::Const
+    } else {
+        RtVal::Ground(sub_id)
+    }
+}
+
+/// Converts a runtime descriptor into a type routine (used when a frame
+/// or closure resolves a parameter through a hidden descriptor).
+pub fn desc_to_rt(arena: &DescArena, id: DescId, stats: &mut RtBuildStats) -> RtVal {
+    match arena.node(id) {
+        DescNode::Prim | DescNode::Opaque => RtVal::Const,
+        DescNode::Tuple(ds) => {
+            stats.nodes_built += 1;
+            RtVal::Tuple(Rc::new(
+                ds.iter().map(|d| desc_to_rt(arena, *d, stats)).collect(),
+            ))
+        }
+        DescNode::Data(data, ds) => {
+            stats.nodes_built += 1;
+            RtVal::Data(
+                *data,
+                Rc::new(ds.iter().map(|d| desc_to_rt(arena, *d, stats)).collect()),
+            )
+        }
+        DescNode::Arrow(a, b) => {
+            stats.nodes_built += 1;
+            RtVal::Arrow(
+                Rc::new(desc_to_rt(arena, *a, stats)),
+                Rc::new(desc_to_rt(arena, *b, stats)),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_ir::lower;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    fn prog(src: &str) -> IrProgram {
+        lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn eval_builds_figure3_closures() {
+        // trace_list_of(const_gc)
+        let sx = TypeSx::Data(tfgc_types::LIST_DATA, vec![TypeSx::Param(0)]);
+        let mut stats = RtBuildStats::default();
+        let rt = eval_sx(&sx, &[RtVal::Const], &mut stats);
+        assert_eq!(
+            rt,
+            RtVal::Data(tfgc_types::LIST_DATA, Rc::new(vec![RtVal::Const]))
+        );
+        assert_eq!(stats.nodes_built, 1);
+
+        // trace_list_of(trace_list_of(const_gc)) — Figure 3(b).
+        let nested = TypeSx::Data(
+            tfgc_types::LIST_DATA,
+            vec![TypeSx::Data(tfgc_types::LIST_DATA, vec![TypeSx::Param(0)])],
+        );
+        let rt2 = eval_sx(&nested, &[RtVal::Const], &mut stats);
+        match rt2 {
+            RtVal::Data(_, args) => assert!(matches!(args[0], RtVal::Data(_, _))),
+            other => panic!("expected nested data routine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_walks_structure() {
+        let p = prog("0");
+        let mut g = GroundTable::new();
+        let rt = RtVal::Arrow(
+            Rc::new(RtVal::Data(
+                tfgc_types::LIST_DATA,
+                Rc::new(vec![RtVal::Tuple(Rc::new(vec![RtVal::Const]))]),
+            )),
+            Rc::new(RtVal::Const),
+        );
+        // Path: arg(0) -> list elem(0) -> tuple field 0.
+        let sub = extract_path(&rt, &[0, 0, 0], &p, &mut g);
+        assert_eq!(sub, RtVal::Const);
+        let sub2 = extract_path(&rt, &[0, 0], &p, &mut g);
+        assert!(matches!(sub2, RtVal::Tuple(_)));
+    }
+
+    #[test]
+    fn extract_through_ground_arrow() {
+        let p = prog("0");
+        let mut g = GroundTable::new();
+        let arrow = Type::arrow(Type::list(Type::Int), Type::Int);
+        let id = g.make(&p, &arrow);
+        let rt = RtVal::Ground(id);
+        let sub = extract_path(&rt, &[0], &p, &mut g);
+        // The argument position holds int list: a ground pointerful type.
+        assert!(matches!(sub, RtVal::Ground(_)));
+        let sub2 = extract_path(&rt, &[1], &p, &mut g);
+        assert_eq!(sub2, RtVal::Const);
+    }
+
+    #[test]
+    fn desc_roundtrip_to_rt() {
+        let mut arena = DescArena::new();
+        let d = arena.eval_type(&Type::list(Type::Bool), &|_| None);
+        let mut stats = RtBuildStats::default();
+        let rt = desc_to_rt(&arena, d, &mut stats);
+        assert_eq!(
+            rt,
+            RtVal::Data(tfgc_types::LIST_DATA, Rc::new(vec![RtVal::Const]))
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Activation-record stack layout (Figure 1).
+//!
+//! One contiguous word array holds every frame:
+//!
+//! ```text
+//! fp + 0 : saved_fp      (dynamic link; NO_FP for the bottom frame)
+//! fp + 1 : return word   (call-site id + destination slot in the caller)
+//! fp + 2 : slot 0
+//!        : ...
+//! ```
+//!
+//! The return word is the moral equivalent of the paper's return address:
+//! it identifies the *call instruction in the caller* at which that frame
+//! is suspended, and therefore (via the program's gc_word table) both the
+//! caller's `frame_gc_routine` and — through `CallSite::fn_id` — which
+//! function the caller is. "We are able to determine the garbage
+//! collection routines for each local variable by using the return
+//! address pointers that are already stored in the stack" (§1.1).
+
+use tfgc_ir::{CallSiteId, FnId, IrProgram, Slot};
+use tfgc_runtime::Word;
+
+/// Words of frame header before the slots.
+pub const FRAME_HDR: usize = 2;
+
+/// Sentinel dynamic link of the bottom frame.
+pub const NO_FP: Word = u64::MAX;
+
+/// Return word of the bottom frame (never consulted).
+pub const MAIN_RET: Word = u64::MAX;
+
+/// Packs a return word: the call site suspended at, and the caller slot
+/// that receives the result.
+pub fn pack_ret(site: CallSiteId, dst: Slot) -> Word {
+    u64::from(site.0) | (u64::from(dst.0) << 32)
+}
+
+/// Unpacks a return word.
+pub fn unpack_ret(w: Word) -> (CallSiteId, Slot) {
+    (CallSiteId(w as u32), Slot((w >> 32) as u16))
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Base index of the frame in the stack array.
+    pub fp: usize,
+    /// The function whose activation record this is.
+    pub fn_id: FnId,
+    /// The call site this frame is suspended at (its gc_word key).
+    pub site: CallSiteId,
+}
+
+/// Decodes the dynamic chain, newest frame first — the traversal order of
+/// Figure 2's collector loop. `current_site` is the site the newest frame
+/// is executing (the allocation that triggered the collection, or the
+/// call a task is suspended at).
+pub fn walk_frames(
+    stack: &[Word],
+    top_fp: usize,
+    current_site: CallSiteId,
+    prog: &IrProgram,
+) -> Vec<FrameInfo> {
+    let mut frames = Vec::new();
+    let mut fp = top_fp;
+    let mut site = current_site;
+    loop {
+        let fn_id = prog.site(site).fn_id;
+        frames.push(FrameInfo { fp, fn_id, site });
+        let saved = stack[fp];
+        if saved == NO_FP {
+            break;
+        }
+        let (caller_site, _) = unpack_ret(stack[fp + 1]);
+        fp = saved as usize;
+        site = caller_site;
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ret_word_roundtrip() {
+        let w = pack_ret(CallSiteId(123456), Slot(789));
+        assert_eq!(unpack_ret(w), (CallSiteId(123456), Slot(789)));
+    }
+
+    #[test]
+    fn sentinels_are_distinct_from_real_values() {
+        assert_ne!(pack_ret(CallSiteId(0), Slot(0)), NO_FP);
+        assert_ne!(pack_ret(CallSiteId(u32::MAX - 1), Slot(u16::MAX)), MAIN_RET);
+    }
+}

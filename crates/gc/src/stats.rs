@@ -1,0 +1,54 @@
+//! Collection-side statistics (experiments E3–E5).
+
+/// Counters accumulated across all collections of a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcStats {
+    /// Collections performed.
+    pub collections: u64,
+    /// Activation records visited across all collections.
+    pub frames_visited: u64,
+    /// Frame-routine invocations (Fig. 2's loop body).
+    pub routine_invocations: u64,
+    /// Slots traced by frame routines.
+    pub slots_traced: u64,
+    /// Root words scanned by the tagged collector.
+    pub words_scanned_tagged: u64,
+    /// type_gc_routine closure nodes built during collection (§3).
+    pub rt_nodes_built: u64,
+    /// Dynamic-chain steps taken by the Appel backward type resolution
+    /// (E5's quadratic term).
+    pub chain_steps: u64,
+    /// Descriptor bytes decoded by the interpreted method (E4).
+    pub desc_bytes_read: u64,
+    /// Closure environments reconstructed while tracing closure values.
+    pub closure_envs_built: u64,
+    /// Total collection pause time.
+    pub pause_nanos: u128,
+}
+
+impl GcStats {
+    /// Mean pause in nanoseconds (0 when no collection ran).
+    pub fn mean_pause_nanos(&self) -> f64 {
+        if self.collections == 0 {
+            0.0
+        } else {
+            self.pause_nanos as f64 / self.collections as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_pause_handles_zero() {
+        assert_eq!(GcStats::default().mean_pause_nanos(), 0.0);
+        let s = GcStats {
+            collections: 4,
+            pause_nanos: 400,
+            ..GcStats::default()
+        };
+        assert_eq!(s.mean_pause_nanos(), 100.0);
+    }
+}

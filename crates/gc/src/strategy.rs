@@ -1,0 +1,104 @@
+//! Collection strategies under comparison.
+
+use std::fmt;
+use tfgc_runtime::HeapMode;
+
+/// Which collector and metadata generator a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// The paper's compiled method (§2, §3) with live-variable analysis
+    /// (§5.2) and GC-point analysis (§5.1): per-call-site frame routines
+    /// tracing live slots only.
+    Compiled,
+    /// Ablation: compiled routines tracing every definitely-assigned slot
+    /// (liveness off) — isolates §5.2's contribution.
+    CompiledNoLiveness,
+    /// The interpreted method (§1.1, §2.4): per-site byte descriptors
+    /// walked at collection time; smaller metadata, slower tracing.
+    Interpreted,
+    /// Appel's single-descriptor-per-procedure scheme as §1.1.1 describes
+    /// it: one routine per function covering every variable (frames must
+    /// be zero-initialized), with the backward type-resolution walk for
+    /// polymorphic frames.
+    AppelPerFn,
+    /// The tagged baseline of "current implementations" (§1): low-bit
+    /// tags identify pointers, objects carry headers, the collector scans
+    /// every frame word without compiler metadata.
+    Tagged,
+}
+
+impl Strategy {
+    /// All strategies, for experiment sweeps.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Compiled,
+        Strategy::CompiledNoLiveness,
+        Strategy::Interpreted,
+        Strategy::AppelPerFn,
+        Strategy::Tagged,
+    ];
+
+    /// The heap encoding this strategy runs under.
+    pub fn heap_mode(self) -> HeapMode {
+        match self {
+            Strategy::Tagged => HeapMode::Tagged,
+            _ => HeapMode::TagFree,
+        }
+    }
+
+    /// Must the VM zero-initialize frame slots at entry? True for the
+    /// strategies that cannot consult per-site initialization information
+    /// (§1.1.1's uninitialized-variable problem).
+    pub fn requires_frame_init(self) -> bool {
+        matches!(self, Strategy::AppelPerFn | Strategy::Tagged)
+    }
+
+    /// Does metadata generation apply live-variable analysis?
+    pub fn uses_liveness(self) -> bool {
+        matches!(self, Strategy::Compiled | Strategy::Interpreted)
+    }
+
+    /// Does metadata generation omit gc_words at proven non-GC sites
+    /// (§5.1)?
+    pub fn uses_gc_points(self) -> bool {
+        matches!(
+            self,
+            Strategy::Compiled | Strategy::CompiledNoLiveness | Strategy::Interpreted
+        )
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::Compiled => "compiled",
+            Strategy::CompiledNoLiveness => "compiled-nolive",
+            Strategy::Interpreted => "interpreted",
+            Strategy::AppelPerFn => "appel",
+            Strategy::Tagged => "tagged",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_and_flags() {
+        assert_eq!(Strategy::Tagged.heap_mode(), HeapMode::Tagged);
+        assert_eq!(Strategy::Compiled.heap_mode(), HeapMode::TagFree);
+        assert!(Strategy::AppelPerFn.requires_frame_init());
+        assert!(!Strategy::Compiled.requires_frame_init());
+        assert!(Strategy::Compiled.uses_liveness());
+        assert!(!Strategy::CompiledNoLiveness.uses_liveness());
+        assert!(!Strategy::AppelPerFn.uses_gc_points());
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            Strategy::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names.len(), Strategy::ALL.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Type templates compiled into GC metadata.
+//!
+//! A [`TypeSx`] is a type expression with every ground subtree replaced by
+//! a compiled routine reference and every generic parameter replaced by an
+//! index into the evaluating frame's type-routine environment. It is what
+//! a polymorphic `frame_gc_routine` evaluates at collection time to build
+//! the paper's type_gc_routine closures (§3, Figure 3): evaluation is
+//! [`crate::rtval::eval_sx`].
+
+use crate::ground::{GroundTable, TypeRtId};
+use std::collections::HashMap;
+use tfgc_ir::IrProgram;
+use tfgc_types::{DataId, ParamId, SchemeId, Type};
+
+/// A compiled type template.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeSx {
+    /// No pointers (also covers opaque parameters).
+    Prim,
+    /// Index into the evaluating frame's parameter environment.
+    Param(u16),
+    /// Fully ground subtree: precompiled routine.
+    Ground(TypeRtId),
+    Tuple(Vec<TypeSx>),
+    Data(DataId, Vec<TypeSx>),
+    Arrow(Box<TypeSx>, Box<TypeSx>),
+}
+
+impl TypeSx {
+    /// Approximate metadata size in bytes (one word per node).
+    pub fn approx_bytes(&self) -> usize {
+        8 + match self {
+            TypeSx::Tuple(ts) | TypeSx::Data(_, ts) => {
+                ts.iter().map(TypeSx::approx_bytes).sum()
+            }
+            TypeSx::Arrow(a, b) => a.approx_bytes() + b.approx_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// True when evaluation cannot yield pointers (fast skip).
+    pub fn is_prim(&self) -> bool {
+        matches!(self, TypeSx::Prim)
+    }
+}
+
+/// Compilation context: which parameters map to which environment index,
+/// and which schemes are opaque.
+pub struct SxCx<'a> {
+    pub prog: &'a IrProgram,
+    pub ground: &'a mut GroundTable,
+    /// Environment index of each in-scope parameter (the evaluating
+    /// frame's `frame_params` order).
+    pub param_index: &'a HashMap<ParamId, u16>,
+    /// Opaque schemes (locally quantified values).
+    pub opaque: &'a [SchemeId],
+}
+
+impl SxCx<'_> {
+    fn param_is_opaque(&self, p: ParamId) -> bool {
+        self.opaque.binary_search(&p.scheme).is_ok()
+    }
+
+    /// Compiles `ty` into a template.
+    pub fn compile(&mut self, ty: &Type) -> TypeSx {
+        if ty.is_ground() {
+            return self.compile_ground(ty);
+        }
+        match ty {
+            Type::Int | Type::Bool | Type::Unit | Type::Var(_) => TypeSx::Prim,
+            Type::Param(p) => {
+                if self.param_is_opaque(*p) {
+                    TypeSx::Prim
+                } else if let Some(i) = self.param_index.get(p) {
+                    TypeSx::Param(*i)
+                } else {
+                    // A parameter not in the evaluating frame: only
+                    // possible for opaque (locally quantified) schemes;
+                    // treat as prim. (Checked by metadata validation.)
+                    TypeSx::Prim
+                }
+            }
+            // A tuple is a heap object even when every field is prim, so
+            // the structural node is always kept.
+            Type::Tuple(ts) => TypeSx::Tuple(ts.iter().map(|t| self.compile(t)).collect()),
+            Type::Data(d, ts) => TypeSx::Data(*d, ts.iter().map(|t| self.compile(t)).collect()),
+            Type::Arrow(a, b) => {
+                TypeSx::Arrow(Box::new(self.compile(a)), Box::new(self.compile(b)))
+            }
+        }
+    }
+
+    fn compile_ground(&mut self, ty: &Type) -> TypeSx {
+        let id = self.ground.make(self.prog, ty);
+        if self.ground.rt(id).is_prim() {
+            TypeSx::Prim
+        } else {
+            TypeSx::Ground(id)
+        }
+    }
+
+    /// Compiles a type in which every parameter is opaque (globals).
+    pub fn compile_opaque(&mut self, ty: &Type) -> TypeSx {
+        let erased = ty.map_params(&mut |_| Type::Unit);
+        self.compile(&erased)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_ir::lower;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    fn prog(src: &str) -> IrProgram {
+        lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn cx<'a>(
+        p: &'a IrProgram,
+        ground: &'a mut GroundTable,
+        idx: &'a HashMap<ParamId, u16>,
+    ) -> SxCx<'a> {
+        SxCx {
+            prog: p,
+            ground,
+            param_index: idx,
+            opaque: &[],
+        }
+    }
+
+    #[test]
+    fn ground_types_become_ground_refs() {
+        let p = prog("[1]");
+        let mut g = GroundTable::new();
+        let idx = HashMap::new();
+        let mut c = cx(&p, &mut g, &idx);
+        assert!(matches!(
+            c.compile(&Type::list(Type::Int)),
+            TypeSx::Ground(_)
+        ));
+        assert!(c.compile(&Type::Int).is_prim());
+    }
+
+    #[test]
+    fn params_become_env_indices() {
+        let p = prog("fun id x = x ; id 1");
+        let id_fn = p.funs.iter().find(|f| f.name.starts_with("id")).unwrap();
+        let q = id_fn.frame_params[0];
+        let mut g = GroundTable::new();
+        let mut idx = HashMap::new();
+        idx.insert(q, 0u16);
+        let mut c = cx(&p, &mut g, &idx);
+        let sx = c.compile(&Type::list(Type::Param(q)));
+        match sx {
+            TypeSx::Data(d, args) => {
+                assert_eq!(d, tfgc_types::LIST_DATA);
+                assert_eq!(args[0], TypeSx::Param(0));
+            }
+            other => panic!("expected data template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_params_are_prim() {
+        use tfgc_types::SchemeId;
+        let p = prog("0");
+        let mut g = GroundTable::new();
+        let idx = HashMap::new();
+        let opaque = [SchemeId(5)];
+        let mut c = SxCx {
+            prog: &p,
+            ground: &mut g,
+            param_index: &idx,
+            opaque: &opaque,
+        };
+        let q = ParamId {
+            scheme: SchemeId(5),
+            index: 0,
+        };
+        assert!(c.compile(&Type::Param(q)).is_prim());
+    }
+}

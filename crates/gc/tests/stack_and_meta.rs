@@ -1,0 +1,160 @@
+//! Direct tests of the collector's stack decoding and metadata helpers
+//! (complementing the end-to-end VM tests).
+
+use tfgc_gc::{
+    pack_ret, walk_frames, Analyses, GcMeta, Strategy, FRAME_HDR, MAIN_RET, NO_FP, NO_TRACE,
+};
+use tfgc_ir::{lower, CallSiteId, IrProgram, Slot};
+use tfgc_syntax::parse_program;
+use tfgc_types::elaborate;
+
+fn compile(src: &str) -> IrProgram {
+    lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap()
+}
+
+/// Hand-builds a three-frame stack (main → f → g) and checks that the
+/// walker recovers the chain exactly as Figure 2's loop would.
+#[test]
+fn walk_frames_decodes_a_hand_built_chain() {
+    let p = compile(
+        "fun g n = (n, n) ;
+         fun f n = g (n + 1) ;
+         f 1",
+    );
+    // Find the sites: main calls f; f calls g; g allocates a tuple.
+    let site_main_f = p
+        .sites
+        .iter()
+        .find(|s| s.fn_id == p.main && matches!(s.kind, tfgc_ir::SiteKind::Direct { .. }))
+        .unwrap();
+    let f_id = match &site_main_f.kind {
+        tfgc_ir::SiteKind::Direct { callee, .. } => *callee,
+        _ => unreachable!(),
+    };
+    let site_f_g = p
+        .sites
+        .iter()
+        .find(|s| s.fn_id == f_id && matches!(s.kind, tfgc_ir::SiteKind::Direct { .. }))
+        .unwrap();
+    let g_id = match &site_f_g.kind {
+        tfgc_ir::SiteKind::Direct { callee, .. } => *callee,
+        _ => unreachable!(),
+    };
+    let site_alloc = p
+        .sites
+        .iter()
+        .find(|s| s.fn_id == g_id && matches!(s.kind, tfgc_ir::SiteKind::Alloc { .. }))
+        .unwrap();
+
+    // Stack: [main frame][f frame][g frame], newest suspended at the
+    // allocation.
+    let mut stack: Vec<u64> = Vec::new();
+    let main_slots = p.fun(p.main).slots.len();
+    let f_slots = p.funs[f_id.0 as usize].slots.len();
+    let g_slots = p.funs[g_id.0 as usize].slots.len();
+    // main
+    stack.push(NO_FP);
+    stack.push(MAIN_RET);
+    stack.extend(std::iter::repeat(0).take(main_slots));
+    let f_fp = stack.len();
+    stack.push(0); // saved fp = main's base
+    stack.push(pack_ret(site_main_f.id, Slot(0)));
+    stack.extend(std::iter::repeat(0).take(f_slots));
+    let g_fp = stack.len();
+    stack.push(f_fp as u64);
+    stack.push(pack_ret(site_f_g.id, Slot(0)));
+    stack.extend(std::iter::repeat(0).take(g_slots));
+
+    let frames = walk_frames(&stack, g_fp, site_alloc.id, &p);
+    assert_eq!(frames.len(), 3);
+    assert_eq!(frames[0].fn_id, g_id);
+    assert_eq!(frames[0].site, site_alloc.id);
+    assert_eq!(frames[1].fn_id, f_id);
+    assert_eq!(frames[1].site, site_f_g.id);
+    assert_eq!(frames[2].fn_id, p.main);
+    assert_eq!(frames[2].site, site_main_f.id);
+    assert_eq!(frames[0].fp, g_fp);
+    assert_eq!(frames[2].fp, 0);
+    let _ = FRAME_HDR;
+}
+
+#[test]
+fn multi_task_metadata_keeps_every_gc_word() {
+    let p = compile(
+        "fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib 10",
+    );
+    let an = Analyses::compute(&p);
+    let seq = GcMeta::build(&p, &an, Strategy::Compiled);
+    let multi = GcMeta::build_multi_task(&p, &an, Strategy::Compiled);
+    assert!(seq.omitted_gc_words() > 0, "sequential omits fib's gc_words");
+    assert_eq!(multi.omitted_gc_words(), 0, "multi-task keeps them all");
+}
+
+#[test]
+fn metadata_is_deterministic() {
+    let src = "fun map f xs = case xs of [] => [] | x :: r => f x :: map f r ;
+               map (fn x => (x, x)) [1, 2, 3]";
+    let p1 = compile(src);
+    let p2 = compile(src);
+    let m1 = GcMeta::build(&p1, &Analyses::compute(&p1), Strategy::Compiled);
+    let m2 = GcMeta::build(&p2, &Analyses::compute(&p2), Strategy::Compiled);
+    assert_eq!(m1.metadata_bytes(), m2.metadata_bytes());
+    assert_eq!(m1.distinct_routines(), m2.distinct_routines());
+    assert_eq!(m1.omitted_gc_words(), m2.omitted_gc_words());
+    let r1: Vec<_> = m1.sites.iter().map(|s| s.routine).collect();
+    let r2: Vec<_> = m2.sites.iter().map(|s| s.routine).collect();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn appel_metadata_never_omits() {
+    let p = compile("fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib 5");
+    let an = Analyses::compute(&p);
+    let meta = GcMeta::build(&p, &an, Strategy::AppelPerFn);
+    assert_eq!(meta.omitted_gc_words(), 0);
+}
+
+#[test]
+fn strategies_share_no_trace_id_zero() {
+    let p = compile("fun id x = x ; id 1");
+    let an = Analyses::compute(&p);
+    for s in [
+        Strategy::Compiled,
+        Strategy::CompiledNoLiveness,
+        Strategy::Interpreted,
+        Strategy::AppelPerFn,
+    ] {
+        let meta = GcMeta::build(&p, &an, s);
+        assert!(meta.routines.routine(NO_TRACE).ops.is_empty(), "{s}");
+    }
+}
+
+#[test]
+fn interpreted_metadata_is_smaller_on_rich_types() {
+    let src = "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree ;
+               fun insert t x = case t of Leaf => Node (Leaf, x, Leaf)
+                 | Node (l, v, r) => if x < v then Node (insert l x, v, r)
+                   else Node (l, v, insert r x) ;
+               fun build n = if n = 0 then Leaf else insert (build (n - 1)) n ;
+               fun size t = case t of Leaf => 0 | Node (l, _, r) => 1 + size l + size r ;
+               let val t = build 6 in (build 3; size t) end";
+    let p = compile(src);
+    let an = Analyses::compute(&p);
+    let compiled = GcMeta::build(&p, &an, Strategy::Compiled);
+    let interp = GcMeta::build(&p, &an, Strategy::Interpreted);
+    assert!(
+        interp.pool.size_bytes() < compiled.metadata_bytes(),
+        "descriptors {} must be under compiled {}",
+        interp.pool.size_bytes(),
+        compiled.metadata_bytes()
+    );
+}
+
+#[test]
+fn cons_cell_is_two_words_like_the_paper() {
+    let p = compile("[1]");
+    let rep = p.ctor_rep(tfgc_types::LIST_DATA, tfgc_types::CONS_TAG);
+    assert_eq!(rep.heap_words(), 2, "the paper's cons_cell");
+    let nil = p.ctor_rep(tfgc_types::LIST_DATA, tfgc_types::NIL_TAG);
+    assert_eq!(nil.heap_words(), 0, "nil is NULL");
+}

@@ -1,0 +1,210 @@
+//! Alpha-renaming.
+//!
+//! Rewrites a typed program so every binder introduces a globally unique
+//! name. Lowering then resolves variables, lambda captures, and lifted
+//! `let fun` extra parameters by name with no shadowing hazards.
+//! Unresolved names (builtins such as `print`) are left untouched.
+
+use std::collections::HashMap;
+use tfgc_types::{TExpr, TExprKind, TLetBind, TPat, TPatKind, TProgram};
+
+/// Renames every binder in the program to a unique name.
+pub fn alpha_rename(p: &mut TProgram) {
+    let mut ren = Renamer::default();
+    // Top-level names are unique (the elaborator rejects redefinition), so
+    // a flat scope containing every top-level binding is exact regardless
+    // of the original fun/val interleaving.
+    let mut scope: Scope = HashMap::new();
+    for g in &mut p.globals {
+        let fresh = ren.fresh(&g.name);
+        scope.insert(g.name.clone(), fresh.clone());
+        g.name = fresh;
+    }
+    for f in &mut p.funs {
+        let fresh = ren.fresh(&f.name);
+        scope.insert(f.name.clone(), fresh.clone());
+        f.name = fresh;
+    }
+    for g in &mut p.globals {
+        let mut inner = scope.clone();
+        ren.rename_expr(&mut g.init, &mut inner);
+    }
+    for f in &mut p.funs {
+        let mut inner = scope.clone();
+        for (name, _) in &mut f.params {
+            let fresh = ren.fresh(name);
+            inner.insert(name.clone(), fresh.clone());
+            *name = fresh;
+        }
+        ren.rename_expr(&mut f.body, &mut inner);
+    }
+    let mut main_scope = scope;
+    ren.rename_expr(&mut p.main, &mut main_scope);
+}
+
+type Scope = HashMap<String, String>;
+
+#[derive(Default)]
+struct Renamer {
+    counter: u32,
+}
+
+impl Renamer {
+    fn fresh(&mut self, base: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        // Strip any previous uniquing suffix to keep names readable.
+        let stem = base.split("#u").next().unwrap_or(base);
+        format!("{stem}#u{n}")
+    }
+
+    fn rename_pat(&mut self, pat: &mut TPat, scope: &mut Scope) {
+        match &mut pat.kind {
+            TPatKind::Var(v) => {
+                let fresh = self.fresh(v);
+                scope.insert(v.clone(), fresh.clone());
+                *v = fresh;
+            }
+            TPatKind::Tuple(ps) | TPatKind::Ctor { args: ps, .. } => {
+                for p in ps {
+                    self.rename_pat(p, scope);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn rename_expr(&mut self, e: &mut TExpr, scope: &mut Scope) {
+        match &mut e.kind {
+            TExprKind::Var { name, .. } => {
+                if let Some(new) = scope.get(name) {
+                    *name = new.clone();
+                }
+            }
+            TExprKind::Int(_) | TExprKind::Bool(_) | TExprKind::Unit => {}
+            TExprKind::Tuple(es) | TExprKind::Ctor { args: es, .. } => {
+                for x in es {
+                    self.rename_expr(x, scope);
+                }
+            }
+            TExprKind::Proj { tuple, .. } => self.rename_expr(tuple, scope),
+            TExprKind::App { f, arg } => {
+                self.rename_expr(f, scope);
+                self.rename_expr(arg, scope);
+            }
+            TExprKind::BinOp { lhs, rhs, .. } => {
+                self.rename_expr(lhs, scope);
+                self.rename_expr(rhs, scope);
+            }
+            TExprKind::UnOp { operand, .. } => self.rename_expr(operand, scope),
+            TExprKind::If { cond, then, els } => {
+                self.rename_expr(cond, scope);
+                self.rename_expr(then, scope);
+                self.rename_expr(els, scope);
+            }
+            TExprKind::Case { scrut, arms } => {
+                self.rename_expr(scrut, scope);
+                for arm in arms {
+                    let mut inner = scope.clone();
+                    self.rename_pat(&mut arm.pat, &mut inner);
+                    self.rename_expr(&mut arm.body, &mut inner);
+                }
+            }
+            TExprKind::Let { binds, body } => {
+                let mut inner = scope.clone();
+                for b in binds {
+                    match b {
+                        TLetBind::Val { pat, rhs, .. } => {
+                            self.rename_expr(rhs, &mut inner.clone());
+                            self.rename_pat(pat, &mut inner);
+                        }
+                        TLetBind::Fun(funs) => {
+                            for f in funs.iter_mut() {
+                                let fresh = self.fresh(&f.name);
+                                inner.insert(f.name.clone(), fresh.clone());
+                                f.name = fresh;
+                            }
+                            for f in funs.iter_mut() {
+                                let mut fscope = inner.clone();
+                                for (name, _) in &mut f.params {
+                                    let fresh = self.fresh(name);
+                                    fscope.insert(name.clone(), fresh.clone());
+                                    *name = fresh;
+                                }
+                                self.rename_expr(&mut f.body, &mut fscope);
+                            }
+                        }
+                    }
+                }
+                self.rename_expr(body, &mut inner);
+            }
+            TExprKind::Lambda { param, body, .. } => {
+                let mut inner = scope.clone();
+                let fresh = self.fresh(param);
+                inner.insert(param.clone(), fresh.clone());
+                *param = fresh;
+                self.rename_expr(body, &mut inner);
+            }
+            TExprKind::Seq(a, b) => {
+                self.rename_expr(a, scope);
+                self.rename_expr(b, scope);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    fn renamed(src: &str) -> TProgram {
+        let mut p = elaborate(&parse_program(src).unwrap()).unwrap();
+        alpha_rename(&mut p);
+        p
+    }
+
+    fn collect_names(e: &TExpr, out: &mut Vec<String>) {
+        let mut c = e.clone();
+        c.visit_vars_mut(&mut |name, _, _| out.push(name.to_string()));
+    }
+
+    #[test]
+    fn shadowed_locals_get_distinct_names() {
+        let p = renamed("let val x = 1 in let val x = 2 in x end end");
+        // The inner use must reference the inner binder.
+        let mut names = Vec::new();
+        collect_names(&p.main, &mut names);
+        assert_eq!(names.len(), 1);
+        assert!(names[0].contains("#u"), "renamed: {names:?}");
+    }
+
+    #[test]
+    fn builtin_print_is_untouched() {
+        let p = renamed("(print 1; 0)");
+        let mut names = Vec::new();
+        collect_names(&p.main, &mut names);
+        assert!(names.contains(&"print".to_string()));
+    }
+
+    #[test]
+    fn function_params_renamed_consistently() {
+        let p = renamed("fun f x = x + x ; f 3");
+        let f = &p.funs[0];
+        let pname = f.params[0].0.clone();
+        let mut names = Vec::new();
+        collect_names(&f.body, &mut names);
+        assert!(names.iter().all(|n| *n == pname));
+    }
+
+    #[test]
+    fn recursive_use_tracks_renamed_function() {
+        let p = renamed("fun loop n = if n = 0 then 0 else loop (n - 1) ; loop 3");
+        let fname = p.funs[0].name.clone();
+        assert!(fname.contains("#u"));
+        let mut names = Vec::new();
+        collect_names(&p.funs[0].body, &mut names);
+        assert!(names.contains(&fname));
+    }
+}

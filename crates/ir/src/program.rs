@@ -1,0 +1,414 @@
+//! Compiled program representation: functions, frame layouts, call sites.
+
+use crate::instr::{CallSiteId, DescTemplateId, FnId, GlobalId, Instr, Slot, SlotTy};
+use tfgc_types::{DataEnv, DataId, ParamId, SchemeId, Type};
+use tfgc_syntax::Span;
+
+/// Values below this limit are immediate constructor representations (a
+/// nullary constructor's tag, a bool, unit); heap indices start at or above
+/// it, so a "pointer or immediate?" test needs no tag bit — exactly how
+/// Goldberg's `cons_cell` distinguishes `NULL` from a real cell (§2.4).
+pub const IMM_LIMIT: u64 = 4096;
+
+/// Runtime representation of one constructor.
+///
+/// List-like layout optimization, matching the paper's two-word
+/// `cons_cell`: nullary constructors are immediates; a constructor with
+/// fields is a pointer to its fields, prefixed by a discriminant word only
+/// when the datatype has more than one constructor with fields (§2.3's
+/// variant-record discriminant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtorRep {
+    /// Value represented immediately as this small integer.
+    Imm(u32),
+    /// Heap object: optional discriminant word, then `n_fields` words.
+    Ptr {
+        /// Discriminant stored in the first word, when needed.
+        tag: Option<u32>,
+        n_fields: u16,
+    },
+}
+
+impl CtorRep {
+    /// Word offset of field `i` within the heap object.
+    pub fn field_offset(&self, i: u16) -> u16 {
+        match self {
+            CtorRep::Imm(_) => panic!("immediate constructor has no fields"),
+            CtorRep::Ptr { tag, .. } => i + u16::from(tag.is_some()),
+        }
+    }
+
+    /// Heap words occupied by a value of this constructor (0 for
+    /// immediates).
+    pub fn heap_words(&self) -> usize {
+        match self {
+            CtorRep::Imm(_) => 0,
+            CtorRep::Ptr { tag, n_fields } => usize::from(*n_fields) + usize::from(tag.is_some()),
+        }
+    }
+}
+
+/// Computes the representation of every constructor of `data_env`.
+pub fn compute_ctor_reps(data_env: &DataEnv) -> Vec<Vec<CtorRep>> {
+    data_env
+        .iter()
+        .map(|(_, def)| {
+            let n_ptr = def.ctors.iter().filter(|c| !c.fields.is_empty()).count();
+            let mut next_imm = 0u32;
+            let mut next_tag = 0u32;
+            def.ctors
+                .iter()
+                .map(|c| {
+                    if c.fields.is_empty() {
+                        let r = CtorRep::Imm(next_imm);
+                        next_imm += 1;
+                        r
+                    } else {
+                        let tag = if n_ptr > 1 {
+                            let t = next_tag;
+                            next_tag += 1;
+                            Some(t)
+                        } else {
+                            None
+                        };
+                        CtorRep::Ptr {
+                            tag,
+                            n_fields: c.fields.len() as u16,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// How a function is entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FnKind {
+    /// Called by name with all arguments at once (top-level and `let fun`
+    /// functions after lambda lifting).
+    Direct,
+    /// Entered through a closure: slot 0 receives the closure itself,
+    /// slot 1 the single argument (lambdas and curry wrappers).
+    ClosureEntered,
+}
+
+/// Where a closure-entered frame's generic-parameter type routine comes
+/// from at collection time.
+///
+/// For `Direct` functions every parameter is `CallerTheta`: the caller's
+/// frame routine evaluates the static instantiation θ recorded at the call
+/// site and passes the result — Goldberg §3's
+/// `next_gc(p->next_frame, arg1_gc, ..., argn_gc)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamSource {
+    /// Locally quantified value parameter: traced as opaque (sound by
+    /// parametricity — see DESIGN.md).
+    Opaque,
+    /// Passed by the caller's frame routine (static θ at the site).
+    CallerTheta,
+    /// Extracted from the dynamic type routine of the closure being
+    /// entered, at this path into the type structure — the paper's "the
+    /// type_gc_routine for x can be extracted from the closure" (§3).
+    ArrowPath(Vec<u16>),
+    /// Evaluated from the runtime type descriptor stored in this frame
+    /// slot (the completion mechanism for captures whose types the
+    /// closure's own type does not determine; see DESIGN.md).
+    DescSlot(Slot),
+}
+
+/// A compiled function.
+#[derive(Debug, Clone)]
+pub struct IrFun {
+    pub name: String,
+    pub kind: FnKind,
+    pub code: Vec<Instr>,
+    /// Types of all frame slots; the first `n_params` are filled by the
+    /// caller.
+    pub slots: Vec<SlotTy>,
+    pub n_params: u16,
+    /// Generic parameters occurring in this frame's slot types, in a
+    /// deterministic order. The frame GC routine is parameterized by one
+    /// type routine per entry (§3).
+    pub frame_params: Vec<ParamId>,
+    /// Aligned with `frame_params`.
+    pub param_source: Vec<ParamSource>,
+    /// The function's type as its callers see it (for closure-entered
+    /// functions, the `arg -> result` arrow used for `ArrowPath`
+    /// extraction).
+    pub arrow_ty: Type,
+    /// Closure field types (closure-entered only), in environment order —
+    /// the layout behind the paper's "word at `code - 4`" closure routine
+    /// (§2.2). Hidden descriptor fields appear at the end as
+    /// [`SlotTy::Desc`] entries.
+    pub captures: Vec<SlotTy>,
+    /// Which generic parameter each trailing descriptor field describes
+    /// (closure-entered), or which descriptors arrive as trailing
+    /// arguments (direct).
+    pub desc_fields: Vec<ParamId>,
+    /// Frame slots holding the runtime descriptors after function entry,
+    /// consulted by [`Instr::EvalDesc`] and by frame routines for
+    /// [`ParamSource::DescSlot`] parameters.
+    pub desc_param_slots: Vec<(ParamId, Slot)>,
+    pub ret_ty: Type,
+    pub span: Span,
+}
+
+impl IrFun {
+    /// The slot type, panicking on out-of-range (validated at build time).
+    pub fn slot_ty(&self, s: Slot) -> &SlotTy {
+        &self.slots[s.0 as usize]
+    }
+}
+
+/// What kind of event a call site is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteKind {
+    /// Direct call. `theta` instantiates each of the callee's
+    /// `frame_params` as a type over the *caller's* frame params.
+    Direct { callee: FnId, theta: Vec<Type> },
+    /// Closure call. `clos_ty` is the static (caller-relative) type of the
+    /// closure being invoked.
+    Closure { clos: Slot, clos_ty: Type },
+    /// Allocation (a call to a predefined allocating procedure in the
+    /// paper's model). `operand_tys` are the types of the instruction's
+    /// field slots — the "parameters of the allocation primitive", which
+    /// the collector must trace and relocate itself (§2.4: "int_cons will
+    /// trace its parameters").
+    Alloc { operand_tys: Vec<SlotTy> },
+}
+
+/// One call site: an instruction in some function that can trigger GC.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub id: CallSiteId,
+    pub fn_id: FnId,
+    pub pc: u32,
+    pub kind: SiteKind,
+}
+
+/// A global variable (top-level `val`).
+#[derive(Debug, Clone)]
+pub struct GlobalInfo {
+    pub name: String,
+    /// The global's type; generic parameters in it are traced as opaque
+    /// (a polymorphic global value cannot store anything at a
+    /// parameter-typed position — parametricity).
+    pub ty: Type,
+}
+
+/// A complete compiled program.
+#[derive(Debug, Clone)]
+pub struct IrProgram {
+    pub data_env: DataEnv,
+    /// Per-datatype constructor representations.
+    pub ctor_reps: Vec<Vec<CtorRep>>,
+    pub funs: Vec<IrFun>,
+    pub globals: Vec<GlobalInfo>,
+    pub sites: Vec<CallSite>,
+    /// Types compiled into [`Instr::EvalDesc`] instructions.
+    pub desc_templates: Vec<Type>,
+    /// Entry function (globals are initialized in its prefix).
+    pub main: FnId,
+    /// Result type of the program (for rendering the final value).
+    pub main_ty: Type,
+    /// Schemes whose parameters are locally quantified values (generalized
+    /// `val`s and globals); the collector traces them as opaque — by
+    /// parametricity no reachable value sits at such a parameter's type.
+    pub opaque_schemes: Vec<SchemeId>,
+}
+
+impl IrProgram {
+    /// The function with the given id.
+    pub fn fun(&self, id: FnId) -> &IrFun {
+        &self.funs[id.0 as usize]
+    }
+
+    /// The call site with the given id.
+    pub fn site(&self, id: CallSiteId) -> &CallSite {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Representation of constructor `ctor` of `data`.
+    pub fn ctor_rep(&self, data: DataId, ctor: u32) -> CtorRep {
+        self.ctor_reps[data.0 as usize][ctor as usize]
+    }
+
+    /// The descriptor template type.
+    pub fn desc_template(&self, id: DescTemplateId) -> &Type {
+        &self.desc_templates[id.0 as usize]
+    }
+
+    /// The global with the given id.
+    pub fn global(&self, id: GlobalId) -> &GlobalInfo {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Total number of bytecode instructions.
+    pub fn code_len(&self) -> usize {
+        self.funs.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Structural well-formedness check: jump targets, slot bounds, site
+    /// table consistency. Used by tests and debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed item found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (fi, f) in self.funs.iter().enumerate() {
+            let n = f.code.len() as u32;
+            if f.slots.len() > u16::MAX as usize {
+                return Err(format!("function {fi} has too many slots"));
+            }
+            for (pc, ins) in f.code.iter().enumerate() {
+                for succ in ins.successors(pc as u32) {
+                    if succ >= n && !matches!(ins, Instr::Return(_) | Instr::MatchFail) {
+                        return Err(format!(
+                            "function {} pc {pc}: jump target {succ} out of range {n}",
+                            f.name
+                        ));
+                    }
+                }
+                let check_slot = |s: Slot| {
+                    if (s.0 as usize) < f.slots.len() {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "function {} pc {pc}: slot {} out of range {}",
+                            f.name,
+                            s.0,
+                            f.slots.len()
+                        ))
+                    }
+                };
+                for s in ins.uses() {
+                    check_slot(s)?;
+                }
+                if let Some(d) = ins.def() {
+                    check_slot(d)?;
+                }
+                if let Some(site) = ins.site() {
+                    let cs = self
+                        .sites
+                        .get(site.0 as usize)
+                        .ok_or_else(|| format!("unknown call site {}", site.0))?;
+                    if cs.fn_id.0 as usize != fi || cs.pc != pc as u32 {
+                        return Err(format!(
+                            "call site {} registered at ({}, {}) but used at ({fi}, {pc})",
+                            site.0, cs.fn_id.0, cs.pc
+                        ));
+                    }
+                }
+            }
+            if f.frame_params.len() != f.param_source.len() {
+                return Err(format!(
+                    "function {}: param_source length mismatch",
+                    f.name
+                ));
+            }
+            // Last instruction must terminate.
+            match f.code.last() {
+                Some(Instr::Return(_)) | Some(Instr::Jump(_)) | Some(Instr::MatchFail) => {}
+                other => {
+                    return Err(format!(
+                        "function {} does not end in a terminator: {other:?}",
+                        f.name
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_types::{CtorDef, DataDef};
+
+    #[test]
+    fn list_gets_paper_cons_layout() {
+        let env = DataEnv::new();
+        let reps = compute_ctor_reps(&env);
+        // Nil immediate 0, Cons two-word pointer without discriminant.
+        assert_eq!(reps[0][0], CtorRep::Imm(0));
+        assert_eq!(
+            reps[0][1],
+            CtorRep::Ptr {
+                tag: None,
+                n_fields: 2
+            }
+        );
+        assert_eq!(reps[0][1].heap_words(), 2);
+        assert_eq!(reps[0][1].field_offset(1), 1);
+    }
+
+    #[test]
+    fn multi_ctor_datatype_gets_discriminants() {
+        let mut env = DataEnv::new();
+        env.insert(DataDef {
+            name: "shape".into(),
+            arity: 0,
+            ctors: vec![
+                CtorDef {
+                    name: "Circle".into(),
+                    tag: 0,
+                    fields: vec![Type::Int],
+                },
+                CtorDef {
+                    name: "Rect".into(),
+                    tag: 1,
+                    fields: vec![Type::Int, Type::Int],
+                },
+                CtorDef {
+                    name: "Point".into(),
+                    tag: 2,
+                    fields: vec![],
+                },
+            ],
+        });
+        let reps = compute_ctor_reps(&env);
+        assert_eq!(
+            reps[1][0],
+            CtorRep::Ptr {
+                tag: Some(0),
+                n_fields: 1
+            }
+        );
+        assert_eq!(
+            reps[1][1],
+            CtorRep::Ptr {
+                tag: Some(1),
+                n_fields: 2
+            }
+        );
+        assert_eq!(reps[1][2], CtorRep::Imm(0));
+        // Field offsets skip the discriminant.
+        assert_eq!(reps[1][1].field_offset(0), 1);
+        assert_eq!(reps[1][1].heap_words(), 3);
+    }
+
+    #[test]
+    fn enum_datatype_is_all_immediate() {
+        let mut env = DataEnv::new();
+        env.insert(DataDef {
+            name: "color".into(),
+            arity: 0,
+            ctors: vec![
+                CtorDef {
+                    name: "R".into(),
+                    tag: 0,
+                    fields: vec![],
+                },
+                CtorDef {
+                    name: "G".into(),
+                    tag: 1,
+                    fields: vec![],
+                },
+            ],
+        });
+        let reps = compute_ctor_reps(&env);
+        assert_eq!(reps[1], vec![CtorRep::Imm(0), CtorRep::Imm(1)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Runtime-type-information need analysis.
+//!
+//! Goldberg's §3 scheme propagates type information at **GC time only**:
+//! frame routines pass type_gc_routines down the stack, and the routine for
+//! a closure-typed slot can be unpacked to recover routines for the
+//! closure's own type parameters ("the type_gc_routine for x can be
+//! extracted from the closure"). That covers every parameter that *occurs
+//! in the closure's own type*.
+//!
+//! It does not cover a capture whose type mentions a creator parameter
+//! hidden by the closure's type — e.g. `fun k (x : 'a) = fn (u : int) => u`
+//! creates an `int -> int` closure capturing an `'a`. The 1991 paper does
+//! not address this case (its resolution is the subject of the 1992
+//! Goldberg–Gloger follow-up). We complete the scheme with **hidden
+//! runtime type descriptors**: such a closure carries interned descriptor
+//! words for exactly the undetermined parameters, built by the mutator at
+//! closure-creation time. This module computes, by a fixpoint over the
+//! call/creation graph, which functions need which descriptors — the
+//! measured rarity of these descriptors (experiment E6 companion metric)
+//! quantifies how complete the paper's pure scheme is in practice.
+
+use crate::instr::FnId;
+use crate::program::{FnKind, IrProgram, SiteKind};
+use std::collections::{BTreeSet, HashSet};
+use tfgc_types::{ParamId, SchemeId, Type};
+
+/// A closure creation recorded during lowering: `creator` executes a
+/// `MakeClosure` targeting `target`, with `theta` giving each of the
+/// target's frame params as a type over the creator's frame params.
+#[derive(Debug, Clone)]
+pub struct Creation {
+    pub creator: FnId,
+    pub target: FnId,
+    /// Aligned with `target.frame_params`.
+    pub theta: Vec<Type>,
+}
+
+/// Result of the analysis, indexed by function.
+#[derive(Debug, Clone, Default)]
+pub struct RttiInfo {
+    /// Parameters whose descriptors the function needs at *runtime* (to
+    /// build descriptors for closures it creates or callees it parameterizes).
+    pub needs_rt: Vec<Vec<ParamId>>,
+    /// Closure-entered functions: parameters required for frame/closure
+    /// tracing that are *not* recoverable from the function's own arrow
+    /// type (the paper's uncovered case).
+    pub gc_hidden: Vec<Vec<ParamId>>,
+    /// Hidden descriptor fields stored in the closure environment
+    /// (closure-entered: `gc_hidden ∪ needs_rt`), or extra descriptor
+    /// arguments (direct: `needs_rt`).
+    pub desc_fields: Vec<Vec<ParamId>>,
+}
+
+impl RttiInfo {
+    /// Runs the fixpoint over a fully lowered (pass-1) program.
+    pub fn compute(
+        prog: &IrProgram,
+        creations: &[Creation],
+        opaque_schemes: &HashSet<SchemeId>,
+    ) -> RttiInfo {
+        let n = prog.funs.len();
+        // Params recoverable from the arrow type, per closure-entered fn.
+        let mut recoverable: Vec<BTreeSet<ParamId>> = Vec::with_capacity(n);
+        for f in &prog.funs {
+            let mut set = BTreeSet::new();
+            if f.kind == FnKind::ClosureEntered {
+                f.arrow_ty.params(&mut set);
+            }
+            recoverable.push(set);
+        }
+        // gc_hidden = frame params not recoverable and not opaque.
+        let gc_hidden: Vec<BTreeSet<ParamId>> = prog
+            .funs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                if f.kind != FnKind::ClosureEntered {
+                    return BTreeSet::new();
+                }
+                f.frame_params
+                    .iter()
+                    .copied()
+                    .filter(|q| {
+                        !recoverable[i].contains(q) && !opaque_schemes.contains(&q.scheme)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut needs: Vec<BTreeSet<ParamId>> = vec![BTreeSet::new(); n];
+        let relevant = |q: &ParamId| !opaque_schemes.contains(&q.scheme);
+        loop {
+            let mut changed = false;
+            // Closure creations: the creator must be able to build a
+            // descriptor for every hidden/runtime param of the target.
+            for c in creations {
+                let ti = c.target.0 as usize;
+                let ci = c.creator.0 as usize;
+                let wanted: Vec<usize> = prog.funs[ti]
+                    .frame_params
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| gc_hidden[ti].contains(q) || needs[ti].contains(q))
+                    .map(|(j, _)| j)
+                    .collect();
+                for j in wanted {
+                    let mut ps = BTreeSet::new();
+                    c.theta[j].params(&mut ps);
+                    for p in ps.into_iter().filter(relevant) {
+                        changed |= needs[ci].insert(p);
+                    }
+                }
+            }
+            // Direct calls: the caller must pass descriptors for the
+            // callee's runtime-needed params.
+            for site in &prog.sites {
+                if let SiteKind::Direct { callee, theta } = &site.kind {
+                    let gi = callee.0 as usize;
+                    let li = site.fn_id.0 as usize;
+                    let wanted: Vec<usize> = prog.funs[gi]
+                        .frame_params
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, q)| needs[gi].contains(q))
+                        .map(|(j, _)| j)
+                        .collect();
+                    for j in wanted {
+                        let mut ps = BTreeSet::new();
+                        theta[j].params(&mut ps);
+                        for p in ps.into_iter().filter(relevant) {
+                            changed |= needs[li].insert(p);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let desc_fields: Vec<Vec<ParamId>> = (0..n)
+            .map(|i| {
+                let set: BTreeSet<ParamId> = if prog.funs[i].kind == FnKind::ClosureEntered {
+                    gc_hidden[i].union(&needs[i]).copied().collect()
+                } else {
+                    needs[i].clone()
+                };
+                set.into_iter().collect()
+            })
+            .collect();
+        RttiInfo {
+            needs_rt: needs.into_iter().map(|s| s.into_iter().collect()).collect(),
+            gc_hidden: gc_hidden
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            desc_fields,
+        }
+    }
+
+    /// Total number of hidden descriptor fields across all functions — the
+    /// headline "how often does the paper's pure scheme fall short" metric.
+    pub fn total_desc_fields(&self) -> usize {
+        self.desc_fields.iter().map(Vec::len).sum()
+    }
+}

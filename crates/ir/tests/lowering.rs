@@ -1,0 +1,247 @@
+//! Lowering shapes beyond the unit tests.
+
+use tfgc_ir::{lower, lower_full, FnKind, Instr, IrProgram, SiteKind};
+use tfgc_syntax::parse_program;
+use tfgc_types::elaborate;
+
+fn compile(src: &str) -> IrProgram {
+    let p = lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap();
+    p.validate().expect("valid");
+    p
+}
+
+fn fun<'p>(p: &'p IrProgram, prefix: &str) -> &'p tfgc_ir::IrFun {
+    p.funs
+        .iter()
+        .find(|f| f.name.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no fn `{prefix}`"))
+}
+
+#[test]
+fn three_arg_wrapper_chain() {
+    let p = compile(
+        "fun add3 a b c = a + b + c ;
+         let val f = add3 1 in let val g = f 2 in g 3 end end",
+    );
+    // Wrappers for k = 0 (value use of `add3 1` applies one arg to w0)...
+    let wrappers = p
+        .funs
+        .iter()
+        .filter(|f| f.name.starts_with("wrap"))
+        .count();
+    assert!(wrappers >= 2, "expected a wrapper chain, got {wrappers}");
+    // The last wrapper calls add3 directly with 3 args (plus no extras).
+    let last = p
+        .funs
+        .iter()
+        .filter(|f| f.name.starts_with("wrap"))
+        .last()
+        .unwrap();
+    assert!(last
+        .code
+        .iter()
+        .any(|i| matches!(i, Instr::CallDirect { args, .. } if args.len() == 3)));
+}
+
+#[test]
+fn oversaturated_application() {
+    // `pick` returns a closure which is immediately applied.
+    let p = compile(
+        "fun pick b = if b then (fn x => x + 1) else (fn x => x * 2) ;
+         pick true 10",
+    );
+    let main = p.fun(p.main);
+    assert!(main
+        .code
+        .iter()
+        .any(|i| matches!(i, Instr::CallDirect { .. })));
+    assert!(main
+        .code
+        .iter()
+        .any(|i| matches!(i, Instr::CallClosure { .. })));
+}
+
+#[test]
+fn extras_flow_through_nested_lambdas() {
+    // The lambda captures `n` because it calls `bump`, whose lifted extra
+    // is `n`.
+    let p = compile(
+        "fun run f = f 0 ;
+         fun outer n =
+           let fun bump x = x + n in run (fn z => bump z) end ;
+         outer 41",
+    );
+    let lam = fun(&p, "lambda@");
+    assert_eq!(lam.kind, FnKind::ClosureEntered);
+    assert_eq!(lam.captures.len(), 1, "captures the extra `n`");
+    // And calls bump with (z, n).
+    assert!(lam
+        .code
+        .iter()
+        .any(|i| matches!(i, Instr::CallDirect { args, .. } if args.len() == 2)));
+}
+
+#[test]
+fn case_fallthrough_emits_matchfail() {
+    let p = compile("case [1] of x :: _ => x");
+    let main = p.fun(p.main);
+    assert!(main.code.iter().any(|i| matches!(i, Instr::MatchFail)));
+}
+
+#[test]
+fn irrefutable_let_has_no_matchfail() {
+    let p = compile("let val (a, b) = (1, 2) in a + b end");
+    let main = p.fun(p.main);
+    assert!(!main.code.iter().any(|i| matches!(i, Instr::MatchFail)));
+}
+
+#[test]
+fn single_ctor_datatype_skips_tag_test() {
+    let p = compile(
+        "datatype box = B of int ;
+         case B 5 of B n => n",
+    );
+    let main = p.fun(p.main);
+    assert!(!main
+        .code
+        .iter()
+        .any(|i| matches!(i, Instr::BranchTagNe { .. })));
+}
+
+#[test]
+fn multi_ptr_ctor_datatype_stores_tags() {
+    let p = compile(
+        "datatype e = L of int | R of bool ;
+         case L 1 of L n => n | R _ => 0",
+    );
+    // Both ctors have fields => both carry discriminants.
+    use tfgc_ir::CtorRep;
+    assert!(matches!(
+        p.ctor_rep(tfgc_types::DataId(1), 0),
+        CtorRep::Ptr { tag: Some(0), .. }
+    ));
+    assert!(matches!(
+        p.ctor_rep(tfgc_types::DataId(1), 1),
+        CtorRep::Ptr { tag: Some(1), .. }
+    ));
+}
+
+#[test]
+fn globals_initialize_in_declaration_order() {
+    let p = compile("val a = 1 ; val b = 2 ; val c = 3 ; a + b + c");
+    let main = p.fun(p.main);
+    let stores: Vec<u32> = main
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            Instr::StoreGlobal(g, _) => Some(g.0),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(stores, vec![0, 1, 2]);
+}
+
+#[test]
+fn seq_lowered_in_order() {
+    let p = compile("(print 1; print 2; 3)");
+    let main = p.fun(p.main);
+    let prints: Vec<usize> = main
+        .code
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, Instr::Print(_)))
+        .map(|(pc, _)| pc)
+        .collect();
+    assert_eq!(prints.len(), 2);
+    assert!(prints[0] < prints[1]);
+}
+
+#[test]
+fn polymorphic_let_fun_with_extras_keeps_params() {
+    let p = compile(
+        "fun outer k =
+           let fun tag x = (k, x) in (tag 1, tag true) end ;
+         outer 9",
+    );
+    let tag = fun(&p, "tag");
+    // tag is polymorphic in x and lifted over k.
+    assert!(tag.n_params >= 2);
+    assert!(!tag.frame_params.is_empty());
+}
+
+#[test]
+fn site_table_covers_every_gc_instruction() {
+    let p = compile(
+        "fun map f xs = case xs of [] => [] | x :: r => f x :: map f r ;
+         map (fn x => (x, x)) [1, 2, 3]",
+    );
+    for f in &p.funs {
+        for (pc, ins) in f.code.iter().enumerate() {
+            if let Some(site) = ins.site() {
+                let cs = p.site(site);
+                assert_eq!(cs.pc, pc as u32);
+                match (&cs.kind, ins) {
+                    (SiteKind::Direct { .. }, Instr::CallDirect { .. })
+                    | (SiteKind::Closure { .. }, Instr::CallClosure { .. })
+                    | (
+                        SiteKind::Alloc { .. },
+                        Instr::MakeTuple { .. }
+                        | Instr::MakeData { .. }
+                        | Instr::MakeClosure { .. },
+                    ) => {}
+                    (k, i) => panic!("site kind {k:?} mismatches instruction {i:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rtti_descs_only_where_needed() {
+    // Ground captures: no descriptors anywhere.
+    let src = "fun mk n = fn x => x + n ; (mk 1) 2";
+    let (p, rtti) = lower_full(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap();
+    assert_eq!(rtti.total_desc_fields(), 0);
+    assert!(!p
+        .funs
+        .iter()
+        .any(|f| f.code.iter().any(|i| matches!(i, Instr::EvalDesc { .. }))));
+}
+
+#[test]
+fn transitive_rtti_propagation() {
+    // outer passes its param to konst, whose closure hides it: outer
+    // must receive a descriptor argument too.
+    let src = "fun konst x = fn u => (let val probe = [x] in u end) ;
+               fun outer y = konst (y, y) ;
+               (outer 1) 2";
+    let (p, rtti) = lower_full(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap();
+    assert!(rtti.total_desc_fields() >= 2, "konst closure + transitive");
+    let outer = p
+        .funs
+        .iter()
+        .find(|f| f.name.starts_with("outer"))
+        .unwrap();
+    // outer's body must evaluate a descriptor to call konst.
+    assert!(outer
+        .code
+        .iter()
+        .any(|i| matches!(i, Instr::EvalDesc { .. })));
+}
+
+#[test]
+fn disasm_round_trips_every_instruction_shape() {
+    let p = compile(
+        "datatype shape = Circle of int | Rect of int * int | Point ;
+         val g = [1] ;
+         fun area s = case s of Circle r => 3 * r * r | Rect (w, h) => w * h | Point => 0 ;
+         fun apply f x = f x ;
+         (print (area (Rect (2, 3))); (1, apply (fn v => ~v) (case g of [] => 0 | x :: _ => x)))",
+    );
+    let text = tfgc_ir::display::disasm(&p);
+    for needle in [
+        "call", "closure", "tuple", "print", "global", "jump", "neg",
+    ] {
+        assert!(text.contains(needle), "disasm lacks `{needle}`:\n{text}");
+    }
+}

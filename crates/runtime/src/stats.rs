@@ -1,0 +1,50 @@
+//! Heap and collection statistics — the raw numbers behind experiments
+//! E1 (heap-space overhead) and E3/E4 (collection work).
+
+/// Counters maintained by [`crate::heap::Heap`] and the collectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Number of successful allocations.
+    pub allocations: u64,
+    /// Total words handed out (including headers, when the encoding has
+    /// them — compare across modes for E1).
+    pub words_allocated: u64,
+    /// Completed collections.
+    pub collections: u64,
+    /// Objects copied by collections.
+    pub objects_copied: u64,
+    /// Words copied by collections.
+    pub words_copied: u64,
+    /// Live words surviving the most recent collection.
+    pub live_words_after_last_gc: u64,
+    /// Maximum of `live_words_after_last_gc` over the run.
+    pub peak_live_words: u64,
+}
+
+impl HeapStats {
+    /// Mean live words per collection (0 when no collection ran).
+    pub fn mean_live_words(&self) -> f64 {
+        if self.collections == 0 {
+            0.0
+        } else {
+            self.words_copied as f64 / self.collections as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_live_words_handles_zero() {
+        let s = HeapStats::default();
+        assert_eq!(s.mean_live_words(), 0.0);
+        let s = HeapStats {
+            collections: 2,
+            words_copied: 10,
+            ..HeapStats::default()
+        };
+        assert_eq!(s.mean_live_words(), 5.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Machine words and heap addresses.
+//!
+//! Everything a TFML program manipulates is one 64-bit [`Word`]: integers,
+//! booleans, unit, immediate constructors, heap pointers, descriptor
+//! indices. Whether a word carries a tag is the whole point of the
+//! reproduction — see [`crate::encode`].
+
+/// One machine word.
+pub type Word = u64;
+
+/// Word addresses below this value are immediates (nullary constructors,
+/// booleans, unit); heap addresses start here. This is how the paper's
+/// `cons_cell` distinguishes `NULL` from a pointer without a tag bit
+/// (§2.4). Must equal `tfgc_ir::IMM_LIMIT` (checked by an integration
+/// test).
+pub const HEAP_BASE: u64 = 4096;
+
+/// An absolute heap address (word index, `>= HEAP_BASE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The address `off` words past this one.
+    pub fn offset(self, off: u16) -> Addr {
+        Addr(self.0 + u64::from(off))
+    }
+}
+
+/// Which value encoding the machine runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeapMode {
+    /// Goldberg's scheme: full-width integers, headerless objects, no tag
+    /// bits anywhere; the collector learns layouts from compiler-generated
+    /// metadata.
+    TagFree,
+    /// The "current ML implementations" baseline (§1): low-bit tagging —
+    /// odd words are 63-bit integers, even words are pointers — plus one
+    /// header word per heap object so the collector can scan without
+    /// compiler metadata.
+    Tagged,
+}
+
+impl HeapMode {
+    /// Header words per heap object under this encoding.
+    pub fn header_words(self) -> usize {
+        match self {
+            HeapMode::TagFree => 0,
+            HeapMode::Tagged => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_offset() {
+        assert_eq!(Addr(5000).offset(3), Addr(5003));
+    }
+
+    #[test]
+    fn header_words_differ() {
+        assert_eq!(HeapMode::TagFree.header_words(), 0);
+        assert_eq!(HeapMode::Tagged.header_words(), 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Abstract syntax for TFML.
+//!
+//! TFML is a monomorphic-or-polymorphic mini-ML: integers, booleans, unit,
+//! tuples, lists, user datatypes (Goldberg §2.3's variant records),
+//! first-class functions (§2.2's closures), `let`-polymorphism (§3).
+//!
+//! Clausal `fun` definitions (`fun append [] ys = ys | append (x::xs) ys =
+//! ...`) are desugared by the parser into a single body that `case`s over the
+//! parameter tuple, so the AST here always has plain named parameters.
+
+use crate::span::Span;
+
+/// Surface type expressions (used by `datatype` declarations and optional
+/// `e : ty` annotations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// A type variable such as `'a`.
+    Var(String),
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `unit`
+    Unit,
+    /// `t1 * t2 * ...` (arity ≥ 2)
+    Tuple(Vec<Ty>),
+    /// `t list`
+    List(Box<Ty>),
+    /// `t1 -> t2`
+    Arrow(Box<Ty>, Box<Ty>),
+    /// A named datatype applied to arguments, e.g. `(int, bool) pair`.
+    Named(String, Vec<Ty>),
+}
+
+/// One constructor of a datatype: name plus argument types (empty for a
+/// nullary constructor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtorDecl {
+    pub name: String,
+    pub args: Vec<Ty>,
+    pub span: Span,
+}
+
+/// A `datatype ('a, 'b) name = C1 of ty | C2 | ...` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatatypeDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub ctors: Vec<CtorDecl>,
+    pub span: Span,
+}
+
+/// Pattern syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pat {
+    pub kind: PatKind,
+    pub span: Span,
+}
+
+/// The shape of a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatKind {
+    /// `_`
+    Wild,
+    /// A variable binding.
+    Var(String),
+    /// Integer literal pattern.
+    Int(i64),
+    /// Boolean literal pattern.
+    Bool(bool),
+    /// `()`
+    Unit,
+    /// `(p1, p2, ...)` with arity ≥ 2.
+    Tuple(Vec<Pat>),
+    /// Constructor pattern `C` or `C p`.
+    Ctor(String, Option<Box<Pat>>),
+    /// `[]`
+    Nil,
+    /// `p :: p`
+    Cons(Box<Pat>, Box<Pat>),
+    /// `(p : ty)` — type-ascribed pattern.
+    Ascribe(Box<Pat>, Ty),
+}
+
+impl Pat {
+    /// Variables bound by this pattern, in left-to-right order.
+    pub fn bound_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'p>(&'p self, out: &mut Vec<&'p str>) {
+        match &self.kind {
+            PatKind::Var(v) => out.push(v),
+            PatKind::Tuple(ps) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+            PatKind::Ctor(_, Some(p)) => p.collect_vars(out),
+            PatKind::Cons(h, t) => {
+                h.collect_vars(out);
+                t.collect_vars(out);
+            }
+            PatKind::Ascribe(p, _) => p.collect_vars(out),
+            _ => {}
+        }
+    }
+
+    /// True if the pattern matches any value without testing it.
+    pub fn is_irrefutable_shallow(&self) -> bool {
+        matches!(self.kind, PatKind::Wild | PatKind::Var(_) | PatKind::Unit)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuiting conjunction (desugared to `if` at lowering).
+    And,
+    /// Short-circuiting disjunction.
+    Or,
+}
+
+impl BinOp {
+    /// The operator's surface spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "andalso",
+            BinOp::Or => "orelse",
+        }
+    }
+
+    /// True for `+ - * div mod` (operand and result type `int`).
+    pub fn is_arith(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// True for comparison operators producing `bool` from `int` operands.
+    pub fn is_compare(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation (`~`).
+    Neg,
+    /// Boolean negation (`not`).
+    Not,
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// The shape of an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    Int(i64),
+    Bool(bool),
+    Unit,
+    /// Variable reference (may name a top-level function).
+    Var(String),
+    /// Constructor reference, possibly applied via [`ExprKind::App`].
+    Ctor(String),
+    /// `(e1, e2, ...)` with arity ≥ 2.
+    Tuple(Vec<Expr>),
+    /// `[e1, e2, ...]` — sugar for conses ending in nil.
+    List(Vec<Expr>),
+    /// Application `f x`.
+    App(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    UnOp(UnOp, Box<Expr>),
+    /// `x :: xs`
+    Cons(Box<Expr>, Box<Expr>),
+    /// `if c then t else f`
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `fn x => e`
+    Lambda(String, Box<Expr>),
+    /// `let <binds> in e end`
+    Let(Vec<LetBind>, Box<Expr>),
+    /// `case e of p1 => e1 | ...`
+    Case(Box<Expr>, Vec<Arm>),
+    /// Type-annotated expression `e : ty`.
+    Ann(Box<Expr>, Ty),
+    /// `e1; e2` sequencing (value of `e1` discarded).
+    Seq(Box<Expr>, Box<Expr>),
+}
+
+/// One `case` arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arm {
+    pub pat: Pat,
+    pub body: Expr,
+}
+
+/// A binding inside `let ... in ... end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LetBind {
+    /// `val p = e`
+    Val(Pat, Expr),
+    /// `fun f x y = e and g z = e'` (mutually recursive group).
+    Fun(Vec<FunBind>),
+}
+
+/// A single (desugared) function binding: named parameters and one body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunBind {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Expr,
+    pub span: Span,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    Datatype(DatatypeDecl),
+    /// Mutually recursive top-level function group.
+    Fun(Vec<FunBind>),
+    /// Top-level value binding.
+    Val(Pat, Expr),
+}
+
+/// A complete program: declarations followed by a main expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    pub decls: Vec<Decl>,
+    pub main: Expr,
+}
+
+impl Program {
+    /// Names of all top-level functions, in declaration order.
+    pub fn fun_names(&self) -> Vec<&str> {
+        let mut names = Vec::new();
+        for d in &self.decls {
+            if let Decl::Fun(group) = d {
+                for f in group {
+                    names.push(f.name.as_str());
+                }
+            }
+        }
+        names
+    }
+
+    /// Looks up a top-level datatype declaration by name.
+    pub fn datatype(&self, name: &str) -> Option<&DatatypeDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Datatype(dt) if dt.name == name => Some(dt),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(kind: PatKind) -> Pat {
+        Pat {
+            kind,
+            span: Span::SYNTH,
+        }
+    }
+
+    #[test]
+    fn bound_vars_in_order() {
+        let p = pat(PatKind::Cons(
+            Box::new(pat(PatKind::Var("x".into()))),
+            Box::new(pat(PatKind::Tuple(vec![
+                pat(PatKind::Var("y".into())),
+                pat(PatKind::Wild),
+                pat(PatKind::Var("z".into())),
+            ]))),
+        ));
+        assert_eq!(p.bound_vars(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn irrefutable_shallow() {
+        assert!(pat(PatKind::Wild).is_irrefutable_shallow());
+        assert!(pat(PatKind::Var("v".into())).is_irrefutable_shallow());
+        assert!(!pat(PatKind::Nil).is_irrefutable_shallow());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.is_arith());
+        assert!(!BinOp::Add.is_compare());
+        assert!(BinOp::Le.is_compare());
+        assert!(!BinOp::And.is_arith());
+        assert_eq!(BinOp::Mod.symbol(), "mod");
+    }
+}

@@ -1,0 +1,57 @@
+//! Lexing and parsing errors.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing TFML source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the source the error occurred.
+    pub span: Span,
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a new error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with line/column information from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("parse error at {line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing functions.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line() {
+        let err = ParseError::new(Span::new(3, 4), "unexpected token");
+        assert_eq!(err.render("ab\ncd"), "parse error at 2:1: unexpected token");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let err = ParseError::new(Span::new(0, 1), "boom");
+        assert!(err.to_string().contains("boom"));
+    }
+}

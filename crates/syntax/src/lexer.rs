@@ -1,0 +1,551 @@
+//! Hand-written lexer for TFML.
+//!
+//! TFML is the mini-ML used throughout the reproduction: the surface
+//! language of Goldberg's examples (`append`, `map`, the polymorphic `f`)
+//! can be written verbatim modulo keyword spelling.
+
+use crate::error::{ParseError, ParseResult};
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// Integer literal (non-negative; negation is parsed as an operator).
+    Int(i64),
+    /// Lower-case identifier (variables, functions).
+    Ident(String),
+    /// Upper-case identifier (datatype constructors).
+    UpperIdent(String),
+    /// Type variable such as `'a`.
+    TyVar(String),
+
+    // Keywords.
+    Let,
+    In,
+    End,
+    Fun,
+    Fn,
+    Val,
+    Rec,
+    And,
+    If,
+    Then,
+    Else,
+    Case,
+    Of,
+    Datatype,
+    True,
+    False,
+    Andalso,
+    Orelse,
+    Not,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Arrow,     // ->
+    DArrow,    // =>
+    Bar,       // |
+    Eq,        // =
+    NotEq,     // <>
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,     // div (integer division)
+    Mod,
+    Cons,      // ::
+    Wildcard,  // _
+    Colon,     // :
+    Tilde,     // ~ unary negation
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable name used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::UpperIdent(s) => format!("constructor `{s}`"),
+            TokenKind::TyVar(s) => format!("type variable `'{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Let => "let",
+            TokenKind::In => "in",
+            TokenKind::End => "end",
+            TokenKind::Fun => "fun",
+            TokenKind::Fn => "fn",
+            TokenKind::Val => "val",
+            TokenKind::Rec => "rec",
+            TokenKind::And => "and",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::Case => "case",
+            TokenKind::Of => "of",
+            TokenKind::Datatype => "datatype",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Andalso => "andalso",
+            TokenKind::Orelse => "orelse",
+            TokenKind::Not => "not",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semicolon => ";",
+            TokenKind::Arrow => "->",
+            TokenKind::DArrow => "=>",
+            TokenKind::Bar => "|",
+            TokenKind::Eq => "=",
+            TokenKind::NotEq => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "div",
+            TokenKind::Mod => "mod",
+            TokenKind::Cons => "::",
+            TokenKind::Wildcard => "_",
+            TokenKind::Colon => ":",
+            TokenKind::Tilde => "~",
+            _ => unreachable!("lexeme called on data-carrying token"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Lexes `src` into a token stream ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> ParseResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> ParseResult<Vec<Token>> {
+        while self.pos < self.bytes.len() {
+            self.skip_trivia()?;
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            self.next_token()?;
+        }
+        let end = self.src.len() as u32;
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
+        Ok(self.tokens)
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.bytes.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    /// Skips whitespace and `(* ... *)` comments (which may nest).
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            while self.pos < self.bytes.len() && self.peek().is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.peek() == b'(' && self.peek2() == b'*' {
+                let start = self.pos as u32;
+                self.pos += 2;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if self.pos >= self.bytes.len() {
+                        return Err(ParseError::new(
+                            Span::new(start, self.src.len() as u32),
+                            "unterminated comment",
+                        ));
+                    }
+                    if self.peek() == b'(' && self.peek2() == b'*' {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.peek() == b'*' && self.peek2() == b')' {
+                        depth -= 1;
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        });
+    }
+
+    fn next_token(&mut self) -> ParseResult<()> {
+        let start = self.pos;
+        let c = self.peek();
+        match c {
+            b'0'..=b'9' => {
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                let value: i64 = text.parse().map_err(|_| {
+                    ParseError::new(
+                        Span::new(start as u32, self.pos as u32),
+                        format!("integer literal `{text}` out of range"),
+                    )
+                })?;
+                self.emit(TokenKind::Int(value), start);
+            }
+            b'a'..=b'z' => {
+                while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' || self.peek() == b'\'' {
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                let kind = match text {
+                    "let" => TokenKind::Let,
+                    "in" => TokenKind::In,
+                    "end" => TokenKind::End,
+                    "fun" => TokenKind::Fun,
+                    "fn" => TokenKind::Fn,
+                    "val" => TokenKind::Val,
+                    "rec" => TokenKind::Rec,
+                    "and" => TokenKind::And,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "case" => TokenKind::Case,
+                    "of" => TokenKind::Of,
+                    "datatype" => TokenKind::Datatype,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "andalso" => TokenKind::Andalso,
+                    "orelse" => TokenKind::Orelse,
+                    "not" => TokenKind::Not,
+                    "div" => TokenKind::Slash,
+                    "mod" => TokenKind::Mod,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                self.emit(kind, start);
+            }
+            b'A'..=b'Z' => {
+                while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                self.emit(TokenKind::UpperIdent(text.to_string()), start);
+            }
+            b'\'' => {
+                self.pos += 1;
+                let name_start = self.pos;
+                while self.peek().is_ascii_alphanumeric() {
+                    self.pos += 1;
+                }
+                if name_start == self.pos {
+                    return Err(ParseError::new(
+                        Span::new(start as u32, self.pos as u32),
+                        "expected type variable name after `'`",
+                    ));
+                }
+                let name = self.src[name_start..self.pos].to_string();
+                self.emit(TokenKind::TyVar(name), start);
+            }
+            b'(' => {
+                self.pos += 1;
+                self.emit(TokenKind::LParen, start);
+            }
+            b')' => {
+                self.pos += 1;
+                self.emit(TokenKind::RParen, start);
+            }
+            b'[' => {
+                self.pos += 1;
+                self.emit(TokenKind::LBracket, start);
+            }
+            b']' => {
+                self.pos += 1;
+                self.emit(TokenKind::RBracket, start);
+            }
+            b',' => {
+                self.pos += 1;
+                self.emit(TokenKind::Comma, start);
+            }
+            b';' => {
+                self.pos += 1;
+                self.emit(TokenKind::Semicolon, start);
+            }
+            b'_' => {
+                self.pos += 1;
+                self.emit(TokenKind::Wildcard, start);
+            }
+            b'|' => {
+                self.pos += 1;
+                self.emit(TokenKind::Bar, start);
+            }
+            b'~' => {
+                self.pos += 1;
+                self.emit(TokenKind::Tilde, start);
+            }
+            b'+' => {
+                self.pos += 1;
+                self.emit(TokenKind::Plus, start);
+            }
+            b'*' => {
+                self.pos += 1;
+                self.emit(TokenKind::Star, start);
+            }
+            b'-' => {
+                self.pos += 1;
+                if self.peek() == b'>' {
+                    self.pos += 1;
+                    self.emit(TokenKind::Arrow, start);
+                } else {
+                    self.emit(TokenKind::Minus, start);
+                }
+            }
+            b'=' => {
+                self.pos += 1;
+                if self.peek() == b'>' {
+                    self.pos += 1;
+                    self.emit(TokenKind::DArrow, start);
+                } else {
+                    self.emit(TokenKind::Eq, start);
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    b'>' => {
+                        self.pos += 1;
+                        self.emit(TokenKind::NotEq, start);
+                    }
+                    b'=' => {
+                        self.pos += 1;
+                        self.emit(TokenKind::Le, start);
+                    }
+                    _ => self.emit(TokenKind::Lt, start),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    self.emit(TokenKind::Ge, start);
+                } else {
+                    self.emit(TokenKind::Gt, start);
+                }
+            }
+            b':' => {
+                self.pos += 1;
+                if self.peek() == b':' {
+                    self.pos += 1;
+                    self.emit(TokenKind::Cons, start);
+                } else {
+                    self.emit(TokenKind::Colon, start);
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    Span::new(start as u32, start as u32 + 1),
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fun append xs ys"),
+            vec![
+                TokenKind::Fun,
+                TokenKind::Ident("append".into()),
+                TokenKind::Ident("xs".into()),
+                TokenKind::Ident("ys".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("x :: xs <> [] => ->"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Cons,
+                TokenKind::Ident("xs".into()),
+                TokenKind::NotEq,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::DArrow,
+                TokenKind::Arrow,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        assert_eq!(
+            kinds("< <= > >= ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_integers() {
+        assert_eq!(
+            kinds("0 42 123456789"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(123456789),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_integer() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn skips_nested_comments() {
+        assert_eq!(
+            kinds("1 (* outer (* inner *) still *) 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn lexes_type_variables() {
+        assert_eq!(
+            kinds("'a 'b2"),
+            vec![
+                TokenKind::TyVar("a".into()),
+                TokenKind::TyVar("b2".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn upper_idents_are_constructors() {
+        assert_eq!(
+            kinds("Leaf Node"),
+            vec![
+                TokenKind::UpperIdent("Leaf".into()),
+                TokenKind::UpperIdent("Node".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn div_and_mod_are_keywords() {
+        assert_eq!(
+            kinds("a div b mod c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Mod,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("let x").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 5));
+    }
+}

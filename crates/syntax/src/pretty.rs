@@ -1,0 +1,318 @@
+//! Pretty-printer for TFML ASTs.
+//!
+//! Primarily a debugging aid; the printer emits valid TFML, so
+//! `parse(print(parse(src)))` is a useful round-trip property (exercised in
+//! tests).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Internal fresh names contain `#` (unlexable by design, so they cannot
+/// collide with user names). The printer maps `#` to `'` — legal inside
+/// identifiers — so printed programs re-lex.
+fn ident(s: &str) -> String {
+    s.replace('#', "'")
+}
+
+/// Renders a program as TFML source. Declarations are terminated with
+/// `;` so the main expression never merges into the last declaration's
+/// body (application is juxtaposition).
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        match d {
+            Decl::Datatype(dt) => {
+                out.push_str(&datatype_to_string(dt));
+                out.push_str(" ;\n");
+            }
+            Decl::Fun(group) => {
+                for (i, f) in group.iter().enumerate() {
+                    let kw = if i == 0 { "fun" } else { "and" };
+                    let params: Vec<String> = f.params.iter().map(|p| ident(p)).collect();
+                    let _ = write!(
+                        out,
+                        "{kw} {} {} = {}",
+                        ident(&f.name),
+                        params.join(" "),
+                        expr_to_string(&f.body)
+                    );
+                    out.push_str(if i + 1 == group.len() { " ;\n" } else { "\n" });
+                }
+            }
+            Decl::Val(pat, e) => {
+                let _ = writeln!(
+                    out,
+                    "val {} = {} ;",
+                    pat_to_string(pat),
+                    expr_to_string(e)
+                );
+            }
+        }
+    }
+    out.push_str(&expr_to_string(&p.main));
+    out.push('\n');
+    out
+}
+
+/// Renders a datatype declaration.
+pub fn datatype_to_string(dt: &DatatypeDecl) -> String {
+    let params = match dt.params.len() {
+        0 => String::new(),
+        1 => format!("'{} ", dt.params[0]),
+        _ => format!(
+            "({}) ",
+            dt.params
+                .iter()
+                .map(|p| format!("'{p}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    };
+    let ctors = dt
+        .ctors
+        .iter()
+        .map(|c| {
+            if c.args.is_empty() {
+                c.name.clone()
+            } else {
+                format!(
+                    "{} of {}",
+                    c.name,
+                    c.args
+                        .iter()
+                        .map(|t| ty_to_string_prec(t, 1))
+                        .collect::<Vec<_>>()
+                        .join(" * ")
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" | ");
+    format!("datatype {params}{} = {ctors}", dt.name)
+}
+
+/// Renders a type.
+pub fn ty_to_string(t: &Ty) -> String {
+    ty_to_string_prec(t, 0)
+}
+
+fn ty_to_string_prec(t: &Ty, prec: u8) -> String {
+    match t {
+        Ty::Var(v) => format!("'{v}"),
+        Ty::Int => "int".into(),
+        Ty::Bool => "bool".into(),
+        Ty::Unit => "unit".into(),
+        Ty::List(inner) => format!("{} list", ty_to_string_prec(inner, 2)),
+        Ty::Tuple(ts) => {
+            let s = ts
+                .iter()
+                .map(|t| ty_to_string_prec(t, 2))
+                .collect::<Vec<_>>()
+                .join(" * ");
+            if prec >= 1 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Ty::Arrow(a, b) => {
+            let s = format!("{} -> {}", ty_to_string_prec(a, 1), ty_to_string_prec(b, 0));
+            if prec >= 1 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Ty::Named(n, args) => match args.len() {
+            0 => n.clone(),
+            1 => format!("{} {n}", ty_to_string_prec(&args[0], 2)),
+            _ => format!(
+                "({}) {n}",
+                args.iter().map(ty_to_string).collect::<Vec<_>>().join(", ")
+            ),
+        },
+    }
+}
+
+/// Renders a pattern.
+pub fn pat_to_string(p: &Pat) -> String {
+    match &p.kind {
+        PatKind::Wild => "_".into(),
+        PatKind::Var(v) => ident(v),
+        PatKind::Int(n) => {
+            if *n < 0 {
+                format!("~{}", -n)
+            } else {
+                n.to_string()
+            }
+        }
+        PatKind::Bool(b) => b.to_string(),
+        PatKind::Unit => "()".into(),
+        PatKind::Tuple(ps) => format!(
+            "({})",
+            ps.iter().map(pat_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        PatKind::Ctor(name, None) => name.clone(),
+        PatKind::Ctor(name, Some(arg)) => format!("{name} {}", pat_atom(arg)),
+        PatKind::Nil => "[]".into(),
+        PatKind::Cons(h, t) => format!("{} :: {}", pat_atom(h), pat_to_string(t)),
+        PatKind::Ascribe(p, ty) => format!("({} : {})", pat_to_string(p), ty_to_string(ty)),
+    }
+}
+
+fn pat_atom(p: &Pat) -> String {
+    match &p.kind {
+        PatKind::Cons(_, _) | PatKind::Ctor(_, Some(_)) => format!("({})", pat_to_string(p)),
+        _ => pat_to_string(p),
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(n) => {
+            if *n < 0 {
+                format!("~{}", -n)
+            } else {
+                n.to_string()
+            }
+        }
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::Unit => "()".into(),
+        ExprKind::Var(v) => ident(v),
+        ExprKind::Ctor(c) => c.clone(),
+        ExprKind::Tuple(es) => format!(
+            "({})",
+            es.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        ExprKind::List(es) => format!(
+            "[{}]",
+            es.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+        ),
+        ExprKind::App(f, x) => format!("{} {}", atom(f), atom(x)),
+        ExprKind::BinOp(op, a, b) => {
+            format!("({} {} {})", guard(a), op.symbol(), guard(b))
+        }
+        ExprKind::UnOp(UnOp::Neg, a) => format!("~{}", atom(a)),
+        ExprKind::UnOp(UnOp::Not, a) => format!("not {}", atom(a)),
+        ExprKind::Cons(h, t) => format!("({} :: {})", guard(h), guard(t)),
+        ExprKind::If(c, t, f) => format!(
+            "if {} then {} else {}",
+            guard(c),
+            expr_to_string(t),
+            expr_to_string(f)
+        ),
+        ExprKind::Lambda(x, b) => format!("fn {} => {}", ident(x), expr_to_string(b)),
+        ExprKind::Let(binds, body) => {
+            let mut s = String::from("let ");
+            for b in binds {
+                match b {
+                    LetBind::Val(p, e) => {
+                        let _ = write!(s, "val {} = {} ", pat_to_string(p), expr_to_string(e));
+                    }
+                    LetBind::Fun(group) => {
+                        for (i, f) in group.iter().enumerate() {
+                            let kw = if i == 0 { "fun" } else { "and" };
+                            let params: Vec<String> =
+                                f.params.iter().map(|p| ident(p)).collect();
+                            let _ = write!(
+                                s,
+                                "{kw} {} {} = {} ",
+                                ident(&f.name),
+                                params.join(" "),
+                                expr_to_string(&f.body)
+                            );
+                        }
+                    }
+                }
+            }
+            let _ = write!(s, "in {} end", expr_to_string(body));
+            s
+        }
+        ExprKind::Case(scrut, arms) => {
+            let arms_s = arms
+                .iter()
+                .map(|a| format!("{} => {}", pat_to_string(&a.pat), expr_to_string(&a.body)))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("(case {} of {arms_s})", expr_to_string(scrut))
+        }
+        ExprKind::Ann(inner, ty) => format!("({} : {})", expr_to_string(inner), ty_to_string(ty)),
+        ExprKind::Seq(a, b) => format!("({}; {})", expr_to_string(a), expr_to_string(b)),
+    }
+}
+
+/// Wraps expressions that extend maximally to the right (`if`, `fn`) so
+/// they can appear as operator operands without absorbing the rest of the
+/// expression on reparse.
+fn guard(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::If(_, _, _) | ExprKind::Lambda(_, _) => {
+            format!("({})", expr_to_string(e))
+        }
+        _ => expr_to_string(e),
+    }
+}
+
+fn atom(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(n) if *n >= 0 => n.to_string(),
+        ExprKind::Bool(_)
+        | ExprKind::Unit
+        | ExprKind::Var(_)
+        | ExprKind::Ctor(_)
+        | ExprKind::Tuple(_)
+        | ExprKind::List(_) => expr_to_string(e),
+        _ => format!("({})", expr_to_string(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn roundtrip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = expr_to_string(&e1);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        // Spans differ; compare printed forms instead.
+        assert_eq!(printed, expr_to_string(&e2));
+    }
+
+    #[test]
+    fn roundtrips_simple_exprs() {
+        roundtrip_expr("1 + 2 * 3");
+        roundtrip_expr("if a then b else c");
+        roundtrip_expr("fn x => x :: [1, 2]");
+        roundtrip_expr("let val x = 1 in x end");
+        roundtrip_expr("case xs of [] => 0 | x :: _ => x");
+        roundtrip_expr("~5 + f 3");
+    }
+
+    #[test]
+    fn prints_program_with_datatype() {
+        let src = "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree  Leaf";
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        assert!(printed.contains("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree"));
+        // The printed program reparses.
+        parse_program(&printed).unwrap();
+    }
+
+    #[test]
+    fn type_printing_has_expected_precedence() {
+        assert_eq!(
+            ty_to_string(&Ty::Arrow(
+                Box::new(Ty::Arrow(Box::new(Ty::Int), Box::new(Ty::Bool))),
+                Box::new(Ty::Int)
+            )),
+            "(int -> bool) -> int"
+        );
+        assert_eq!(
+            ty_to_string(&Ty::List(Box::new(Ty::Tuple(vec![Ty::Int, Ty::Bool])))),
+            "(int * bool) list"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] (byte range into the source
+//! text) so that type and lowering errors can point back at the program.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, for synthesized nodes.
+    pub const SYNTH: Span = Span { start: 0, end: 0 };
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True when the span covers no characters.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Computes the 1-based line and column of the span start within `src`.
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i as u32 >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(3, 7).len(), 4);
+        assert!(Span::new(3, 3).is_empty());
+        assert!(!Span::new(3, 4).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Grammar corner cases beyond the unit tests.
+
+use tfgc_syntax::{parse_expr, parse_program, BinOp, ExprKind, PatKind};
+
+#[test]
+fn deeply_nested_parens() {
+    let mut src = String::from("1");
+    for _ in 0..64 {
+        src = format!("({src})");
+    }
+    let e = parse_expr(&src).expect("nested parens parse");
+    assert!(matches!(e.kind, ExprKind::Int(1)));
+}
+
+#[test]
+fn nested_cases_bind_bars_to_innermost() {
+    // The inner case swallows the second arm unless parenthesized.
+    let e = parse_expr("case a of [] => case b of [] => 1 | _ :: _ => 2 | x :: _ => 3").unwrap();
+    match e.kind {
+        ExprKind::Case(_, arms) => {
+            assert_eq!(arms.len(), 1, "outer case keeps one arm");
+            match &arms[0].body.kind {
+                ExprKind::Case(_, inner) => assert_eq!(inner.len(), 3),
+                other => panic!("expected inner case, got {other:?}"),
+            }
+        }
+        other => panic!("expected case, got {other:?}"),
+    }
+    // Parenthesized, the outer case keeps both arms.
+    let e2 =
+        parse_expr("case a of [] => (case b of [] => 1 | _ :: _ => 2) | x :: _ => 3").unwrap();
+    match e2.kind {
+        ExprKind::Case(_, arms) => assert_eq!(arms.len(), 2),
+        other => panic!("expected case, got {other:?}"),
+    }
+}
+
+#[test]
+fn let_inside_let_and_shadowing() {
+    let e = parse_expr(
+        "let val x = 1 in let val x = x + 1 in let val x = x * 2 in x end end end",
+    )
+    .unwrap();
+    assert!(matches!(e.kind, ExprKind::Let(_, _)));
+}
+
+#[test]
+fn arithmetic_associativity_is_left() {
+    let e = parse_expr("10 - 3 - 2").unwrap();
+    match e.kind {
+        ExprKind::BinOp(BinOp::Sub, lhs, _) => {
+            assert!(matches!(lhs.kind, ExprKind::BinOp(BinOp::Sub, _, _)));
+        }
+        other => panic!("expected left-assoc sub, got {other:?}"),
+    }
+}
+
+#[test]
+fn unary_minus_binds_tighter_than_mul() {
+    let e = parse_expr("~2 * 3").unwrap();
+    assert!(matches!(e.kind, ExprKind::BinOp(BinOp::Mul, _, _)));
+}
+
+#[test]
+fn application_of_parenthesized_lambda_chain() {
+    let e = parse_expr("(fn x => fn y => x + y) 1 2").unwrap();
+    // ((lambda 1) 2)
+    match e.kind {
+        ExprKind::App(f, _) => assert!(matches!(f.kind, ExprKind::App(_, _))),
+        other => panic!("expected nested app, got {other:?}"),
+    }
+}
+
+#[test]
+fn cons_of_tuples() {
+    let e = parse_expr("(1, 2) :: rest").unwrap();
+    match e.kind {
+        ExprKind::Cons(h, _) => assert!(matches!(h.kind, ExprKind::Tuple(_))),
+        other => panic!("expected cons, got {other:?}"),
+    }
+}
+
+#[test]
+fn pattern_corner_cases() {
+    let e = parse_expr("case x of (a, (b, c)) :: _ => a | _ => 0").unwrap();
+    match e.kind {
+        ExprKind::Case(_, arms) => match &arms[0].pat.kind {
+            PatKind::Cons(h, _) => match &h.kind {
+                PatKind::Tuple(ps) => assert!(matches!(ps[1].kind, PatKind::Tuple(_))),
+                other => panic!("expected tuple pattern, got {other:?}"),
+            },
+            other => panic!("expected cons pattern, got {other:?}"),
+        },
+        other => panic!("expected case, got {other:?}"),
+    }
+}
+
+#[test]
+fn multi_clause_multi_param_desugars() {
+    let p = parse_program(
+        "fun zip [] _ = [] | zip _ [] = [] | zip (x :: xs) (y :: ys) = (x, y) :: zip xs ys ; 0",
+    )
+    .unwrap();
+    let f = match &p.decls[0] {
+        tfgc_syntax::Decl::Fun(g) => &g[0],
+        other => panic!("expected fun, got {other:?}"),
+    };
+    assert_eq!(f.params.len(), 2);
+    match &f.body.kind {
+        ExprKind::Case(scrut, arms) => {
+            assert!(matches!(scrut.kind, ExprKind::Tuple(_)));
+            assert_eq!(arms.len(), 3);
+        }
+        other => panic!("expected case body, got {other:?}"),
+    }
+}
+
+#[test]
+fn seq_only_in_parens() {
+    assert!(parse_expr("(1; 2; 3)").is_ok());
+    // Bare `;` at expression top level is a parse error for parse_expr.
+    assert!(parse_expr("1; 2").is_err());
+}
+
+#[test]
+fn errors_report_positions() {
+    let err = parse_program("fun f = 1 ; 0").unwrap_err();
+    assert!(err.span.start > 0);
+    let err2 = parse_expr("case x of").unwrap_err();
+    assert!(err2.message.contains("pattern") || err2.message.contains("expression"));
+}
+
+#[test]
+fn comment_between_tokens() {
+    let e = parse_expr("1 (* one *) + (* plus *) 2").unwrap();
+    assert!(matches!(e.kind, ExprKind::BinOp(BinOp::Add, _, _)));
+}
+
+#[test]
+fn datatype_with_function_fields() {
+    let p = parse_program("datatype t = F of int -> int ; 0").unwrap();
+    match &p.decls[0] {
+        tfgc_syntax::Decl::Datatype(dt) => {
+            assert_eq!(dt.ctors[0].args.len(), 1);
+            assert!(matches!(dt.ctors[0].args[0], tfgc_syntax::Ty::Arrow(_, _)));
+        }
+        other => panic!("expected datatype, got {other:?}"),
+    }
+}
+
+#[test]
+fn annotation_precedence() {
+    // `x : int list` annotates the whole variable, not a sub-expression.
+    let e = parse_expr("(xs : int list)").unwrap();
+    assert!(matches!(e.kind, ExprKind::Ann(_, _)));
+    // Annotation of an arithmetic expression.
+    let e2 = parse_expr("(1 + 2 : int)").unwrap();
+    assert!(matches!(e2.kind, ExprKind::Ann(_, _)));
+}
+
+#[test]
+fn very_long_list_literal() {
+    let items: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+    let src = format!("[{}]", items.join(", "));
+    let e = parse_expr(&src).unwrap();
+    match e.kind {
+        ExprKind::List(es) => assert_eq!(es.len(), 500),
+        other => panic!("expected list, got {other:?}"),
+    }
+}

@@ -1,0 +1,536 @@
+//! # tfgc-tasking — tag-free GC for languages with tasking (§4)
+//!
+//! The paper's model: Ada-style tasks in shared memory, all suspended
+//! during collection, with the invariant that "a process can only be
+//! suspended for garbage collection purposes when the process makes a
+//! procedure call". This crate provides the cooperative scheduler over
+//! the multi-threaded [`tfgc_vm::Vm`]:
+//!
+//! * a deterministic round-robin scheduler with a configurable quantum,
+//!   preempting only between instructions;
+//! * heap exhaustion in any task raises a GC request; tasks then park at
+//!   their next *safe point* per the chosen [`SuspendPolicy`] — §4's two
+//!   situations ("the process calls an allocation routine" vs "the
+//!   process makes any procedure call") plus the `Rgc` register variant
+//!   that makes the every-call test free by folding it into the call's
+//!   target address;
+//! * when every live task is parked at a call/allocation site, the
+//!   collector runs over all stacks, and everyone resumes.
+//!
+//! Experiment E7 reports the trade-off the paper describes: checking at
+//! every call suspends the system quickly but pays a per-call test;
+//! checking only at allocations is free until a collection is needed, but
+//! lets allocation-free tasks "run for a long time while others are
+//! suspended".
+
+use std::fmt;
+use tfgc_gc::{GcStats, Strategy};
+use tfgc_ir::{FnId, Instr, IrProgram};
+use tfgc_runtime::HeapStats;
+use tfgc_vm::{MutatorStats, StepEvent, Vm, VmConfig, VmError, VmResult};
+
+/// When may a task be parked for collection? (§4.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspendPolicy {
+    /// "The heap is exhausted and the process calls an allocation
+    /// routine": only allocation sites are safe points. No per-call
+    /// overhead, potentially long suspension latency.
+    AllocationOnly,
+    /// "The heap is exhausted and the process makes any procedure call":
+    /// calls and allocations are safe points; a test executes at every
+    /// call.
+    EveryCall,
+    /// Same protocol as [`SuspendPolicy::EveryCall`], but the test is the
+    /// paper's `Rgc` register trick — the register is added to every call
+    /// target, so the check costs nothing ("it may be possible to utilize
+    /// the addressing modes of some processors to make the test
+    /// inexpensive").
+    EveryCallRgc,
+}
+
+impl fmt::Display for SuspendPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SuspendPolicy::AllocationOnly => "alloc-only",
+            SuspendPolicy::EveryCall => "every-call",
+            SuspendPolicy::EveryCallRgc => "every-call-rgc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct TaskConfig {
+    pub strategy: Strategy,
+    pub heap_words: usize,
+    pub policy: SuspendPolicy,
+    /// Instructions per scheduling quantum.
+    pub quantum: u64,
+    /// Total instruction budget across all tasks.
+    pub max_steps: u64,
+}
+
+impl TaskConfig {
+    /// Defaults: 64Ki-word semispaces, every-call policy, quantum 64.
+    pub fn new(strategy: Strategy) -> TaskConfig {
+        TaskConfig {
+            strategy,
+            heap_words: 1 << 16,
+            policy: SuspendPolicy::EveryCall,
+            quantum: 64,
+            max_steps: 500_000_000,
+        }
+    }
+}
+
+/// Result of a multi-task run.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Per task: the rendered result value.
+    pub results: Vec<String>,
+    /// Interleaved `print` output across tasks.
+    pub printed: Vec<i64>,
+    pub heap: HeapStats,
+    pub gc: GcStats,
+    pub mutator: MutatorStats,
+    /// Suspension tests executed (per the policy's cost model; the Rgc
+    /// variant counts zero).
+    pub suspension_checks: u64,
+    /// Collections performed with all tasks suspended.
+    pub suspension_events: u64,
+    /// Instructions executed between heap exhaustion and the moment all
+    /// tasks were parked, summed over events.
+    pub total_suspension_latency: u64,
+    /// Worst single suspension latency.
+    pub max_suspension_latency: u64,
+}
+
+/// Looks up a top-level function by its source name (alpha renaming
+/// appends `#u<n>`).
+pub fn find_fn(prog: &IrProgram, name: &str) -> Option<FnId> {
+    prog.funs
+        .iter()
+        .position(|f| f.name == name || f.name.split("#u").next() == Some(name))
+        .map(|i| FnId(i as u32))
+}
+
+/// Runs `main` (initializing globals), then runs each `(function, arg)`
+/// task to completion under the cooperative scheduler.
+///
+/// # Errors
+///
+/// Propagates VM errors; reports OOM when a collection frees nothing.
+///
+/// # Panics
+///
+/// Panics if an entry function does not take exactly one argument.
+pub fn run_tasks(
+    prog: &IrProgram,
+    entries: &[(FnId, i64)],
+    cfg: TaskConfig,
+) -> VmResult<TaskReport> {
+    let mut vm_cfg = VmConfig::new(cfg.strategy).heap_words(cfg.heap_words);
+    vm_cfg.cooperative = true;
+    vm_cfg.max_steps = Some(cfg.max_steps);
+    let mut vm = Vm::new(prog, vm_cfg);
+
+    // Phase 1: run main alone (it initializes globals).
+    run_single(&mut vm)?;
+
+    // Phase 2: spawn the tasks.
+    let mut task_ids = Vec::new();
+    for (f, arg) in entries {
+        let fun = prog.fun(*f);
+        assert_eq!(
+            fun.n_params, 1,
+            "task entry `{}` must take exactly one int argument",
+            fun.name
+        );
+        let w = vm.encode_int(*arg);
+        task_ids.push(vm.spawn_thread(*f, &[w]));
+    }
+
+    let mut sched = Scheduler {
+        vm,
+        tasks: task_ids.clone(),
+        policy: cfg.policy,
+        quantum: cfg.quantum,
+        gc_pending: false,
+        parked: vec![false; task_ids.len()],
+        done: vec![false; task_ids.len()],
+        latency: 0,
+        allocs_at_last_gc: None,
+        report_checks: 0,
+        report_events: 0,
+        report_total_latency: 0,
+        report_max_latency: 0,
+    };
+    sched.run()?;
+
+    let Scheduler {
+        mut vm,
+        report_checks,
+        report_events,
+        report_total_latency,
+        report_max_latency,
+        ..
+    } = sched;
+
+    let results = task_ids
+        .iter()
+        .zip(entries)
+        .map(|(t, (f, _))| {
+            let w = vm.thread_result(*t).expect("task finished");
+            vm.render(w, &prog.fun(*f).ret_ty)
+        })
+        .collect();
+    Ok(TaskReport {
+        results,
+        printed: std::mem::take(&mut vm.printed),
+        heap: vm.heap.stats,
+        gc: vm.gc_stats,
+        mutator: vm.mutator,
+        suspension_checks: report_checks,
+        suspension_events: report_events,
+        total_suspension_latency: report_total_latency,
+        max_suspension_latency: report_max_latency,
+    })
+}
+
+/// Runs the current thread to completion, collecting inline when blocked
+/// (single-task mode for the main/global phase).
+fn run_single(vm: &mut Vm<'_>) -> VmResult<()> {
+    let mut blocked_without_progress = false;
+    loop {
+        match vm.step()? {
+            StepEvent::Done(_) => return Ok(()),
+            StepEvent::AllocBlocked(site) => {
+                if blocked_without_progress {
+                    return Err(VmError::OutOfMemory {
+                        requested: 0,
+                        live: vm.heap.used(),
+                    });
+                }
+                vm.collect_parked(site);
+                blocked_without_progress = true;
+            }
+            StepEvent::Continue => blocked_without_progress = false,
+        }
+    }
+}
+
+struct Scheduler<'p> {
+    vm: Vm<'p>,
+    tasks: Vec<usize>,
+    policy: SuspendPolicy,
+    quantum: u64,
+    gc_pending: bool,
+    parked: Vec<bool>,
+    done: Vec<bool>,
+    /// Instructions executed since the pending collection was requested.
+    latency: u64,
+    /// Successful allocation count at the previous collection: if no
+    /// allocation succeeds between two collections, the heap is
+    /// genuinely exhausted.
+    allocs_at_last_gc: Option<u64>,
+    report_checks: u64,
+    report_events: u64,
+    report_total_latency: u64,
+    report_max_latency: u64,
+}
+
+impl Scheduler<'_> {
+    fn run(&mut self) -> VmResult<()> {
+        let n = self.tasks.len();
+        let mut rr = 0usize;
+        while !self.done.iter().all(|d| *d) {
+            for off in 0..n {
+                let i = (rr + off) % n;
+                if self.done[i] || (self.gc_pending && self.parked[i]) {
+                    continue;
+                }
+                rr = (i + 1) % n;
+                self.run_quantum(i)?;
+                break;
+            }
+            if self.gc_pending {
+                let all_parked = (0..n).all(|i| self.done[i] || self.parked[i]);
+                if all_parked {
+                    self.do_collection()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs task `i` for up to a quantum, honoring safe-point parking.
+    fn run_quantum(&mut self, i: usize) -> VmResult<()> {
+        let thread = self.tasks[i];
+        self.vm.set_current_thread(thread);
+        if self.parked[i] {
+            self.vm.unpark_thread(thread);
+            self.parked[i] = false;
+        }
+        for _ in 0..self.quantum {
+            // The suspension test (§4): executed per the policy's cost
+            // model at each safe-point instruction.
+            let at_call = matches!(
+                self.vm.current_instr(),
+                Instr::CallDirect { .. } | Instr::CallClosure { .. }
+            );
+            let at_alloc = matches!(
+                self.vm.current_instr(),
+                Instr::MakeTuple { .. } | Instr::MakeData { .. } | Instr::MakeClosure { .. }
+            );
+            match self.policy {
+                SuspendPolicy::AllocationOnly => {
+                    if at_alloc {
+                        self.report_checks += 1;
+                    }
+                }
+                SuspendPolicy::EveryCall => {
+                    if at_call || at_alloc {
+                        self.report_checks += 1;
+                    }
+                }
+                SuspendPolicy::EveryCallRgc => {
+                    // The Rgc register folds the test into the call's
+                    // target address: zero extra operations.
+                }
+            }
+            if self.gc_pending {
+                let safe = match self.policy {
+                    SuspendPolicy::AllocationOnly => at_alloc,
+                    SuspendPolicy::EveryCall | SuspendPolicy::EveryCallRgc => at_call || at_alloc,
+                };
+                if safe {
+                    let site = self
+                        .vm
+                        .current_site()
+                        .expect("calls and allocations carry sites");
+                    self.vm.park_thread(thread, site);
+                    self.parked[i] = true;
+                    return Ok(());
+                }
+            }
+            match self.vm.step()? {
+                StepEvent::Continue => {
+                    if self.gc_pending {
+                        self.latency += 1;
+                    }
+                }
+                StepEvent::Done(_) => {
+                    self.done[i] = true;
+                    return Ok(());
+                }
+                StepEvent::AllocBlocked(site) => {
+                    self.gc_pending = true;
+                    self.vm.park_thread(thread, site);
+                    self.parked[i] = true;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All tasks parked: collect, account, resume.
+    ///
+    /// # Errors
+    ///
+    /// Reports OOM when no allocation succeeded since the previous
+    /// collection — the heap is exhausted by live data.
+    fn do_collection(&mut self) -> VmResult<()> {
+        let allocs_now = self.vm.heap.stats.allocations;
+        if self.allocs_at_last_gc == Some(allocs_now) {
+            return Err(VmError::OutOfMemory {
+                requested: 0,
+                live: self.vm.heap.used(),
+            });
+        }
+        self.allocs_at_last_gc = Some(allocs_now);
+        // Any live parked task can stand for the trigger (no operands are
+        // pending: blocked allocations re-execute after the collection).
+        let i = (0..self.tasks.len())
+            .find(|i| !self.done[*i])
+            .expect("at least one live task requested the collection");
+        let thread = self.tasks[i];
+        self.vm.set_current_thread(thread);
+        let site = self
+            .vm
+            .current_site()
+            .expect("parked tasks sit at call/alloc sites");
+        self.vm.collect_parked(site);
+        self.report_events += 1;
+        self.report_total_latency += self.latency;
+        self.report_max_latency = self.report_max_latency.max(self.latency);
+        self.latency = 0;
+        self.gc_pending = false;
+        for p in self.parked.iter_mut() {
+            *p = false;
+        }
+        for t in &self.tasks {
+            self.vm.unpark_thread(*t);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_ir::lower;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    fn compile(src: &str) -> IrProgram {
+        lower(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap()
+    }
+
+    const WORKLOAD: &str = "
+        fun build n = if n = 0 then [] else n :: build (n - 1) ;
+        fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+        fun worker n = if n = 0 then 0 else (sum (build 20) + worker (n - 1)) - sum (build 20) ;
+        fun spin n = if n = 0 then 0 else (let val x = n * n in spin (n - 1) end) ;
+        0";
+
+    fn entries(prog: &IrProgram, names: &[(&str, i64)]) -> Vec<(FnId, i64)> {
+        names
+            .iter()
+            .map(|(n, a)| (find_fn(prog, n).unwrap_or_else(|| panic!("no fn {n}")), *a))
+            .collect()
+    }
+
+    #[test]
+    fn two_allocating_tasks_share_the_heap() {
+        let prog = compile(WORKLOAD);
+        let es = entries(&prog, &[("worker", 30), ("worker", 30)]);
+        for strategy in Strategy::ALL {
+            let mut cfg = TaskConfig::new(strategy);
+            // The no-liveness strategies retain each frame's dead lists,
+            // so they need headroom.
+            cfg.heap_words = 1 << 12;
+            let report = run_tasks(&prog, &es, cfg).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            assert_eq!(report.results, vec!["0", "0"], "{strategy}");
+            assert!(report.suspension_events > 0, "{strategy}: no collections");
+        }
+    }
+
+    #[test]
+    fn policies_agree_on_results() {
+        let prog = compile(WORKLOAD);
+        let es = entries(&prog, &[("worker", 20), ("worker", 25), ("worker", 15)]);
+        let mut baseline: Option<Vec<String>> = None;
+        for policy in [
+            SuspendPolicy::AllocationOnly,
+            SuspendPolicy::EveryCall,
+            SuspendPolicy::EveryCallRgc,
+        ] {
+            let mut cfg = TaskConfig::new(Strategy::Compiled);
+            cfg.heap_words = 1 << 11;
+            cfg.policy = policy;
+            let report = run_tasks(&prog, &es, cfg).unwrap_or_else(|e| panic!("{policy}: {e}"));
+            match &baseline {
+                None => baseline = Some(report.results.clone()),
+                Some(b) => assert_eq!(&report.results, b, "{policy}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_call_pays_checks_rgc_does_not() {
+        let prog = compile(WORKLOAD);
+        let es = entries(&prog, &[("worker", 20), ("worker", 20)]);
+        let mut every = TaskConfig::new(Strategy::Compiled);
+        every.heap_words = 1 << 11;
+        every.policy = SuspendPolicy::EveryCall;
+        let r_every = run_tasks(&prog, &es, every).unwrap();
+
+        let mut rgc = TaskConfig::new(Strategy::Compiled);
+        rgc.heap_words = 1 << 11;
+        rgc.policy = SuspendPolicy::EveryCallRgc;
+        let r_rgc = run_tasks(&prog, &es, rgc).unwrap();
+
+        assert!(r_every.suspension_checks > 0);
+        assert_eq!(r_rgc.suspension_checks, 0);
+        assert_eq!(r_every.results, r_rgc.results);
+    }
+
+    #[test]
+    fn alloc_only_has_higher_latency_than_every_call() {
+        // One allocating worker plus one compute-heavy spinner that calls
+        // but rarely allocates: under alloc-only the spinner keeps
+        // running after exhaustion; under every-call it parks at its next
+        // call.
+        let prog = compile(WORKLOAD);
+        let es = entries(&prog, &[("worker", 40), ("spin", 3000)]);
+        let mk = |policy| {
+            let mut cfg = TaskConfig::new(Strategy::Compiled);
+            cfg.heap_words = 1 << 11;
+            cfg.policy = policy;
+            cfg.quantum = 32;
+            cfg
+        };
+        let alloc_only = run_tasks(&prog, &es, mk(SuspendPolicy::AllocationOnly)).unwrap();
+        let every_call = run_tasks(&prog, &es, mk(SuspendPolicy::EveryCall)).unwrap();
+        assert_eq!(alloc_only.results, every_call.results);
+        assert!(
+            alloc_only.suspension_events > 0 && every_call.suspension_events > 0,
+            "both policies must collect"
+        );
+        assert!(
+            alloc_only.max_suspension_latency >= every_call.max_suspension_latency,
+            "alloc-only {} < every-call {}",
+            alloc_only.max_suspension_latency,
+            every_call.max_suspension_latency
+        );
+    }
+
+    #[test]
+    fn tasks_see_globals() {
+        let prog = compile(
+            "val base = [100, 200] ;
+             fun hd xs = case xs of [] => 0 | x :: _ => x ;
+             fun taskf n = hd base + n ;
+             0",
+        );
+        let es = entries(&prog, &[("taskf", 1), ("taskf", 2)]);
+        let report = run_tasks(&prog, &es, TaskConfig::new(Strategy::Compiled)).unwrap();
+        assert_eq!(report.results, vec!["101", "102"]);
+    }
+
+    #[test]
+    fn many_tasks_interleave_prints_deterministically() {
+        let prog = compile(
+            "fun chatty n = if n = 0 then 0 else (print n; chatty (n - 1)) ;
+             0",
+        );
+        let es = entries(&prog, &[("chatty", 3), ("chatty", 3)]);
+        let a = run_tasks(&prog, &es, TaskConfig::new(Strategy::Compiled)).unwrap();
+        let b = run_tasks(&prog, &es, TaskConfig::new(Strategy::Compiled)).unwrap();
+        assert_eq!(a.printed, b.printed, "scheduler must be deterministic");
+        let mut sorted = a.printed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn shared_heap_structures_survive_collections() {
+        let prog = compile(
+            "val keep = [1, 2, 3, 4, 5] ;
+             fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+             fun build n = if n = 0 then [] else n :: build (n - 1) ;
+             fun churner n = if n = 0 then sum keep else (churner (n - 1); (build 15; sum keep)) ;
+             0",
+        );
+        let es = entries(&prog, &[("churner", 40), ("churner", 40)]);
+        for strategy in Strategy::ALL {
+            let mut cfg = TaskConfig::new(strategy);
+            cfg.heap_words = 1 << 11;
+            let report = run_tasks(&prog, &es, cfg).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            assert_eq!(report.results, vec!["15", "15"], "{strategy}");
+            assert!(report.suspension_events > 0, "{strategy}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Datatype (variant record) definitions.
+//!
+//! Goldberg §2.3: variant records are traced by testing the discriminant at
+//! GC time. A [`DataDef`] is the compile-time description the generated
+//! routines consult: each constructor's field types are expressed over the
+//! datatype's own generic parameters.
+
+use crate::ty::{DataId, ParamId, SchemeId, Type, CONS_TAG, LIST_DATA, NIL_TAG};
+use std::collections::HashMap;
+
+/// Scheme id space reserved for datatype parameters. Datatype `DataId(d)`
+/// uses `SchemeId(DATA_SCHEME_BASE + d)`; the elaborator allocates binder
+/// scheme ids below this.
+pub const DATA_SCHEME_BASE: u32 = 1 << 30;
+
+/// The [`SchemeId`] owning the generic parameters of datatype `d`.
+pub fn data_scheme(d: DataId) -> SchemeId {
+    SchemeId(DATA_SCHEME_BASE + d.0)
+}
+
+/// The `index`-th generic parameter of datatype `d`.
+pub fn data_param(d: DataId, index: u32) -> Type {
+    Type::Param(ParamId {
+        scheme: data_scheme(d),
+        index,
+    })
+}
+
+/// One constructor of a datatype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtorDef {
+    /// Surface name, e.g. `Cons`.
+    pub name: String,
+    /// Discriminant value stored in the heap object's first word.
+    pub tag: u32,
+    /// Field types, expressed over [`data_param`]s of the owning datatype.
+    pub fields: Vec<Type>,
+}
+
+/// A datatype definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataDef {
+    pub name: String,
+    /// Number of generic parameters.
+    pub arity: u32,
+    pub ctors: Vec<CtorDef>,
+}
+
+impl DataDef {
+    /// Field types of constructor `tag` instantiated at `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is out of range or `args.len() != arity`.
+    pub fn fields_at(&self, data: DataId, tag: u32, args: &[Type]) -> Vec<Type> {
+        assert_eq!(args.len() as u32, self.arity, "datatype arity mismatch");
+        let scheme = data_scheme(data);
+        self.ctors[tag as usize]
+            .fields
+            .iter()
+            .map(|t| {
+                t.map_params(&mut |p| {
+                    if p.scheme == scheme {
+                        args[p.index as usize].clone()
+                    } else {
+                        Type::Param(p)
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// The registry of all datatypes in a program, plus a constructor-name
+/// index.
+#[derive(Debug, Clone)]
+pub struct DataEnv {
+    defs: Vec<DataDef>,
+    by_ctor: HashMap<String, (DataId, u32)>,
+    by_name: HashMap<String, DataId>,
+}
+
+impl DataEnv {
+    /// Creates an environment containing only the builtin `'a list`
+    /// datatype (`DataId(0)`, constructors `Nil`/`Cons`).
+    pub fn new() -> Self {
+        let mut env = DataEnv {
+            defs: Vec::new(),
+            by_ctor: HashMap::new(),
+            by_name: HashMap::new(),
+        };
+        let list = DataDef {
+            name: "list".to_string(),
+            arity: 1,
+            ctors: vec![
+                CtorDef {
+                    name: "Nil".to_string(),
+                    tag: NIL_TAG,
+                    fields: Vec::new(),
+                },
+                CtorDef {
+                    name: "Cons".to_string(),
+                    tag: CONS_TAG,
+                    fields: vec![
+                        data_param(LIST_DATA, 0),
+                        Type::Data(LIST_DATA, vec![data_param(LIST_DATA, 0)]),
+                    ],
+                },
+            ],
+        };
+        let id = env.insert(list);
+        debug_assert_eq!(id, LIST_DATA);
+        env
+    }
+
+    /// Registers a datatype, indexing its constructors. Returns its id.
+    pub fn insert(&mut self, def: DataDef) -> DataId {
+        let id = DataId(self.defs.len() as u32);
+        for c in &def.ctors {
+            self.by_ctor.insert(c.name.clone(), (id, c.tag));
+        }
+        self.by_name.insert(def.name.clone(), id);
+        self.defs.push(def);
+        id
+    }
+
+    /// Replaces the constructors of `id`, indexing their names (used for
+    /// mutually recursive datatype registration: ids are allocated first,
+    /// then field types are filled in).
+    pub fn set_ctors(&mut self, id: DataId, ctors: Vec<CtorDef>) {
+        for c in &ctors {
+            self.by_ctor.insert(c.name.clone(), (id, c.tag));
+        }
+        self.defs[id.0 as usize].ctors = ctors;
+    }
+
+    /// The definition of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this environment.
+    pub fn def(&self, id: DataId) -> &DataDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Looks up a constructor by surface name.
+    pub fn ctor(&self, name: &str) -> Option<(DataId, u32)> {
+        self.by_ctor.get(name).copied()
+    }
+
+    /// Looks up a datatype by surface name.
+    pub fn data_by_name(&self, name: &str) -> Option<DataId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered datatypes.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Always false: the builtin list is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over `(DataId, &DataDef)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DataId, &DataDef)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DataId(i as u32), d))
+    }
+}
+
+impl Default for DataEnv {
+    fn default() -> Self {
+        DataEnv::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_list_is_data_zero() {
+        let env = DataEnv::new();
+        assert_eq!(env.ctor("Nil"), Some((LIST_DATA, NIL_TAG)));
+        assert_eq!(env.ctor("Cons"), Some((LIST_DATA, CONS_TAG)));
+        assert_eq!(env.def(LIST_DATA).arity, 1);
+    }
+
+    #[test]
+    fn fields_at_instantiates_params() {
+        let env = DataEnv::new();
+        let fields = env
+            .def(LIST_DATA)
+            .fields_at(LIST_DATA, CONS_TAG, &[Type::Int]);
+        assert_eq!(fields, vec![Type::Int, Type::list(Type::Int)]);
+    }
+
+    #[test]
+    fn user_datatype_roundtrip() {
+        let mut env = DataEnv::new();
+        let tree = DataDef {
+            name: "tree".into(),
+            arity: 1,
+            ctors: vec![
+                CtorDef {
+                    name: "Leaf".into(),
+                    tag: 0,
+                    fields: vec![],
+                },
+                CtorDef {
+                    name: "Node".into(),
+                    tag: 1,
+                    fields: vec![data_param(DataId(1), 0)],
+                },
+            ],
+        };
+        let id = env.insert(tree);
+        assert_eq!(id, DataId(1));
+        assert_eq!(env.ctor("Node"), Some((id, 1)));
+        assert_eq!(env.data_by_name("tree"), Some(id));
+        let fs = env.def(id).fields_at(id, 1, &[Type::Bool]);
+        assert_eq!(fs, vec![Type::Bool]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Type-checking errors.
+
+use std::fmt;
+use tfgc_syntax::Span;
+
+/// An error produced during type inference or elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    pub span: Span,
+    pub message: String,
+}
+
+impl TypeError {
+    /// Creates a new error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        TypeError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with line/column information from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("type error at {line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Result alias for inference functions.
+pub type TypeResult<T> = Result<T, TypeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        let e = TypeError::new(Span::new(1, 2), "mismatch");
+        assert!(e.to_string().contains("mismatch"));
+        assert_eq!(e.render("abc"), "type error at 1:2: mismatch");
+    }
+}

@@ -1,0 +1,68 @@
+//! Monomorphism check.
+//!
+//! Goldberg's §2 algorithm is defined for monomorphically typed programs;
+//! §3 extends it to polymorphism. [`is_monomorphic`] classifies an
+//! elaborated program so the driver can select the §2 (ground frame
+//! routines) or §3 (parameterized frame routines) metadata generator, and
+//! so experiments can be restricted to the monomorphic subset.
+
+use crate::tast::{TExpr, TProgram};
+
+/// True when no binding in the program generalized any type variable,
+/// i.e. every frame slot type is ground and §2's collector suffices.
+pub fn is_monomorphic(p: &TProgram) -> bool {
+    if p.funs.iter().any(|f| f.scheme.num_params > 0) {
+        return false;
+    }
+    if p.globals.iter().any(|g| g.scheme.num_params > 0) {
+        return false;
+    }
+    p.funs.iter().all(|f| expr_mono(&f.body))
+        && p.globals.iter().all(|g| expr_mono(&g.init))
+        && expr_mono(&p.main)
+}
+
+fn expr_mono(e: &TExpr) -> bool {
+    use crate::tast::{TExprKind, TLetBind};
+    if !e.ty.is_ground() {
+        return false;
+    }
+    match &e.kind {
+        TExprKind::Let { binds, body } => {
+            for b in binds {
+                match b {
+                    TLetBind::Val { rhs, scheme, .. } => {
+                        if scheme.as_ref().is_some_and(|s| s.num_params > 0) {
+                            return false;
+                        }
+                        if !expr_mono(rhs) {
+                            return false;
+                        }
+                    }
+                    TLetBind::Fun(funs) => {
+                        for f in funs {
+                            if f.scheme.num_params > 0 || !expr_mono(&f.body) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+            expr_mono(body)
+        }
+        TExprKind::Tuple(es) | TExprKind::Ctor { args: es, .. } => es.iter().all(expr_mono),
+        TExprKind::Proj { tuple, .. } => expr_mono(tuple),
+        TExprKind::App { f, arg } => expr_mono(f) && expr_mono(arg),
+        TExprKind::BinOp { lhs, rhs, .. } => expr_mono(lhs) && expr_mono(rhs),
+        TExprKind::UnOp { operand, .. } => expr_mono(operand),
+        TExprKind::If { cond, then, els } => {
+            expr_mono(cond) && expr_mono(then) && expr_mono(els)
+        }
+        TExprKind::Case { scrut, arms } => {
+            expr_mono(scrut) && arms.iter().all(|a| expr_mono(&a.body))
+        }
+        TExprKind::Lambda { body, .. } => expr_mono(body),
+        TExprKind::Seq(a, b) => expr_mono(a) && expr_mono(b),
+        _ => true,
+    }
+}

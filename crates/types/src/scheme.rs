@@ -1,0 +1,97 @@
+//! Type schemes (polymorphic types).
+
+use crate::ty::{ParamId, SchemeId, Type};
+use crate::unify::InferCtx;
+
+/// A (possibly) polymorphic type: `num_params` generic parameters owned by
+/// binder `id`, quantified over `ty` (which mentions them as
+/// [`Type::Param`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheme {
+    pub id: SchemeId,
+    pub num_params: u32,
+    pub ty: Type,
+}
+
+impl Scheme {
+    /// A monomorphic scheme (no quantified parameters).
+    pub fn mono(id: SchemeId, ty: Type) -> Self {
+        Scheme {
+            id,
+            num_params: 0,
+            ty,
+        }
+    }
+
+    /// Instantiates the scheme with fresh unification variables.
+    ///
+    /// Returns the instantiated type and the per-parameter instantiation
+    /// vector (recorded at each use site; after final zonking this is the
+    /// static type substitution θ that Goldberg's polymorphic frame
+    /// routines evaluate at GC time).
+    pub fn instantiate(&self, cx: &mut InferCtx) -> (Type, Vec<Type>) {
+        let inst: Vec<Type> = (0..self.num_params).map(|_| cx.fresh()).collect();
+        let scheme_id = self.id;
+        let ty = self.ty.map_params(&mut |p: ParamId| {
+            if p.scheme == scheme_id {
+                inst[p.index as usize].clone()
+            } else {
+                Type::Param(p)
+            }
+        });
+        (ty, inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TvId;
+
+    #[test]
+    fn mono_instantiates_to_itself() {
+        let mut cx = InferCtx::new();
+        let s = Scheme::mono(SchemeId(1), Type::arrow(Type::Int, Type::Int));
+        let (t, inst) = s.instantiate(&mut cx);
+        assert_eq!(t, Type::arrow(Type::Int, Type::Int));
+        assert!(inst.is_empty());
+    }
+
+    #[test]
+    fn poly_gets_fresh_vars() {
+        let mut cx = InferCtx::new();
+        let id = SchemeId(3);
+        let p0 = Type::Param(ParamId {
+            scheme: id,
+            index: 0,
+        });
+        let s = Scheme {
+            id,
+            num_params: 1,
+            ty: Type::arrow(p0.clone(), Type::list(p0)),
+        };
+        let (t, inst) = s.instantiate(&mut cx);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0], Type::Var(TvId(0)));
+        assert_eq!(
+            t,
+            Type::arrow(Type::Var(TvId(0)), Type::list(Type::Var(TvId(0))))
+        );
+    }
+
+    #[test]
+    fn foreign_params_pass_through() {
+        let mut cx = InferCtx::new();
+        let outer = Type::Param(ParamId {
+            scheme: SchemeId(9),
+            index: 0,
+        });
+        let s = Scheme {
+            id: SchemeId(3),
+            num_params: 0,
+            ty: outer.clone(),
+        };
+        let (t, _) = s.instantiate(&mut cx);
+        assert_eq!(t, outer);
+    }
+}

@@ -1,0 +1,404 @@
+//! Typed abstract syntax (the elaborator's output).
+//!
+//! Every node carries its (zonked) [`Type`]. Uses of polymorphic bindings
+//! carry their instantiation vector — for a use inside function `f`, the
+//! instantiation is expressed over `f`'s own generic parameters, which is
+//! exactly the static substitution θ that the polymorphic collector (§3)
+//! evaluates when building the callee's type_gc_routine environment.
+
+use crate::datatypes::DataEnv;
+use crate::scheme::Scheme;
+use crate::ty::{DataId, Type};
+use tfgc_syntax::{BinOp, Span, UnOp};
+
+/// How a variable occurrence resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// A function parameter or `val`-bound local (a frame slot).
+    Local,
+    /// A top-level `val` binding (a global).
+    Global,
+    /// A top-level `fun`.
+    TopFun,
+    /// A `let fun`-bound function (lambda-lifted during lowering).
+    LetFun,
+    /// A builtin such as `print`.
+    Builtin,
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TExpr {
+    pub kind: TExprKind,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// The shape of a typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExprKind {
+    Int(i64),
+    Bool(bool),
+    Unit,
+    /// A variable use. `inst` is `None` only transiently during inference
+    /// (monomorphic recursive uses); elaboration replaces it with the
+    /// identity instantiation.
+    Var {
+        name: String,
+        kind: VarKind,
+        inst: Option<Vec<Type>>,
+    },
+    Tuple(Vec<TExpr>),
+    /// Fully applied constructor with flattened fields (`x :: xs` is
+    /// `Ctor { data: list, tag: Cons, args: [x, xs] }`).
+    Ctor {
+        data: DataId,
+        tag: u32,
+        args: Vec<TExpr>,
+    },
+    /// Tuple projection (introduced when adapting constructor arities).
+    Proj { tuple: Box<TExpr>, index: u32 },
+    App { f: Box<TExpr>, arg: Box<TExpr> },
+    BinOp {
+        op: BinOp,
+        lhs: Box<TExpr>,
+        rhs: Box<TExpr>,
+    },
+    UnOp { op: UnOp, operand: Box<TExpr> },
+    If {
+        cond: Box<TExpr>,
+        then: Box<TExpr>,
+        els: Box<TExpr>,
+    },
+    Case {
+        scrut: Box<TExpr>,
+        arms: Vec<TArm>,
+    },
+    Let {
+        binds: Vec<TLetBind>,
+        body: Box<TExpr>,
+    },
+    Lambda {
+        param: String,
+        param_ty: Type,
+        body: Box<TExpr>,
+    },
+    Seq(Box<TExpr>, Box<TExpr>),
+}
+
+/// One typed `case` arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TArm {
+    pub pat: TPat,
+    pub body: TExpr,
+}
+
+/// A typed `let` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TLetBind {
+    /// `val p = e`. `scheme` is present when the binding generalized (the
+    /// pattern is then a single variable).
+    Val {
+        pat: TPat,
+        rhs: TExpr,
+        scheme: Option<Scheme>,
+    },
+    /// A mutually recursive `fun` group.
+    Fun(Vec<TFun>),
+}
+
+/// A typed function (top-level or `let fun`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TFun {
+    pub name: String,
+    /// The binder that owns this function's generic parameters.
+    pub scheme: Scheme,
+    pub params: Vec<(String, Type)>,
+    pub ret: Type,
+    pub body: TExpr,
+    pub span: Span,
+}
+
+/// A typed pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TPat {
+    pub kind: TPatKind,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// The shape of a typed pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TPatKind {
+    Wild,
+    Var(String),
+    Int(i64),
+    Bool(bool),
+    Unit,
+    Tuple(Vec<TPat>),
+    /// Constructor pattern with flattened sub-patterns (one per field).
+    Ctor {
+        data: DataId,
+        tag: u32,
+        args: Vec<TPat>,
+    },
+}
+
+/// A top-level `val` binding (a global variable; Goldberg §1.1: the GC
+/// routine for a global is known statically, no table required).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TGlobal {
+    pub name: String,
+    pub scheme: Scheme,
+    pub init: TExpr,
+    pub span: Span,
+}
+
+/// A fully elaborated program.
+#[derive(Debug, Clone)]
+pub struct TProgram {
+    pub data_env: DataEnv,
+    pub funs: Vec<TFun>,
+    pub globals: Vec<TGlobal>,
+    pub main: TExpr,
+}
+
+impl TExpr {
+    /// Applies `f` to every type stored in this subtree (node types,
+    /// instantiation vectors, parameter/pattern types, nested schemes).
+    pub fn map_types_mut(&mut self, f: &mut impl FnMut(&mut Type)) {
+        f(&mut self.ty);
+        match &mut self.kind {
+            TExprKind::Int(_) | TExprKind::Bool(_) | TExprKind::Unit => {}
+            TExprKind::Var { inst, .. } => {
+                if let Some(ts) = inst {
+                    for t in ts {
+                        f(t);
+                    }
+                }
+            }
+            TExprKind::Tuple(es) | TExprKind::Ctor { args: es, .. } => {
+                for e in es {
+                    e.map_types_mut(f);
+                }
+            }
+            TExprKind::Proj { tuple, .. } => tuple.map_types_mut(f),
+            TExprKind::App { f: fun, arg } => {
+                fun.map_types_mut(f);
+                arg.map_types_mut(f);
+            }
+            TExprKind::BinOp { lhs, rhs, .. } => {
+                lhs.map_types_mut(f);
+                rhs.map_types_mut(f);
+            }
+            TExprKind::UnOp { operand, .. } => operand.map_types_mut(f),
+            TExprKind::If { cond, then, els } => {
+                cond.map_types_mut(f);
+                then.map_types_mut(f);
+                els.map_types_mut(f);
+            }
+            TExprKind::Case { scrut, arms } => {
+                scrut.map_types_mut(f);
+                for arm in arms {
+                    arm.pat.map_types_mut(f);
+                    arm.body.map_types_mut(f);
+                }
+            }
+            TExprKind::Let { binds, body } => {
+                for b in binds {
+                    match b {
+                        TLetBind::Val { pat, rhs, scheme } => {
+                            pat.map_types_mut(f);
+                            rhs.map_types_mut(f);
+                            if let Some(s) = scheme {
+                                f(&mut s.ty);
+                            }
+                        }
+                        TLetBind::Fun(funs) => {
+                            for tf in funs {
+                                tf.map_types_mut(f);
+                            }
+                        }
+                    }
+                }
+                body.map_types_mut(f);
+            }
+            TExprKind::Lambda { param_ty, body, .. } => {
+                f(param_ty);
+                body.map_types_mut(f);
+            }
+            TExprKind::Seq(a, b) => {
+                a.map_types_mut(f);
+                b.map_types_mut(f);
+            }
+        }
+    }
+
+    /// Applies `g` to every `Var` node in this subtree.
+    pub fn visit_vars_mut(
+        &mut self,
+        g: &mut impl FnMut(&str, &mut VarKind, &mut Option<Vec<Type>>),
+    ) {
+        match &mut self.kind {
+            TExprKind::Var { name, kind, inst } => g(name, kind, inst),
+            TExprKind::Int(_) | TExprKind::Bool(_) | TExprKind::Unit => {}
+            TExprKind::Tuple(es) | TExprKind::Ctor { args: es, .. } => {
+                for e in es {
+                    e.visit_vars_mut(g);
+                }
+            }
+            TExprKind::Proj { tuple, .. } => tuple.visit_vars_mut(g),
+            TExprKind::App { f, arg } => {
+                f.visit_vars_mut(g);
+                arg.visit_vars_mut(g);
+            }
+            TExprKind::BinOp { lhs, rhs, .. } => {
+                lhs.visit_vars_mut(g);
+                rhs.visit_vars_mut(g);
+            }
+            TExprKind::UnOp { operand, .. } => operand.visit_vars_mut(g),
+            TExprKind::If { cond, then, els } => {
+                cond.visit_vars_mut(g);
+                then.visit_vars_mut(g);
+                els.visit_vars_mut(g);
+            }
+            TExprKind::Case { scrut, arms } => {
+                scrut.visit_vars_mut(g);
+                for arm in arms {
+                    arm.body.visit_vars_mut(g);
+                }
+            }
+            TExprKind::Let { binds, body } => {
+                for b in binds {
+                    match b {
+                        TLetBind::Val { rhs, .. } => rhs.visit_vars_mut(g),
+                        TLetBind::Fun(funs) => {
+                            for tf in funs {
+                                tf.body.visit_vars_mut(g);
+                            }
+                        }
+                    }
+                }
+                body.visit_vars_mut(g);
+            }
+            TExprKind::Lambda { body, .. } => body.visit_vars_mut(g),
+            TExprKind::Seq(a, b) => {
+                a.visit_vars_mut(g);
+                b.visit_vars_mut(g);
+            }
+        }
+    }
+}
+
+impl TPat {
+    /// Applies `f` to every type in the pattern.
+    pub fn map_types_mut(&mut self, f: &mut impl FnMut(&mut Type)) {
+        f(&mut self.ty);
+        match &mut self.kind {
+            TPatKind::Tuple(ps) | TPatKind::Ctor { args: ps, .. } => {
+                for p in ps {
+                    p.map_types_mut(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Variables bound by the pattern, with their types, left to right.
+    pub fn bindings(&self) -> Vec<(&str, &Type)> {
+        let mut out = Vec::new();
+        self.collect_bindings(&mut out);
+        out
+    }
+
+    fn collect_bindings<'p>(&'p self, out: &mut Vec<(&'p str, &'p Type)>) {
+        match &self.kind {
+            TPatKind::Var(v) => out.push((v, &self.ty)),
+            TPatKind::Tuple(ps) | TPatKind::Ctor { args: ps, .. } => {
+                for p in ps {
+                    p.collect_bindings(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl TFun {
+    /// Applies `f` to every type in the function (signature and body).
+    pub fn map_types_mut(&mut self, f: &mut impl FnMut(&mut Type)) {
+        for (_, t) in &mut self.params {
+            f(t);
+        }
+        f(&mut self.ret);
+        f(&mut self.scheme.ty);
+        self.body.map_types_mut(f);
+    }
+
+    /// The function's curried arrow type.
+    pub fn arrow_ty(&self) -> Type {
+        Type::arrow_n(self.params.iter().map(|(_, t)| t.clone()), self.ret.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TvId;
+
+    fn e(kind: TExprKind, ty: Type) -> TExpr {
+        TExpr {
+            kind,
+            ty,
+            span: Span::SYNTH,
+        }
+    }
+
+    #[test]
+    fn map_types_reaches_inst() {
+        let mut x = e(
+            TExprKind::Var {
+                name: "f".into(),
+                kind: VarKind::TopFun,
+                inst: Some(vec![Type::Var(TvId(4))]),
+            },
+            Type::Var(TvId(4)),
+        );
+        let mut count = 0;
+        x.map_types_mut(&mut |t| {
+            if matches!(t, Type::Var(_)) {
+                *t = Type::Int;
+                count += 1;
+            }
+        });
+        assert_eq!(count, 2);
+        match x.kind {
+            TExprKind::Var { inst: Some(ts), .. } => assert_eq!(ts, vec![Type::Int]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pattern_bindings_in_order() {
+        let p = TPat {
+            kind: TPatKind::Tuple(vec![
+                TPat {
+                    kind: TPatKind::Var("a".into()),
+                    ty: Type::Int,
+                    span: Span::SYNTH,
+                },
+                TPat {
+                    kind: TPatKind::Var("b".into()),
+                    ty: Type::Bool,
+                    span: Span::SYNTH,
+                },
+            ]),
+            ty: Type::Tuple(vec![Type::Int, Type::Bool]),
+            span: Span::SYNTH,
+        };
+        let bs = p.bindings();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].0, "a");
+        assert_eq!(*bs[1].1, Type::Bool);
+    }
+}

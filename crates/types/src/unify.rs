@@ -1,0 +1,172 @@
+//! Unification engine.
+
+use crate::error::{TypeError, TypeResult};
+use crate::ty::{TvId, Type};
+use tfgc_syntax::Span;
+
+/// Inference context: allocates unification variables and maintains the
+/// global substitution.
+#[derive(Debug, Default)]
+pub struct InferCtx {
+    bindings: Vec<Option<Type>>,
+}
+
+impl InferCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        InferCtx::default()
+    }
+
+    /// Allocates a fresh unification variable.
+    pub fn fresh(&mut self) -> Type {
+        let id = TvId(self.bindings.len() as u32);
+        self.bindings.push(None);
+        Type::Var(id)
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Follows bindings until the head of `t` is not a bound variable.
+    pub fn shallow_resolve(&self, t: &Type) -> Type {
+        let mut cur = t.clone();
+        while let Type::Var(v) = cur {
+            match &self.bindings[v.0 as usize] {
+                Some(bound) => cur = bound.clone(),
+                None => return Type::Var(v),
+            }
+        }
+        cur
+    }
+
+    /// Fully applies the substitution to `t`.
+    pub fn zonk(&self, t: &Type) -> Type {
+        match self.shallow_resolve(t) {
+            Type::Tuple(ts) => Type::Tuple(ts.iter().map(|t| self.zonk(t)).collect()),
+            Type::Data(d, ts) => Type::Data(d, ts.iter().map(|t| self.zonk(t)).collect()),
+            Type::Arrow(a, b) => Type::arrow(self.zonk(&a), self.zonk(&b)),
+            leaf => leaf,
+        }
+    }
+
+    fn occurs(&self, v: TvId, t: &Type) -> bool {
+        match self.shallow_resolve(t) {
+            Type::Var(w) => v == w,
+            Type::Tuple(ts) | Type::Data(_, ts) => ts.iter().any(|t| self.occurs(v, t)),
+            Type::Arrow(a, b) => self.occurs(v, &a) || self.occurs(v, &b),
+            _ => false,
+        }
+    }
+
+    /// Unifies `a` with `b`, extending the substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] at `span` on constructor clash, arity
+    /// mismatch, or occurs-check failure.
+    pub fn unify(&mut self, a: &Type, b: &Type, span: Span) -> TypeResult<()> {
+        let a = self.shallow_resolve(a);
+        let b = self.shallow_resolve(b);
+        match (&a, &b) {
+            (Type::Var(v), Type::Var(w)) if v == w => Ok(()),
+            (Type::Var(v), other) | (other, Type::Var(v)) => {
+                if self.occurs(*v, other) {
+                    return Err(TypeError::new(
+                        span,
+                        format!("occurs check: cannot construct infinite type ?{} = {other}", v.0),
+                    ));
+                }
+                self.bindings[v.0 as usize] = Some(other.clone());
+                Ok(())
+            }
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) | (Type::Unit, Type::Unit) => Ok(()),
+            (Type::Param(p), Type::Param(q)) if p == q => Ok(()),
+            (Type::Tuple(xs), Type::Tuple(ys)) if xs.len() == ys.len() => {
+                for (x, y) in xs.iter().zip(ys) {
+                    self.unify(x, y, span)?;
+                }
+                Ok(())
+            }
+            (Type::Arrow(a1, r1), Type::Arrow(a2, r2)) => {
+                self.unify(a1, a2, span)?;
+                self.unify(r1, r2, span)
+            }
+            (Type::Data(d1, xs), Type::Data(d2, ys)) if d1 == d2 && xs.len() == ys.len() => {
+                for (x, y) in xs.iter().zip(ys) {
+                    self.unify(x, y, span)?;
+                }
+                Ok(())
+            }
+            _ => Err(TypeError::new(
+                span,
+                format!("type mismatch: expected {a}, found {b}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_syntax::Span;
+
+    const S: Span = Span::SYNTH;
+
+    #[test]
+    fn unify_var_binds() {
+        let mut cx = InferCtx::new();
+        let v = cx.fresh();
+        cx.unify(&v, &Type::Int, S).unwrap();
+        assert_eq!(cx.zonk(&v), Type::Int);
+    }
+
+    #[test]
+    fn unify_through_chains() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        let b = cx.fresh();
+        cx.unify(&a, &b, S).unwrap();
+        cx.unify(&b, &Type::Bool, S).unwrap();
+        assert_eq!(cx.zonk(&a), Type::Bool);
+    }
+
+    #[test]
+    fn unify_structural() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        let t1 = Type::list(a.clone());
+        let t2 = Type::list(Type::Int);
+        cx.unify(&t1, &t2, S).unwrap();
+        assert_eq!(cx.zonk(&a), Type::Int);
+    }
+
+    #[test]
+    fn occurs_check_fails() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        let t = Type::list(a.clone());
+        assert!(cx.unify(&a, &t, S).is_err());
+    }
+
+    #[test]
+    fn mismatch_reports_zonked_types() {
+        let mut cx = InferCtx::new();
+        let err = cx.unify(&Type::Int, &Type::Bool, S).unwrap_err();
+        assert!(err.message.contains("int"));
+        assert!(err.message.contains("bool"));
+    }
+
+    #[test]
+    fn arrow_unification() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        let b = cx.fresh();
+        let f1 = Type::arrow(a.clone(), b.clone());
+        let f2 = Type::arrow(Type::Int, Type::Bool);
+        cx.unify(&f1, &f2, S).unwrap();
+        assert_eq!(cx.zonk(&a), Type::Int);
+        assert_eq!(cx.zonk(&b), Type::Bool);
+    }
+}

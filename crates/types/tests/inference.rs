@@ -1,0 +1,231 @@
+//! Inference corner cases beyond the unit tests.
+
+use tfgc_syntax::parse_program;
+use tfgc_types::{elaborate, is_monomorphic, TExprKind, TProgram, Type};
+
+fn typed(src: &str) -> TProgram {
+    elaborate(&parse_program(src).expect("parse")).expect("elaborate")
+}
+
+fn typed_err(src: &str) -> String {
+    elaborate(&parse_program(src).expect("parse"))
+        .expect_err("expected type error")
+        .message
+}
+
+#[test]
+fn shadowing_resolves_to_innermost() {
+    let p = typed("let val x = 1 in let val x = true in (x, 1) end end");
+    assert_eq!(p.main.ty, Type::Tuple(vec![Type::Bool, Type::Int]));
+}
+
+#[test]
+fn curried_partial_application_types() {
+    let p = typed("fun add3 a b c = a + b + c ; add3 1 2");
+    assert_eq!(p.main.ty, Type::arrow(Type::Int, Type::Int));
+}
+
+#[test]
+fn polymorphic_compose() {
+    let p = typed(
+        "fun compose f g x = f (g x) ;
+         compose (fn n => n + 1) (fn b => if b then 1 else 0) true",
+    );
+    assert_eq!(p.funs[0].scheme.num_params, 3);
+    assert_eq!(p.main.ty, Type::Int);
+}
+
+#[test]
+fn nested_generalization_is_independent() {
+    // inner's scheme must not capture outer's parameter.
+    let p = typed(
+        "fun outer x =
+           let fun inner y = y in (inner x, inner 1, inner true) end ;
+         outer [1]",
+    );
+    let outer = &p.funs[0];
+    assert_eq!(outer.scheme.num_params, 1);
+}
+
+#[test]
+fn mutual_recursion_shares_quantified_vars() {
+    let p = typed(
+        "fun f xs = case xs of [] => 0 | _ :: t => g t
+         and g xs = case xs of [] => 1 | _ :: t => f t ;
+         f [true, false]",
+    );
+    assert_eq!(p.funs[0].scheme.num_params, 1);
+    assert_eq!(p.funs[1].scheme.num_params, 1);
+    assert_eq!(p.main.ty, Type::Int);
+}
+
+#[test]
+fn annotation_can_restrict_polymorphism() {
+    let poly = typed("fun id x = x ; id");
+    assert_eq!(poly.funs[0].scheme.num_params, 1);
+    let mono = typed("fun id (x : int) = x ; id");
+    assert_eq!(mono.funs[0].scheme.num_params, 0);
+    assert!(is_monomorphic(&mono));
+}
+
+#[test]
+fn bool_equality_is_rejected() {
+    // `=` is integer-only in TFML (documented restriction).
+    let msg = typed_err("true = false");
+    assert!(msg.contains("mismatch"), "{msg}");
+}
+
+#[test]
+fn list_element_types_must_agree() {
+    let msg = typed_err("[1, true]");
+    assert!(msg.contains("mismatch"), "{msg}");
+}
+
+#[test]
+fn case_arms_must_agree() {
+    let msg = typed_err("case [1] of [] => 0 | x :: _ => true");
+    assert!(msg.contains("mismatch"), "{msg}");
+}
+
+#[test]
+fn scrutinee_must_match_patterns() {
+    let msg = typed_err("case 1 of [] => 0 | _ => 1");
+    assert!(msg.contains("mismatch"), "{msg}");
+}
+
+#[test]
+fn ctor_of_wrong_datatype_rejected() {
+    let msg = typed_err(
+        "datatype a = A of int ;
+         datatype b = B of int ;
+         case A 1 of B _ => 0",
+    );
+    assert!(msg.contains("mismatch"), "{msg}");
+}
+
+#[test]
+fn duplicate_top_level_names_rejected() {
+    let msg = typed_err("fun f x = x ; fun f y = y ; 0");
+    assert!(msg.contains("duplicate top-level"), "{msg}");
+    let msg2 = typed_err("val a = 1 ; val a = 2 ; a");
+    assert!(msg2.contains("duplicate top-level"), "{msg2}");
+}
+
+#[test]
+fn duplicate_datatype_rejected() {
+    let msg = typed_err("datatype t = A ; datatype t = B ; 0");
+    assert!(msg.contains("duplicate datatype"), "{msg}");
+}
+
+#[test]
+fn duplicate_ctor_rejected() {
+    let msg = typed_err("datatype t = A ; datatype u = A of int ; 0");
+    assert!(msg.contains("duplicate constructor"), "{msg}");
+}
+
+#[test]
+fn unknown_type_in_datatype_rejected() {
+    let msg = typed_err("datatype t = C of missing ; 0");
+    assert!(msg.contains("unknown type"), "{msg}");
+}
+
+#[test]
+fn unbound_tyvar_in_datatype_rejected() {
+    let msg = typed_err("datatype t = C of 'a ; 0");
+    assert!(msg.contains("unbound type variable"), "{msg}");
+}
+
+#[test]
+fn wrong_datatype_arity_in_annotation_rejected() {
+    let msg = typed_err(
+        "datatype 'a box = B of 'a ;
+         (B 1 : (int, bool) box)",
+    );
+    assert!(msg.contains("expects"), "{msg}");
+}
+
+#[test]
+fn instantiations_inside_polymorphic_bodies_use_params() {
+    // Inside `wrap`, the call to `pair` instantiates with wrap's own
+    // parameter — the θ the polymorphic collector evaluates.
+    let p = typed(
+        "fun pair x = (x, x) ;
+         fun wrap y = pair [y] ;
+         wrap 3",
+    );
+    let wrap = &p.funs[1];
+    let wrap_scheme = wrap.scheme.id;
+    let mut found = false;
+    let mut body = wrap.body.clone();
+    body.visit_vars_mut(&mut |name, _, inst| {
+        if name.starts_with("pair") {
+            let inst = inst.clone().expect("resolved");
+            match &inst[0] {
+                Type::Data(d, args) => {
+                    assert_eq!(*d, tfgc_types::LIST_DATA);
+                    match &args[0] {
+                        Type::Param(p) => assert_eq!(p.scheme, wrap_scheme),
+                        other => panic!("expected wrap's param, got {other}"),
+                    }
+                }
+                other => panic!("expected list instantiation, got {other}"),
+            }
+            found = true;
+        }
+    });
+    assert!(found, "call to pair present");
+}
+
+#[test]
+fn seq_discards_lhs_type() {
+    let p = typed("(print 1; true)");
+    assert_eq!(p.main.ty, Type::Bool);
+}
+
+#[test]
+fn large_tuple_types() {
+    let p = typed("(1, true, (), [1], (2, 3))");
+    match &p.main.ty {
+        Type::Tuple(ts) => assert_eq!(ts.len(), 5),
+        other => panic!("expected tuple, got {other}"),
+    }
+}
+
+#[test]
+fn main_never_contains_unification_vars() {
+    // Defaulting must scrub every leftover variable.
+    for src in [
+        "let val xs = [] in xs end",
+        "fun weird x = [] ; weird 1",
+        "(fn x => x) (fn y => y) 3",
+    ] {
+        let p = typed(src);
+        let mut ok = true;
+        fn scan(t: &Type, ok: &mut bool) {
+            match t {
+                Type::Var(_) => *ok = false,
+                Type::Tuple(ts) | Type::Data(_, ts) => ts.iter().for_each(|t| scan(t, ok)),
+                Type::Arrow(a, b) => {
+                    scan(a, ok);
+                    scan(b, ok);
+                }
+                _ => {}
+            }
+        }
+        scan(&p.main.ty, &mut ok);
+        assert!(ok, "{src}: leftover unification variable in {}", p.main.ty);
+    }
+}
+
+#[test]
+fn eta_expanded_ctor_in_main() {
+    let p = typed(
+        "datatype wrap = W of int * bool ;
+         fun map f xs = case xs of [] => [] | x :: r => f x :: map f r ;
+         map W [(1, true)]",
+    );
+    match &p.main.kind {
+        TExprKind::App { .. } => {}
+        other => panic!("expected application, got {other:?}"),
+    }
+}

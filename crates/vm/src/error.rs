@@ -1,0 +1,64 @@
+//! Virtual-machine errors.
+
+use std::fmt;
+
+/// A runtime error during TFML execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The heap is exhausted even after a collection.
+    OutOfMemory {
+        /// Words requested.
+        requested: usize,
+        /// Words live after the failed collection.
+        live: usize,
+    },
+    /// No `case` arm (or refutable binding) matched.
+    MatchFailure { function: String },
+    /// Integer division or modulo by zero.
+    DivideByZero { function: String },
+    /// The configured instruction budget was exhausted.
+    StepLimit { limit: u64 },
+    /// The activation-record stack exceeded its configured size.
+    StackOverflow { words: usize },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfMemory { requested, live } => write!(
+                f,
+                "out of memory: {requested} words requested, {live} live after collection"
+            ),
+            VmError::MatchFailure { function } => {
+                write!(f, "match failure in `{function}`")
+            }
+            VmError::DivideByZero { function } => {
+                write!(f, "division by zero in `{function}`")
+            }
+            VmError::StepLimit { limit } => write!(f, "instruction limit {limit} exhausted"),
+            VmError::StackOverflow { words } => {
+                write!(f, "stack overflow at {words} words")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result alias for VM operations.
+pub type VmResult<T> = Result<T, VmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VmError::OutOfMemory {
+            requested: 3,
+            live: 100,
+        };
+        assert!(e.to_string().contains("out of memory"));
+        assert!(VmError::StepLimit { limit: 7 }.to_string().contains('7'));
+    }
+}

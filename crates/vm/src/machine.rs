@@ -1,0 +1,786 @@
+//! The TFML virtual machine.
+//!
+//! Executes the bytecode of [`tfgc_ir`] over the heap of
+//! [`tfgc_runtime`], triggering the configured collector at allocation
+//! sites — and only there: "garbage collection can only be initiated by a
+//! call to a procedure that allocates memory" (§2.1). Activation records
+//! live in one word array per thread, laid out per [`tfgc_gc::stack`]
+//! (Figure 1); the return word pushed at each call is the gc_word key the
+//! collector uses.
+//!
+//! The machine supports multiple threads of control over one shared heap
+//! (§4's tasks); the cooperative scheduler lives in `tfgc-tasking`. A
+//! single-task program uses thread 0 only.
+
+use crate::error::{VmError, VmResult};
+use crate::render::render_value;
+use crate::stats::MutatorStats;
+use tfgc_gc::{
+    collect, pack_ret, Analyses, DescArena, GcMeta, GcStats, MachineRoots, StackRoots, Strategy,
+    FRAME_HDR, MAIN_RET, NO_FP,
+};
+use tfgc_ir::{ArithOp, CallSiteId, CmpOp, CtorRep, FnId, Instr, IrProgram, Slot};
+use tfgc_runtime::{ArithKind, Encoding, Heap, HeapStats, Word, HEAP_BASE};
+use tfgc_types::ParamId;
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Collection strategy (decides heap encoding and metadata).
+    pub strategy: Strategy,
+    /// Words per semispace.
+    pub heap_words: usize,
+    /// Force a collection every `n` allocations (used by the liveness
+    /// precision experiment to compare retained bytes at identical
+    /// program points).
+    pub force_gc_every: Option<u64>,
+    /// Instruction budget (`None` = unlimited).
+    pub max_steps: Option<u64>,
+    /// Maximum stack size in words (per thread).
+    pub max_stack_words: usize,
+    /// Cooperative mode (§4 tasking): an exhausted heap does not collect
+    /// inline; the step reports [`StepEvent::AllocBlocked`] and the
+    /// scheduler decides when every task is suspended.
+    pub cooperative: bool,
+}
+
+impl VmConfig {
+    /// A configuration with sensible defaults for `strategy`.
+    pub fn new(strategy: Strategy) -> VmConfig {
+        VmConfig {
+            strategy,
+            heap_words: 1 << 16,
+            force_gc_every: None,
+            max_steps: Some(200_000_000),
+            max_stack_words: 1 << 22,
+            cooperative: false,
+        }
+    }
+
+    /// Sets the semispace size.
+    pub fn heap_words(mut self, words: usize) -> VmConfig {
+        self.heap_words = words;
+        self
+    }
+
+    /// Forces a collection every `n` allocations.
+    pub fn force_gc_every(mut self, n: u64) -> VmConfig {
+        self.force_gc_every = Some(n);
+        self
+    }
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Values printed by `print`, in order.
+    pub printed: Vec<i64>,
+    /// The main expression's value, rendered.
+    pub result: String,
+    pub heap: HeapStats,
+    pub gc: GcStats,
+    pub mutator: MutatorStats,
+    /// Distinct runtime type descriptors interned (RTTI completion cost).
+    pub descs_interned: usize,
+    /// Metadata footprint of the strategy, in bytes.
+    pub metadata_bytes: usize,
+}
+
+/// Compiles metadata and runs a program to completion (single thread).
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on OOM, match failure, division by zero, or
+/// exceeded limits.
+pub fn run_program(prog: &IrProgram, config: VmConfig) -> VmResult<RunOutcome> {
+    let mut vm = Vm::new(prog, config);
+    vm.run()
+}
+
+/// One step's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Keep going.
+    Continue,
+    /// The current thread's bottom frame returned this word.
+    Done(Word),
+    /// Cooperative mode only: the heap is exhausted; the current thread
+    /// is suspended at the allocation site and will re-execute the
+    /// instruction after a collection.
+    AllocBlocked(CallSiteId),
+}
+
+/// One thread of control (§4's task).
+#[derive(Debug, Clone)]
+struct ThreadState {
+    stack: Vec<Word>,
+    fp: usize,
+    fn_id: FnId,
+    pc: u32,
+    result: Option<Word>,
+    /// Where the scheduler parked this thread (valid while suspended).
+    parked_site: Option<CallSiteId>,
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    prog: &'p IrProgram,
+    pub meta: GcMeta,
+    pub heap: Heap,
+    enc: Encoding,
+    threads: Vec<ThreadState>,
+    cur: usize,
+    globals: Vec<Word>,
+    pub descs: DescArena,
+    pub printed: Vec<i64>,
+    pub gc_stats: GcStats,
+    pub mutator: MutatorStats,
+    cfg: VmConfig,
+    allocs_since_force: u64,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `prog`, compiling the strategy's metadata. Thread
+    /// 0 is set up to run `main`.
+    pub fn new(prog: &'p IrProgram, cfg: VmConfig) -> Vm<'p> {
+        let analyses = Analyses::compute(prog);
+        // Cooperative (multi-task) machines must keep every gc_word:
+        // another task can trigger a collection anywhere.
+        let meta = if cfg.cooperative {
+            GcMeta::build_multi_task(prog, &analyses, cfg.strategy)
+        } else {
+            GcMeta::build(prog, &analyses, cfg.strategy)
+        };
+        Vm::with_meta(prog, cfg, meta)
+    }
+
+    /// Creates a VM with precompiled metadata (benchmarks reuse metadata
+    /// across runs).
+    pub fn with_meta(prog: &'p IrProgram, cfg: VmConfig, meta: GcMeta) -> Vm<'p> {
+        let enc = Encoding::new(cfg.strategy.heap_mode());
+        let heap = Heap::new(cfg.heap_words);
+        let globals = vec![enc.int(0); prog.globals.len()];
+        let mut vm = Vm {
+            prog,
+            meta,
+            heap,
+            enc,
+            threads: Vec::new(),
+            cur: 0,
+            globals,
+            descs: DescArena::new(),
+            printed: Vec::new(),
+            gc_stats: GcStats::default(),
+            mutator: MutatorStats::default(),
+            cfg,
+            allocs_since_force: 0,
+        };
+        vm.spawn_thread(prog.main, &[]);
+        vm
+    }
+
+    /// Spawns a new thread whose bottom frame runs `f` with `args` already
+    /// in its first slots. Returns the thread index.
+    pub fn spawn_thread(&mut self, f: FnId, args: &[Word]) -> usize {
+        let fun = self.prog.fun(f);
+        let mut stack = Vec::with_capacity(FRAME_HDR + fun.slots.len());
+        stack.push(NO_FP);
+        stack.push(MAIN_RET);
+        let init = self.frame_fill();
+        for i in 0..fun.slots.len() {
+            stack.push(if i < args.len() { args[i] } else { init });
+        }
+        if self.cfg.strategy.requires_frame_init() {
+            self.mutator.frame_init_stores += (fun.slots.len() - args.len()) as u64;
+        }
+        self.threads.push(ThreadState {
+            stack,
+            fp: 0,
+            fn_id: f,
+            pc: 0,
+            result: None,
+            parked_site: None,
+        });
+        self.threads.len() - 1
+    }
+
+    /// Number of threads (including finished ones).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Switches execution to thread `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_current_thread(&mut self, i: usize) {
+        assert!(i < self.threads.len(), "no thread {i}");
+        self.cur = i;
+    }
+
+    /// The currently executing thread.
+    pub fn current_thread(&self) -> usize {
+        self.cur
+    }
+
+    /// The result of thread `i`, if it finished.
+    pub fn thread_result(&self, i: usize) -> Option<Word> {
+        self.threads[i].result
+    }
+
+    /// Records where the scheduler parked thread `i` (§4: tasks suspend
+    /// only at procedure calls / allocation sites).
+    pub fn park_thread(&mut self, i: usize, site: CallSiteId) {
+        self.threads[i].parked_site = Some(site);
+    }
+
+    /// Clears a thread's parked state (on resume).
+    pub fn unpark_thread(&mut self, i: usize) {
+        self.threads[i].parked_site = None;
+    }
+
+    fn frame_fill(&self) -> Word {
+        if self.cfg.strategy.requires_frame_init() {
+            // Safe value under either encoding (tagged: int 0 is odd).
+            self.enc.int(0)
+        } else {
+            // Never traced (live ⊆ assigned is validated at compile
+            // time); zero keeps runs deterministic.
+            0
+        }
+    }
+
+    fn th(&self) -> &ThreadState {
+        &self.threads[self.cur]
+    }
+
+    fn th_mut(&mut self) -> &mut ThreadState {
+        &mut self.threads[self.cur]
+    }
+
+    fn get(&self, s: Slot) -> Word {
+        let t = self.th();
+        t.stack[t.fp + FRAME_HDR + s.0 as usize]
+    }
+
+    fn set(&mut self, s: Slot, w: Word) {
+        let t = self.th_mut();
+        let i = t.fp + FRAME_HDR + s.0 as usize;
+        t.stack[i] = w;
+    }
+
+    fn fn_name(&self) -> String {
+        self.prog.fun(self.th().fn_id).name.clone()
+    }
+
+    /// Runs thread 0 to completion.
+    pub fn run(&mut self) -> VmResult<RunOutcome> {
+        loop {
+            match self.step()? {
+                StepEvent::Done(w) => {
+                    let result =
+                        render_value(self.prog, &self.heap, self.enc, w, &self.prog.main_ty);
+                    return Ok(RunOutcome {
+                        printed: std::mem::take(&mut self.printed),
+                        result,
+                        heap: self.heap.stats,
+                        gc: self.gc_stats,
+                        mutator: self.mutator,
+                        descs_interned: self.descs.len(),
+                        metadata_bytes: self.meta.metadata_bytes(),
+                    });
+                }
+                StepEvent::AllocBlocked(_) => {
+                    unreachable!("non-cooperative mode collects inline")
+                }
+                StepEvent::Continue => {}
+            }
+        }
+    }
+
+    /// Executes one instruction of the current thread.
+    pub fn step(&mut self) -> VmResult<StepEvent> {
+        if let Some(limit) = self.cfg.max_steps {
+            if self.mutator.instructions >= limit {
+                return Err(VmError::StepLimit { limit });
+            }
+        }
+        self.mutator.instructions += 1;
+        let prog = self.prog;
+        let (fn_id, pc) = {
+            let t = self.th();
+            (t.fn_id, t.pc)
+        };
+        let ins = &prog.fun(fn_id).code[pc as usize];
+        match ins {
+            Instr::LoadInt(d, n) => {
+                let w = self.enc.int(*n);
+                self.set(*d, w);
+            }
+            Instr::LoadBool(d, b) => {
+                let w = self.enc.bool(*b);
+                self.set(*d, w);
+            }
+            Instr::LoadUnit(d) => {
+                let w = self.enc.unit();
+                self.set(*d, w);
+            }
+            Instr::LoadGlobal(d, g) => {
+                let w = self.globals[g.0 as usize];
+                self.set(*d, w);
+            }
+            Instr::StoreGlobal(g, s) => {
+                self.globals[g.0 as usize] = self.get(*s);
+            }
+            Instr::Move(d, s) => {
+                let w = self.get(*s);
+                self.set(*d, w);
+            }
+            Instr::Arith(d, op, a, b) => {
+                let x = self.enc.int_of(self.get(*a));
+                let y = self.enc.int_of(self.get(*b));
+                let (kind, val) = match op {
+                    ArithOp::Add => (ArithKind::Add, Some(x.wrapping_add(y))),
+                    ArithOp::Sub => (ArithKind::Sub, Some(x.wrapping_sub(y))),
+                    ArithOp::Mul => (ArithKind::Mul, Some(x.wrapping_mul(y))),
+                    ArithOp::Div => (ArithKind::Div, x.checked_div(y)),
+                    ArithOp::Mod => (ArithKind::Mod, x.checked_rem(y)),
+                };
+                let val = val.ok_or_else(|| VmError::DivideByZero {
+                    function: self.fn_name(),
+                })?;
+                self.mutator.tag_ops += self.enc.arith_tag_ops(kind);
+                let w = self.enc.int(val);
+                self.set(*d, w);
+            }
+            Instr::Cmp(d, op, a, b) => {
+                let x = self.enc.int_of(self.get(*a));
+                let y = self.enc.int_of(self.get(*b));
+                let r = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                };
+                self.mutator.tag_ops += self.enc.arith_tag_ops(ArithKind::Cmp);
+                let w = self.enc.bool(r);
+                self.set(*d, w);
+            }
+            Instr::Neg(d, a) => {
+                let x = self.enc.int_of(self.get(*a));
+                self.mutator.tag_ops += self.enc.arith_tag_ops(ArithKind::Neg);
+                let w = self.enc.int(x.wrapping_neg());
+                self.set(*d, w);
+            }
+            Instr::Not(d, a) => {
+                let x = self.enc.bool_of(self.get(*a));
+                let w = self.enc.bool(!x);
+                self.set(*d, w);
+            }
+            Instr::Jump(t) => {
+                self.th_mut().pc = *t;
+                return Ok(StepEvent::Continue);
+            }
+            Instr::BranchFalse(s, t) => {
+                if !self.enc.bool_of(self.get(*s)) {
+                    self.th_mut().pc = *t;
+                    return Ok(StepEvent::Continue);
+                }
+            }
+            Instr::BranchIntNe(s, n, t) => {
+                if self.enc.int_of(self.get(*s)) != *n {
+                    self.th_mut().pc = *t;
+                    return Ok(StepEvent::Continue);
+                }
+            }
+            Instr::BranchTagNe {
+                obj,
+                data,
+                ctor,
+                target,
+            } => {
+                let w = self.get(*obj);
+                let rep = prog.ctor_rep(*data, *ctor);
+                if !self.value_matches_ctor(w, rep) {
+                    self.th_mut().pc = *target;
+                    return Ok(StepEvent::Continue);
+                }
+            }
+            Instr::GetField(d, o, i) => {
+                let w = self.get(*o);
+                let v = self.heap_field(w, *i);
+                self.set(*d, v);
+            }
+            Instr::MakeTuple { dst, elems, site } => {
+                let mut words: Vec<Word> = elems.iter().map(|s| self.get(*s)).collect();
+                match self.alloc_object(*site, None, &mut words)? {
+                    Some(ptr) => self.set(*dst, ptr),
+                    None => return Ok(StepEvent::AllocBlocked(*site)),
+                }
+            }
+            Instr::MakeData {
+                dst,
+                data,
+                ctor,
+                fields,
+                site,
+            } => {
+                let rep = prog.ctor_rep(*data, *ctor);
+                let tag_word = match rep {
+                    CtorRep::Ptr { tag: Some(t), .. } => Some(self.encode_tag(t)),
+                    CtorRep::Ptr { tag: None, .. } => None,
+                    CtorRep::Imm(_) => {
+                        unreachable!("immediate constructors lower to LoadInt")
+                    }
+                };
+                let mut words: Vec<Word> = fields.iter().map(|s| self.get(*s)).collect();
+                match self.alloc_object(*site, tag_word, &mut words)? {
+                    Some(ptr) => self.set(*dst, ptr),
+                    None => return Ok(StepEvent::AllocBlocked(*site)),
+                }
+            }
+            Instr::MakeClosure {
+                dst,
+                f,
+                captures,
+                site,
+            } => {
+                let fn_word = self.encode_fn_id(*f);
+                let mut words: Vec<Word> = captures.iter().map(|s| self.get(*s)).collect();
+                match self.alloc_object(*site, Some(fn_word), &mut words)? {
+                    Some(ptr) => self.set(*dst, ptr),
+                    None => return Ok(StepEvent::AllocBlocked(*site)),
+                }
+            }
+            Instr::EvalDesc { dst, template } => {
+                self.mutator.desc_evals += 1;
+                let ty = prog.desc_template(*template).clone();
+                let f = prog.fun(fn_id);
+                // Resolve parameter descriptors from this frame's
+                // descriptor slots.
+                let lookup_pairs: Vec<(ParamId, Word)> = f
+                    .desc_param_slots
+                    .iter()
+                    .map(|(q, s)| (*q, self.get(*s)))
+                    .collect();
+                let enc = self.enc;
+                let id = self.descs.eval_type(&ty, &|p| {
+                    lookup_pairs
+                        .iter()
+                        .find(|(q, _)| *q == p)
+                        .map(|(_, w)| tfgc_gc::DescId(decode_desc_word(enc, *w)))
+                });
+                let w = self.encode_desc_word(id.0);
+                self.set(*dst, w);
+            }
+            Instr::CallDirect { dst, f, args, site } => {
+                self.mutator.calls += 1;
+                let words: Vec<Word> = args.iter().map(|s| self.get(*s)).collect();
+                self.push_frame(*f, *site, *dst, &words)?;
+                return Ok(StepEvent::Continue);
+            }
+            Instr::CallClosure {
+                dst,
+                clos,
+                arg,
+                site,
+            } => {
+                self.mutator.closure_calls += 1;
+                let cw = self.get(*clos);
+                let aw = self.get(*arg);
+                let f = FnId(self.decode_fn_id(self.heap_field(cw, 0)));
+                self.push_frame(f, *site, *dst, &[cw, aw])?;
+                return Ok(StepEvent::Continue);
+            }
+            Instr::Return(s) => {
+                let w = self.get(*s);
+                return self.do_return(w);
+            }
+            Instr::Print(s) => {
+                let v = self.enc.int_of(self.get(*s));
+                self.printed.push(v);
+            }
+            Instr::MatchFail => {
+                return Err(VmError::MatchFailure {
+                    function: self.fn_name(),
+                })
+            }
+        }
+        self.th_mut().pc += 1;
+        Ok(StepEvent::Continue)
+    }
+
+    /// Pushes a callee frame: dynamic link, return word (the gc_word key),
+    /// slots. The first `args.len()` slots receive the arguments.
+    fn push_frame(
+        &mut self,
+        callee: FnId,
+        site: CallSiteId,
+        dst: Slot,
+        args: &[Word],
+    ) -> VmResult<()> {
+        let f = self.prog.fun(callee);
+        let init = self.frame_fill();
+        let max = self.cfg.max_stack_words;
+        let init_frames = self.cfg.strategy.requires_frame_init();
+        let n_slots = f.slots.len();
+        let t = self.th_mut();
+        let new_fp = t.stack.len();
+        if new_fp + FRAME_HDR + n_slots > max {
+            return Err(VmError::StackOverflow {
+                words: t.stack.len(),
+            });
+        }
+        let old_fp = t.fp as Word;
+        t.stack.push(old_fp);
+        t.stack.push(pack_ret(site, dst));
+        for i in 0..n_slots {
+            t.stack.push(if i < args.len() { args[i] } else { init });
+        }
+        t.fp = new_fp;
+        t.fn_id = callee;
+        t.pc = 0;
+        let depth = t.stack.len() as u64;
+        if init_frames {
+            self.mutator.frame_init_stores += (n_slots - args.len()) as u64;
+        }
+        self.mutator.max_stack_words = self.mutator.max_stack_words.max(depth);
+        Ok(())
+    }
+
+    fn do_return(&mut self, w: Word) -> VmResult<StepEvent> {
+        let prog = self.prog;
+        let t = self.th_mut();
+        let saved = t.stack[t.fp];
+        let ret = t.stack[t.fp + 1];
+        if saved == NO_FP {
+            t.result = Some(w);
+            t.stack.clear();
+            return Ok(StepEvent::Done(w));
+        }
+        let (site, dst) = tfgc_gc::unpack_ret(ret);
+        t.stack.truncate(t.fp);
+        t.fp = saved as usize;
+        let cs = prog.site(site);
+        t.fn_id = cs.fn_id;
+        // Resume after the call — the paper's `jmpl %o7+12` skipping the
+        // gc_word (ours lives in a side table keyed by the site).
+        t.pc = cs.pc + 1;
+        self.set(dst, w);
+        Ok(StepEvent::Continue)
+    }
+
+    /// Allocates a heap object with optional head word (discriminant or
+    /// closure code pointer) and the given payload. In cooperative mode an
+    /// exhausted heap yields `Ok(None)` (the scheduler collects); otherwise
+    /// it collects inline. `operands` may be relocated by the collector.
+    fn alloc_object(
+        &mut self,
+        site: CallSiteId,
+        head: Option<Word>,
+        operands: &mut [Word],
+    ) -> VmResult<Option<Word>> {
+        let payload = operands.len() + usize::from(head.is_some());
+        let total = payload + self.enc.mode.header_words();
+
+        if !self.cfg.cooperative {
+            if let Some(n) = self.cfg.force_gc_every {
+                self.allocs_since_force += 1;
+                if self.allocs_since_force >= n {
+                    self.allocs_since_force = 0;
+                    self.collect_now(site, operands);
+                }
+            }
+        }
+        let addr = match self.heap.alloc(total) {
+            Some(a) => a,
+            None if self.cfg.cooperative => return Ok(None),
+            None => {
+                self.collect_now(site, operands);
+                match self.heap.alloc(total) {
+                    Some(a) => a,
+                    None => {
+                        return Err(VmError::OutOfMemory {
+                            requested: total,
+                            live: self.heap.used(),
+                        })
+                    }
+                }
+            }
+        };
+        let mut off = 0u16;
+        if self.enc.mode.header_words() == 1 {
+            self.heap.write(addr, 0, payload as Word);
+            off = 1;
+        }
+        if let Some(h) = head {
+            self.heap.write(addr, off, h);
+            off += 1;
+        }
+        for (i, w) in operands.iter().enumerate() {
+            self.heap.write(addr, off + i as u16, *w);
+        }
+        Ok(Some(self.enc.ptr(addr)))
+    }
+
+    /// Invokes the collector with every thread's stack as roots.
+    fn collect_now(&mut self, site: CallSiteId, operands: &mut [Word]) {
+        let cur = self.cur;
+        let mut stacks = Vec::new();
+        let mut operand_stack = 0;
+        for (i, t) in self.threads.iter_mut().enumerate() {
+            if t.result.is_some() || t.stack.is_empty() {
+                continue;
+            }
+            let current_site = if i == cur {
+                site
+            } else {
+                t.parked_site
+                    .expect("all other tasks are parked at call sites during collection")
+            };
+            if i == cur {
+                operand_stack = stacks.len();
+            }
+            stacks.push(StackRoots {
+                stack: &mut t.stack,
+                top_fp: t.fp,
+                current_site,
+            });
+        }
+        collect(
+            &mut self.meta,
+            self.prog,
+            &mut self.heap,
+            &self.descs,
+            &mut self.gc_stats,
+            MachineRoots {
+                stacks,
+                globals: &mut self.globals,
+                operands,
+                operand_stack,
+            },
+        );
+    }
+
+    /// Runs a collection with the current thread suspended at `site`
+    /// (tasking: all tasks parked).
+    pub fn collect_parked(&mut self, site: CallSiteId) {
+        self.collect_now(site, &mut []);
+    }
+
+    // ---- encoding helpers ----------------------------------------------
+
+    fn heap_field(&self, w: Word, i: u16) -> Word {
+        let a = self.enc.addr_of(w);
+        let hdr = self.enc.mode.header_words() as u16;
+        self.heap.read(a, i + hdr)
+    }
+
+    fn value_matches_ctor(&self, w: Word, rep: CtorRep) -> bool {
+        let imm = match self.enc.mode {
+            tfgc_runtime::HeapMode::TagFree => {
+                if w < HEAP_BASE {
+                    Some(w as u32)
+                } else {
+                    None
+                }
+            }
+            tfgc_runtime::HeapMode::Tagged => {
+                if self.enc.is_tagged_ptr(w) {
+                    None
+                } else {
+                    Some(self.enc.int_of(w) as u32)
+                }
+            }
+        };
+        match (imm, rep) {
+            (Some(k), CtorRep::Imm(i)) => k == i,
+            (Some(_), CtorRep::Ptr { .. }) | (None, CtorRep::Imm(_)) => false,
+            (None, CtorRep::Ptr { tag: None, .. }) => true,
+            (None, CtorRep::Ptr { tag: Some(t), .. }) => {
+                let stored = self.heap_field(w, 0);
+                let raw = match self.enc.mode {
+                    tfgc_runtime::HeapMode::TagFree => stored as u32,
+                    tfgc_runtime::HeapMode::Tagged => self.enc.int_of(stored) as u32,
+                };
+                raw == t
+            }
+        }
+    }
+
+    fn encode_tag(&self, t: u32) -> Word {
+        match self.enc.mode {
+            tfgc_runtime::HeapMode::TagFree => Word::from(t),
+            tfgc_runtime::HeapMode::Tagged => self.enc.int(i64::from(t)),
+        }
+    }
+
+    fn encode_fn_id(&self, f: FnId) -> Word {
+        match self.enc.mode {
+            tfgc_runtime::HeapMode::TagFree => Word::from(f.0),
+            tfgc_runtime::HeapMode::Tagged => self.enc.int(i64::from(f.0)),
+        }
+    }
+
+    fn decode_fn_id(&self, w: Word) -> u32 {
+        match self.enc.mode {
+            tfgc_runtime::HeapMode::TagFree => w as u32,
+            tfgc_runtime::HeapMode::Tagged => self.enc.int_of(w) as u32,
+        }
+    }
+
+    fn encode_desc_word(&self, d: u32) -> Word {
+        match self.enc.mode {
+            tfgc_runtime::HeapMode::TagFree => Word::from(d),
+            tfgc_runtime::HeapMode::Tagged => self.enc.int(i64::from(d)),
+        }
+    }
+
+    /// Encodes an integer under the VM's value encoding (for spawning
+    /// tasks with arguments).
+    pub fn encode_int(&self, i: i64) -> Word {
+        self.enc.int(i)
+    }
+
+    /// Decodes an integer result word.
+    pub fn decode_int(&self, w: Word) -> i64 {
+        self.enc.int_of(w)
+    }
+
+    /// Current thread's stack depth in words.
+    pub fn stack_words(&self) -> usize {
+        self.th().stack.len()
+    }
+
+    /// The current instruction of the current thread, if any.
+    pub fn current_instr(&self) -> &Instr {
+        let t = self.th();
+        &self.prog.fun(t.fn_id).code[t.pc as usize]
+    }
+
+    /// The current instruction's call site, if it has one.
+    pub fn current_site(&self) -> Option<CallSiteId> {
+        self.current_instr().site()
+    }
+
+    /// True once the current thread has returned from its bottom frame.
+    pub fn is_done(&self) -> bool {
+        self.th().result.is_some()
+    }
+
+    /// Renders a result word at the given type (task results).
+    pub fn render(&self, w: Word, ty: &tfgc_types::Type) -> String {
+        render_value(self.prog, &self.heap, self.enc, w, ty)
+    }
+}
+
+fn decode_desc_word(enc: Encoding, w: Word) -> u32 {
+    match enc.mode {
+        tfgc_runtime::HeapMode::TagFree => w as u32,
+        tfgc_runtime::HeapMode::Tagged => enc.int_of(w) as u32,
+    }
+}

@@ -1,0 +1,35 @@
+//! Mutator-side statistics (experiment E2's tag-manipulation overhead,
+//! plus RTTI and frame-initialization costs).
+
+/// Counters maintained by the interpreter while the program runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutatorStats {
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Extra ALU operations spent stripping/reinstating tags (tagged
+    /// encoding only) — §1's second claimed advantage.
+    pub tag_ops: u64,
+    /// Direct calls executed.
+    pub calls: u64,
+    /// Closure calls executed.
+    pub closure_calls: u64,
+    /// Slot-initialization stores performed at frame entry (strategies
+    /// that cannot prove initialization, §1.1.1).
+    pub frame_init_stores: u64,
+    /// `EvalDesc` instructions executed (RTTI completion cost).
+    pub desc_evals: u64,
+    /// High-water mark of the activation-record stack, in words.
+    pub max_stack_words: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = MutatorStats::default();
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.tag_ops, 0);
+    }
+}

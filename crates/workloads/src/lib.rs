@@ -1,0 +1,31 @@
+//! # tfgc-workloads — benchmark programs
+//!
+//! TFML sources for the experiment suite: the paper's own worked examples
+//! ([`paper_examples`]), realistic list/tree/closure workloads
+//! ([`programs`]), and a seeded well-typed-by-construction random program
+//! generator ([`generator`]) for differential fuzzing.
+
+pub mod generator;
+pub mod paper_examples;
+pub mod programs;
+
+pub use generator::{generate, GenConfig};
+pub use programs::suite;
+
+use tfgc_ir::{lower, IrProgram};
+use tfgc_syntax::parse_program;
+use tfgc_types::elaborate;
+
+/// Compiles TFML source all the way to bytecode.
+///
+/// # Panics
+///
+/// Panics on any front-end error: workload sources are fixed and correct
+/// by construction.
+pub fn compile(src: &str) -> IrProgram {
+    let parsed = parse_program(src).expect("workload parses");
+    let typed = elaborate(&parsed).expect("workload type-checks");
+    let prog = lower(&typed).expect("workload lowers");
+    debug_assert_eq!(prog.validate(), Ok(()));
+    prog
+}

@@ -1,0 +1,264 @@
+//! Realistic TFML workloads used across the experiments.
+
+/// Pure arithmetic: Fibonacci (no allocation at all — every gc_word in
+/// `fib` is omitted by §5.1).
+pub fn fib(n: usize) -> String {
+    format!("fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib {n}")
+}
+
+/// Arithmetic over a preallocated list (tag-op heavy, low GC pressure).
+pub fn sumlist(n: usize, rounds: usize) -> String {
+    format!(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+         fun rounds k xs = if k = 0 then 0 else sum xs + rounds (k - 1) xs ;
+         rounds {rounds} (build {n})"
+    )
+}
+
+/// Allocation churn with a small live set: repeated list building and
+/// discarding (post-order so no strategy pins the garbage in frames).
+pub fn churn(rounds: usize, size: usize) -> String {
+    format!(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun churn n = if n = 0 then 0 else (churn (n - 1); (build {size}; 0)) ;
+         churn {rounds}"
+    )
+}
+
+/// List reversal via append: quadratic allocation, linear live set.
+pub fn naive_rev(n: usize) -> String {
+    format!(
+        "fun append [] ys = ys | append (x :: xs) ys = x :: append xs ys ;
+         fun rev xs = case xs of [] => [] | x :: r => append (rev r) [x] ;
+         fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;
+         len (rev (build {n}))"
+    )
+}
+
+/// Binary search tree build + fold (polymorphic datatype, deep recursion).
+pub fn tree_insert(n: usize) -> String {
+    format!(
+        "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree ;
+         fun insert t x = case t of
+             Leaf => Node (Leaf, x, Leaf)
+           | Node (l, v, r) => if x < v then Node (insert l x, v, r)
+                               else Node (l, v, insert r x) ;
+         fun build i n t = if i > n then t else build (i + 1) n (insert t ((i * 37) mod n)) ;
+         fun size t = case t of Leaf => 0 | Node (l, _, r) => 1 + size l + size r ;
+         size (build 1 {n} Leaf)"
+    )
+}
+
+/// Higher-order pipeline: map/filter composition through closures.
+pub fn pipeline(n: usize) -> String {
+    format!(
+        "fun map f xs = case xs of [] => [] | x :: r => f x :: map f r ;
+         fun filter p xs = case xs of [] => []
+           | x :: r => if p x then x :: filter p r else filter p r ;
+         fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+         sum (map (fn x => x * 2) (filter (fn x => x mod 3 = 0) (map (fn x => x + 1) (build {n}))))"
+    )
+}
+
+/// N-queens: backtracking search with short-lived list allocation.
+pub fn nqueens(n: usize) -> String {
+    format!(
+        "fun abs x = if x < 0 then ~x else x ;
+         fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;
+         fun safe q qs d = case qs of [] => true
+           | x :: r => x <> q andalso abs (x - q) <> d andalso safe q r (d + 1) ;
+         fun range i n = if i > n then [] else i :: range (i + 1) n ;
+         fun count qs n =
+           if len qs = n then 1
+           else let fun try cols = case cols of [] => 0
+                      | c :: rest => (if safe c qs 1 then count (c :: qs) n else 0) + try rest
+                in try (range 1 n) end ;
+         count [] {n}"
+    )
+}
+
+/// Deep polymorphic recursion (stresses §3's per-frame type propagation):
+/// a polymorphic `len` over a deep list, plus polymorphic rebuilding.
+pub fn poly_depth(depth: usize) -> String {
+    format!(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun plen xs = case xs of [] => 0 | _ :: t => 1 + plen t ;
+         fun pcopy xs = case xs of [] => [] | x :: t => x :: pcopy t ;
+         plen (pcopy (build {depth}))"
+    )
+}
+
+/// Deep *pre-order* polymorphic recursion that allocates on the way
+/// down, so collections strike with the polymorphic frames at maximum
+/// depth (E5's stress shape: Appel's backward resolution goes quadratic).
+pub fn poly_deep_alloc(depth: usize) -> String {
+    format!(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun pdown xs acc = case xs of [] => acc | x :: t => pdown t ((x, x) :: acc) ;
+         fun plen xs = case xs of [] => 0 | _ :: t => 1 + plen t ;
+         plen (pdown (build {depth}) [])"
+    )
+}
+
+/// The 1991 scheme's completeness gap: a closure whose capture type is
+/// invisible in its own arrow type (needs a hidden runtime descriptor).
+pub fn poly_capture(rounds: usize) -> String {
+    format!(
+        "fun konst x = fn u => (let val probe = [x, x] in u + 1 end) ;
+         fun spin f n = if n = 0 then f 1 else let val r = spin f (n - 1) in ((n, n); r) end ;
+         let val f = konst [41] in (spin f {rounds}; f 1) end"
+    )
+}
+
+/// Long-lived structure with ongoing churn — the generational-style
+/// pattern where liveness precision matters most.
+pub fn live_and_dead(live: usize, rounds: usize, dead: usize) -> String {
+    format!(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;
+         fun churn n = if n = 0 then 0 else (churn (n - 1); (build {dead}; 0)) ;
+         let val keep = build {live}
+             val d = build {live}
+             val dl = len d in
+           (churn {rounds}; len keep + dl)
+         end"
+    )
+}
+
+/// Closure-heavy workload: a list of counter closures applied repeatedly.
+pub fn closure_farm(n: usize, rounds: usize) -> String {
+    format!(
+        "fun map f xs = case xs of [] => [] | x :: r => f x :: map f r ;
+         fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun appall fs x = case fs of [] => 0 | f :: r => f x + appall r x ;
+         fun spin k fs = if k = 0 then 0 else appall fs k + spin (k - 1) fs ;
+         spin {rounds} (map (fn a => fn b => a * b + 1) (build {n}))"
+    )
+}
+
+/// Higher-order call of a *pure* closure in a program that also creates
+/// an allocating closure: the paper's first-order approximation poisons
+/// every closure call; the closure-flow refinement proves the pure one
+/// collection-free (E6b).
+pub fn ho_pure(rounds: usize) -> String {
+    format!(
+        "fun apply f x = f x ;
+         fun pure n = if n = 0 then 0 else apply (fn z => z + 1) n + pure (n - 1) ;
+         fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;
+         fun grow xs = (fn z => z :: xs) ;
+         pure {rounds} + len ((grow [1, 2]) 3)"
+    )
+}
+
+/// Bottom-up mergesort over int lists (split/merge recursion with
+/// medium-lived intermediate lists).
+pub fn mergesort(n: usize) -> String {
+    format!(
+        "fun split xs = case xs of [] => ([], [])
+           | x :: [] => ([x], [])
+           | x :: y :: rest => (case split rest of (a, b) => (x :: a, y :: b)) ;
+         fun merge xs ys = case xs of [] => ys
+           | x :: xr => (case ys of [] => xs
+               | y :: yr => if x <= y then x :: merge xr ys else y :: merge xs yr) ;
+         fun msort xs = case xs of [] => [] | x :: [] => [x]
+           | _ => (case split xs of (a, b) => merge (msort a) (msort b)) ;
+         fun gen n = if n = 0 then [] else ((n * 73) mod 997) :: gen (n - 1) ;
+         fun sorted xs = case xs of [] => true | _ :: [] => true
+           | x :: (y :: r) => x <= y andalso sorted (y :: r) ;
+         if sorted (msort (gen {n})) then 1 else 0"
+    )
+}
+
+/// Sieve of Eratosthenes over lists (filter-heavy allocation).
+pub fn sieve(n: usize) -> String {
+    format!(
+        "fun range i n = if i > n then [] else i :: range (i + 1) n ;
+         fun filter p xs = case xs of [] => []
+           | x :: r => if p x then x :: filter p r else filter p r ;
+         fun sieve xs = case xs of [] => []
+           | p :: rest => p :: sieve (filter (fn x => x mod p <> 0) rest) ;
+         fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;
+         len (sieve (range 2 {n}))"
+    )
+}
+
+/// Church numerals: higher-order stress with closures as data.
+pub fn church(n: usize) -> String {
+    format!(
+        "fun zero f x = x ;
+         fun succ c f x = f (c f x) ;
+         fun iter k = if k = 0 then zero else succ (iter (k - 1)) ;
+         iter {n} (fn v => v + 1) 0"
+    )
+}
+
+/// A small expression interpreter written *in* TFML: recursive
+/// datatypes, environments as assoc lists, heavy short-lived allocation —
+/// the "realistic compiler workload" shape.
+pub fn interp(n: usize) -> String {
+    format!(
+        "datatype expr = Num of int | Var of int | Add of expr * expr
+                       | Mul of expr * expr | Let of int * expr * expr ;
+         fun lookup env k = case env of [] => 0
+           | (i, v) :: r => if i = k then v else lookup r k ;
+         fun eval env e = case e of
+             Num n => n
+           | Var k => lookup env k
+           | Add (a, b) => eval env a + eval env b
+           | Mul (a, b) => eval env a * eval env b
+           | Let (k, rhs, body) => eval ((k, eval env rhs) :: env) body ;
+         fun mk d = if d = 0 then Num 1
+                    else Let (d, Add (Num d, Var (d + 1)),
+                              Mul (Var d, Add (mk (d - 1), Num 2))) ;
+         fun loop k acc = if k = 0 then acc
+                          else loop (k - 1) (acc + eval [(100, 1)] (mk {n}) mod 1000) ;
+         loop 20 0"
+    )
+}
+
+/// All named workloads at default sizes, for sweep-style experiments.
+pub fn suite() -> Vec<(&'static str, String)> {
+    vec![
+        ("fib", fib(18)),
+        ("sumlist", sumlist(200, 50)),
+        ("churn", churn(150, 30)),
+        ("naive_rev", naive_rev(60)),
+        ("tree_insert", tree_insert(150)),
+        ("pipeline", pipeline(150)),
+        ("nqueens", nqueens(6)),
+        ("poly_depth", poly_depth(200)),
+        ("live_and_dead", live_and_dead(100, 100, 25)),
+        ("closure_farm", closure_farm(20, 40)),
+        ("poly_deep", poly_deep_alloc(120)),
+        ("poly_capture", poly_capture(150)),
+        ("ho_pure", ho_pure(50)),
+        ("mergesort", mergesort(120)),
+        ("sieve", sieve(80)),
+        ("church", church(30)),
+        ("interp", interp(8)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_ir::lower;
+    use tfgc_syntax::parse_program;
+    use tfgc_types::elaborate;
+
+    #[test]
+    fn whole_suite_compiles() {
+        for (name, src) in suite() {
+            let p = lower(
+                &elaborate(&parse_program(&src).unwrap_or_else(|e| panic!("{name}: {e}")))
+                    .unwrap_or_else(|e| panic!("{name}: {e}")),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Side-by-side collector comparison over the whole workload suite —
+//! the summary numbers behind experiments E1–E4 (see EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release --example compare_collectors
+//! ```
+
+use tfgc::{ratio, Compiled, Strategy, Table, VmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (name, src) in tfgc::workloads::suite() {
+        let compiled = Compiled::compile(&src)?;
+        let mut table = Table::new(&[
+            "strategy",
+            "words alloc'd",
+            "GCs",
+            "words copied",
+            "tag ops",
+            "slots traced",
+            "meta bytes",
+        ]);
+        let mut base_alloc = 0f64;
+        for strategy in Strategy::ALL {
+            let out = compiled.run_with(VmConfig::new(strategy).heap_words(1 << 14))?;
+            if strategy == Strategy::Compiled {
+                base_alloc = out.heap.words_allocated as f64;
+            }
+            table.row(vec![
+                strategy.to_string(),
+                out.heap.words_allocated.to_string(),
+                out.heap.collections.to_string(),
+                out.heap.words_copied.to_string(),
+                out.mutator.tag_ops.to_string(),
+                out.gc.slots_traced.to_string(),
+                out.metadata_bytes.to_string(),
+            ]);
+        }
+        println!("== {name} ==");
+        println!("{}", table.render());
+        let tagged = compiled.run_with(VmConfig::new(Strategy::Tagged).heap_words(1 << 14))?;
+        println!(
+            "tagged heap overhead: {} ({} vs {} words)\n",
+            ratio(tagged.heap.words_allocated as f64, base_alloc),
+            tagged.heap.words_allocated,
+            base_alloc
+        );
+    }
+    Ok(())
+}

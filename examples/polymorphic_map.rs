@@ -1,0 +1,64 @@
+//! §3 in action: polymorphic functions under collection pressure.
+//!
+//! Runs the paper's own polymorphic example —
+//! `fun f x = let val y = [x, x] in (y, [3]) end` used at `bool list` and
+//! `int` — plus a polymorphic `map`, forcing a collection at **every**
+//! allocation, so the §3 machinery (frame routines parameterized by
+//! type_gc_routines, built from the θ recorded at each call site) runs
+//! constantly. Compares Goldberg's forward traversal with the
+//! Appel-style backward resolution it improves on.
+//!
+//! ```sh
+//! cargo run --example polymorphic_map
+//! ```
+
+use tfgc::{Compiled, Strategy, Table, VmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "
+        fun f x = let val y = [x, x] in (y, [3]) end ;
+        fun map g xs = case xs of [] => [] | x :: r => g x :: map g r ;
+        fun build n = if n = 0 then [] else n :: build (n - 1) ;
+        fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+        fun suml xss = case xss of [] => 0 | l :: r => sum l + suml r ;
+        (f [true], f 7, suml (map (fn v => [v, v + 1]) (build 40)))";
+
+    let compiled = Compiled::compile(source)?;
+    assert!(!compiled.is_monomorphic());
+
+    let mut table = Table::new(&[
+        "strategy",
+        "collections",
+        "frames visited",
+        "chain steps",
+        "rt closures built",
+        "result (tail)",
+    ]);
+    for strategy in [Strategy::Compiled, Strategy::AppelPerFn] {
+        let out = compiled.run_with(
+            VmConfig::new(strategy)
+                .heap_words(1 << 12)
+                .force_gc_every(8),
+        )?;
+        let tail = out
+            .result
+            .rsplit(", ")
+            .next()
+            .unwrap_or(&out.result)
+            .to_string();
+        table.row(vec![
+            strategy.to_string(),
+            out.gc.collections.to_string(),
+            out.gc.frames_visited.to_string(),
+            out.gc.chain_steps.to_string(),
+            out.gc.rt_nodes_built.to_string(),
+            tail,
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Goldberg's forward traversal (compiled) takes zero chain steps:");
+    println!("each frame hands the next its type routines. Appel's backward");
+    println!("resolution re-walks the dynamic chain for every frame — the");
+    println!("quadratic term §3 is designed to avoid.");
+    Ok(())
+}

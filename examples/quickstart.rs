@@ -1,0 +1,57 @@
+//! Quickstart: compile a TFML program and run it under the paper's
+//! tag-free compiled collector and the tagged baseline, comparing the
+//! observable costs.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tfgc::{Compiled, Strategy, Table, VmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (§2.4), at a size that forces several
+    // collections in a 4096-word semispace.
+    let source = "
+        fun append [] ys = ys | append (x :: xs) ys = x :: append xs ys ;
+        fun build n = if n = 0 then [] else n :: build (n - 1) ;
+        fun rev xs = case xs of [] => [] | x :: r => append (rev r) [x] ;
+        fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;
+        len (rev (build 80))";
+
+    let compiled = Compiled::compile(source)?;
+    println!(
+        "compiled {} functions, {} call sites, {} bytecode instructions\n",
+        compiled.program.funs.len(),
+        compiled.program.sites.len(),
+        compiled.program.code_len()
+    );
+
+    let mut table = Table::new(&[
+        "strategy",
+        "result",
+        "words alloc'd",
+        "collections",
+        "words copied",
+        "tag ops",
+        "metadata bytes",
+    ]);
+    for strategy in Strategy::ALL {
+        let out = compiled.run_with(VmConfig::new(strategy).heap_words(1 << 12))?;
+        table.row(vec![
+            strategy.to_string(),
+            out.result.clone(),
+            out.heap.words_allocated.to_string(),
+            out.heap.collections.to_string(),
+            out.heap.words_copied.to_string(),
+            out.mutator.tag_ops.to_string(),
+            out.metadata_bytes.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("All strategies compute the same result; the costs differ exactly");
+    println!("as §1 of the paper claims: the tagged baseline allocates more");
+    println!("words (headers), performs tag arithmetic, and needs no metadata;");
+    println!("the tag-free strategies trade metadata for a lean heap and");
+    println!("tag-free mutator.");
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Root facade for the tag-free GC reproduction workspace.
+//!
+//! Re-exports the [`tfgc`] driver crate; see `crates/core` for the pipeline
+//! API and `DESIGN.md` for the full system inventory.
+pub use tfgc::*;
