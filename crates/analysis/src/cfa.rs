@@ -111,9 +111,7 @@ impl ClosureFlow {
                             let r = rets[ci].clone();
                             changed |= slots[fi][dst.0 as usize].join_in(&r);
                         }
-                        Instr::CallClosure {
-                            dst, clos, arg, ..
-                        } => {
+                        Instr::CallClosure { dst, clos, arg, .. } => {
                             let cv = slots[fi][clos.0 as usize].clone();
                             let targets: Vec<FnId> = match &cv {
                                 FlowVal::Bot => Vec::new(),
@@ -228,8 +226,7 @@ mod tests {
         let site = p
             .sites
             .iter()
-            .filter(|s| matches!(s.kind, tfgc_ir::SiteKind::Closure { .. }))
-            .last()
+            .rfind(|s| matches!(s.kind, tfgc_ir::SiteKind::Closure { .. }))
             .unwrap();
         assert_eq!(
             flow.targets_of(site.id),

@@ -67,8 +67,7 @@ impl GcPoints {
         // with the global approximation, which itself depends on the
         // fixpoint, so iterate the pair together.
         loop {
-            let any_closure =
-                (0..n).any(|i| p.funs[i].kind == FnKind::ClosureEntered && may[i]);
+            let any_closure = (0..n).any(|i| p.funs[i].kind == FnKind::ClosureEntered && may[i]);
             let closure_site_may = |site: CallSiteId, may: &[bool]| -> bool {
                 match flow {
                     None => any_closure,
@@ -112,9 +111,7 @@ impl GcPoints {
                     Some(fl) => match &fl.site_targets[s.id.0 as usize] {
                         Some(FlowVal::Top) | None => any_closure_allocates,
                         Some(FlowVal::Bot) => false,
-                        Some(FlowVal::Fns(ts)) => {
-                            ts.iter().any(|t| may[t.0 as usize])
-                        }
+                        Some(FlowVal::Fns(ts)) => ts.iter().any(|t| may[t.0 as usize]),
                     },
                 },
             })

@@ -127,11 +127,7 @@ mod tests {
     #[test]
     fn params_assigned_at_entry() {
         let p = compile("fun f x y = x + y ; f 1 2");
-        let f = p
-            .funs
-            .iter()
-            .find(|f| f.name.starts_with("f#"))
-            .unwrap();
+        let f = p.funs.iter().find(|f| f.name.starts_with("f#")).unwrap();
         let init = FunInit::compute(f);
         assert!(init.assigned_in[0].contains(Slot(0)));
         assert!(init.assigned_in[0].contains(Slot(1)));

@@ -1,25 +1,18 @@
 //! E1 — wall-clock of allocation-heavy workloads under each encoding
 //! (the counted heap-word numbers are in the experiments binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfgc::{Compiled, Strategy, VmConfig};
+use tfgc_bench::timing::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_heap_space");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e1_heap_space");
     let src = tfgc::workloads::programs::churn(120, 30);
     let compiled = Compiled::compile(&src).expect("compiles");
     for s in [Strategy::Compiled, Strategy::Tagged] {
-        g.bench_with_input(BenchmarkId::new("churn", s), &s, |b, s| {
-            b.iter(|| {
-                compiled
-                    .run_with(VmConfig::new(*s).heap_words(1 << 12))
-                    .expect("runs")
-            })
+        g.time(&format!("churn/{s}"), || {
+            compiled
+                .run_with(VmConfig::new(s).heap_words(1 << 12))
+                .expect("runs")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

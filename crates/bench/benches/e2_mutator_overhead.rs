@@ -1,24 +1,19 @@
 //! E2 — mutator time: tagged arithmetic (strip/reinstate performed for
 //! real) vs tag-free on allocation-free workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfgc::{Compiled, Strategy, VmConfig};
+use tfgc_bench::timing::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_mutator");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e2_mutator");
     let fib = Compiled::compile(&tfgc::workloads::programs::fib(18)).expect("fib");
     let sums = Compiled::compile(&tfgc::workloads::programs::sumlist(200, 40)).expect("sumlist");
     for s in [Strategy::Compiled, Strategy::Tagged] {
-        g.bench_with_input(BenchmarkId::new("fib18", s), &s, |b, s| {
-            b.iter(|| fib.run_with(VmConfig::new(*s).heap_words(1 << 12)).unwrap())
+        g.time(&format!("fib18/{s}"), || {
+            fib.run_with(VmConfig::new(s).heap_words(1 << 12)).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("sumlist", s), &s, |b, s| {
-            b.iter(|| sums.run_with(VmConfig::new(*s).heap_words(1 << 13)).unwrap())
+        g.time(&format!("sumlist/{s}"), || {
+            sums.run_with(VmConfig::new(s).heap_words(1 << 13)).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
 //! E3 — collection work with dead structures in live frames: liveness-
 //! aware routines vs the per-procedure and tagged collectors.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfgc::{Compiled, Strategy, VmConfig};
+use tfgc_bench::timing::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_liveness");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e3_liveness");
     let src = tfgc::workloads::programs::live_and_dead(120, 80, 20);
     let compiled = Compiled::compile(&src).expect("compiles");
     for s in [
@@ -15,16 +14,10 @@ fn bench(c: &mut Criterion) {
         Strategy::AppelPerFn,
         Strategy::Tagged,
     ] {
-        g.bench_with_input(BenchmarkId::new("live_and_dead", s), &s, |b, s| {
-            b.iter(|| {
-                compiled
-                    .run_with(VmConfig::new(*s).heap_words(1 << 13).force_gc_every(150))
-                    .expect("runs")
-            })
+        g.time(&format!("live_and_dead/{s}"), || {
+            compiled
+                .run_with(VmConfig::new(s).heap_words(1 << 13).force_gc_every(150))
+                .expect("runs")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

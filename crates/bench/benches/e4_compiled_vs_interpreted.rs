@@ -1,29 +1,22 @@
 //! E4 — §2.4's space/time trade-off: compiled frame routines vs
 //! interpreted byte descriptors, under heavy forced collection.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfgc::{Compiled, Strategy, VmConfig};
+use tfgc_bench::timing::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_compiled_vs_interpreted");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e4_compiled_vs_interpreted");
     for (name, src) in [
         ("tree", tfgc::workloads::programs::tree_insert(120)),
         ("naive_rev", tfgc::workloads::programs::naive_rev(50)),
     ] {
         let compiled = Compiled::compile(&src).expect("compiles");
         for s in [Strategy::Compiled, Strategy::Interpreted] {
-            g.bench_with_input(BenchmarkId::new(name, s), &s, |b, s| {
-                b.iter(|| {
-                    compiled
-                        .run_with(VmConfig::new(*s).heap_words(1 << 12).force_gc_every(100))
-                        .expect("runs")
-                })
+            g.time(&format!("{name}/{s}"), || {
+                compiled
+                    .run_with(VmConfig::new(s).heap_words(1 << 12).force_gc_every(100))
+                    .expect("runs")
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

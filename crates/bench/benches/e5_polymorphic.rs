@@ -1,35 +1,24 @@
 //! E5 — §3: Goldberg's forward polymorphic traversal vs Appel's backward
 //! resolution, on deepening polymorphic stacks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfgc::{Compiled, Strategy, VmConfig};
+use tfgc_bench::timing::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_polymorphic");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e5_polymorphic");
     for depth in [100usize, 300] {
         let src = tfgc::workloads::programs::poly_depth(depth);
         let compiled = Compiled::compile(&src).expect("compiles");
         for s in [Strategy::Compiled, Strategy::AppelPerFn] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("depth{depth}"), s),
-                &s,
-                |b, s| {
-                    b.iter(|| {
-                        compiled
-                            .run_with(
-                                VmConfig::new(*s)
-                                    .heap_words(1 << 15)
-                                    .force_gc_every(depth as u64),
-                            )
-                            .expect("runs")
-                    })
-                },
-            );
+            g.time(&format!("depth{depth}/{s}"), || {
+                compiled
+                    .run_with(
+                        VmConfig::new(s)
+                            .heap_words(1 << 15)
+                            .force_gc_every(depth as u64),
+                    )
+                    .expect("runs")
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

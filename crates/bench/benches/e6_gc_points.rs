@@ -1,28 +1,25 @@
 //! E6 — metadata generation cost: building the full GC metadata
 //! (analyses + routines) per strategy across the suite.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfgc::{Compiled, Strategy};
+use tfgc_bench::timing::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_metadata_build");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e6_metadata_build");
     let srcs: Vec<(String, Compiled)> = tfgc::workloads::suite()
         .into_iter()
         .take(4)
         .map(|(n, s)| (n.to_string(), Compiled::compile(&s).expect("compiles")))
         .collect();
-    for s in [Strategy::Compiled, Strategy::Interpreted, Strategy::AppelPerFn] {
-        g.bench_with_input(BenchmarkId::new("suite4", s), &s, |b, s| {
-            b.iter(|| {
-                srcs.iter()
-                    .map(|(_, c)| c.metadata(*s).metadata_bytes())
-                    .sum::<usize>()
-            })
+    for s in [
+        Strategy::Compiled,
+        Strategy::Interpreted,
+        Strategy::AppelPerFn,
+    ] {
+        g.time(&format!("suite4/{s}"), || {
+            srcs.iter()
+                .map(|(_, c)| c.metadata(s).metadata_bytes())
+                .sum::<usize>()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
 //! E7 — §4 tasking: end-to-end multi-task runs per suspension policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tfgc::tasking::{find_fn, run_tasks, SuspendPolicy, TaskConfig};
 use tfgc::{Compiled, Strategy};
+use tfgc_bench::timing::Group;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_tasking");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e7_tasking");
     let src = "
         fun build n = if n = 0 then [] else n :: build (n - 1) ;
         fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
@@ -21,21 +20,11 @@ fn bench(c: &mut Criterion) {
         SuspendPolicy::EveryCall,
         SuspendPolicy::EveryCallRgc,
     ] {
-        g.bench_with_input(
-            BenchmarkId::new("2workers", format!("{policy}")),
-            &policy,
-            |b, policy| {
-                b.iter(|| {
-                    let mut cfg = TaskConfig::new(Strategy::Compiled);
-                    cfg.heap_words = 1 << 11;
-                    cfg.policy = *policy;
-                    run_tasks(&compiled.program, &entries, cfg).expect("tasks run")
-                })
-            },
-        );
+        g.time(&format!("2workers/{policy}"), || {
+            let mut cfg = TaskConfig::new(Strategy::Compiled);
+            cfg.heap_words = 1 << 11;
+            cfg.policy = policy;
+            run_tasks(&compiled.program, &entries, cfg).expect("tasks run")
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,49 @@
-//! Prints every experiment table (E1–E8). The recorded output backs
-//! EXPERIMENTS.md.
+//! Prints every experiment table (E1–E8), or with `--json` writes the
+//! machine-readable documents instead:
 //!
 //! ```sh
 //! cargo run --release -p tfgc-bench --bin experiments
+//! cargo run --release -p tfgc-bench --bin experiments -- --json [--out DIR]
 //! ```
+//!
+//! `--json` writes `BENCH_E1.json` … `BENCH_E8.json` (per-strategy pause
+//! histograms, labeled per-site allocation counts, experiment extras)
+//! into `--out DIR` (default: the current directory).
 
-fn main() {
-    println!("{}", tfgc_bench::all_experiments());
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.iter().any(|a| a == "--json") {
+        println!("{}", tfgc_bench::all_experiments());
+        return ExitCode::SUCCESS;
+    }
+    let mut dir = ".".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            i += 1;
+            match args.get(i) {
+                Some(d) => dir.clone_from(d),
+                None => {
+                    eprintln!("experiments: --out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        i += 1;
+    }
+    match tfgc_bench::export::write_all(Path::new(&dir)) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiments: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,0 +1,349 @@
+//! JSON export of the experiment suite: `experiments --json` writes one
+//! `BENCH_E<n>.json` per experiment.
+//!
+//! Every document carries a uniform `profiles` array — one entry per
+//! strategy, with the run outcome, the observability metrics (pause and
+//! allocation-size histograms with p50/p90/p99/max, labeled per-site
+//! allocation counts, per-collection summaries) — plus
+//! experiment-specific extras. The text tables of [`crate`] remain the
+//! human-readable form; these documents are the machine-readable one.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use tfgc::gc::NO_TRACE;
+use tfgc::obs::ring::hist_json;
+use tfgc::obs::{Json, Obs};
+use tfgc::tasking::{find_fn, run_tasks_with_obs, SuspendPolicy, TaskConfig};
+use tfgc::{Compiled, Strategy, VmConfig};
+
+/// Raw events retained per profiled run (aggregates are exact anyway).
+const RING: usize = 1 << 14;
+
+/// All experiment ids, in order.
+pub const EXPERIMENTS: [&str; 8] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"];
+
+fn profile_one(c: &Compiled, s: Strategy, heap: usize, force: Option<u64>) -> Json {
+    let mut cfg = VmConfig::new(s).heap_words(heap);
+    if let Some(n) = force {
+        cfg = cfg.force_gc_every(n);
+    }
+    let (out, rec) = c.run_profiled(cfg, RING).expect("experiment profile run");
+    Json::obj([
+        ("strategy", Json::str(s.name())),
+        ("result", Json::str(&out.result)),
+        ("collections", Json::from(out.heap.collections)),
+        ("words_allocated", Json::from(out.heap.words_allocated)),
+        ("words_copied", Json::from(out.heap.words_copied)),
+        ("peak_live_words", Json::from(out.heap.peak_live_words)),
+        ("instructions", Json::from(out.mutator.instructions)),
+        ("tag_ops", Json::from(out.mutator.tag_ops)),
+        ("metadata_bytes", Json::from(out.metadata_bytes)),
+        ("metrics", tfgc::metrics_json(&rec, &c.program)),
+    ])
+}
+
+/// One profile per strategy for a workload.
+fn profiles(c: &Compiled, heap: usize, force: Option<u64>) -> Json {
+    Json::Arr(
+        Strategy::ALL
+            .iter()
+            .map(|s| profile_one(c, *s, heap, force))
+            .collect(),
+    )
+}
+
+fn doc(id: &str, title: &str, workload: &str, profiles: Json, extras: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![
+        ("experiment".to_string(), Json::str(id)),
+        ("title".to_string(), Json::str(title)),
+        ("workload".to_string(), Json::str(workload)),
+    ];
+    pairs.extend(extras);
+    pairs.push(("profiles".to_string(), profiles));
+    Json::Obj(pairs)
+}
+
+fn suite_src(name: &str) -> String {
+    tfgc::workloads::suite()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| s)
+        .unwrap_or_else(|| panic!("no workload `{name}` in the suite"))
+}
+
+fn e1_json() -> Json {
+    let c = Compiled::compile(&suite_src("churn")).expect("compiles");
+    doc(
+        "E1",
+        "heap space: tag-free vs tagged header overhead",
+        "churn",
+        profiles(&c, 1 << 13, Some(300)),
+        vec![],
+    )
+}
+
+fn e2_json() -> Json {
+    let c = Compiled::compile(&tfgc::workloads::programs::fib(20)).expect("compiles");
+    doc(
+        "E2",
+        "mutator tag overhead on arithmetic-heavy code",
+        "fib(20)",
+        profiles(&c, 1 << 15, None),
+        vec![],
+    )
+}
+
+fn e3_json() -> Json {
+    let src = tfgc::workloads::programs::live_and_dead(150, 120, 25);
+    let c = Compiled::compile(&src).expect("compiles");
+    doc(
+        "E3",
+        "liveness precision: dead data dragged by imprecise collectors",
+        "live_and_dead(150, 120, 25)",
+        profiles(&c, 1 << 13, Some(200)),
+        vec![],
+    )
+}
+
+fn e4_json() -> Json {
+    let src = tfgc::workloads::programs::sumlist(300, 80);
+    let c = Compiled::compile(&src).expect("compiles");
+    doc(
+        "E4",
+        "compiled routines vs interpreted descriptors (§2.4)",
+        "sumlist(300, 80)",
+        profiles(&c, 1 << 12, Some(300)),
+        vec![],
+    )
+}
+
+fn e5_json() -> Json {
+    let depth = 200usize;
+    let src = tfgc::workloads::programs::poly_deep_alloc(depth);
+    let c = Compiled::compile(&src).expect("compiles");
+    doc(
+        "E5",
+        "polymorphic traversal: Goldberg forward vs Appel backward (§3)",
+        "poly_deep_alloc(200)",
+        profiles(&c, 1 << 16, Some((depth / 3) as u64)),
+        vec![],
+    )
+}
+
+fn e6_json() -> Json {
+    let c = Compiled::compile(&tfgc::workloads::programs::nqueens(6)).expect("compiles");
+    let metadata = Json::Arr(
+        Strategy::ALL
+            .iter()
+            .map(|s| {
+                let meta = c.metadata(*s);
+                let no_trace = meta
+                    .sites
+                    .iter()
+                    .filter(|m| m.routine == Some(NO_TRACE))
+                    .count();
+                Json::obj([
+                    ("strategy", Json::str(s.name())),
+                    ("sites", Json::from(c.program.sites.len())),
+                    ("omitted_gc_words", Json::from(meta.omitted_gc_words())),
+                    ("no_trace_sites", Json::from(no_trace)),
+                    ("distinct_routines", Json::from(meta.distinct_routines())),
+                    ("metadata_bytes", Json::from(meta.metadata_bytes())),
+                ])
+            })
+            .collect(),
+    );
+    doc(
+        "E6",
+        "GC-point analysis, no_trace sharing, metadata footprint (§5.1, §2.4)",
+        "nqueens(6)",
+        profiles(&c, 1 << 15, Some(400)),
+        vec![("metadata".to_string(), metadata)],
+    )
+}
+
+fn e7_json() -> Json {
+    let src = "
+        fun build n = if n = 0 then [] else n :: build (n - 1) ;
+        fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+        fun worker n = if n = 0 then 0
+                       else (sum (build 25) + worker (n - 1)) - sum (build 25) ;
+        fun spin n = if n = 0 then 0 else (let val x = n * n in spin (n - 1) end) ;
+        0";
+    let c = Compiled::compile(src).expect("compiles");
+    let worker = find_fn(&c.program, "worker").expect("worker");
+    let spin = find_fn(&c.program, "spin").expect("spin");
+    let entries = vec![(worker, 60), (worker, 60), (spin, 4000)];
+
+    // Per-policy trade-off rows (fixed strategy).
+    let policies = Json::Arr(
+        [
+            SuspendPolicy::AllocationOnly,
+            SuspendPolicy::EveryCall,
+            SuspendPolicy::EveryCallRgc,
+        ]
+        .iter()
+        .map(|policy| {
+            let mut cfg = TaskConfig::new(Strategy::Compiled);
+            cfg.heap_words = 1 << 11;
+            cfg.policy = *policy;
+            cfg.quantum = 48;
+            let (r, obs) =
+                run_tasks_with_obs(&c.program, &entries, cfg, Obs::ring(RING)).expect("tasks run");
+            let rec = obs.into_recorder().expect("ring sink");
+            Json::obj([
+                ("policy", Json::str(policy.to_string())),
+                ("suspension_events", Json::from(r.suspension_events)),
+                ("suspension_checks", Json::from(r.suspension_checks)),
+                (
+                    "total_suspension_latency",
+                    Json::from(r.total_suspension_latency),
+                ),
+                (
+                    "max_suspension_latency",
+                    Json::from(r.max_suspension_latency),
+                ),
+                ("instructions", Json::from(r.mutator.instructions)),
+                ("pause_ns", hist_json(rec.pause_hist())),
+            ])
+        })
+        .collect(),
+    );
+
+    // Per-strategy profiles of the same task mix under the every-call
+    // policy.
+    let profiles = Json::Arr(
+        Strategy::ALL
+            .iter()
+            .map(|s| {
+                let mut cfg = TaskConfig::new(*s);
+                cfg.heap_words = 1 << 14;
+                cfg.quantum = 48;
+                let (r, obs) = run_tasks_with_obs(&c.program, &entries, cfg, Obs::ring(RING))
+                    .expect("tasks run");
+                let rec = obs.into_recorder().expect("ring sink");
+                Json::obj([
+                    ("strategy", Json::str(s.name())),
+                    (
+                        "results",
+                        Json::Arr(r.results.iter().map(Json::str).collect()),
+                    ),
+                    ("collections", Json::from(r.heap.collections)),
+                    ("words_allocated", Json::from(r.heap.words_allocated)),
+                    ("words_copied", Json::from(r.heap.words_copied)),
+                    ("instructions", Json::from(r.mutator.instructions)),
+                    ("metrics", tfgc::metrics_json(&rec, &c.program)),
+                ])
+            })
+            .collect(),
+    );
+
+    doc(
+        "E7",
+        "tasking suspension policies (§4)",
+        "2× worker(60) + spin(4000)",
+        profiles,
+        vec![("policies".to_string(), policies)],
+    )
+}
+
+fn e8_json() -> Json {
+    let src = tfgc::workloads::paper_examples::append_mono(500);
+    let c = Compiled::compile(&src).expect("compiles");
+    let meta = c.metadata(Strategy::Compiled);
+    let append_fn = c
+        .program
+        .funs
+        .iter()
+        .position(|f| f.name.starts_with("append"))
+        .expect("append");
+    let mut sites = 0u64;
+    let mut traced = 0u64;
+    for s in &c.program.sites {
+        if s.fn_id.0 as usize == append_fn {
+            sites += 1;
+            let m = &meta.sites[s.id.0 as usize];
+            if m.routine.is_some() && m.routine != Some(NO_TRACE) {
+                traced += 1;
+            }
+        }
+    }
+    doc(
+        "E8",
+        "§2.4 append: its activation records are never traced",
+        "append_mono(500)",
+        profiles(&c, 1 << 13, Some(400)),
+        vec![(
+            "append".to_string(),
+            Json::obj([
+                ("call_sites", Json::from(sites)),
+                ("sites_that_trace", Json::from(traced)),
+            ]),
+        )],
+    )
+}
+
+/// The JSON document of one experiment.
+///
+/// # Panics
+///
+/// Panics on an unknown id or a failing experiment run (the suite is
+/// fixed and correct by construction).
+pub fn bench_json(id: &str) -> Json {
+    match id {
+        "E1" => e1_json(),
+        "E2" => e2_json(),
+        "E3" => e3_json(),
+        "E4" => e4_json(),
+        "E5" => e5_json(),
+        "E6" => e6_json(),
+        "E7" => e7_json(),
+        "E8" => e8_json(),
+        other => panic!("unknown experiment `{other}`"),
+    }
+}
+
+/// Writes `BENCH_E1.json` … `BENCH_E8.json` into `dir`, returning the
+/// paths written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_all(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for id in EXPERIMENTS {
+        let path = dir.join(format!("BENCH_{id}.json"));
+        std::fs::write(&path, bench_json(id).to_json_pretty())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_document_has_per_strategy_histograms_and_sites() {
+        let d = bench_json("E3");
+        let text = d.to_json_pretty();
+        let back = tfgc::obs::json::parse(&text).expect("well-formed");
+        let profiles = back.get("profiles").unwrap().as_arr().unwrap();
+        assert_eq!(profiles.len(), Strategy::ALL.len());
+        for p in profiles {
+            let m = p.get("metrics").unwrap();
+            let pause = m.get("pause_ns").unwrap();
+            for q in ["p50", "p90", "p99", "max"] {
+                assert!(pause.get(q).is_some(), "missing {q}");
+            }
+            let sites = m.get("sites").unwrap().as_arr().unwrap();
+            assert!(!sites.is_empty(), "per-site allocation counts present");
+            assert!(sites[0].get("allocs").is_some());
+            assert!(sites[0].get("label").is_some());
+        }
+        // Forced collections mean real pauses were histogrammed.
+        let pause0 = profiles[0].get("metrics").unwrap().get("pause_ns").unwrap();
+        assert!(pause0.get("count").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,17 +1,22 @@
 //! # tfgc-bench — experiment runners
 //!
 //! One function per experiment (E1–E8, see EXPERIMENTS.md), each
-//! returning a rendered text table. The Criterion benches under
-//! `benches/` time the same configurations; the `experiments` binary
-//! prints every table:
+//! returning a rendered text table. The wall-clock benches under
+//! `benches/` ([`timing`]) time the same configurations; the
+//! `experiments` binary prints every table — or, with `--json`, writes
+//! the machine-readable [`export`] documents:
 //!
 //! ```sh
 //! cargo run --release -p tfgc-bench --bin experiments
+//! cargo run --release -p tfgc-bench --bin experiments -- --json
 //! ```
 
 use tfgc::gc::NO_TRACE;
 use tfgc::tasking::{find_fn, run_tasks, SuspendPolicy, TaskConfig};
 use tfgc::{ratio, Compiled, Strategy, Table, VmConfig};
+
+pub mod export;
+pub mod timing;
 
 /// E1 — §1 "more efficient use of heap space": words allocated per
 /// strategy across the workload suite (tagged pays one header word per
@@ -385,7 +390,10 @@ mod tests {
         let s = e1_heap_space();
         assert!(s.contains("churn"));
         // Every workload shows tagged >= tagfree (ratios >= 1).
-        assert!(!s.contains("0.9"), "tagged must not allocate fewer words:\n{s}");
+        assert!(
+            !s.contains("0.9"),
+            "tagged must not allocate fewer words:\n{s}"
+        );
     }
 
     #[test]

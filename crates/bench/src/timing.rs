@@ -1,0 +1,52 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The external Criterion dependency is unavailable in offline builds,
+//! and these targets only need reproducible min/mean timings — every
+//! `[[bench]]` already sets `harness = false`, so each bench is a plain
+//! `fn main()` driving a [`Group`].
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A named group of timed cases printed as `group/case  min .. mean ..`.
+pub struct Group {
+    name: String,
+    iters: u32,
+}
+
+impl Group {
+    /// A group running each case 10 times (after one warmup).
+    pub fn new(name: &str) -> Group {
+        println!("{name}");
+        Group {
+            name: name.to_string(),
+            iters: 10,
+        }
+    }
+
+    /// Overrides the per-case iteration count.
+    #[must_use]
+    pub fn iters(mut self, n: u32) -> Group {
+        self.iters = n.max(1);
+        self
+    }
+
+    /// Times `f`, printing the minimum and mean of the timed runs.
+    pub fn time<T>(&self, id: &str, mut f: impl FnMut() -> T) {
+        black_box(f());
+        let mut best = u128::MAX;
+        let mut total = 0u128;
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            black_box(f());
+            let ns = t.elapsed().as_nanos();
+            best = best.min(ns);
+            total += ns;
+        }
+        let mean = total / u128::from(self.iters);
+        println!(
+            "  {}/{id:<32} min {:>10} ns   mean {:>10} ns",
+            self.name, best, mean
+        );
+    }
+}

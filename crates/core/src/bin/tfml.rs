@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tfml run [OPTS] <file.tfml | -e SRC>     run a program
+//! tfml profile [OPTS] <file | -e SRC>      run + GC/allocation profile
 //! tfml disasm <file | -e SRC>              show bytecode + frame layouts
 //! tfml gcmap [OPTS] <file | -e SRC>        show per-site gc_words/routines
 //! tfml analyze <file | -e SRC>             liveness / GC points / RTTI report
@@ -13,10 +14,14 @@
 //!   --force-gc N     force a collection every N allocations
 //!   --refined        use the closure-flow-refined GC-point analysis
 //!   --stats          print run statistics
+//!   --trace FILE     write a Chrome-trace-event JSONL file (run/profile)
+//!   --metrics FILE   write a JSON metrics document (run/profile)
+//!   --events N       raw events retained for --trace (default 65536)
 //! ```
 
 use std::process::ExitCode;
 use tfgc::gc::NO_TRACE;
+use tfgc::obs::{write_chrome_trace, GcEvent, Obs, RingRecorder};
 use tfgc::{Compiled, Strategy, Table, VmConfig};
 
 fn main() -> ExitCode {
@@ -36,6 +41,9 @@ struct Opts {
     force_gc: Option<u64>,
     refined: bool,
     stats: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+    events: usize,
     source: String,
 }
 
@@ -56,6 +64,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut force_gc = None;
     let mut refined = false;
     let mut stats = false;
+    let mut trace = None;
+    let mut metrics = None;
+    let mut events = 1usize << 16;
     let mut source: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -83,6 +94,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--refined" => refined = true,
             "--stats" => stats = true,
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).ok_or("--trace needs a file path")?.clone());
+            }
+            "--metrics" => {
+                i += 1;
+                metrics = Some(args.get(i).ok_or("--metrics needs a file path")?.clone());
+            }
+            "--events" => {
+                i += 1;
+                events = args
+                    .get(i)
+                    .ok_or("--events needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --events: {e}"))?;
+            }
             "-e" => {
                 i += 1;
                 source = Some(args.get(i).ok_or("-e needs source text")?.clone());
@@ -101,6 +128,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         force_gc,
         refined,
         stats,
+        trace,
+        metrics,
+        events,
         source: source.ok_or("no program given (file path or -e SRC)")?,
     })
 }
@@ -111,8 +141,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
     };
     if cmd == "--help" || cmd == "help" {
         println!(
-            "tfml run|disasm|gcmap|analyze|compare [--strategy S] [--heap N] \
-             [--force-gc N] [--refined] [--stats] <file | -e SRC>"
+            "tfml run|profile|disasm|gcmap|analyze|compare [--strategy S] [--heap N] \
+             [--force-gc N] [--refined] [--stats] [--trace FILE] [--metrics FILE] \
+             [--events N] <file | -e SRC>"
         );
         return Ok(());
     }
@@ -121,6 +152,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     match cmd.as_str() {
         "run" => cmd_run(&compiled, &opts),
+        "profile" => cmd_profile(&compiled, &opts),
         "disasm" => {
             print!("{}", tfgc::ir::display::disasm(&compiled.program));
             Ok(())
@@ -140,14 +172,56 @@ fn vm_config(opts: &Opts) -> VmConfig {
     cfg
 }
 
-fn cmd_run(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
-    let out = if opts.refined {
-        let meta = compiled.metadata_refined(opts.strategy);
-        compiled.run_with_meta(vm_config(opts), meta)
+fn metadata_for(compiled: &Compiled, opts: &Opts) -> tfgc::gc::GcMeta {
+    if opts.refined {
+        compiled.metadata_refined(opts.strategy)
     } else {
-        compiled.run_with(vm_config(opts))
+        compiled.metadata(opts.strategy)
     }
-    .map_err(|e| e.to_string())?;
+}
+
+/// Runs under the options, attaching a ring recorder when `record`.
+fn run_opts(
+    compiled: &Compiled,
+    opts: &Opts,
+    record: bool,
+) -> Result<(tfgc::RunOutcome, Option<RingRecorder>), String> {
+    let meta = metadata_for(compiled, opts);
+    if record {
+        let (out, obs) = compiled
+            .run_observed(vm_config(opts), meta, Obs::ring(opts.events))
+            .map_err(|e| e.to_string())?;
+        Ok((out, obs.into_recorder()))
+    } else {
+        let out = compiled
+            .run_with_meta(vm_config(opts), meta)
+            .map_err(|e| e.to_string())?;
+        Ok((out, None))
+    }
+}
+
+/// Writes the `--trace` / `--metrics` files from a recorded run.
+fn write_exports(compiled: &Compiled, opts: &Opts, rec: &RingRecorder) -> Result<(), String> {
+    if let Some(path) = &opts.trace {
+        let mut events: Vec<GcEvent> = compiled.phases.clone();
+        events.extend(rec.events().iter().cloned());
+        std::fs::write(path, write_chrome_trace(&events))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics {
+        let doc = tfgc::metrics_json(rec, &compiled.program);
+        std::fs::write(path, doc.to_json_pretty())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+fn cmd_run(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
+    let record = opts.trace.is_some() || opts.metrics.is_some();
+    let (out, rec) = run_opts(compiled, opts, record)?;
+    if let Some(rec) = &rec {
+        write_exports(compiled, opts, rec)?;
+    }
     for v in &out.printed {
         println!("{v}");
     }
@@ -166,6 +240,15 @@ fn cmd_run(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
             out.metadata_bytes,
         );
     }
+    Ok(())
+}
+
+fn cmd_profile(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
+    let (out, rec) = run_opts(compiled, opts, true)?;
+    let rec = rec.expect("profile always records");
+    write_exports(compiled, opts, &rec)?;
+    println!("result {}", out.result);
+    print!("{}", tfgc::profile_report(&rec, &compiled.program));
     Ok(())
 }
 
@@ -248,13 +331,7 @@ fn cmd_analyze(compiled: &Compiled) -> Result<(), String> {
 
 fn cmd_compare(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
     let mut t = Table::new(&[
-        "strategy",
-        "result",
-        "words",
-        "GCs",
-        "copied",
-        "tag-ops",
-        "meta B",
+        "strategy", "result", "words", "GCs", "copied", "tag-ops", "meta B",
     ]);
     for s in Strategy::ALL {
         let mut cfg = VmConfig::new(s).heap_words(opts.heap);

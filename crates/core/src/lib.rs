@@ -26,15 +26,18 @@
 //! ```
 
 pub mod pipeline;
+pub mod profile;
 pub mod report;
 
 pub use pipeline::{compile_and_run, CompileError, Compiled};
+pub use profile::{metrics_json, profile_report, site_label};
 pub use report::{ratio, Table};
 
 // Re-export the subsystem layers under stable names.
 pub use tfgc_analysis as analysis;
 pub use tfgc_gc as gc;
 pub use tfgc_ir as ir;
+pub use tfgc_obs as obs;
 pub use tfgc_runtime as runtime;
 pub use tfgc_syntax as syntax;
 pub use tfgc_tasking as tasking;

@@ -2,8 +2,10 @@
 //! GC metadata → execution under a strategy.
 
 use std::fmt;
+use std::time::Instant;
 use tfgc_gc::{Analyses, GcMeta, Strategy};
 use tfgc_ir::{lower_full, IrProgram, RttiInfo};
+use tfgc_obs::{GcEvent, Obs};
 use tfgc_syntax::parse_program;
 use tfgc_types::{elaborate, is_monomorphic, TProgram};
 use tfgc_vm::{run_program, RunOutcome, VmConfig, VmError};
@@ -53,24 +55,58 @@ pub struct Compiled {
     pub program: IrProgram,
     pub rtti: RttiInfo,
     pub analyses: Analyses,
+    /// Per-stage compile timings as [`GcEvent::Phase`] events
+    /// (parse / elaborate / lower / analyses), with `start_ns` relative
+    /// to the start of compilation. Trace exporters prepend these to the
+    /// runtime event stream.
+    pub phases: Vec<GcEvent>,
 }
 
 impl Compiled {
-    /// Runs the full front end on TFML source.
+    /// Runs the full front end on TFML source, timing each stage.
     ///
     /// # Errors
     ///
     /// Returns the first parse, type, or lowering error.
     pub fn compile(src: &str) -> Result<Compiled, CompileError> {
+        let t0 = Instant::now();
         let parsed = parse_program(src)?;
+        let t1 = Instant::now();
         let typed = elaborate(&parsed)?;
+        let t2 = Instant::now();
         let (program, rtti) = lower_full(&typed)?;
+        let t3 = Instant::now();
         let analyses = Analyses::compute(&program);
+        let t4 = Instant::now();
+        let ns = |a: Instant, b: Instant| (b - a).as_nanos() as u64;
+        let phases = vec![
+            GcEvent::Phase {
+                name: "parse",
+                start_ns: 0,
+                dur_ns: ns(t0, t1),
+            },
+            GcEvent::Phase {
+                name: "elaborate",
+                start_ns: ns(t0, t1),
+                dur_ns: ns(t1, t2),
+            },
+            GcEvent::Phase {
+                name: "lower",
+                start_ns: ns(t0, t2),
+                dur_ns: ns(t2, t3),
+            },
+            GcEvent::Phase {
+                name: "analyses",
+                start_ns: ns(t0, t3),
+                dur_ns: ns(t3, t4),
+            },
+        ];
         Ok(Compiled {
             typed,
             program,
             rtti,
             analyses,
+            phases,
         })
     }
 
@@ -97,13 +133,46 @@ impl Compiled {
     /// # Errors
     ///
     /// Propagates VM runtime errors.
-    pub fn run_with_meta(
+    pub fn run_with_meta(&self, cfg: VmConfig, meta: GcMeta) -> Result<RunOutcome, VmError> {
+        let mut vm = tfgc_vm::Vm::with_meta(&self.program, cfg, meta);
+        vm.run()
+    }
+
+    /// Runs with explicit metadata and an attached event sink; the sink
+    /// comes back with everything it recorded during the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM runtime errors (the sink's recordings are lost).
+    pub fn run_observed(
         &self,
         cfg: VmConfig,
         meta: GcMeta,
-    ) -> Result<RunOutcome, VmError> {
+        obs: Obs,
+    ) -> Result<(RunOutcome, Obs), VmError> {
         let mut vm = tfgc_vm::Vm::with_meta(&self.program, cfg, meta);
-        vm.run()
+        vm.obs = obs;
+        let out = vm.run()?;
+        Ok((out, std::mem::take(&mut vm.obs)))
+    }
+
+    /// Runs under `cfg`'s strategy with a [`tfgc_obs::RingRecorder`] of
+    /// `ring_capacity` raw events attached, returning the outcome and
+    /// the recorder (histograms, allocation-site profile, per-collection
+    /// summaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM runtime errors.
+    pub fn run_profiled(
+        &self,
+        cfg: VmConfig,
+        ring_capacity: usize,
+    ) -> Result<(RunOutcome, tfgc_obs::RingRecorder), VmError> {
+        let meta = self.metadata(cfg.strategy);
+        let (out, obs) = self.run_observed(cfg, meta, Obs::ring(ring_capacity))?;
+        let rec = obs.into_recorder().expect("ring sink survives the run");
+        Ok((out, rec))
     }
 
     /// Runs under a strategy with default VM settings.

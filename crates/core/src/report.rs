@@ -27,9 +27,13 @@ impl Table {
         self
     }
 
-    /// Renders the table with aligned columns.
+    /// Renders the table with aligned columns. A zero-column table
+    /// renders as the empty string.
     pub fn render(&self) -> String {
         let ncols = self.header.len();
+        if ncols == 0 {
+            return String::new();
+        }
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for r in &self.rows {
             for (i, c) in r.iter().enumerate() {
@@ -86,6 +90,14 @@ mod tests {
         // Columns align: "value" starts at the same offset everywhere.
         let col = lines[0].find("value").unwrap();
         assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        // Regression: `2 * (ncols - 1)` underflowed for a header-less
+        // table.
+        let t = Table::new(&[]);
+        assert_eq!(t.render(), "");
     }
 
     #[test]

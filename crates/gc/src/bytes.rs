@@ -56,15 +56,7 @@ impl BytePool {
         for (id, def) in prog.data_env.iter() {
             let scheme = data_scheme(id);
             let param_index: HashMap<ParamId, u16> = (0..def.arity)
-                .map(|i| {
-                    (
-                        ParamId {
-                            scheme,
-                            index: i,
-                        },
-                        i as u16,
-                    )
-                })
+                .map(|i| (ParamId { scheme, index: i }, i as u16))
                 .collect();
             let table: Vec<Vec<u32>> = def
                 .ctors
@@ -110,8 +102,8 @@ impl BytePool {
     /// accounts `bytes_read`).
     pub fn parse(&self, pos: u32, bytes_read: &mut u64) -> DescView {
         let mut cur = pos as usize;
-        let view = self.parse_at(&mut cur, bytes_read, true);
-        view
+
+        self.parse_at(&mut cur, bytes_read, true)
     }
 
     fn parse_at(&self, cur: &mut usize, bytes_read: &mut u64, top: bool) -> DescView {
@@ -326,7 +318,10 @@ mod tests {
             DescView::Tuple(fields) => {
                 assert_eq!(fields.len(), 3);
                 assert_eq!(pool.parse(fields[0], &mut n), DescView::Prim);
-                assert!(matches!(pool.parse(fields[1], &mut n), DescView::Data(_, _)));
+                assert!(matches!(
+                    pool.parse(fields[1], &mut n),
+                    DescView::Data(_, _)
+                ));
                 assert_eq!(pool.parse(fields[2], &mut n), DescView::Prim);
             }
             other => panic!("expected tuple, got {other:?}"),

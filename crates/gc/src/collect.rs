@@ -32,6 +32,7 @@ use crate::sx::TypeSx;
 use std::rc::Rc;
 use std::time::Instant;
 use tfgc_ir::{CallSiteId, CtorRep, IrProgram};
+use tfgc_obs::{GcEvent, Obs};
 use tfgc_runtime::{Addr, Encoding, Heap, HeapMode, Word, HEAP_BASE};
 use tfgc_types::DataId;
 
@@ -92,11 +93,29 @@ pub fn collect_tagfree(
     heap: &mut Heap,
     descs: &DescArena,
     stats: &mut GcStats,
+    obs: &mut Obs,
     mut roots: MachineRoots<'_>,
 ) {
     assert_ne!(meta.strategy, Strategy::Tagged, "use collect_tagged");
     let t0 = Instant::now();
     let strategy = meta.strategy;
+    let seq = stats.collections;
+    // Snapshots so CollectionEnd reports this collection's work alone.
+    let frames0 = stats.frames_visited;
+    let routines0 = stats.routine_invocations;
+    let nodes0 = stats.rt_nodes_built;
+    let copied0 = heap.stats.words_copied;
+    let trigger_site = roots
+        .stacks
+        .get(roots.operand_stack)
+        .map_or(0, |sr| sr.current_site.0);
+    obs.emit(|t_ns| GcEvent::CollectionBegin {
+        t_ns,
+        seq,
+        strategy: strategy.name(),
+        trigger_site,
+        heap_used_before: heap.used() as u64,
+    });
     let mut cx = Collector {
         prog,
         heap,
@@ -108,6 +127,8 @@ pub fn collect_tagfree(
         fns: &meta.fns,
         data_variants: &meta.data_variants,
         stats,
+        obs,
+        seq,
         build: RtBuildStats::default(),
         work: Vec::new(),
         enc: Encoding::new(HeapMode::TagFree),
@@ -127,6 +148,15 @@ pub fn collect_tagfree(
     for (ti, sr) in roots.stacks.iter_mut().enumerate() {
         let frames = walk_frames(sr.stack, sr.top_fp, sr.current_site, prog);
         cx.stats.frames_visited += frames.len() as u64;
+        if cx.obs.enabled() {
+            for fr in &frames {
+                cx.obs.emit(|_| GcEvent::FrameVisit {
+                    seq,
+                    fn_id: fr.fn_id.0,
+                    site: fr.site.0,
+                });
+            }
+        }
         let newest_env = match strategy {
             Strategy::AppelPerFn => cx.appel_walk(&frames, sr.stack),
             _ => cx.forward_walk(&frames, sr.stack),
@@ -156,7 +186,18 @@ pub fn collect_tagfree(
     stats.rt_nodes_built += built;
     heap.flip();
     stats.collections += 1;
-    stats.pause_nanos += t0.elapsed().as_nanos();
+    let pause = t0.elapsed().as_nanos() as u64;
+    stats.pause_nanos += pause;
+    obs.emit(|t_ns| GcEvent::CollectionEnd {
+        t_ns,
+        seq,
+        pause_ns: pause,
+        heap_used_after: heap.used() as u64,
+        words_copied: heap.stats.words_copied - copied0,
+        frames_visited: stats.frames_visited - frames0,
+        routine_invocations: stats.routine_invocations - routines0,
+        rt_nodes_built: stats.rt_nodes_built - nodes0,
+    });
 }
 
 struct Collector<'c> {
@@ -170,6 +211,8 @@ struct Collector<'c> {
     fns: &'c [FnGcMeta],
     data_variants: &'c [Vec<Vec<TypeSx>>],
     stats: &'c mut GcStats,
+    obs: &'c mut Obs,
+    seq: u64,
     build: RtBuildStats,
     work: Vec<WorkItem>,
     enc: Encoding,
@@ -253,9 +296,7 @@ impl Collector<'_> {
                 ),
                 None,
             ),
-            CalleePlan::Closure { clos_ty } => {
-                (None, Some(eval_sx(clos_ty, env, &mut self.build)))
-            }
+            CalleePlan::Closure { clos_ty } => (None, Some(eval_sx(clos_ty, env, &mut self.build))),
             CalleePlan::None => (None, None),
         }
     }
@@ -305,6 +346,12 @@ impl Collector<'_> {
         });
         self.stats.routine_invocations += 1;
         let ops = self.routines.routine(rid).ops.clone();
+        let seq = self.seq;
+        self.obs.emit(|_| GcEvent::RoutineRun {
+            seq,
+            site: fr.site.0,
+            ops: ops.len() as u32,
+        });
         for op in ops {
             self.stats.slots_traced += 1;
             match op {
@@ -314,8 +361,7 @@ impl Collector<'_> {
                     stack[idx] = self.reloc(stack[idx], &WTy::Rt(rt));
                 }
                 TraceOp::SlotBytes { slot, pos } => {
-                    let benv: Rc<Vec<WTy>> =
-                        Rc::new(env.iter().cloned().map(WTy::Rt).collect());
+                    let benv: Rc<Vec<WTy>> = Rc::new(env.iter().cloned().map(WTy::Rt).collect());
                     let idx = fr.fp + FRAME_HDR + slot.0 as usize;
                     stack[idx] = self.reloc(stack[idx], &WTy::Bytes { pos, env: benv });
                 }
@@ -349,21 +395,19 @@ impl Collector<'_> {
                             self.enc.ptr(new)
                         }
                     },
-                    TypeRt::Data { data, variants } => {
-                        match self.data_head(w, data) {
-                            DataHead::Imm(w) | DataHead::Done(w) => w,
-                            DataHead::Copied { ctor, rep, new } => {
-                                for (i, f) in variants[ctor].fields.iter().enumerate() {
-                                    self.push(
-                                        new,
-                                        rep.field_offset(i as u16),
-                                        WTy::Rt(RtVal::Ground(*f)),
-                                    );
-                                }
-                                self.enc.ptr(new)
+                    TypeRt::Data { data, variants } => match self.data_head(w, data) {
+                        DataHead::Imm(w) | DataHead::Done(w) => w,
+                        DataHead::Copied { ctor, rep, new } => {
+                            for (i, f) in variants[ctor].fields.iter().enumerate() {
+                                self.push(
+                                    new,
+                                    rep.field_offset(i as u16),
+                                    WTy::Rt(RtVal::Ground(*f)),
+                                );
                             }
+                            self.enc.ptr(new)
                         }
-                    }
+                    },
                     TypeRt::Arrow(_) => self.reloc_closure(w, RtVal::Ground(*id)),
                 }
             }
@@ -418,35 +462,32 @@ impl Collector<'_> {
                             self.enc.ptr(new)
                         }
                     },
-                    DescView::Data(d, arg_positions) => {
-                        match self.data_head(w, d) {
-                            DataHead::Imm(w) | DataHead::Done(w) => w,
-                            DataHead::Copied { ctor, rep, new } => {
-                                let arg_env: Rc<Vec<WTy>> = Rc::new(
-                                    arg_positions
-                                        .iter()
-                                        .map(|p| WTy::Bytes {
-                                            pos: *p,
-                                            env: env.clone(),
-                                        })
-                                        .collect(),
+                    DescView::Data(d, arg_positions) => match self.data_head(w, d) {
+                        DataHead::Imm(w) | DataHead::Done(w) => w,
+                        DataHead::Copied { ctor, rep, new } => {
+                            let arg_env: Rc<Vec<WTy>> = Rc::new(
+                                arg_positions
+                                    .iter()
+                                    .map(|p| WTy::Bytes {
+                                        pos: *p,
+                                        env: env.clone(),
+                                    })
+                                    .collect(),
+                            );
+                            let fields = self.pool.data_fields[d.0 as usize][ctor].clone();
+                            for (i, p) in fields.iter().enumerate() {
+                                self.push(
+                                    new,
+                                    rep.field_offset(i as u16),
+                                    WTy::Bytes {
+                                        pos: *p,
+                                        env: arg_env.clone(),
+                                    },
                                 );
-                                let fields =
-                                    self.pool.data_fields[d.0 as usize][ctor].clone();
-                                for (i, p) in fields.iter().enumerate() {
-                                    self.push(
-                                        new,
-                                        rep.field_offset(i as u16),
-                                        WTy::Bytes {
-                                            pos: *p,
-                                            env: arg_env.clone(),
-                                        },
-                                    );
-                                }
-                                self.enc.ptr(new)
                             }
+                            self.enc.ptr(new)
                         }
-                    }
+                    },
                     DescView::Arrow(a, b) => {
                         let ra = self.wty_to_rt(&WTy::Bytes {
                             pos: a,
@@ -531,6 +572,7 @@ impl Collector<'_> {
         }
         let new = self.heap.copy_out(a, size);
         self.heap.set_forward(a, new);
+        self.copied(a, new, size);
         Head::Copied(new)
     }
 
@@ -564,7 +606,20 @@ impl Collector<'_> {
         let rep = reps[ctor];
         let new = self.heap.copy_out(a, rep.heap_words());
         self.heap.set_forward(a, new);
+        self.copied(a, new, rep.heap_words());
         DataHead::Copied { ctor, rep, new }
+    }
+
+    /// Emits the per-object copy event (survivor attribution feeds on
+    /// these).
+    fn copied(&mut self, from: Addr, to: Addr, words: usize) {
+        let seq = self.seq;
+        self.obs.emit(|_| GcEvent::ObjectCopied {
+            seq,
+            from: from.0,
+            to: to.0,
+            words: words as u32,
+        });
     }
 
     /// Relocates a closure value: follow the code pointer to the
@@ -588,6 +643,7 @@ impl Collector<'_> {
         let size = fm.closure_size as usize;
         let new = self.heap.copy_out(a, size);
         self.heap.set_forward(a, new);
+        self.copied(a, new, size);
 
         if !fm.closure_param_src.is_empty() {
             self.stats.closure_envs_built += 1;
@@ -615,5 +671,9 @@ impl Collector<'_> {
 enum DataHead {
     Imm(Word),
     Done(Word),
-    Copied { ctor: usize, rep: CtorRep, new: Addr },
+    Copied {
+        ctor: usize,
+        rep: CtorRep,
+        new: Addr,
+    },
 }

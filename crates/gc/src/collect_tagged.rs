@@ -16,6 +16,7 @@ use crate::stack::{walk_frames, FRAME_HDR};
 use crate::stats::GcStats;
 use std::time::Instant;
 use tfgc_ir::IrProgram;
+use tfgc_obs::{GcEvent, Obs};
 use tfgc_runtime::{Addr, Encoding, Heap, HeapMode, Word, HEAP_BASE};
 
 use crate::collect::MachineRoots;
@@ -25,15 +26,31 @@ pub fn collect_tagged(
     prog: &IrProgram,
     heap: &mut Heap,
     stats: &mut GcStats,
+    obs: &mut Obs,
     mut roots: MachineRoots<'_>,
 ) {
     let t0 = Instant::now();
+    let seq = stats.collections;
+    let frames0 = stats.frames_visited;
+    let routines0 = stats.routine_invocations;
+    let copied0 = heap.stats.words_copied;
+    let trigger_site = roots
+        .stacks
+        .get(roots.operand_stack)
+        .map_or(0, |sr| sr.current_site.0);
+    obs.emit(|t_ns| GcEvent::CollectionBegin {
+        t_ns,
+        seq,
+        strategy: "tagged",
+        trigger_site,
+        heap_used_before: heap.used() as u64,
+    });
     let enc = Encoding::new(HeapMode::Tagged);
     let mut scan: Vec<(Addr, usize)> = Vec::new();
 
     // Globals.
     for w in roots.globals.iter_mut() {
-        *w = reloc(heap, enc, stats, &mut scan, *w);
+        *w = reloc(heap, enc, stats, obs, seq, &mut scan, *w);
     }
 
     // Every slot of every frame of every task — "every variable in every
@@ -44,17 +61,27 @@ pub fn collect_tagged(
         for fr in &frames {
             stats.routine_invocations += 1;
             let n_slots = prog.fun(fr.fn_id).slots.len();
+            obs.emit(|_| GcEvent::FrameVisit {
+                seq,
+                fn_id: fr.fn_id.0,
+                site: fr.site.0,
+            });
+            obs.emit(|_| GcEvent::RoutineRun {
+                seq,
+                site: fr.site.0,
+                ops: n_slots as u32,
+            });
             for i in 0..n_slots {
                 let idx = fr.fp + FRAME_HDR + i;
                 stats.words_scanned_tagged += 1;
-                sr.stack[idx] = reloc(heap, enc, stats, &mut scan, sr.stack[idx]);
+                sr.stack[idx] = reloc(heap, enc, stats, obs, seq, &mut scan, sr.stack[idx]);
             }
         }
     }
 
     // Pending allocation operands.
     for w in roots.operands.iter_mut() {
-        *w = reloc(heap, enc, stats, &mut scan, *w);
+        *w = reloc(heap, enc, stats, obs, seq, &mut scan, *w);
     }
 
     // Cheney scan of copied objects: fields identify themselves by tag.
@@ -63,14 +90,25 @@ pub fn collect_tagged(
             let off = (i + 1) as u16; // skip the header word
             stats.words_scanned_tagged += 1;
             let w = heap.read(addr, off);
-            let nw = reloc(heap, enc, stats, &mut scan, w);
+            let nw = reloc(heap, enc, stats, obs, seq, &mut scan, w);
             heap.write(addr, off, nw);
         }
     }
 
     heap.flip();
     stats.collections += 1;
-    stats.pause_nanos += t0.elapsed().as_nanos();
+    let pause = t0.elapsed().as_nanos() as u64;
+    stats.pause_nanos += pause;
+    obs.emit(|t_ns| GcEvent::CollectionEnd {
+        t_ns,
+        seq,
+        pause_ns: pause,
+        heap_used_after: heap.used() as u64,
+        words_copied: heap.stats.words_copied - copied0,
+        frames_visited: stats.frames_visited - frames0,
+        routine_invocations: stats.routine_invocations - routines0,
+        rt_nodes_built: 0,
+    });
 }
 
 /// Relocates one tagged word: odd = integer (skip), even = pointer to a
@@ -79,6 +117,8 @@ fn reloc(
     heap: &mut Heap,
     enc: Encoding,
     _stats: &mut GcStats,
+    obs: &mut Obs,
+    seq: u64,
     scan: &mut Vec<(Addr, usize)>,
     w: Word,
 ) -> Word {
@@ -97,6 +137,12 @@ fn reloc(
     let len = heap.read(a, 0) as usize;
     let new = heap.copy_out(a, len + 1);
     heap.set_forward(a, new);
+    obs.emit(|_| GcEvent::ObjectCopied {
+        seq,
+        from: a.0,
+        to: new.0,
+        words: (len + 1) as u32,
+    });
     scan.push((new, len));
     enc.ptr(new)
 }

@@ -153,10 +153,7 @@ impl GroundTable {
                         VariantRt { rep, fields }
                     })
                     .collect();
-                self.rts[id.0 as usize] = TypeRt::Data {
-                    data: *d,
-                    variants,
-                };
+                self.rts[id.0 as usize] = TypeRt::Data { data: *d, variants };
                 id
             }
         }

@@ -32,7 +32,8 @@
 //! let mut meta = GcMeta::build(prog, &analyses, Strategy::Compiled);
 //! let descs = DescArena::new();
 //! let mut stats = GcStats::default();
-//! collect(&mut meta, prog, heap, &descs, &mut stats, MachineRoots {
+//! let mut obs = tfgc_obs::Obs::null(); // or Obs::ring(n) to record events
+//! collect(&mut meta, prog, heap, &descs, &mut stats, &mut obs, MachineRoots {
 //!     stacks: vec![StackRoots { stack, top_fp: 0, current_site: site }],
 //!     globals, operands, operand_stack: 0,
 //! });
@@ -64,19 +65,23 @@ pub use strategy::Strategy;
 pub use sx::TypeSx;
 
 use tfgc_ir::IrProgram;
+use tfgc_obs::Obs;
 use tfgc_runtime::Heap;
 
-/// Runs one collection under the metadata's strategy.
+/// Runs one collection under the metadata's strategy. Collection events
+/// (begin/end, frame visits, routine runs, object copies) flow into
+/// `obs`; pass [`Obs::null`] for an unobserved collection.
 pub fn collect(
     meta: &mut GcMeta,
     prog: &IrProgram,
     heap: &mut Heap,
     descs: &DescArena,
     stats: &mut GcStats,
+    obs: &mut Obs,
     roots: MachineRoots<'_>,
 ) {
     match meta.strategy {
-        Strategy::Tagged => collect_tagged::collect_tagged(prog, heap, stats, roots),
-        _ => collect_tagfree(meta, prog, heap, descs, stats, roots),
+        Strategy::Tagged => collect_tagged::collect_tagged(prog, heap, stats, obs, roots),
+        _ => collect_tagfree(meta, prog, heap, descs, stats, obs, roots),
     }
 }

@@ -16,9 +16,7 @@ use crate::strategy::Strategy;
 use crate::sx::{SxCx, TypeSx};
 use std::collections::HashMap;
 use tfgc_analysis::{GcPoints, InitAnalysis, Liveness, SlotSet};
-use tfgc_ir::{
-    IrProgram, ParamSource, SiteKind, Slot, SlotTy,
-};
+use tfgc_ir::{IrProgram, ParamSource, SiteKind, Slot, SlotTy};
 use tfgc_types::ParamId;
 
 /// The compile-time analyses metadata generation consumes.
@@ -445,10 +443,7 @@ impl GcMeta {
             Strategy::Tagged => 0,
             Strategy::Interpreted => {
                 // Byte pool plus per-site (slot, pos) entries.
-                self.pool.size_bytes()
-                    + self
-                        .routines
-                        .approx_bytes()
+                self.pool.size_bytes() + self.routines.approx_bytes()
             }
             _ => self.routines.approx_bytes() + self.ground.approx_bytes(),
         }

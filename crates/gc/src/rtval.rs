@@ -44,15 +44,10 @@ pub fn eval_sx(sx: &TypeSx, env: &[RtVal], stats: &mut RtBuildStats) -> RtVal {
     match sx {
         TypeSx::Prim => RtVal::Const,
         TypeSx::Ground(id) => RtVal::Ground(*id),
-        TypeSx::Param(i) => env
-            .get(*i as usize)
-            .cloned()
-            .unwrap_or(RtVal::Const),
+        TypeSx::Param(i) => env.get(*i as usize).cloned().unwrap_or(RtVal::Const),
         TypeSx::Tuple(ts) => {
             stats.nodes_built += 1;
-            RtVal::Tuple(Rc::new(
-                ts.iter().map(|t| eval_sx(t, env, stats)).collect(),
-            ))
+            RtVal::Tuple(Rc::new(ts.iter().map(|t| eval_sx(t, env, stats)).collect()))
         }
         TypeSx::Data(d, ts) => {
             stats.nodes_built += 1;
@@ -74,19 +69,13 @@ pub fn eval_sx(sx: &TypeSx, env: &[RtVal], stats: &mut RtBuildStats) -> RtVal {
 /// Extracts the sub-routine at `path` — §3's "the type_gc_routine for x
 /// can be extracted from the closure (see Figure 3)". Ground routines
 /// extract through their retained ground type.
-pub fn extract_path(
-    rt: &RtVal,
-    path: &[u16],
-    prog: &IrProgram,
-    ground: &mut GroundTable,
-) -> RtVal {
+pub fn extract_path(rt: &RtVal, path: &[u16], prog: &IrProgram, ground: &mut GroundTable) -> RtVal {
     let mut cur = rt.clone();
     for (k, step) in path.iter().enumerate() {
         cur = match cur {
-            RtVal::Tuple(fs) | RtVal::Data(_, fs) => fs
-                .get(*step as usize)
-                .cloned()
-                .unwrap_or(RtVal::Const),
+            RtVal::Tuple(fs) | RtVal::Data(_, fs) => {
+                fs.get(*step as usize).cloned().unwrap_or(RtVal::Const)
+            }
             RtVal::Arrow(a, b) => {
                 if *step == 0 {
                     (*a).clone()

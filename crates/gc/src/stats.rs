@@ -1,7 +1,9 @@
 //! Collection-side statistics (experiments E3–E5).
 
-/// Counters accumulated across all collections of a run.
-#[derive(Debug, Clone, Copy, Default)]
+/// Counters accumulated across all collections of a run. All fields are
+/// `u64` so multi-run aggregation ([`GcStats::merge`]) and export stay
+/// uniform; pause totals in nanoseconds fit u64 for ~584 years.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
     /// Collections performed.
     pub collections: u64,
@@ -22,17 +24,44 @@ pub struct GcStats {
     pub desc_bytes_read: u64,
     /// Closure environments reconstructed while tracing closure values.
     pub closure_envs_built: u64,
-    /// Total collection pause time.
-    pub pause_nanos: u128,
+    /// Total collection pause time in nanoseconds.
+    pub pause_nanos: u64,
 }
 
 impl GcStats {
-    /// Mean pause in nanoseconds (0 when no collection ran).
+    /// Mean pause in nanoseconds (0 when no collection ran). Pause
+    /// *distributions* (p50/p90/p99/max) come from the observability
+    /// layer's pause histogram; this mean remains for cheap reporting.
     pub fn mean_pause_nanos(&self) -> f64 {
         if self.collections == 0 {
             0.0
         } else {
             self.pause_nanos as f64 / self.collections as f64
+        }
+    }
+
+    /// Accumulates another run's counters into `self` (multi-run
+    /// profiling).
+    pub fn merge(&mut self, other: &GcStats) {
+        self.collections += other.collections;
+        self.frames_visited += other.frames_visited;
+        self.routine_invocations += other.routine_invocations;
+        self.slots_traced += other.slots_traced;
+        self.words_scanned_tagged += other.words_scanned_tagged;
+        self.rt_nodes_built += other.rt_nodes_built;
+        self.chain_steps += other.chain_steps;
+        self.desc_bytes_read += other.desc_bytes_read;
+        self.closure_envs_built += other.closure_envs_built;
+        self.pause_nanos += other.pause_nanos;
+    }
+
+    /// A copy with the wall-clock-dependent field zeroed — the
+    /// deterministic part, comparable across repeated runs (used by the
+    /// observability differential tests).
+    pub fn deterministic(&self) -> GcStats {
+        GcStats {
+            pause_nanos: 0,
+            ..*self
         }
     }
 }
@@ -50,5 +79,52 @@ mod tests {
             ..GcStats::default()
         };
         assert_eq!(s.mean_pause_nanos(), 100.0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = GcStats {
+            collections: 1,
+            frames_visited: 2,
+            routine_invocations: 3,
+            slots_traced: 4,
+            words_scanned_tagged: 5,
+            rt_nodes_built: 6,
+            chain_steps: 7,
+            desc_bytes_read: 8,
+            closure_envs_built: 9,
+            pause_nanos: 10,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            GcStats {
+                collections: 2,
+                frames_visited: 4,
+                routine_invocations: 6,
+                slots_traced: 8,
+                words_scanned_tagged: 10,
+                rt_nodes_built: 12,
+                chain_steps: 14,
+                desc_bytes_read: 16,
+                closure_envs_built: 18,
+                pause_nanos: 20,
+            }
+        );
+    }
+
+    #[test]
+    fn deterministic_drops_only_pause() {
+        let a = GcStats {
+            collections: 3,
+            pause_nanos: 999,
+            slots_traced: 7,
+            ..GcStats::default()
+        };
+        let d = a.deterministic();
+        assert_eq!(d.pause_nanos, 0);
+        assert_eq!(d.collections, 3);
+        assert_eq!(d.slots_traced, 7);
     }
 }

@@ -65,18 +65,23 @@ impl Strategy {
             Strategy::Compiled | Strategy::CompiledNoLiveness | Strategy::Interpreted
         )
     }
-}
 
-impl fmt::Display for Strategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable short name (CLI `--strategy` values, JSON exports, event
+    /// labels). [`fmt::Display`] renders the same string.
+    pub fn name(self) -> &'static str {
+        match self {
             Strategy::Compiled => "compiled",
             Strategy::CompiledNoLiveness => "compiled-nolive",
             Strategy::Interpreted => "interpreted",
             Strategy::AppelPerFn => "appel",
             Strategy::Tagged => "tagged",
-        };
-        write!(f, "{s}")
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 

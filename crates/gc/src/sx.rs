@@ -30,9 +30,7 @@ impl TypeSx {
     /// Approximate metadata size in bytes (one word per node).
     pub fn approx_bytes(&self) -> usize {
         8 + match self {
-            TypeSx::Tuple(ts) | TypeSx::Data(_, ts) => {
-                ts.iter().map(TypeSx::approx_bytes).sum()
-            }
+            TypeSx::Tuple(ts) | TypeSx::Data(_, ts) => ts.iter().map(TypeSx::approx_bytes).sum(),
             TypeSx::Arrow(a, b) => a.approx_bytes() + b.approx_bytes(),
             _ => 0,
         }

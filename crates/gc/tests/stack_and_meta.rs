@@ -4,7 +4,7 @@
 use tfgc_gc::{
     pack_ret, walk_frames, Analyses, GcMeta, Strategy, FRAME_HDR, MAIN_RET, NO_FP, NO_TRACE,
 };
-use tfgc_ir::{lower, CallSiteId, IrProgram, Slot};
+use tfgc_ir::{lower, IrProgram, Slot};
 use tfgc_syntax::parse_program;
 use tfgc_types::elaborate;
 
@@ -55,15 +55,15 @@ fn walk_frames_decodes_a_hand_built_chain() {
     // main
     stack.push(NO_FP);
     stack.push(MAIN_RET);
-    stack.extend(std::iter::repeat(0).take(main_slots));
+    stack.extend(std::iter::repeat_n(0, main_slots));
     let f_fp = stack.len();
     stack.push(0); // saved fp = main's base
     stack.push(pack_ret(site_main_f.id, Slot(0)));
-    stack.extend(std::iter::repeat(0).take(f_slots));
+    stack.extend(std::iter::repeat_n(0, f_slots));
     let g_fp = stack.len();
     stack.push(f_fp as u64);
     stack.push(pack_ret(site_f_g.id, Slot(0)));
-    stack.extend(std::iter::repeat(0).take(g_slots));
+    stack.extend(std::iter::repeat_n(0, g_slots));
 
     let frames = walk_frames(&stack, g_fp, site_alloc.id, &p);
     assert_eq!(frames.len(), 3);
@@ -80,13 +80,14 @@ fn walk_frames_decodes_a_hand_built_chain() {
 
 #[test]
 fn multi_task_metadata_keeps_every_gc_word() {
-    let p = compile(
-        "fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib 10",
-    );
+    let p = compile("fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) ; fib 10");
     let an = Analyses::compute(&p);
     let seq = GcMeta::build(&p, &an, Strategy::Compiled);
     let multi = GcMeta::build_multi_task(&p, &an, Strategy::Compiled);
-    assert!(seq.omitted_gc_words() > 0, "sequential omits fib's gc_words");
+    assert!(
+        seq.omitted_gc_words() > 0,
+        "sequential omits fib's gc_words"
+    );
     assert_eq!(multi.omitted_gc_words(), 0, "multi-task keeps them all");
 }
 

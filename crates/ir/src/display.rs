@@ -71,12 +71,9 @@ fn disasm_instr(p: &IrProgram, ins: &Instr) -> String {
             format!("if s{} not {name} jump {target}", obj.0)
         }
         Instr::GetField(d, o, i) => format!("s{} <- s{}[{i}]", d.0, o.0),
-        Instr::MakeTuple { dst, elems, site } => format!(
-            "s{} <- tuple({}) @site{}",
-            dst.0,
-            slots(elems),
-            site.0
-        ),
+        Instr::MakeTuple { dst, elems, site } => {
+            format!("s{} <- tuple({}) @site{}", dst.0, slots(elems), site.0)
+        }
         Instr::MakeData {
             dst,
             data,
@@ -100,7 +97,10 @@ fn disasm_instr(p: &IrProgram, ins: &Instr) -> String {
             site.0
         ),
         Instr::EvalDesc { dst, template } => {
-            format!("s{} <- desc {}", dst.0, p.desc_templates[template.0 as usize])
+            format!(
+                "s{} <- desc {}",
+                dst.0, p.desc_templates[template.0 as usize]
+            )
         }
         Instr::CallDirect { dst, f, args, site } => format!(
             "s{} <- call {}({}) @site{}",
@@ -114,7 +114,10 @@ fn disasm_instr(p: &IrProgram, ins: &Instr) -> String {
             clos,
             arg,
             site,
-        } => format!("s{} <- callclos s{}(s{}) @site{}", dst.0, clos.0, arg.0, site.0),
+        } => format!(
+            "s{} <- callclos s{}(s{}) @site{}",
+            dst.0, clos.0, arg.0, site.0
+        ),
         Instr::Return(s) => format!("return s{}", s.0),
         Instr::Print(s) => format!("print s{}", s.0),
         Instr::MatchFail => "matchfail".to_string(),

@@ -31,9 +31,7 @@ pub mod lower;
 pub mod program;
 pub mod rtti;
 
-pub use instr::{
-    ArithOp, CallSiteId, CmpOp, DescTemplateId, FnId, GlobalId, Instr, Slot, SlotTy,
-};
+pub use instr::{ArithOp, CallSiteId, CmpOp, DescTemplateId, FnId, GlobalId, Instr, Slot, SlotTy};
 pub use lower::{lower, lower_full, LowerError, LowerResult};
 pub use program::{
     compute_ctor_reps, CallSite, CtorRep, FnKind, GlobalInfo, IrFun, IrProgram, ParamSource,
@@ -111,23 +109,21 @@ mod tests {
             .count();
         assert_eq!(conses, 2);
         // Nil is an immediate load, not an allocation.
-        assert!(main
-            .code
-            .iter()
-            .any(|i| matches!(i, Instr::LoadInt(_, 0))));
+        assert!(main.code.iter().any(|i| matches!(i, Instr::LoadInt(_, 0))));
     }
 
     #[test]
     fn case_compiles_to_tag_tests() {
-        let p = compile(
-            "fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ; len [1, 2, 3]",
-        );
+        let p = compile("fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ; len [1, 2, 3]");
         let len = fun_by_name(&p, "len");
         assert!(len
             .code
             .iter()
             .any(|i| matches!(i, Instr::BranchTagNe { .. })));
-        assert!(len.code.iter().any(|i| matches!(i, Instr::GetField(_, _, 1))));
+        assert!(len
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::GetField(_, _, 1))));
     }
 
     #[test]
@@ -177,8 +173,7 @@ mod tests {
             .iter()
             .find_map(|s| match &s.kind {
                 SiteKind::Direct { callee, theta }
-                    if s.fn_id != p.main
-                        && p.funs[callee.0 as usize].name.starts_with("len") =>
+                    if s.fn_id != p.main && p.funs[callee.0 as usize].name.starts_with("len") =>
                 {
                     Some(theta.clone())
                 }

@@ -24,10 +24,10 @@ use crate::program::*;
 use crate::rtti::{Creation, RttiInfo};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use tfgc_syntax::Span;
 use tfgc_types::{
     ParamId, SchemeId, TExpr, TExprKind, TFun, TLetBind, TPat, TPatKind, TProgram, Type,
 };
-use tfgc_syntax::Span;
 
 /// An error produced during lowering (capacity limits or internal
 /// invariant violations surfaced as errors rather than panics).
@@ -307,9 +307,8 @@ impl Fb {
     /// Patches labels; the caller assembles the final `IrFun`.
     fn patch(&mut self) -> LowerResult<()> {
         for (pc, l) in std::mem::take(&mut self.patches) {
-            let target = self.labels[l as usize].ok_or_else(|| {
-                LowerError::new(self.span, "internal error: unbound label")
-            })?;
+            let target = self.labels[l as usize]
+                .ok_or_else(|| LowerError::new(self.span, "internal error: unbound label"))?;
             match &mut self.code[pc] {
                 Instr::Jump(t)
                 | Instr::BranchFalse(_, t)
@@ -442,10 +441,7 @@ impl<'a> Lowerer<'a> {
         f: &TFun,
         extras: &[(String, Type)],
     ) -> LowerResult<IrFun> {
-        let arrow = Type::arrow_n(
-            f.params.iter().map(|(_, t)| t.clone()),
-            f.ret.clone(),
-        );
+        let arrow = Type::arrow_n(f.params.iter().map(|(_, t)| t.clone()), f.ret.clone());
         let mut fb = Fb::new(
             id,
             f.name.clone(),
@@ -628,8 +624,7 @@ impl<'a> Lowerer<'a> {
                         for a in args {
                             fields.push(self.lower_expr(fb, a)?);
                         }
-                        let operand_tys =
-                            args.iter().map(|a| SlotTy::Val(a.ty.clone())).collect();
+                        let operand_tys = args.iter().map(|a| SlotTy::Val(a.ty.clone())).collect();
                         let d = fb.val_slot(e.ty.clone())?;
                         let site = self.new_site(fb, SiteKind::Alloc { operand_tys });
                         fb.emit(Instr::MakeData {
@@ -759,8 +754,7 @@ impl<'a> Lowerer<'a> {
         let (base, apps) = collect_spine(e);
         // Builtin print in call position.
         if let TExprKind::Var { name, .. } = &base.kind {
-            if name == "print" && fb.local(name).is_none() && !self.global_locs.contains_key(name)
-            {
+            if name == "print" && fb.local(name).is_none() && !self.global_locs.contains_key(name) {
                 let (arg, _) = apps[0];
                 let a = self.lower_expr(fb, arg)?;
                 fb.emit(Instr::Print(a));
@@ -865,9 +859,7 @@ impl<'a> Lowerer<'a> {
                 )
             })?;
             captures.push(s);
-            operand_tys.push(SlotTy::Val(
-                expand_inst_ty(ty, meta.scheme_id, inst),
-            ));
+            operand_tys.push(SlotTy::Val(expand_inst_ty(ty, meta.scheme_id, inst)));
         }
         let fields = self.desc_fields_of(w0);
         let descs = self.emit_desc_args(fb, &fields, meta.scheme_id, inst)?;
@@ -1420,8 +1412,7 @@ fn is_irrefutable(tp: &TProgram, pat: &TPat) -> bool {
         TPatKind::Int(_) | TPatKind::Bool(_) => false,
         TPatKind::Tuple(ps) => ps.iter().all(|p| is_irrefutable(tp, p)),
         TPatKind::Ctor { data, args, .. } => {
-            tp.data_env.def(*data).ctors.len() == 1
-                && args.iter().all(|p| is_irrefutable(tp, p))
+            tp.data_env.def(*data).ctors.len() == 1 && args.iter().all(|p| is_irrefutable(tp, p))
         }
     }
 }

@@ -1,8 +1,8 @@
 //! Compiled program representation: functions, frame layouts, call sites.
 
 use crate::instr::{CallSiteId, DescTemplateId, FnId, GlobalId, Instr, Slot, SlotTy};
-use tfgc_types::{DataEnv, DataId, ParamId, SchemeId, Type};
 use tfgc_syntax::Span;
+use tfgc_types::{DataEnv, DataId, ParamId, SchemeId, Type};
 
 /// Values below this limit are immediate constructor representations (a
 /// nullary constructor's tag, a bool, unit); heap indices start at or above
@@ -302,10 +302,7 @@ impl IrProgram {
                 }
             }
             if f.frame_params.len() != f.param_source.len() {
-                return Err(format!(
-                    "function {}: param_source length mismatch",
-                    f.name
-                ));
+                return Err(format!("function {}: param_source length mismatch", f.name));
             }
             // Last instruction must terminate.
             match f.code.last() {

@@ -80,9 +80,7 @@ impl RttiInfo {
                 f.frame_params
                     .iter()
                     .copied()
-                    .filter(|q| {
-                        !recoverable[i].contains(q) && !opaque_schemes.contains(&q.scheme)
-                    })
+                    .filter(|q| !recoverable[i].contains(q) && !opaque_schemes.contains(&q.scheme))
                     .collect()
             })
             .collect();

@@ -24,19 +24,10 @@ fn three_arg_wrapper_chain() {
          let val f = add3 1 in let val g = f 2 in g 3 end end",
     );
     // Wrappers for k = 0 (value use of `add3 1` applies one arg to w0)...
-    let wrappers = p
-        .funs
-        .iter()
-        .filter(|f| f.name.starts_with("wrap"))
-        .count();
+    let wrappers = p.funs.iter().filter(|f| f.name.starts_with("wrap")).count();
     assert!(wrappers >= 2, "expected a wrapper chain, got {wrappers}");
     // The last wrapper calls add3 directly with 3 args (plus no extras).
-    let last = p
-        .funs
-        .iter()
-        .filter(|f| f.name.starts_with("wrap"))
-        .last()
-        .unwrap();
+    let last = p.funs.iter().rfind(|f| f.name.starts_with("wrap")).unwrap();
     assert!(last
         .code
         .iter()
@@ -217,11 +208,7 @@ fn transitive_rtti_propagation() {
                (outer 1) 2";
     let (p, rtti) = lower_full(&elaborate(&parse_program(src).unwrap()).unwrap()).unwrap();
     assert!(rtti.total_desc_fields() >= 2, "konst closure + transitive");
-    let outer = p
-        .funs
-        .iter()
-        .find(|f| f.name.starts_with("outer"))
-        .unwrap();
+    let outer = p.funs.iter().find(|f| f.name.starts_with("outer")).unwrap();
     // outer's body must evaluate a descriptor to call konst.
     assert!(outer
         .code
@@ -239,9 +226,7 @@ fn disasm_round_trips_every_instruction_shape() {
          (print (area (Rect (2, 3))); (1, apply (fn v => ~v) (case g of [] => 0 | x :: _ => x)))",
     );
     let text = tfgc_ir::display::disasm(&p);
-    for needle in [
-        "call", "closure", "tuple", "print", "global", "jump", "neg",
-    ] {
+    for needle in ["call", "closure", "tuple", "print", "global", "jump", "neg"] {
         assert!(text.contains(needle), "disasm lacks `{needle}`:\n{text}");
     }
 }

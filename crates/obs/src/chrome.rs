@@ -1,0 +1,236 @@
+//! Chrome trace-event export.
+//!
+//! Produces the Trace Event JSON Array Format that `chrome://tracing`
+//! and Perfetto load. Chrome's parser explicitly tolerates a missing
+//! closing `]` and a trailing comma, so the writer emits the opening
+//! bracket and then **one complete JSON object per line** — the file is
+//! loadable as a trace and simultaneously consumable line-by-line
+//! (strip the `[` header line and any trailing comma and each line
+//! parses as JSON).
+//!
+//! Mapping:
+//! * collections and pipeline phases → complete (`"ph": "X"`) duration
+//!   events on the GC/compile tracks;
+//! * allocations and task park/resume → instant (`"ph": "i"`) events;
+//! * frame visits, routine runs, and object copies are deliberately not
+//!   exported (volume) — their aggregates live in the metrics document.
+
+use crate::event::GcEvent;
+use crate::json::Json;
+use std::collections::HashMap;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn trace_line(
+    name: &str,
+    cat: &str,
+    ph: &str,
+    ts_us: f64,
+    dur_us: Option<f64>,
+    args: Json,
+) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::str(name)),
+        ("cat".to_string(), Json::str(cat)),
+        ("ph".to_string(), Json::str(ph)),
+        ("ts".to_string(), Json::Num(ts_us)),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("tid".to_string(), Json::Num(1.0)),
+    ];
+    if let Some(d) = dur_us {
+        pairs.insert(4, ("dur".to_string(), Json::Num(d)));
+    }
+    if ph == "i" {
+        // Instant events need a scope; thread scope keeps them small.
+        pairs.push(("s".to_string(), Json::str("t")));
+    }
+    pairs.push(("args".to_string(), args));
+    Json::Obj(pairs)
+}
+
+/// Renders `events` as a Chrome-loadable trace. Returns the full file
+/// contents.
+pub fn write_chrome_trace(events: &[GcEvent]) -> String {
+    let mut out = String::from("[\n");
+    // Collection begin timestamps, for pairing with their ends.
+    let mut begins: HashMap<u64, (u64, &'static str)> = HashMap::new();
+    for ev in events {
+        let line = match *ev {
+            GcEvent::CollectionBegin {
+                t_ns,
+                seq,
+                strategy,
+                ..
+            } => {
+                begins.insert(seq, (t_ns, strategy));
+                None
+            }
+            GcEvent::CollectionEnd {
+                t_ns,
+                seq,
+                pause_ns,
+                heap_used_after,
+                words_copied,
+                frames_visited,
+                ..
+            } => {
+                let (start, strategy) = begins
+                    .remove(&seq)
+                    .unwrap_or((t_ns.saturating_sub(pause_ns), "?"));
+                Some(trace_line(
+                    &format!("gc #{seq}"),
+                    "gc",
+                    "X",
+                    us(start),
+                    Some(us(pause_ns)),
+                    Json::obj([
+                        ("strategy", Json::str(strategy)),
+                        ("words_copied", Json::from(words_copied)),
+                        ("heap_used_after", Json::from(heap_used_after)),
+                        ("frames_visited", Json::from(frames_visited)),
+                    ]),
+                ))
+            }
+            GcEvent::Alloc {
+                t_ns, site, words, ..
+            } => Some(trace_line(
+                "alloc",
+                "alloc",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([("site", Json::from(site)), ("words", Json::from(words))]),
+            )),
+            GcEvent::TaskParked { t_ns, task, site } => Some(trace_line(
+                &format!("park t{task}"),
+                "task",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([("task", Json::from(task)), ("site", Json::from(site))]),
+            )),
+            GcEvent::TaskResumed { t_ns, task } => Some(trace_line(
+                &format!("resume t{task}"),
+                "task",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([("task", Json::from(task))]),
+            )),
+            GcEvent::Phase {
+                name,
+                start_ns,
+                dur_ns,
+            } => Some(trace_line(
+                name,
+                "compile",
+                "X",
+                us(start_ns),
+                Some(us(dur_ns)),
+                Json::obj([]),
+            )),
+            GcEvent::FrameVisit { .. }
+            | GcEvent::RoutineRun { .. }
+            | GcEvent::ObjectCopied { .. } => None,
+        };
+        if let Some(l) = line {
+            out.push_str(&l.to_json());
+            out.push_str(",\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_events() -> Vec<GcEvent> {
+        vec![
+            GcEvent::Phase {
+                name: "parse",
+                start_ns: 0,
+                dur_ns: 5_000,
+            },
+            GcEvent::Alloc {
+                t_ns: 10_000,
+                site: 3,
+                words: 4,
+                addr: 0x1000,
+            },
+            GcEvent::CollectionBegin {
+                t_ns: 20_000,
+                seq: 0,
+                strategy: "compiled",
+                trigger_site: 3,
+                heap_used_before: 64,
+            },
+            GcEvent::ObjectCopied {
+                seq: 0,
+                from: 0x1000,
+                to: 0x9000,
+                words: 4,
+            },
+            GcEvent::CollectionEnd {
+                t_ns: 45_000,
+                seq: 0,
+                pause_ns: 25_000,
+                heap_used_after: 4,
+                words_copied: 4,
+                frames_visited: 2,
+                routine_invocations: 2,
+                rt_nodes_built: 0,
+            },
+            GcEvent::TaskParked {
+                t_ns: 50_000,
+                task: 1,
+                site: 3,
+            },
+            GcEvent::TaskResumed {
+                t_ns: 60_000,
+                task: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_line_is_json_and_the_array_loads() {
+        let text = write_chrome_trace(&sample_events());
+        assert!(text.starts_with("[\n"));
+        // Line-wise: each non-bracket line is a complete JSON object.
+        let mut n = 0;
+        for line in text.lines().skip(1) {
+            let line = line.trim_end_matches(',');
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(v.get("ph").is_some());
+            assert!(v.get("ts").is_some());
+            n += 1;
+        }
+        // Phase + alloc + gc + park + resume (copies/frames not emitted).
+        assert_eq!(n, 5);
+        // Whole-file: closing the array makes it strict JSON, as
+        // Chrome's tolerant parser effectively does.
+        let closed = format!("{}]", text.trim_end().trim_end_matches(','));
+        let doc = json::parse(&closed).expect("array form parses");
+        assert_eq!(doc.as_arr().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn gc_duration_event_pairs_begin_end() {
+        let text = write_chrome_trace(&sample_events());
+        let gc_line = text
+            .lines()
+            .find(|l| l.contains("\"gc #0\""))
+            .expect("gc event present");
+        let v = json::parse(gc_line.trim_end_matches(',')).unwrap();
+        assert_eq!(v.get("ph").unwrap(), &Json::str("X"));
+        assert_eq!(v.get("ts").unwrap().as_f64(), Some(20.0)); // µs
+        assert_eq!(v.get("dur").unwrap().as_f64(), Some(25.0)); // µs
+    }
+}

@@ -1,0 +1,115 @@
+//! Structured runtime events.
+//!
+//! Identifiers are raw integers (`CallSiteId.0`, `FnId.0`, thread
+//! indexes) so this crate sits below every runtime crate in the
+//! dependency graph. Timestamps are nanoseconds since the owning
+//! [`crate::Obs`] was created; they never feed back into program
+//! behavior, only into exported traces.
+
+/// One observable runtime occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcEvent {
+    /// A collection is starting. `seq` numbers collections from 0 within
+    /// a run; `strategy` is the collector's display name.
+    CollectionBegin {
+        t_ns: u64,
+        seq: u64,
+        strategy: &'static str,
+        /// The call/allocation site the triggering task is suspended at.
+        trigger_site: u32,
+        /// From-space words in use when the collection started.
+        heap_used_before: u64,
+    },
+    /// The matching end of `CollectionBegin { seq }`.
+    CollectionEnd {
+        t_ns: u64,
+        seq: u64,
+        pause_ns: u64,
+        /// Live words after the flip.
+        heap_used_after: u64,
+        /// Words copied by this collection alone.
+        words_copied: u64,
+        /// Activation records visited by this collection alone.
+        frames_visited: u64,
+        /// Frame-routine invocations by this collection alone.
+        routine_invocations: u64,
+        /// type_gc_routine closure nodes built by this collection alone
+        /// (§3's metadata-construction cost).
+        rt_nodes_built: u64,
+    },
+    /// The collector visited one activation record.
+    FrameVisit { seq: u64, fn_id: u32, site: u32 },
+    /// The collector ran the frame routine selected by a site's gc_word.
+    RoutineRun { seq: u64, site: u32, ops: u32 },
+    /// The collector copied one object to to-space. `from`/`to` are
+    /// absolute heap addresses; `words` is the copied size including any
+    /// header/discriminant words.
+    ObjectCopied {
+        seq: u64,
+        from: u64,
+        to: u64,
+        words: u32,
+    },
+    /// The mutator allocated an object. `words` is the total footprint
+    /// (payload plus header words, where the encoding has them); `addr`
+    /// is the object's absolute address, used for survivor attribution.
+    Alloc {
+        t_ns: u64,
+        site: u32,
+        words: u32,
+        addr: u64,
+    },
+    /// A task parked at a safe point for a pending collection (§4).
+    TaskParked { t_ns: u64, task: u32, site: u32 },
+    /// A parked task resumed after a collection.
+    TaskResumed { t_ns: u64, task: u32 },
+    /// A front-end pipeline phase (parse, elaborate, lower, analyze) or
+    /// metadata build, with its start offset and duration.
+    Phase {
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+    },
+}
+
+impl GcEvent {
+    /// A short stable name for the event kind (trace/export labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GcEvent::CollectionBegin { .. } => "collection_begin",
+            GcEvent::CollectionEnd { .. } => "collection_end",
+            GcEvent::FrameVisit { .. } => "frame_visit",
+            GcEvent::RoutineRun { .. } => "routine_run",
+            GcEvent::ObjectCopied { .. } => "object_copied",
+            GcEvent::Alloc { .. } => "alloc",
+            GcEvent::TaskParked { .. } => "task_parked",
+            GcEvent::TaskResumed { .. } => "task_resumed",
+            GcEvent::Phase { .. } => "phase",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let evs = [
+            GcEvent::FrameVisit {
+                seq: 0,
+                fn_id: 0,
+                site: 0,
+            },
+            GcEvent::RoutineRun {
+                seq: 0,
+                site: 0,
+                ops: 0,
+            },
+            GcEvent::TaskResumed { t_ns: 0, task: 0 },
+        ];
+        let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
+        kinds.dedup();
+        assert_eq!(kinds.len(), evs.len());
+    }
+}

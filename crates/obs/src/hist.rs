@@ -1,0 +1,232 @@
+//! Log₂-bucketed histograms.
+//!
+//! Replaces single-mean reporting (`GcStats::mean_pause_nanos`) with a
+//! distribution: 65 buckets, where bucket 0 holds the value 0 and bucket
+//! `k ≥ 1` holds values in `[2^(k-1), 2^k)`. Quantiles are resolved to a
+//! bucket's upper bound, so p99 of nanosecond pauses is accurate to a
+//! factor of two — enough to distinguish a 10µs pause regime from a 1ms
+//! one, which is what the perf trajectory needs.
+
+/// A fixed-size log₂ histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; 65],
+    total: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; 65],
+            total: 0,
+            max: 0,
+            sum: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+        self.sum += u128::from(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The non-zero buckets as `(upper_bound, count)` pairs. Bucket 0's
+    /// upper bound is 0; bucket `k`'s is `2^k - 1`.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(k, c)| (upper_bound(k), *c))
+            .collect()
+    }
+
+    /// The value below which a fraction `q` of samples fall, resolved to
+    /// the containing bucket's upper bound (exact for the max). Returns 0
+    /// for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket's bound can exceed the true max; clamp.
+                return upper_bound(k).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`] for resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self` (multi-run aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+}
+
+fn upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn buckets_split_at_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        // 0 | 1 | 2,3 | 4..7 | 8 | 1024 — six distinct buckets.
+        assert_eq!(h.buckets().len(), 6);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert_eq!(h.quantile(1.0), 999);
+    }
+
+    #[test]
+    fn single_sample_quantiles_hit_its_bucket() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.p50(), 1_000_000); // clamped to max
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_is_sum() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 2, 3] {
+            a.record(v);
+        }
+        for v in [100, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 200);
+        let bucket_sum: u64 = a.buckets().iter().map(|(_, c)| c).sum();
+        assert_eq!(bucket_sum, 5);
+    }
+
+    /// Property: for any sample set, bucket counts sum to the number of
+    /// recorded events, and every sample lands in a bucket whose bound
+    /// is >= the sample. Driven by a tiny deterministic LCG (external
+    /// property-test crates are unavailable offline).
+    #[test]
+    fn prop_bucket_counts_sum_to_events() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _case in 0..200 {
+            let n = (next() % 64) as usize;
+            let mut h = Histogram::new();
+            let mut samples = Vec::new();
+            for _ in 0..n {
+                // Mix magnitudes: shift by a random amount.
+                let v = next() >> (next() % 64);
+                h.record(v);
+                samples.push(v);
+            }
+            assert_eq!(h.count(), n as u64);
+            let bucket_sum: u64 = h.buckets().iter().map(|(_, c)| c).sum();
+            assert_eq!(bucket_sum, n as u64, "bucket counts must sum to events");
+            assert_eq!(h.max(), samples.iter().copied().max().unwrap_or(0));
+            if n > 0 {
+                assert!(h.quantile(1.0) <= h.max());
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The standard in-memory recorder: a bounded ring of raw events plus
+//! exact cumulative aggregates.
+
+use crate::event::GcEvent;
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::sink::GcEventSink;
+use crate::sites::SiteTable;
+use std::collections::VecDeque;
+
+/// Everything one collection did (kept for all collections — runs have
+/// few of them, unlike allocations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectionSummary {
+    pub seq: u64,
+    pub trigger_site: u32,
+    pub heap_used_before: u64,
+    pub heap_used_after: u64,
+    pub words_copied: u64,
+    pub pause_ns: u64,
+    pub frames_visited: u64,
+    pub routine_invocations: u64,
+    pub rt_nodes_built: u64,
+}
+
+/// Records events into a bounded ring and maintains aggregates over the
+/// complete event stream: a pause-time histogram, an allocation-size
+/// histogram, per-call-site allocation/survivor profiles, and one
+/// summary per collection.
+#[derive(Debug, Clone, Default)]
+pub struct RingRecorder {
+    capacity: usize,
+    events: VecDeque<GcEvent>,
+    /// Events discarded because the ring was full.
+    dropped: u64,
+    pause_hist: Histogram,
+    alloc_hist: Histogram,
+    sites: SiteTable,
+    collections: Vec<CollectionSummary>,
+    /// Collection in progress (between Begin and End).
+    open: Option<CollectionSummary>,
+    strategy: Option<&'static str>,
+}
+
+impl RingRecorder {
+    /// A recorder keeping at most `capacity` raw events.
+    pub fn new(capacity: usize) -> RingRecorder {
+        RingRecorder {
+            capacity,
+            ..RingRecorder::default()
+        }
+    }
+
+    /// Maximum raw events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained raw events, oldest first.
+    pub fn events(&self) -> &VecDeque<GcEvent> {
+        &self.events
+    }
+
+    /// Events discarded because the ring was full. Aggregates still
+    /// include them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Pause-time distribution in nanoseconds, one sample per
+    /// collection.
+    pub fn pause_hist(&self) -> &Histogram {
+        &self.pause_hist
+    }
+
+    /// Allocation-size distribution in words, one sample per allocation.
+    pub fn alloc_hist(&self) -> &Histogram {
+        &self.alloc_hist
+    }
+
+    /// Per-call-site allocation/survivor profiles.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    /// One summary per completed collection, in order.
+    pub fn collections(&self) -> &[CollectionSummary] {
+        &self.collections
+    }
+
+    /// The strategy name seen on collection events, if any collection
+    /// ran.
+    pub fn strategy(&self) -> Option<&'static str> {
+        self.strategy
+    }
+
+    fn aggregate(&mut self, ev: &GcEvent) {
+        match *ev {
+            GcEvent::CollectionBegin {
+                seq,
+                strategy,
+                trigger_site,
+                heap_used_before,
+                ..
+            } => {
+                self.strategy = Some(strategy);
+                self.sites.on_collection_begin();
+                self.open = Some(CollectionSummary {
+                    seq,
+                    trigger_site,
+                    heap_used_before,
+                    ..CollectionSummary::default()
+                });
+            }
+            GcEvent::CollectionEnd {
+                seq,
+                pause_ns,
+                heap_used_after,
+                words_copied,
+                frames_visited,
+                routine_invocations,
+                rt_nodes_built,
+                ..
+            } => {
+                self.pause_hist.record(pause_ns);
+                self.sites.on_collection_end();
+                let mut s = self.open.take().unwrap_or(CollectionSummary {
+                    seq,
+                    ..CollectionSummary::default()
+                });
+                s.pause_ns = pause_ns;
+                s.heap_used_after = heap_used_after;
+                s.words_copied = words_copied;
+                s.frames_visited = frames_visited;
+                s.routine_invocations = routine_invocations;
+                s.rt_nodes_built = rt_nodes_built;
+                self.collections.push(s);
+            }
+            GcEvent::ObjectCopied {
+                from, to, words, ..
+            } => {
+                self.sites.on_copy(from, to, words);
+            }
+            GcEvent::Alloc {
+                site, words, addr, ..
+            } => {
+                self.alloc_hist.record(u64::from(words));
+                self.sites.on_alloc(site, words, addr);
+            }
+            GcEvent::FrameVisit { .. }
+            | GcEvent::RoutineRun { .. }
+            | GcEvent::TaskParked { .. }
+            | GcEvent::TaskResumed { .. }
+            | GcEvent::Phase { .. } => {}
+        }
+    }
+
+    /// Renders the aggregates as a metrics document: histograms
+    /// (p50/p90/p99/max plus raw buckets), per-site profiles, and
+    /// per-collection summaries. Site/function naming is left to the
+    /// caller, which knows the program.
+    pub fn metrics_json(&self) -> Json {
+        Json::obj([
+            ("strategy", self.strategy.map_or(Json::Null, Json::from)),
+            ("pause_ns", hist_json(&self.pause_hist)),
+            ("alloc_words", hist_json(&self.alloc_hist)),
+            (
+                "sites",
+                Json::Arr(
+                    self.sites
+                        .profiles()
+                        .map(|(site, p)| {
+                            Json::obj([
+                                ("site", Json::from(site)),
+                                ("allocs", Json::from(p.allocs)),
+                                ("words", Json::from(p.words)),
+                                ("survivors", Json::from(p.survivors)),
+                                ("survivor_words", Json::from(p.survivor_words)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "collections",
+                Json::Arr(
+                    self.collections
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("seq", Json::from(c.seq)),
+                                ("trigger_site", Json::from(c.trigger_site)),
+                                ("heap_used_before", Json::from(c.heap_used_before)),
+                                ("heap_used_after", Json::from(c.heap_used_after)),
+                                ("words_copied", Json::from(c.words_copied)),
+                                ("pause_ns", Json::from(c.pause_ns)),
+                                ("frames_visited", Json::from(c.frames_visited)),
+                                ("routine_invocations", Json::from(c.routine_invocations)),
+                                ("rt_nodes_built", Json::from(c.rt_nodes_built)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("events_retained", Json::from(self.events.len())),
+            ("events_dropped", Json::from(self.dropped)),
+        ])
+    }
+}
+
+/// Histogram as JSON: summary percentiles plus the raw log₂ buckets.
+pub fn hist_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", Json::from(h.count())),
+        ("p50", Json::from(h.p50())),
+        ("p90", Json::from(h.p90())),
+        ("p99", Json::from(h.p99())),
+        ("max", Json::from(h.max())),
+        ("mean", Json::from(h.mean())),
+        (
+            "buckets",
+            Json::Arr(
+                h.buckets()
+                    .into_iter()
+                    .map(|(le, n)| Json::obj([("le", Json::from(le)), ("count", Json::from(n))]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+impl GcEventSink for RingRecorder {
+    fn record(&mut self, ev: GcEvent) {
+        self.aggregate(&ev);
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(seq: u64) -> GcEvent {
+        GcEvent::CollectionBegin {
+            t_ns: 0,
+            seq,
+            strategy: "compiled",
+            trigger_site: 1,
+            heap_used_before: 100,
+        }
+    }
+
+    fn end(seq: u64, pause_ns: u64) -> GcEvent {
+        GcEvent::CollectionEnd {
+            t_ns: 0,
+            seq,
+            pause_ns,
+            heap_used_after: 40,
+            words_copied: 40,
+            frames_visited: 3,
+            routine_invocations: 3,
+            rt_nodes_built: 0,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_aggregates_all() {
+        let mut r = RingRecorder::new(2);
+        for i in 0..5u64 {
+            r.record(GcEvent::Alloc {
+                t_ns: i,
+                site: 0,
+                words: 2,
+                addr: 0x1000 + i * 16,
+            });
+        }
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.alloc_hist().count(), 5, "aggregates see every event");
+        assert_eq!(r.sites().profile(0).allocs, 5);
+    }
+
+    #[test]
+    fn collections_are_summarized_and_paused_histogrammed() {
+        let mut r = RingRecorder::new(64);
+        r.record(GcEvent::Alloc {
+            t_ns: 0,
+            site: 2,
+            words: 4,
+            addr: 0x1000,
+        });
+        r.record(begin(0));
+        r.record(GcEvent::ObjectCopied {
+            seq: 0,
+            from: 0x1000,
+            to: 0x9000,
+            words: 4,
+        });
+        r.record(end(0, 1500));
+        r.record(begin(1));
+        r.record(end(1, 3000));
+
+        assert_eq!(r.collections().len(), 2);
+        assert_eq!(r.collections()[0].words_copied, 40);
+        assert_eq!(r.pause_hist().count(), 2);
+        assert_eq!(r.pause_hist().max(), 3000);
+        assert_eq!(r.sites().profile(2).survivor_words, 4);
+        assert_eq!(r.strategy(), Some("compiled"));
+    }
+
+    #[test]
+    fn metrics_json_is_wellformed() {
+        let mut r = RingRecorder::new(8);
+        r.record(GcEvent::Alloc {
+            t_ns: 0,
+            site: 1,
+            words: 3,
+            addr: 0x1000,
+        });
+        r.record(begin(0));
+        r.record(end(0, 2000));
+        let doc = r.metrics_json();
+        let text = doc.to_json_pretty();
+        let back = crate::json::parse(&text).expect("metrics parse");
+        assert_eq!(
+            back.get("pause_ns").unwrap().get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(back.get("sites").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_aggregates_only() {
+        let mut r = RingRecorder::new(0);
+        r.record(begin(0));
+        r.record(end(0, 10));
+        assert_eq!(r.events().len(), 0);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.collections().len(), 1);
+    }
+}

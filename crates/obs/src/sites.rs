@@ -1,0 +1,178 @@
+//! Per-call-site allocation accounting.
+//!
+//! The gc_word mechanism already keys every allocation and call on a
+//! `CallSiteId`; this table attributes allocation counts, allocated
+//! words, and GC-survivor words back to those sites. Survivor
+//! attribution works address-wise: every `Alloc` event registers the
+//! object's address under its site, and every `ObjectCopied` event
+//! during a collection migrates the registration to the new address
+//! while crediting the copied words to the site. Objects that are not
+//! copied died; their registrations are discarded when the collection
+//! ends.
+
+use std::collections::HashMap;
+
+/// Cumulative per-site counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// Objects allocated at this site.
+    pub allocs: u64,
+    /// Words allocated at this site (headers included).
+    pub words: u64,
+    /// Words of this site's objects copied by collections (an object
+    /// surviving N collections is counted N times — survivor *work*,
+    /// the cost a generational collector would avoid).
+    pub survivor_words: u64,
+    /// Objects of this site copied by collections.
+    pub survivors: u64,
+}
+
+/// Site-indexed profile table with address-based survivor attribution.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTable {
+    profiles: Vec<SiteProfile>,
+    /// Live address → (site, words), maintained across collections.
+    live: HashMap<u64, (u32, u32)>,
+    /// Relocated registrations of the collection in progress.
+    moved: HashMap<u64, (u32, u32)>,
+    in_collection: bool,
+}
+
+impl SiteTable {
+    /// An empty table.
+    pub fn new() -> SiteTable {
+        SiteTable::default()
+    }
+
+    fn slot(&mut self, site: u32) -> &mut SiteProfile {
+        let i = site as usize;
+        if i >= self.profiles.len() {
+            self.profiles.resize(i + 1, SiteProfile::default());
+        }
+        &mut self.profiles[i]
+    }
+
+    /// Records an allocation of `words` at `site`, living at `addr`.
+    pub fn on_alloc(&mut self, site: u32, words: u32, addr: u64) {
+        let p = self.slot(site);
+        p.allocs += 1;
+        p.words += u64::from(words);
+        self.live.insert(addr, (site, words));
+    }
+
+    /// A collection started: survivor registrations migrate into a fresh
+    /// map as copies are observed.
+    pub fn on_collection_begin(&mut self) {
+        self.in_collection = true;
+        self.moved.clear();
+    }
+
+    /// The collector copied `from` → `to`. Credits the owning site (if
+    /// the allocation was observed) and re-registers the object at its
+    /// new address.
+    pub fn on_copy(&mut self, from: u64, to: u64, words: u32) {
+        if !self.in_collection {
+            return;
+        }
+        if let Some((site, w)) = self.live.remove(&from) {
+            let p = self.slot(site);
+            p.survivor_words += u64::from(words.max(w));
+            p.survivors += 1;
+            self.moved.insert(to, (site, w));
+        }
+    }
+
+    /// A collection ended: addresses never copied belonged to dead
+    /// objects and are dropped.
+    pub fn on_collection_end(&mut self) {
+        self.in_collection = false;
+        self.live = std::mem::take(&mut self.moved);
+    }
+
+    /// The profile of `site` (zeroed if never seen).
+    pub fn profile(&self, site: u32) -> SiteProfile {
+        self.profiles
+            .get(site as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All `(site, profile)` pairs with any activity, ordered by site.
+    pub fn profiles(&self) -> impl Iterator<Item = (u32, &SiteProfile)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.allocs > 0 || p.survivor_words > 0)
+            .map(|(i, p)| (i as u32, p))
+    }
+
+    /// Sites ranked by allocated words, descending; ties by site id.
+    pub fn top_by_words(&self, n: usize) -> Vec<(u32, SiteProfile)> {
+        let mut v: Vec<(u32, SiteProfile)> = self.profiles().map(|(s, p)| (s, *p)).collect();
+        v.sort_by(|a, b| b.1.words.cmp(&a.1.words).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Total allocations observed.
+    pub fn total_allocs(&self) -> u64 {
+        self.profiles.iter().map(|p| p.allocs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_then_survive_then_die() {
+        let mut t = SiteTable::new();
+        t.on_alloc(3, 4, 0x1000);
+        t.on_alloc(3, 4, 0x2000);
+        t.on_alloc(5, 2, 0x3000);
+
+        // First collection: only the first object survives.
+        t.on_collection_begin();
+        t.on_copy(0x1000, 0x9000, 4);
+        t.on_collection_end();
+
+        assert_eq!(t.profile(3).allocs, 2);
+        assert_eq!(t.profile(3).words, 8);
+        assert_eq!(t.profile(3).survivor_words, 4);
+        assert_eq!(t.profile(5).survivor_words, 0);
+
+        // Second collection: the survivor moves again, credited again.
+        t.on_collection_begin();
+        t.on_copy(0x9000, 0x1100, 4);
+        t.on_collection_end();
+        assert_eq!(t.profile(3).survivor_words, 8);
+        assert_eq!(t.profile(3).survivors, 2);
+
+        // The dead objects' registrations are gone: copying their old
+        // addresses credits nothing.
+        t.on_collection_begin();
+        t.on_copy(0x2000, 0x1200, 4);
+        t.on_collection_end();
+        assert_eq!(t.profile(3).survivor_words, 8);
+    }
+
+    #[test]
+    fn copies_outside_collections_are_ignored() {
+        let mut t = SiteTable::new();
+        t.on_alloc(1, 2, 0x10);
+        t.on_copy(0x10, 0x20, 2);
+        assert_eq!(t.profile(1).survivor_words, 0);
+    }
+
+    #[test]
+    fn top_by_words_ranks() {
+        let mut t = SiteTable::new();
+        t.on_alloc(1, 10, 0x10);
+        t.on_alloc(2, 30, 0x20);
+        t.on_alloc(3, 20, 0x30);
+        let top = t.top_by_words(2);
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[1].0, 3);
+        assert_eq!(t.total_allocs(), 3);
+    }
+}

@@ -64,6 +64,8 @@ impl Heap {
         self.cap - self.from_alloc
     }
 
+    // "from" is the semispace, not a conversion.
+    #[allow(clippy::wrong_self_convention)]
     fn from_base(&self) -> u64 {
         if self.a_is_from {
             HEAP_BASE

@@ -49,11 +49,11 @@ pub enum TokenKind {
     RBracket,
     Comma,
     Semicolon,
-    Arrow,     // ->
-    DArrow,    // =>
-    Bar,       // |
-    Eq,        // =
-    NotEq,     // <>
+    Arrow,  // ->
+    DArrow, // =>
+    Bar,    // |
+    Eq,     // =
+    NotEq,  // <>
     Lt,
     Le,
     Gt,
@@ -61,12 +61,12 @@ pub enum TokenKind {
     Plus,
     Minus,
     Star,
-    Slash,     // div (integer division)
+    Slash, // div (integer division)
     Mod,
-    Cons,      // ::
-    Wildcard,  // _
-    Colon,     // :
-    Tilde,     // ~ unary negation
+    Cons,     // ::
+    Wildcard, // _
+    Colon,    // :
+    Tilde,    // ~ unary negation
     Eof,
 }
 
@@ -254,7 +254,10 @@ impl<'s> Lexer<'s> {
                 self.emit(TokenKind::Int(value), start);
             }
             b'a'..=b'z' => {
-                while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' || self.peek() == b'\'' {
+                while self.peek().is_ascii_alphanumeric()
+                    || self.peek() == b'_'
+                    || self.peek() == b'\''
+                {
                     self.pos += 1;
                 }
                 let text = &self.src[start..self.pos];

@@ -114,7 +114,11 @@ impl Parser {
         } else {
             Err(ParseError::new(
                 self.peek_span(),
-                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek_kind().describe()
+                ),
             ))
         }
     }
@@ -316,7 +320,9 @@ impl Parser {
             }
         }
         // General case: fresh parameters, body cases over their tuple.
-        let params: Vec<String> = (0..arity).map(|i| self.fresh_name(&format!("arg{i}"))).collect();
+        let params: Vec<String> = (0..arity)
+            .map(|i| self.fresh_name(&format!("arg{i}")))
+            .collect();
         let scrutinee = if arity == 1 {
             Expr::new(ExprKind::Var(params[0].clone()), span)
         } else {
@@ -386,18 +392,13 @@ impl Parser {
     /// Postfix type application: `int list`, `('a, int) pair list`.
     fn ty_app(&mut self) -> ParseResult<Ty> {
         let mut ty = self.ty_atom()?;
-        loop {
-            match self.peek_kind().clone() {
-                TokenKind::Ident(name) => {
-                    self.bump();
-                    ty = if name == "list" {
-                        Ty::List(Box::new(ty))
-                    } else {
-                        Ty::Named(name, vec![ty])
-                    };
-                }
-                _ => break,
-            }
+        while let TokenKind::Ident(name) = self.peek_kind().clone() {
+            self.bump();
+            ty = if name == "list" {
+                Ty::List(Box::new(ty))
+            } else {
+                Ty::Named(name, vec![ty])
+            };
         }
         Ok(ty)
     }
@@ -537,7 +538,10 @@ impl Parser {
                     }
                     other => Err(ParseError::new(
                         self.peek_span(),
-                        format!("expected integer after `~` in pattern, found {}", other.describe()),
+                        format!(
+                            "expected integer after `~` in pattern, found {}",
+                            other.describe()
+                        ),
                     )),
                 }
             }
@@ -700,7 +704,10 @@ impl Parser {
                     other => {
                         return Err(ParseError::new(
                             self.peek_span(),
-                            format!("expected parameter name after `fn`, found {}", other.describe()),
+                            format!(
+                                "expected parameter name after `fn`, found {}",
+                                other.describe()
+                            ),
                         ))
                     }
                 };
@@ -806,7 +813,10 @@ impl Parser {
                 self.and_expr()?
             };
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::BinOp(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::BinOp(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -824,7 +834,10 @@ impl Parser {
                 self.cmp_expr()?
             };
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::BinOp(BinOp::And, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::BinOp(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -851,7 +864,10 @@ impl Parser {
                 self.cons_expr()?
             };
             let span = lhs.span.merge(rhs.span);
-            Ok(Expr::new(ExprKind::BinOp(op, Box::new(lhs), Box::new(rhs)), span))
+            Ok(Expr::new(
+                ExprKind::BinOp(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            ))
         } else {
             Ok(lhs)
         }
@@ -865,7 +881,10 @@ impl Parser {
         if self.eat(&TokenKind::Cons) {
             let tail = self.cons_expr()?;
             let span = head.span.merge(tail.span);
-            Ok(Expr::new(ExprKind::Cons(Box::new(head), Box::new(tail)), span))
+            Ok(Expr::new(
+                ExprKind::Cons(Box::new(head), Box::new(tail)),
+                span,
+            ))
         } else {
             Ok(head)
         }
@@ -1141,7 +1160,8 @@ mod tests {
 
     #[test]
     fn parses_clausal_append_like_the_paper() {
-        let src = "fun append [] ys = ys | append (x :: xs) ys = x :: append xs ys ; append [1,2] [3]";
+        let src =
+            "fun append [] ys = ys | append (x :: xs) ys = x :: append xs ys ; append [1,2] [3]";
         let prog = parse_program(src).unwrap();
         assert_eq!(prog.decls.len(), 1);
         match &prog.decls[0] {
@@ -1260,7 +1280,10 @@ mod tests {
 
     #[test]
     fn val_rec_parses_as_fun() {
-        let e = parse_expr("let val rec loop = fn n => if n = 0 then 0 else loop (n - 1) in loop 3 end").unwrap();
+        let e = parse_expr(
+            "let val rec loop = fn n => if n = 0 then 0 else loop (n - 1) in loop 3 end",
+        )
+        .unwrap();
         match e.kind {
             ExprKind::Let(binds, _) => assert!(matches!(binds[0], LetBind::Fun(_))),
             other => panic!("expected Let, got {other:?}"),

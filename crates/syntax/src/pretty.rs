@@ -40,12 +40,7 @@ pub fn program_to_string(p: &Program) -> String {
                 }
             }
             Decl::Val(pat, e) => {
-                let _ = writeln!(
-                    out,
-                    "val {} = {} ;",
-                    pat_to_string(pat),
-                    expr_to_string(e)
-                );
+                let _ = writeln!(out, "val {} = {} ;", pat_to_string(pat), expr_to_string(e));
             }
         }
     }
@@ -213,8 +208,7 @@ pub fn expr_to_string(e: &Expr) -> String {
                     LetBind::Fun(group) => {
                         for (i, f) in group.iter().enumerate() {
                             let kw = if i == 0 { "fun" } else { "and" };
-                            let params: Vec<String> =
-                                f.params.iter().map(|p| ident(p)).collect();
+                            let params: Vec<String> = f.params.iter().map(|p| ident(p)).collect();
                             let _ = write!(
                                 s,
                                 "{kw} {} {} = {} ",

@@ -27,8 +27,7 @@ fn nested_cases_bind_bars_to_innermost() {
         other => panic!("expected case, got {other:?}"),
     }
     // Parenthesized, the outer case keeps both arms.
-    let e2 =
-        parse_expr("case a of [] => (case b of [] => 1 | _ :: _ => 2) | x :: _ => 3").unwrap();
+    let e2 = parse_expr("case a of [] => (case b of [] => 1 | _ :: _ => 2) | x :: _ => 3").unwrap();
     match e2.kind {
         ExprKind::Case(_, arms) => assert_eq!(arms.len(), 2),
         other => panic!("expected case, got {other:?}"),
@@ -37,10 +36,8 @@ fn nested_cases_bind_bars_to_innermost() {
 
 #[test]
 fn let_inside_let_and_shadowing() {
-    let e = parse_expr(
-        "let val x = 1 in let val x = x + 1 in let val x = x * 2 in x end end end",
-    )
-    .unwrap();
+    let e = parse_expr("let val x = 1 in let val x = x + 1 in let val x = x * 2 in x end end end")
+        .unwrap();
     assert!(matches!(e.kind, ExprKind::Let(_, _)));
 }
 

@@ -26,6 +26,7 @@
 use std::fmt;
 use tfgc_gc::{GcStats, Strategy};
 use tfgc_ir::{FnId, Instr, IrProgram};
+use tfgc_obs::{GcEvent, Obs};
 use tfgc_runtime::HeapStats;
 use tfgc_vm::{MutatorStats, StepEvent, Vm, VmConfig, VmError, VmResult};
 
@@ -130,10 +131,31 @@ pub fn run_tasks(
     entries: &[(FnId, i64)],
     cfg: TaskConfig,
 ) -> VmResult<TaskReport> {
+    run_tasks_with_obs(prog, entries, cfg, Obs::null()).map(|(report, _)| report)
+}
+
+/// [`run_tasks`] with an event sink attached: collection events, task
+/// park/resume events, and allocations flow into `obs`, which is handed
+/// back alongside the report.
+///
+/// # Errors
+///
+/// Propagates VM errors; reports OOM when a collection frees nothing.
+///
+/// # Panics
+///
+/// Panics if an entry function does not take exactly one argument.
+pub fn run_tasks_with_obs(
+    prog: &IrProgram,
+    entries: &[(FnId, i64)],
+    cfg: TaskConfig,
+    obs: Obs,
+) -> VmResult<(TaskReport, Obs)> {
     let mut vm_cfg = VmConfig::new(cfg.strategy).heap_words(cfg.heap_words);
     vm_cfg.cooperative = true;
     vm_cfg.max_steps = Some(cfg.max_steps);
     let mut vm = Vm::new(prog, vm_cfg);
+    vm.obs = obs;
 
     // Phase 1: run main alone (it initializes globals).
     run_single(&mut vm)?;
@@ -185,17 +207,20 @@ pub fn run_tasks(
             vm.render(w, &prog.fun(*f).ret_ty)
         })
         .collect();
-    Ok(TaskReport {
-        results,
-        printed: std::mem::take(&mut vm.printed),
-        heap: vm.heap.stats,
-        gc: vm.gc_stats,
-        mutator: vm.mutator,
-        suspension_checks: report_checks,
-        suspension_events: report_events,
-        total_suspension_latency: report_total_latency,
-        max_suspension_latency: report_max_latency,
-    })
+    Ok((
+        TaskReport {
+            results,
+            printed: std::mem::take(&mut vm.printed),
+            heap: vm.heap.stats,
+            gc: vm.gc_stats,
+            mutator: vm.mutator,
+            suspension_checks: report_checks,
+            suspension_events: report_events,
+            total_suspension_latency: report_total_latency,
+            max_suspension_latency: report_max_latency,
+        },
+        std::mem::take(&mut vm.obs),
+    ))
 }
 
 /// Runs the current thread to completion, collecting inline when blocked
@@ -311,6 +336,12 @@ impl Scheduler<'_> {
                         .expect("calls and allocations carry sites");
                     self.vm.park_thread(thread, site);
                     self.parked[i] = true;
+                    let task = i as u32;
+                    self.vm.obs.emit(|t_ns| GcEvent::TaskParked {
+                        t_ns,
+                        task,
+                        site: site.0,
+                    });
                     return Ok(());
                 }
             }
@@ -328,6 +359,12 @@ impl Scheduler<'_> {
                     self.gc_pending = true;
                     self.vm.park_thread(thread, site);
                     self.parked[i] = true;
+                    let task = i as u32;
+                    self.vm.obs.emit(|t_ns| GcEvent::TaskParked {
+                        t_ns,
+                        task,
+                        site: site.0,
+                    });
                     return Ok(());
                 }
             }
@@ -367,6 +404,14 @@ impl Scheduler<'_> {
         self.report_max_latency = self.report_max_latency.max(self.latency);
         self.latency = 0;
         self.gc_pending = false;
+        if self.vm.obs.enabled() {
+            for (ix, was_parked) in self.parked.iter().enumerate() {
+                if *was_parked {
+                    let task = ix as u32;
+                    self.vm.obs.emit(|t_ns| GcEvent::TaskResumed { t_ns, task });
+                }
+            }
+        }
         for p in self.parked.iter_mut() {
             *p = false;
         }

@@ -41,8 +41,8 @@ fn quantum_size_does_not_change_results() {
         let mut cfg = TaskConfig::new(Strategy::Compiled);
         cfg.heap_words = 1 << 10;
         cfg.quantum = quantum;
-        let r = run_tasks(&prog, &entries, cfg)
-            .unwrap_or_else(|e| panic!("quantum {quantum}: {e}"));
+        let r =
+            run_tasks(&prog, &entries, cfg).unwrap_or_else(|e| panic!("quantum {quantum}: {e}"));
         results.push(r.results);
     }
     for r in &results[1..] {

@@ -14,7 +14,7 @@
 //! * Unconstrained types default to `int` after inference, so monomorphic
 //!   programs elaborate to fully ground types.
 
-use crate::datatypes::{data_param, DataEnv, DataDef, CtorDef};
+use crate::datatypes::{data_param, CtorDef, DataDef, DataEnv};
 use crate::error::{TypeError, TypeResult};
 use crate::scheme::Scheme;
 use crate::tast::*;
@@ -286,9 +286,10 @@ impl Elab {
                 self.conv_ty(b, tyvars, flexible, span)?,
             ),
             s::Ty::Named(name, args) => {
-                let id = self.data.data_by_name(name).ok_or_else(|| {
-                    TypeError::new(span, format!("unknown type `{name}`"))
-                })?;
+                let id = self
+                    .data
+                    .data_by_name(name)
+                    .ok_or_else(|| TypeError::new(span, format!("unknown type `{name}`")))?;
                 let def = self.data.def(id);
                 if def.arity as usize != args.len() {
                     return Err(TypeError::new(
@@ -824,7 +825,11 @@ impl Elab {
         })
     }
 
-    fn ctor_info(&mut self, name: &str, span: Span) -> TypeResult<(crate::ty::DataId, u32, Vec<Type>, Vec<Type>)> {
+    fn ctor_info(
+        &mut self,
+        name: &str,
+        span: Span,
+    ) -> TypeResult<(crate::ty::DataId, u32, Vec<Type>, Vec<Type>)> {
         let (data, tag) = self
             .data
             .ctor(name)
@@ -1012,13 +1017,7 @@ impl Elab {
         }
     }
 
-    fn elab_binop(
-        &mut self,
-        op: BinOp,
-        a: &s::Expr,
-        b: &s::Expr,
-        span: Span,
-    ) -> TypeResult<TExpr> {
+    fn elab_binop(&mut self, op: BinOp, a: &s::Expr, b: &s::Expr, span: Span) -> TypeResult<TExpr> {
         // Short-circuit operators desugar to `if`.
         if op == BinOp::And || op == BinOp::Or {
             let ta = self.elab_expr(a)?;
@@ -1051,7 +1050,11 @@ impl Elab {
         // equality on aggregates is intentionally out of scope).
         self.cx.unify(&ta.ty, &Type::Int, a.span)?;
         self.cx.unify(&tb.ty, &Type::Int, b.span)?;
-        let ty = if op.is_compare() { Type::Bool } else { Type::Int };
+        let ty = if op.is_compare() {
+            Type::Bool
+        } else {
+            Type::Int
+        };
         Ok(TExpr {
             kind: TExprKind::BinOp {
                 op,

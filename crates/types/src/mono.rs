@@ -55,9 +55,7 @@ fn expr_mono(e: &TExpr) -> bool {
         TExprKind::App { f, arg } => expr_mono(f) && expr_mono(arg),
         TExprKind::BinOp { lhs, rhs, .. } => expr_mono(lhs) && expr_mono(rhs),
         TExprKind::UnOp { operand, .. } => expr_mono(operand),
-        TExprKind::If { cond, then, els } => {
-            expr_mono(cond) && expr_mono(then) && expr_mono(els)
-        }
+        TExprKind::If { cond, then, els } => expr_mono(cond) && expr_mono(then) && expr_mono(els),
         TExprKind::Case { scrut, arms } => {
             expr_mono(scrut) && arms.iter().all(|a| expr_mono(&a.body))
         }

@@ -57,14 +57,23 @@ pub enum TExprKind {
         args: Vec<TExpr>,
     },
     /// Tuple projection (introduced when adapting constructor arities).
-    Proj { tuple: Box<TExpr>, index: u32 },
-    App { f: Box<TExpr>, arg: Box<TExpr> },
+    Proj {
+        tuple: Box<TExpr>,
+        index: u32,
+    },
+    App {
+        f: Box<TExpr>,
+        arg: Box<TExpr>,
+    },
     BinOp {
         op: BinOp,
         lhs: Box<TExpr>,
         rhs: Box<TExpr>,
     },
-    UnOp { op: UnOp, operand: Box<TExpr> },
+    UnOp {
+        op: UnOp,
+        operand: Box<TExpr>,
+    },
     If {
         cond: Box<TExpr>,
         then: Box<TExpr>,

@@ -72,7 +72,10 @@ impl Type {
     /// Curried arrow `t1 -> t2 -> ... -> ret`.
     pub fn arrow_n(params: impl IntoIterator<Item = Type>, ret: Type) -> Type {
         let params: Vec<Type> = params.into_iter().collect();
-        params.into_iter().rev().fold(ret, |acc, p| Type::arrow(p, acc))
+        params
+            .into_iter()
+            .rev()
+            .fold(ret, |acc, p| Type::arrow(p, acc))
     }
 
     /// True when the type contains no [`Type::Var`] and no [`Type::Param`].
@@ -88,10 +91,8 @@ impl Type {
     /// Collects unification variables into `out` in first-occurrence order.
     pub fn free_vars(&self, out: &mut Vec<TvId>) {
         match self {
-            Type::Var(v) => {
-                if !out.contains(v) {
-                    out.push(*v);
-                }
+            Type::Var(v) if !out.contains(v) => {
+                out.push(*v);
             }
             Type::Tuple(ts) | Type::Data(_, ts) => {
                 for t in ts {
@@ -266,7 +267,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let t = Type::arrow(Type::list(Type::Int), Type::Tuple(vec![Type::Int, Type::Bool]));
+        let t = Type::arrow(
+            Type::list(Type::Int),
+            Type::Tuple(vec![Type::Int, Type::Bool]),
+        );
         assert_eq!(t.to_string(), "int list -> int * bool");
     }
 

@@ -75,7 +75,10 @@ impl InferCtx {
                 if self.occurs(*v, other) {
                     return Err(TypeError::new(
                         span,
-                        format!("occurs check: cannot construct infinite type ?{} = {other}", v.0),
+                        format!(
+                            "occurs check: cannot construct infinite type ?{} = {other}",
+                            v.0
+                        ),
                     ));
                 }
                 self.bindings[v.0 as usize] = Some(other.clone());

@@ -271,8 +271,11 @@ mod tests {
         let prog = compile(src);
         let live = run_program(&prog, VmConfig::new(Strategy::Compiled).heap_words(1 << 11))
             .expect("compiled");
-        let appel = run_program(&prog, VmConfig::new(Strategy::AppelPerFn).heap_words(1 << 11))
-            .expect("appel");
+        let appel = run_program(
+            &prog,
+            VmConfig::new(Strategy::AppelPerFn).heap_words(1 << 11),
+        )
+        .expect("appel");
         assert_eq!(live.result, appel.result);
         assert!(live.heap.collections > 0);
         // The Appel collector drags the dead list through every

@@ -20,6 +20,7 @@ use tfgc_gc::{
     FRAME_HDR, MAIN_RET, NO_FP,
 };
 use tfgc_ir::{ArithOp, CallSiteId, CmpOp, CtorRep, FnId, Instr, IrProgram, Slot};
+use tfgc_obs::{GcEvent, Obs};
 use tfgc_runtime::{ArithKind, Encoding, Heap, HeapStats, Word, HEAP_BASE};
 use tfgc_types::ParamId;
 
@@ -136,6 +137,9 @@ pub struct Vm<'p> {
     pub printed: Vec<i64>,
     pub gc_stats: GcStats,
     pub mutator: MutatorStats,
+    /// Event sink: [`Obs::null`] by default (one branch per emission
+    /// site); swap in [`Obs::ring`] to record.
+    pub obs: Obs,
     cfg: VmConfig,
     allocs_since_force: u64,
 }
@@ -173,6 +177,7 @@ impl<'p> Vm<'p> {
             printed: Vec::new(),
             gc_stats: GcStats::default(),
             mutator: MutatorStats::default(),
+            obs: Obs::null(),
             cfg,
             allocs_since_force: 0,
         };
@@ -624,6 +629,12 @@ impl<'p> Vm<'p> {
         for (i, w) in operands.iter().enumerate() {
             self.heap.write(addr, off + i as u16, *w);
         }
+        self.obs.emit(|t_ns| GcEvent::Alloc {
+            t_ns,
+            site: site.0,
+            words: total as u32,
+            addr: addr.0,
+        });
         Ok(Some(self.enc.ptr(addr)))
     }
 
@@ -657,6 +668,7 @@ impl<'p> Vm<'p> {
             &mut self.heap,
             &self.descs,
             &mut self.gc_stats,
+            &mut self.obs,
             MachineRoots {
                 stacks,
                 globals: &mut self.globals,

@@ -17,14 +17,7 @@ fn field(heap: &Heap, enc: Encoding, w: Word, i: u16) -> Word {
     heap.read(base, i + hdr)
 }
 
-fn render(
-    prog: &IrProgram,
-    heap: &Heap,
-    enc: Encoding,
-    w: Word,
-    ty: &Type,
-    depth: u32,
-) -> String {
+fn render(prog: &IrProgram, heap: &Heap, enc: Encoding, w: Word, ty: &Type, depth: u32) -> String {
     if depth == 0 {
         return "...".to_string();
     }

@@ -22,6 +22,21 @@ pub struct MutatorStats {
     pub max_stack_words: u64,
 }
 
+impl MutatorStats {
+    /// Accumulates another run's counters into `self` (multi-run
+    /// profiling). Sums every counter; the stack high-water mark takes
+    /// the maximum.
+    pub fn merge(&mut self, other: &MutatorStats) {
+        self.instructions += other.instructions;
+        self.tag_ops += other.tag_ops;
+        self.calls += other.calls;
+        self.closure_calls += other.closure_calls;
+        self.frame_init_stores += other.frame_init_stores;
+        self.desc_evals += other.desc_evals;
+        self.max_stack_words = self.max_stack_words.max(other.max_stack_words);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -31,5 +46,28 @@ mod tests {
         let s = MutatorStats::default();
         assert_eq!(s.instructions, 0);
         assert_eq!(s.tag_ops, 0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_stack() {
+        let a = MutatorStats {
+            instructions: 10,
+            tag_ops: 1,
+            calls: 2,
+            closure_calls: 3,
+            frame_init_stores: 4,
+            desc_evals: 5,
+            max_stack_words: 100,
+        };
+        let b = MutatorStats {
+            instructions: 1,
+            max_stack_words: 250,
+            ..MutatorStats::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.instructions, 11);
+        assert_eq!(m.calls, 2);
+        assert_eq!(m.max_stack_words, 250, "high-water mark is max, not sum");
     }
 }

@@ -94,7 +94,7 @@ fn cooperative_alloc_block_reexecutes_cleanly() {
         }
     }
     assert!(blocks > 0, "tiny heap must block at least once");
-    assert_eq!(vm.gc_stats.collections as u64, blocks);
+    assert_eq!(vm.gc_stats.collections, blocks);
 }
 
 #[test]

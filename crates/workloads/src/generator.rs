@@ -6,8 +6,7 @@
 //! allocation, pattern matching, and higher-order functions — the
 //! behaviors the collectors must agree on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use std::fmt::Write as _;
 
 /// Generator settings.
@@ -39,7 +38,7 @@ enum GTy {
 
 /// Generates a deterministic random program for `seed`.
 pub fn generate(seed: u64, cfg: &GenConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = String::new();
     // A fixed prelude of helpers the generator can call.
     out.push_str(
@@ -59,14 +58,14 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> String {
     // Main combines the helpers so everything is reachable.
     let mut main = String::from("0");
     for i in 0..cfg.n_funs {
-        main = format!("{main} + helper{i} {}", g.rng.gen_range(1..10));
+        main = format!("{main} + helper{i} {}", g.rng.gen_range(1, 10));
     }
     let _ = writeln!(out, "{main}");
     out
 }
 
 struct Gen<'r> {
-    rng: &'r mut StdRng,
+    rng: &'r mut SmallRng,
     fuel: u32,
 }
 
@@ -77,7 +76,7 @@ impl Gen<'_> {
         }
         self.fuel = self.fuel.saturating_sub(1);
         match ty {
-            GTy::Int => match self.rng.gen_range(0..8) {
+            GTy::Int => match self.rng.gen_range(0, 8) {
                 0 | 1 => self.leaf(ty, var),
                 2 => format!(
                     "({} + {})",
@@ -103,7 +102,7 @@ impl Gen<'_> {
                     self.expr(GTy::Pair, depth - 1, var)
                 ),
             },
-            GTy::Bool => match self.rng.gen_range(0..3) {
+            GTy::Bool => match self.rng.gen_range(0, 3) {
                 0 => "true".to_string(),
                 1 => format!(
                     "({} < {})",
@@ -112,7 +111,7 @@ impl Gen<'_> {
                 ),
                 _ => format!("({} mod 2 = 0)", self.expr(GTy::Int, depth - 1, var)),
             },
-            GTy::IntList => match self.rng.gen_range(0..5) {
+            GTy::IntList => match self.rng.gen_range(0, 5) {
                 0 => "[]".to_string(),
                 1 => format!("build ({var} mod 7 + 1)"),
                 2 => format!(
@@ -127,7 +126,7 @@ impl Gen<'_> {
                 ),
                 _ => format!(
                     "(let val h = fn z => z + {} in (case {} of [] => [] | q :: qs => h q :: qs) end)",
-                    self.rng.gen_range(0..5),
+                    self.rng.gen_range(0, 5),
                     self.expr(GTy::IntList, depth - 1, var)
                 ),
             },
@@ -145,13 +144,13 @@ impl Gen<'_> {
 
     fn leaf(&mut self, ty: GTy, var: &str) -> String {
         match ty {
-            GTy::Int => match self.rng.gen_range(0..3) {
-                0 => self.rng.gen_range(0..100).to_string(),
+            GTy::Int => match self.rng.gen_range(0, 3) {
+                0 => self.rng.gen_range(0, 100).to_string(),
                 1 => var.to_string(),
-                _ => format!("({var} * {})", self.rng.gen_range(1..5)),
+                _ => format!("({var} * {})", self.rng.gen_range(1, 5)),
             },
-            GTy::Bool => if self.rng.gen() { "true" } else { "false" }.to_string(),
-            GTy::IntList => match self.rng.gen_range(0..2) {
+            GTy::Bool => if self.rng.gen_bool() { "true" } else { "false" }.to_string(),
+            GTy::IntList => match self.rng.gen_range(0, 2) {
                 0 => "[]".to_string(),
                 _ => format!("[{var}, 2, 3]"),
             },
@@ -171,8 +170,7 @@ mod tests {
     fn generated_programs_compile() {
         for seed in 0..40u64 {
             let src = generate(seed, &GenConfig::default());
-            let parsed =
-                parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let parsed = parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
             let typed = elaborate(&parsed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
             let prog = lower(&typed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
             prog.validate()

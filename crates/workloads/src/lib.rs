@@ -8,9 +8,11 @@
 pub mod generator;
 pub mod paper_examples;
 pub mod programs;
+pub mod rng;
 
 pub use generator::{generate, GenConfig};
 pub use programs::suite;
+pub use rng::SmallRng;
 
 use tfgc_ir::{lower, IrProgram};
 use tfgc_syntax::parse_program;

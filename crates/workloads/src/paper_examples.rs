@@ -75,8 +75,8 @@ mod tests {
     use tfgc_types::elaborate;
 
     fn compiles(src: &str) {
-        let p = lower(&elaborate(&parse_program(src).expect("parse")).expect("types"))
-            .expect("lower");
+        let p =
+            lower(&elaborate(&parse_program(src).expect("parse")).expect("types")).expect("lower");
         p.validate().expect("valid");
     }
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         len (append (build 200) (build 200)) + len (append (build 150) (build 150))";
 
     let compiled = Compiled::compile(source)?;
-    assert!(compiled.is_monomorphic(), "the annotated append is §2's monomorphic case");
+    assert!(
+        compiled.is_monomorphic(),
+        "the annotated append is §2's monomorphic case"
+    );
     let meta = compiled.metadata(Strategy::Compiled);
 
     let append_fn = compiled

@@ -8,14 +8,14 @@ fn workload_suite_golden_results() {
     // Exact expected values computed by independent reasoning about the
     // programs; any drift in the compiler or collectors shows up here.
     let expected = [
-        ("fib", "2584"),                 // fib(18)
-        ("naive_rev", "60"),             // length preserved by reversal
+        ("fib", "2584"),     // fib(18)
+        ("naive_rev", "60"), // length preserved by reversal
         ("churn", "0"),
-        ("poly_depth", "200"),           // copy preserves length
-        ("nqueens", "4"),                // 6-queens has 4 solutions
-        ("mergesort", "1"),              // output is sorted
-        ("sieve", "22"),                 // 22 primes up to 80
-        ("church", "30"),                // church 30 applied to succ/0
+        ("poly_depth", "200"), // copy preserves length
+        ("nqueens", "4"),      // 6-queens has 4 solutions
+        ("mergesort", "1"),    // output is sorted
+        ("sieve", "22"),       // 22 primes up to 80
+        ("church", "30"),      // church 30 applied to succ/0
     ];
     let suite = tfgc::workloads::suite();
     for (name, want) in expected {
@@ -69,7 +69,10 @@ fn million_element_list_collects_without_rust_stack_overflow() {
     cfg.max_stack_words = 1 << 23;
     let out = c.run_with(cfg).unwrap();
     assert_eq!(out.result, "1");
-    assert!(out.heap.collections > 0, "the churn must trigger GC with big live");
+    assert!(
+        out.heap.collections > 0,
+        "the churn must trigger GC with big live"
+    );
 }
 
 #[test]
@@ -124,10 +127,9 @@ mod run_in_subcrate {
 fn paper_quote_simple_programs_simple_collectors() {
     // §1: "a program that manipulates mainly simple types will have very
     // simple and short garbage collection routines."
-    let simple = Compiled::compile(
-        "fun build n = if n = 0 then [] else n :: build (n - 1) ; build 10",
-    )
-    .unwrap();
+    let simple =
+        Compiled::compile("fun build n = if n = 0 then [] else n :: build (n - 1) ; build 10")
+            .unwrap();
     let complex = Compiled::compile(
         "datatype 'a rose = Rose of 'a * 'a rose list ;
          fun leaves r = case r of Rose (v, kids) =>

@@ -4,9 +4,9 @@
 //! measurements. Each test here verifies that our implementation realizes
 //! the corresponding structure.
 
+use std::rc::Rc;
 use tfgc::gc::{walk_frames, RtVal, TypeSx, NO_TRACE};
 use tfgc::{Compiled, Strategy, VmConfig};
-use std::rc::Rc;
 
 /// **Figure 1 — stack/code organization.** Each activation record stores a
 /// dynamic link and a return word; the return word identifies the call
@@ -56,7 +56,11 @@ fn figure2_collector_visits_every_frame_once() {
     )
     .unwrap();
     let out = compiled
-        .run_with(VmConfig::new(Strategy::Compiled).heap_words(1 << 12).force_gc_every(50))
+        .run_with(
+            VmConfig::new(Strategy::Compiled)
+                .heap_words(1 << 12)
+                .force_gc_every(50),
+        )
         .unwrap();
     // One collection happened (forced) with the stack deep.
     assert!(out.gc.collections >= 1);
@@ -141,5 +145,8 @@ fn section_2_4_no_trace_sharing() {
             );
         }
     }
-    assert!(meta.no_trace_sites() >= 2, "no_trace is shared by many gc_words");
+    assert!(
+        meta.no_trace_sites() >= 2,
+        "no_trace is shared by many gc_words"
+    );
 }

@@ -1,0 +1,112 @@
+//! The observability layer must be free when disabled and passive when
+//! enabled: attaching the null sink or a ring recorder may not change
+//! any observable behavior of a run — results, printed output, heap,
+//! mutator, or (deterministic) GC statistics — under any strategy.
+
+use tfgc::obs::{GcEvent, Obs};
+use tfgc::{Compiled, Strategy, VmConfig};
+
+fn churn() -> Compiled {
+    Compiled::compile(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+         fun go n = if n = 0 then 0 else sum (build 25) + go (n - 1) ;
+         go 30",
+    )
+    .expect("compiles")
+}
+
+fn cfg(s: Strategy) -> VmConfig {
+    // Small heap + forced collections so every strategy actually GCs
+    // (large enough for the tagged encoding's header overhead).
+    // one no-liveness frame per `go` level keeps its dead list alive.
+    VmConfig::new(s).heap_words(1 << 13).force_gc_every(120)
+}
+
+/// A null-sink run is bit-identical to a plain (no-sink) run.
+#[test]
+fn null_sink_changes_nothing() {
+    let c = churn();
+    for s in Strategy::ALL {
+        let meta = c.metadata(s);
+        let plain = c.run_with_meta(cfg(s), meta.clone()).expect("plain run");
+        let (nulled, obs) = c
+            .run_observed(cfg(s), meta, Obs::null())
+            .expect("null-sink run");
+        assert!(!obs.enabled(), "{s}: null sink stays disabled");
+        assert!(plain.heap.collections > 0, "{s}: workload collects");
+        assert_eq!(nulled.result, plain.result, "{s}");
+        assert_eq!(nulled.printed, plain.printed, "{s}");
+        assert_eq!(nulled.heap, plain.heap, "{s}: HeapStats identical");
+        assert_eq!(nulled.mutator, plain.mutator, "{s}: MutatorStats identical");
+        assert_eq!(
+            nulled.gc.deterministic(),
+            plain.gc.deterministic(),
+            "{s}: GcStats identical up to wall-clock pause"
+        );
+    }
+}
+
+/// A ring recorder observes without perturbing, under all five
+/// strategies, and its aggregates agree with the VM's own counters.
+#[test]
+fn ring_recorder_is_passive_across_strategies() {
+    let c = churn();
+    for s in Strategy::ALL {
+        let plain = c.run_with(cfg(s)).expect("plain run");
+        let (recorded, rec) = c.run_profiled(cfg(s), 1 << 12).expect("recorded run");
+        assert_eq!(recorded.result, plain.result, "{s}");
+        assert_eq!(recorded.printed, plain.printed, "{s}");
+        assert_eq!(recorded.heap, plain.heap, "{s}");
+        assert_eq!(recorded.mutator, plain.mutator, "{s}");
+        assert_eq!(recorded.gc.deterministic(), plain.gc.deterministic(), "{s}");
+
+        assert_eq!(rec.strategy(), Some(s.name()), "{s}");
+        assert_eq!(
+            rec.collections().len() as u64,
+            plain.heap.collections,
+            "{s}: one summary per collection"
+        );
+        assert_eq!(
+            rec.sites().total_allocs(),
+            plain.heap.allocations,
+            "{s}: every allocation attributed to a site"
+        );
+    }
+}
+
+/// Histogram totals equal the number of recorded events, and each
+/// histogram's bucket counts sum back to its total (integration-level
+/// check of the obs crate's property, on real event streams).
+#[test]
+fn histogram_buckets_sum_to_recorded_events() {
+    let c = churn();
+    let (out, rec) = c
+        .run_profiled(cfg(Strategy::Compiled), 1 << 12)
+        .expect("runs");
+
+    let pauses = rec.pause_hist();
+    assert_eq!(pauses.count(), out.heap.collections);
+    assert_eq!(
+        pauses.buckets().iter().map(|(_, n)| n).sum::<u64>(),
+        pauses.count(),
+        "pause buckets sum to pause count"
+    );
+
+    let allocs = rec.alloc_hist();
+    assert_eq!(allocs.count(), out.heap.allocations);
+    assert_eq!(
+        allocs.buckets().iter().map(|(_, n)| n).sum::<u64>(),
+        allocs.count(),
+        "alloc buckets sum to alloc count"
+    );
+
+    // The retained raw stream agrees too (capacity was not exceeded).
+    assert_eq!(rec.dropped(), 0);
+    let raw_allocs = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, GcEvent::Alloc { .. }))
+        .count() as u64;
+    assert_eq!(raw_allocs, out.heap.allocations);
+}

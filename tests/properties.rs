@@ -1,65 +1,94 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants.
+//! Randomized property tests on the core data structures and
+//! invariants, driven by the in-repo deterministic
+//! [`SmallRng`](tfgc::workloads::SmallRng) (the external `proptest`
+//! dependency is unavailable in offline builds; seeds are fixed so
+//! every run checks the same cases).
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use tfgc::analysis::SlotSet;
 use tfgc::gc::{pack_ret, unpack_ret};
 use tfgc::ir::{CallSiteId, Slot};
 use tfgc::runtime::{Addr, Encoding, Heap, HeapMode, HEAP_BASE};
+use tfgc::workloads::SmallRng;
 
-proptest! {
-    /// Tag-free integer encoding is the identity on all of i64.
-    #[test]
-    fn tagfree_int_roundtrip(i in any::<i64>()) {
-        let e = Encoding::new(HeapMode::TagFree);
-        prop_assert_eq!(e.int_of(e.int(i)), i);
+/// Tag-free integer encoding is the identity on all of i64.
+#[test]
+fn tagfree_int_roundtrip() {
+    let e = Encoding::new(HeapMode::TagFree);
+    let mut r = SmallRng::seed_from_u64(0x01);
+    for i in [0, 1, -1, i64::MIN, i64::MAX]
+        .into_iter()
+        .chain((0..2000).map(|_| r.next_u64() as i64))
+    {
+        assert_eq!(e.int_of(e.int(i)), i);
     }
+}
 
-    /// Tagged integers roundtrip on the 63-bit range the encoding claims.
-    #[test]
-    fn tagged_int_roundtrip(i in -(1i64 << 62)..(1i64 << 62) - 1) {
-        let e = Encoding::new(HeapMode::Tagged);
-        prop_assert_eq!(e.int_of(e.int(i)), i);
+/// Tagged integers roundtrip on the 63-bit range the encoding claims.
+#[test]
+fn tagged_int_roundtrip() {
+    let e = Encoding::new(HeapMode::Tagged);
+    let mut r = SmallRng::seed_from_u64(0x02);
+    for i in [0, 1, -1, -(1i64 << 62), (1i64 << 62) - 2]
+        .into_iter()
+        .chain((0..2000).map(|_| r.gen_range(-(1i64 << 62), (1i64 << 62) - 1)))
+    {
+        assert_eq!(e.int_of(e.int(i)), i);
         // Tagged ints are always odd — never mistaken for pointers.
-        prop_assert!(!e.is_tagged_ptr(e.int(i)));
+        assert!(!e.is_tagged_ptr(e.int(i)));
     }
+}
 
-    /// Tagged integer ordering is preserved by the raw word comparison the
-    /// VM relies on.
-    #[test]
-    fn tagged_int_order(a in -(1i64 << 62)..(1i64 << 62) - 1,
-                        b in -(1i64 << 62)..(1i64 << 62) - 1) {
-        let e = Encoding::new(HeapMode::Tagged);
-        prop_assert_eq!((e.int(a) as i64) < (e.int(b) as i64), a < b);
+/// Tagged integer ordering is preserved by the raw word comparison the
+/// VM relies on.
+#[test]
+fn tagged_int_order() {
+    let e = Encoding::new(HeapMode::Tagged);
+    let mut r = SmallRng::seed_from_u64(0x03);
+    for _ in 0..2000 {
+        let a = r.gen_range(-(1i64 << 62), (1i64 << 62) - 1);
+        let b = r.gen_range(-(1i64 << 62), (1i64 << 62) - 1);
+        assert_eq!((e.int(a) as i64) < (e.int(b) as i64), a < b);
     }
+}
 
-    /// Pointer encodings roundtrip in both modes.
-    #[test]
-    fn pointer_roundtrip(off in 0u64..(1 << 40)) {
-        let a = Addr(HEAP_BASE + off);
+/// Pointer encodings roundtrip in both modes.
+#[test]
+fn pointer_roundtrip() {
+    let mut r = SmallRng::seed_from_u64(0x04);
+    for _ in 0..2000 {
+        let a = Addr(HEAP_BASE + r.gen_range(0, 1 << 40) as u64);
         for mode in [HeapMode::TagFree, HeapMode::Tagged] {
             let e = Encoding::new(mode);
-            prop_assert_eq!(e.addr_of(e.ptr(a)), a);
+            assert_eq!(e.addr_of(e.ptr(a)), a);
         }
         let t = Encoding::new(HeapMode::Tagged);
-        prop_assert!(t.is_tagged_ptr(t.ptr(a)));
+        assert!(t.is_tagged_ptr(t.ptr(a)));
     }
+}
 
-    /// Return-word packing roundtrips for every site/slot pair.
-    #[test]
-    fn ret_word_roundtrip(site in 0u32..u32::MAX - 1, slot in 0u16..u16::MAX) {
+/// Return-word packing roundtrips for every site/slot pair.
+#[test]
+fn ret_word_roundtrip() {
+    let mut r = SmallRng::seed_from_u64(0x05);
+    for _ in 0..2000 {
+        let site = (r.next_u64() % u64::from(u32::MAX - 1)) as u32;
+        let slot = (r.next_u64() % u64::from(u16::MAX)) as u16;
         let w = pack_ret(CallSiteId(site), Slot(slot));
-        prop_assert_eq!(unpack_ret(w), (CallSiteId(site), Slot(slot)));
+        assert_eq!(unpack_ret(w), (CallSiteId(site), Slot(slot)));
     }
+}
 
-    /// SlotSet agrees with a HashSet model under arbitrary operations.
-    #[test]
-    fn slotset_models_hashset(ops in prop::collection::vec((0u16..200, any::<bool>()), 0..120)) {
+/// SlotSet agrees with a HashSet model under arbitrary operations.
+#[test]
+fn slotset_models_hashset() {
+    let mut r = SmallRng::seed_from_u64(0x06);
+    for _ in 0..100 {
         let mut s = SlotSet::new(200);
         let mut m: HashSet<u16> = HashSet::new();
-        for (slot, insert) in ops {
-            if insert {
+        for _ in 0..r.gen_range(0, 120) {
+            let slot = r.gen_range(0, 200) as u16;
+            if r.gen_bool() {
                 s.insert(Slot(slot));
                 m.insert(slot);
             } else {
@@ -67,50 +96,58 @@ proptest! {
                 m.remove(&slot);
             }
         }
-        prop_assert_eq!(s.count(), m.len());
+        assert_eq!(s.count(), m.len());
         for i in 0..200u16 {
-            prop_assert_eq!(s.contains(Slot(i)), m.contains(&i));
+            assert_eq!(s.contains(Slot(i)), m.contains(&i));
         }
     }
+}
 
-    /// Heap write/read roundtrip over arbitrary allocation patterns, and
-    /// bump allocation never hands out overlapping objects.
-    #[test]
-    fn heap_alloc_no_overlap(sizes in prop::collection::vec(1usize..16, 1..40)) {
+/// Heap write/read roundtrip over arbitrary allocation patterns, and
+/// bump allocation never hands out overlapping objects.
+#[test]
+fn heap_alloc_no_overlap() {
+    let mut r = SmallRng::seed_from_u64(0x07);
+    for _ in 0..60 {
         let mut heap = Heap::new(1024);
         let mut objs: Vec<(Addr, usize, u64)> = Vec::new();
-        for (k, n) in sizes.iter().enumerate() {
-            match heap.alloc(*n) {
+        for k in 0..r.gen_range(1, 40) {
+            let n = r.gen_range(1, 16) as usize;
+            match heap.alloc(n) {
                 None => break,
                 Some(a) => {
                     let stamp = 0xABCD_0000 + k as u64;
-                    for i in 0..*n {
+                    for i in 0..n {
                         heap.write(a, i as u16, stamp + i as u64);
                     }
-                    objs.push((a, *n, stamp));
+                    objs.push((a, n, stamp));
                 }
             }
         }
         // Every object still holds its own stamps: no overlap.
         for (a, n, stamp) in &objs {
             for i in 0..*n {
-                prop_assert_eq!(heap.read(*a, i as u16), stamp + i as u64);
+                assert_eq!(heap.read(*a, i as u16), stamp + i as u64);
             }
         }
     }
+}
 
-    /// Copying GC mechanics: copy + forward + flip preserves contents for
-    /// arbitrary object sets, and forwarding is stable.
-    #[test]
-    fn heap_copy_preserves_contents(sizes in prop::collection::vec(1usize..8, 1..20)) {
+/// Copying GC mechanics: copy + forward + flip preserves contents for
+/// arbitrary object sets, and forwarding is stable.
+#[test]
+fn heap_copy_preserves_contents() {
+    let mut r = SmallRng::seed_from_u64(0x08);
+    for _ in 0..60 {
         let mut heap = Heap::new(512);
         let mut objs = Vec::new();
-        for (k, n) in sizes.iter().enumerate() {
-            if let Some(a) = heap.alloc(*n) {
-                for i in 0..*n {
+        for k in 0..r.gen_range(1, 20) as usize {
+            let n = r.gen_range(1, 8) as usize;
+            if let Some(a) = heap.alloc(n) {
+                for i in 0..n {
                     heap.write(a, i as u16, (k * 100 + i) as u64);
                 }
-                objs.push((a, *n, k));
+                objs.push((a, n, k));
             }
         }
         // Copy every object out (as a collector would).
@@ -118,62 +155,69 @@ proptest! {
         for (a, n, k) in &objs {
             let new = heap.copy_out(*a, *n);
             heap.set_forward(*a, new);
-            prop_assert_eq!(heap.forward_of(*a), Some(new));
+            assert_eq!(heap.forward_of(*a), Some(new));
             moved.push((new, *n, *k));
         }
         heap.flip();
         for (a, n, k) in &moved {
             for i in 0..*n {
-                prop_assert_eq!(heap.read(*a, i as u16), (k * 100 + i) as u64);
+                assert_eq!(heap.read(*a, i as u16), (k * 100 + i) as u64);
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Generated well-typed programs run identically under the compiled
-    /// tag-free strategy and the tagged baseline (randomized differential
-    /// soundness).
-    #[test]
-    fn generated_programs_differential(seed in 0u64..500) {
+/// Generated well-typed programs run identically under the compiled
+/// tag-free strategy and the tagged baseline (randomized differential
+/// soundness).
+#[test]
+fn generated_programs_differential() {
+    let mut r = SmallRng::seed_from_u64(0x09);
+    for _ in 0..12 {
+        let seed = r.gen_range(0, 500) as u64;
         let src = tfgc::workloads::generate(seed, &tfgc::workloads::GenConfig::default());
-        let c = tfgc::Compiled::compile(&src)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
-        let a = c.run_with(tfgc::VmConfig::new(tfgc::Strategy::Compiled).heap_words(1 << 14))
+        let c = tfgc::Compiled::compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let a = c
+            .run_with(tfgc::VmConfig::new(tfgc::Strategy::Compiled).heap_words(1 << 14))
             .unwrap_or_else(|e| panic!("seed {seed} compiled: {e}\n{src}"));
-        let b = c.run_with(tfgc::VmConfig::new(tfgc::Strategy::Tagged).heap_words(1 << 14))
+        let b = c
+            .run_with(tfgc::VmConfig::new(tfgc::Strategy::Tagged).heap_words(1 << 14))
             .unwrap_or_else(|e| panic!("seed {seed} tagged: {e}\n{src}"));
-        prop_assert_eq!(a.result, b.result);
-        prop_assert_eq!(a.printed, b.printed);
+        assert_eq!(a.result, b.result, "seed {seed}");
+        assert_eq!(a.printed, b.printed, "seed {seed}");
     }
+}
 
-    /// The compiled-method safety invariant on random programs: every
-    /// live slot at every GC point is definitely assigned (the property
-    /// that lets tag-free frames skip zero-initialization).
-    #[test]
-    fn live_subset_assigned_on_generated(seed in 0u64..400) {
+/// The compiled-method safety invariant on random programs: every
+/// live slot at every GC point is definitely assigned (the property
+/// that lets tag-free frames skip zero-initialization).
+#[test]
+fn live_subset_assigned_on_generated() {
+    let mut r = SmallRng::seed_from_u64(0x0A);
+    for _ in 0..12 {
+        let seed = r.gen_range(0, 400) as u64;
         let src = tfgc::workloads::generate(seed, &tfgc::workloads::GenConfig::default());
-        let c = tfgc::Compiled::compile(&src)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let c = tfgc::Compiled::compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
         c.analyses
             .init
             .validate_live_assigned(&c.program, &c.analyses.liveness)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
     }
+}
 
-    /// Pretty-printed programs reparse to the same printed form
-    /// (parser/printer round-trip on generated sources).
-    #[test]
-    fn print_parse_roundtrip(seed in 0u64..300) {
+/// Pretty-printed programs reparse to the same printed form
+/// (parser/printer round-trip on generated sources).
+#[test]
+fn print_parse_roundtrip() {
+    let mut r = SmallRng::seed_from_u64(0x0B);
+    for _ in 0..12 {
+        let seed = r.gen_range(0, 300) as u64;
         let src = tfgc::workloads::generate(seed, &tfgc::workloads::GenConfig::default());
-        let p1 = tfgc::syntax::parse_program(&src)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let p1 = tfgc::syntax::parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let printed = tfgc::syntax::pretty::program_to_string(&p1);
         let p2 = tfgc::syntax::parse_program(&printed)
             .unwrap_or_else(|e| panic!("seed {seed} reparse: {e}\n{printed}"));
-        prop_assert_eq!(printed, tfgc::syntax::pretty::program_to_string(&p2));
+        assert_eq!(printed, tfgc::syntax::pretty::program_to_string(&p2));
     }
 }
 
