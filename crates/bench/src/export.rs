@@ -20,7 +20,7 @@ use tfgc::{Compiled, Strategy, VmConfig};
 const RING: usize = 1 << 14;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 8] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"];
+pub const EXPERIMENTS: [&str; 9] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"];
 
 fn profile_one(c: &Compiled, s: Strategy, heap: usize, force: Option<u64>) -> Json {
     let mut cfg = VmConfig::new(s).heap_words(heap);
@@ -38,6 +38,9 @@ fn profile_one(c: &Compiled, s: Strategy, heap: usize, force: Option<u64>) -> Js
         ("instructions", Json::from(out.mutator.instructions)),
         ("tag_ops", Json::from(out.mutator.tag_ops)),
         ("metadata_bytes", Json::from(out.metadata_bytes)),
+        ("rt_nodes_built", Json::from(out.gc.rt_nodes_built)),
+        ("rt_cache_hits", Json::from(out.gc.rt_cache_hits)),
+        ("rt_cache_misses", Json::from(out.gc.rt_cache_misses)),
         ("metrics", tfgc::metrics_json(&rec, &c.program)),
     ])
 }
@@ -283,6 +286,60 @@ fn e8_json() -> Json {
     )
 }
 
+fn e9_json() -> Json {
+    // Moderate depth for the per-strategy profiles (Appel's backward
+    // resolution is quadratic in depth, so it rides along here)…
+    let depth = 2_000usize;
+    let src = tfgc::workloads::programs::poly_deep_alloc(depth);
+    let c = Compiled::compile(&src).expect("compiles");
+
+    // …and a deep cached-vs-uncached comparison under the forward
+    // strategies: ≥10⁴ frames on the stack at collection time, with
+    // routine construction per collection O(distinct sites) when the
+    // cache is on.
+    let deep_depth = 50_000usize;
+    let deep_src = tfgc::workloads::programs::poly_deep_alloc(deep_depth);
+    let dc = Compiled::compile(&deep_src).expect("compiles");
+    let deep = Json::Arr(
+        [Strategy::Compiled, Strategy::Interpreted]
+            .iter()
+            .flat_map(|s| {
+                [true, false].map(|cache| {
+                    let out = dc
+                        .run_with(
+                            VmConfig::new(*s)
+                                .heap_words(1 << 21)
+                                .force_gc_every((deep_depth / 2) as u64)
+                                .rt_cache(cache),
+                        )
+                        .expect("deep run");
+                    Json::obj([
+                        ("strategy", Json::str(s.name())),
+                        ("rt_cache", Json::Bool(cache)),
+                        ("result", Json::str(&out.result)),
+                        ("collections", Json::from(out.heap.collections)),
+                        ("frames_visited", Json::from(out.gc.frames_visited)),
+                        ("rt_nodes_built", Json::from(out.gc.rt_nodes_built)),
+                        ("rt_cache_hits", Json::from(out.gc.rt_cache_hits)),
+                        ("rt_cache_misses", Json::from(out.gc.rt_cache_misses)),
+                        ("pause_ns_total", Json::from(out.gc.pause_nanos)),
+                    ])
+                })
+            })
+            .collect(),
+    );
+    doc(
+        "E9",
+        "GC-time metadata cache on deep polymorphic recursion",
+        "poly_deep_alloc(2000) / poly_deep_alloc(50000)",
+        profiles(&c, 1 << 19, Some((depth / 2) as u64)),
+        vec![
+            ("deep_depth".to_string(), Json::from(deep_depth)),
+            ("deep".to_string(), deep),
+        ],
+    )
+}
+
 /// The JSON document of one experiment.
 ///
 /// # Panics
@@ -299,11 +356,12 @@ pub fn bench_json(id: &str) -> Json {
         "E6" => e6_json(),
         "E7" => e7_json(),
         "E8" => e8_json(),
+        "E9" => e9_json(),
         other => panic!("unknown experiment `{other}`"),
     }
 }
 
-/// Writes `BENCH_E1.json` … `BENCH_E8.json` into `dir`, returning the
+/// Writes `BENCH_E1.json` … `BENCH_E9.json` into `dir`, returning the
 /// paths written.
 ///
 /// # Errors

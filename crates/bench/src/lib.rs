@@ -1,6 +1,6 @@
 //! # tfgc-bench — experiment runners
 //!
-//! One function per experiment (E1–E8, see EXPERIMENTS.md), each
+//! One function per experiment (E1–E9, see EXPERIMENTS.md), each
 //! returning a rendered text table. The wall-clock benches under
 //! `benches/` ([`timing`]) time the same configurations; the
 //! `experiments` binary prints every table — or, with `--json`, writes
@@ -365,6 +365,66 @@ pub fn e8_append() -> String {
     )
 }
 
+/// E9 — GC-time metadata cache on deep polymorphic recursion: per
+/// collection, routine construction is O(distinct call sites), not
+/// O(stack frames), and disabling the cache changes construction counts
+/// but nothing the mutator can observe.
+pub fn e9_deep_recursion() -> String {
+    let mut t = Table::new(&[
+        "depth",
+        "strategy",
+        "cache",
+        "GCs",
+        "frames visited",
+        "rt closures",
+        "closures/frame",
+        "cache hits",
+    ]);
+    for depth in [2_000usize, 20_000] {
+        let src = tfgc::workloads::programs::poly_deep_alloc(depth);
+        let c = Compiled::compile(&src).expect("compiles");
+        for s in [
+            Strategy::Compiled,
+            Strategy::Interpreted,
+            Strategy::AppelPerFn,
+        ] {
+            // Appel's backward resolution is quadratic in depth; keep it
+            // to the shallow configuration.
+            if s == Strategy::AppelPerFn && depth > 2_000 {
+                continue;
+            }
+            for cache in [true, false] {
+                let out = c
+                    .run_with(
+                        VmConfig::new(s)
+                            .heap_words(1 << 19)
+                            .force_gc_every((depth / 2).max(1) as u64)
+                            .rt_cache(cache),
+                    )
+                    .expect("runs");
+                t.row(vec![
+                    depth.to_string(),
+                    s.to_string(),
+                    if cache { "on" } else { "off" }.to_string(),
+                    out.gc.collections.to_string(),
+                    out.gc.frames_visited.to_string(),
+                    out.gc.rt_nodes_built.to_string(),
+                    format!(
+                        "{:.4}",
+                        out.gc.rt_nodes_built as f64 / out.gc.frames_visited.max(1) as f64
+                    ),
+                    out.gc.rt_cache_hits.to_string(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "E9 — GC-time metadata cache: routine construction per collection \
+         is O(sites), not O(frames)\n{}",
+        t.render()
+    )
+}
+
 /// Every experiment, concatenated.
 pub fn all_experiments() -> String {
     [
@@ -377,6 +437,7 @@ pub fn all_experiments() -> String {
         e6b_gc_points_refined(),
         e7_tasking(),
         e8_append(),
+        e9_deep_recursion(),
     ]
     .join("\n")
 }
@@ -406,5 +467,15 @@ mod tests {
     fn e8_append_never_traces() {
         let s = e8_append();
         assert!(s.contains("append sites that trace  0"), "{s}");
+    }
+
+    #[test]
+    fn e9_reports_cache_effect() {
+        let s = e9_deep_recursion();
+        assert!(s.contains("cache"), "{s}");
+        assert!(s.contains("20000"), "deep row present:\n{s}");
+        // The cached rows report hits; the uncached rows report none.
+        assert!(s.lines().any(|l| l.contains(" on ")), "{s}");
+        assert!(s.lines().any(|l| l.contains(" off ")), "{s}");
     }
 }

@@ -1,0 +1,402 @@
+//! GC-time metadata cache: memoized template evaluation over hash-consed
+//! routine values.
+//!
+//! §3's forward traversal already avoids re-deriving type information per
+//! frame, but a deep recursive chain still *evaluates the same θ* at every
+//! activation of the same call site: a million-frame `pdown` chain builds
+//! a million structurally identical [`RtVal`] trees. This cache makes that
+//! cost proportional to the number of **distinct (template, environment)
+//! pairs** instead of the number of frames:
+//!
+//! * **Hash-consed nodes** — every composite [`RtVal`] built through the
+//!   cache is interned, so structurally equal routines share one `Rc` and
+//!   a node is counted in `rt_nodes_built` only the first time it exists.
+//! * **Evaluation memo** — [`RtCache::eval`] keys on
+//!   `(SxId, env fingerprint)`; the fingerprint is the interned id of each
+//!   environment entry, so equal environments hit without re-hashing
+//!   trees.
+//! * **Extraction / descriptor memos** — Figure-3 path extraction and
+//!   descriptor conversion ([`RtCache::extract`], [`RtCache::desc`]) are
+//!   pure given their inputs and memoize the same way.
+//!
+//! Correctness: `eval_sx` is a pure function of the template and the
+//! environment, so memoization cannot change any collection outcome —
+//! the workspace's differential tests compare cached and uncached
+//! collections bit-for-bit under every strategy. The cache is owned by
+//! `GcMeta` and persists across collections of a run (results only ever
+//! reference immutable metadata). Disabling it ([`RtCache::enabled`] =
+//! false) routes every call through the plain builders.
+
+use crate::desc::{DescArena, DescId, DescNode};
+use crate::ground::GroundTable;
+use crate::rtval::{desc_to_rt, eval_sx, extract_path, param_lookup, EvalCx, RtBuildStats, RtVal};
+use crate::sx::{SxId, SxTable, TypeSx};
+use std::collections::HashMap;
+use std::rc::Rc;
+use tfgc_ir::IrProgram;
+
+/// Interned-node id, private to the cache: a compact fingerprint for
+/// memo keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RtId(u32);
+
+/// The collector's memoization state. One per [`crate::meta::GcMeta`].
+#[derive(Debug, Clone)]
+pub struct RtCache {
+    /// When false, every call falls through to the unmemoized builders
+    /// (the differential baseline; `VmConfig::rt_cache(false)`).
+    pub enabled: bool,
+    /// Memo lookups that returned a previously computed routine.
+    pub hits: u64,
+    /// Memo lookups that had to evaluate.
+    pub misses: u64,
+    /// Canonical node per id. Holding a clone of every interned value
+    /// keeps each registered `Rc` allocation alive, which is what makes
+    /// the pointer fast-path in [`RtCache::rt_id`] sound.
+    nodes: Vec<RtVal>,
+    interned: HashMap<RtVal, RtId>,
+    /// `Rc` payload pointer → id, valid because `nodes` pins every
+    /// registered allocation for the cache's lifetime.
+    by_ptr: HashMap<usize, RtId>,
+    eval_memo: HashMap<(SxId, Box<[RtId]>), RtVal>,
+    desc_memo: HashMap<DescId, RtVal>,
+    extract_memo: HashMap<(RtId, Box<[u16]>), RtVal>,
+}
+
+/// The address of a composite node's shared payload (identity fast-path).
+fn composite_ptr(v: &RtVal) -> Option<usize> {
+    match v {
+        RtVal::Const | RtVal::Ground(_) => None,
+        RtVal::Tuple(fs) | RtVal::Data(_, fs) => Some(Rc::as_ptr(fs) as usize),
+        RtVal::Arrow(a, _) => Some(Rc::as_ptr(a) as usize),
+    }
+}
+
+impl RtCache {
+    /// An empty, enabled cache.
+    pub fn new() -> RtCache {
+        RtCache {
+            enabled: true,
+            hits: 0,
+            misses: 0,
+            nodes: Vec::new(),
+            interned: HashMap::new(),
+            by_ptr: HashMap::new(),
+            eval_memo: HashMap::new(),
+            desc_memo: HashMap::new(),
+            extract_memo: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct interned nodes (the O(distinct sites) bound E9
+    /// demonstrates).
+    pub fn nodes_interned(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Evaluates template `id` under `env`, memoized per
+    /// `(id, env fingerprint)`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`eval_sx`]: out-of-range parameters fail fast.
+    pub fn eval(
+        &mut self,
+        sxs: &SxTable,
+        id: SxId,
+        env: &[RtVal],
+        stats: &mut RtBuildStats,
+        cx: EvalCx,
+    ) -> RtVal {
+        if !self.enabled {
+            return eval_sx(sxs.get(id), env, stats, cx);
+        }
+        // Leaf templates never allocate and never consult the memo.
+        match sxs.get(id) {
+            TypeSx::Prim => return RtVal::Const,
+            TypeSx::Ground(g) => return RtVal::Ground(*g),
+            TypeSx::Param(i) => return param_lookup(*i, env, cx),
+            _ => {}
+        }
+        let key = (id, env.iter().map(|v| self.rt_id(v)).collect());
+        if let Some(v) = self.eval_memo.get(&key) {
+            self.hits += 1;
+            return v.clone();
+        }
+        self.misses += 1;
+        let v = self.build(sxs.get(id), env, stats, cx);
+        self.eval_memo.insert(key, v.clone());
+        v
+    }
+
+    /// Extracts the sub-routine at `path`, memoized per (value, path).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`extract_path`].
+    pub fn extract(
+        &mut self,
+        rt: &RtVal,
+        path: &[u16],
+        prog: &IrProgram,
+        ground: &mut GroundTable,
+        cx: EvalCx,
+    ) -> RtVal {
+        if !self.enabled || path.is_empty() {
+            return extract_path(rt, path, prog, ground, cx);
+        }
+        let key = (self.rt_id(rt), Box::from(path));
+        if let Some(v) = self.extract_memo.get(&key) {
+            self.hits += 1;
+            return v.clone();
+        }
+        self.misses += 1;
+        // GroundTable::make is itself memoized per type, so re-running
+        // the extraction later would produce the same routine ids — the
+        // memoized result is exact.
+        let v = extract_path(rt, path, prog, ground, cx);
+        let v = self.canon(v);
+        self.extract_memo.insert(key, v.clone());
+        v
+    }
+
+    /// Converts a descriptor, memoized per [`DescId`] (descriptors are
+    /// interned and immutable once created).
+    pub fn desc(&mut self, arena: &DescArena, id: DescId, stats: &mut RtBuildStats) -> RtVal {
+        if !self.enabled {
+            return desc_to_rt(arena, id, stats);
+        }
+        if let Some(v) = self.desc_memo.get(&id) {
+            self.hits += 1;
+            return v.clone();
+        }
+        self.misses += 1;
+        self.desc_build(arena, id, stats)
+    }
+
+    /// Recursive descriptor conversion with per-node memoization (no
+    /// hit/miss accounting below the top level).
+    fn desc_build(&mut self, arena: &DescArena, id: DescId, stats: &mut RtBuildStats) -> RtVal {
+        if let Some(v) = self.desc_memo.get(&id) {
+            return v.clone();
+        }
+        let v = match arena.node(id) {
+            DescNode::Prim | DescNode::Opaque => RtVal::Const,
+            DescNode::Tuple(ds) => {
+                let ds = ds.clone();
+                let fs = ds
+                    .iter()
+                    .map(|d| self.desc_build(arena, *d, stats))
+                    .collect();
+                self.intern_node(RtVal::Tuple(Rc::new(fs)), stats)
+            }
+            DescNode::Data(data, ds) => {
+                let (data, ds) = (*data, ds.clone());
+                let fs = ds
+                    .iter()
+                    .map(|d| self.desc_build(arena, *d, stats))
+                    .collect();
+                self.intern_node(RtVal::Data(data, Rc::new(fs)), stats)
+            }
+            DescNode::Arrow(a, b) => {
+                let (a, b) = (*a, *b);
+                let ra = self.desc_build(arena, a, stats);
+                let rb = self.desc_build(arena, b, stats);
+                self.intern_node(RtVal::Arrow(Rc::new(ra), Rc::new(rb)), stats)
+            }
+        };
+        self.desc_memo.insert(id, v.clone());
+        v
+    }
+
+    /// Bottom-up template evaluation, interning every composite node.
+    fn build(&mut self, sx: &TypeSx, env: &[RtVal], stats: &mut RtBuildStats, cx: EvalCx) -> RtVal {
+        match sx {
+            TypeSx::Prim => RtVal::Const,
+            TypeSx::Ground(g) => RtVal::Ground(*g),
+            TypeSx::Param(i) => param_lookup(*i, env, cx),
+            TypeSx::Tuple(ts) => {
+                let fs = ts.iter().map(|t| self.build(t, env, stats, cx)).collect();
+                self.intern_node(RtVal::Tuple(Rc::new(fs)), stats)
+            }
+            TypeSx::Data(d, ts) => {
+                let fs = ts.iter().map(|t| self.build(t, env, stats, cx)).collect();
+                self.intern_node(RtVal::Data(*d, Rc::new(fs)), stats)
+            }
+            TypeSx::Arrow(a, b) => {
+                let ra = self.build(a, env, stats, cx);
+                let rb = self.build(b, env, stats, cx);
+                self.intern_node(RtVal::Arrow(Rc::new(ra), Rc::new(rb)), stats)
+            }
+        }
+    }
+
+    /// Interns a freshly built composite node. A node counts toward
+    /// `rt_nodes_built` only when it did not already exist — this is what
+    /// turns the per-collection node count from O(frames) into
+    /// O(distinct shapes).
+    fn intern_node(&mut self, v: RtVal, stats: &mut RtBuildStats) -> RtVal {
+        if let Some(id) = self.interned.get(&v) {
+            return self.nodes[id.0 as usize].clone();
+        }
+        stats.nodes_built += 1;
+        let id = RtId(self.nodes.len() as u32);
+        if let Some(p) = composite_ptr(&v) {
+            self.by_ptr.insert(p, id);
+        }
+        self.interned.insert(v.clone(), id);
+        self.nodes.push(v.clone());
+        v
+    }
+
+    /// The interned id of a value, adopting foreign nodes (values built
+    /// outside the cache, e.g. by tests) as canonical.
+    fn rt_id(&mut self, v: &RtVal) -> RtId {
+        if let Some(p) = composite_ptr(v) {
+            if let Some(id) = self.by_ptr.get(&p) {
+                return *id;
+            }
+        }
+        if let Some(id) = self.interned.get(v) {
+            // Structurally known under a different allocation: do NOT
+            // register this pointer — its allocation is not pinned by
+            // `nodes`, so the address could be reused after a drop.
+            return *id;
+        }
+        let id = RtId(self.nodes.len() as u32);
+        if let Some(p) = composite_ptr(v) {
+            self.by_ptr.insert(p, id);
+        }
+        self.interned.insert(v.clone(), id);
+        self.nodes.push(v.clone());
+        id
+    }
+
+    /// The canonical (shared) form of a value.
+    fn canon(&mut self, v: RtVal) -> RtVal {
+        let id = self.rt_id(&v);
+        self.nodes[id.0 as usize].clone()
+    }
+}
+
+impl Default for RtCache {
+    fn default() -> Self {
+        RtCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfgc_types::LIST_DATA;
+
+    fn table_with(sx: TypeSx) -> (SxTable, SxId) {
+        let mut t = SxTable::new();
+        let id = t.intern(sx);
+        (t, id)
+    }
+
+    #[test]
+    fn memoized_eval_matches_unmemoized() {
+        let sx = TypeSx::Data(
+            LIST_DATA,
+            vec![TypeSx::Tuple(vec![TypeSx::Param(0), TypeSx::Prim])],
+        );
+        let env = [RtVal::Const];
+        let mut plain = RtBuildStats::default();
+        let expected = eval_sx(&sx, &env, &mut plain, EvalCx::None);
+
+        let (t, id) = table_with(sx);
+        let mut cache = RtCache::new();
+        let mut stats = RtBuildStats::default();
+        for _ in 0..3 {
+            let got = cache.eval(&t, id, &env, &mut stats, EvalCx::None);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn repeat_evaluations_hit_and_build_nothing() {
+        let sx = TypeSx::Data(LIST_DATA, vec![TypeSx::Param(0)]);
+        let (t, id) = table_with(sx);
+        let mut cache = RtCache::new();
+        let mut stats = RtBuildStats::default();
+        let env = [RtVal::Const];
+        cache.eval(&t, id, &env, &mut stats, EvalCx::None);
+        assert_eq!((cache.hits, cache.misses), (0, 1));
+        let built_once = stats.nodes_built;
+        for _ in 0..10 {
+            cache.eval(&t, id, &env, &mut stats, EvalCx::None);
+        }
+        assert_eq!((cache.hits, cache.misses), (10, 1));
+        assert_eq!(stats.nodes_built, built_once, "hits build no nodes");
+    }
+
+    #[test]
+    fn structurally_equal_routines_share_one_rc() {
+        // Two different templates that evaluate to the same routine.
+        let mut t = SxTable::new();
+        let a = t.intern(TypeSx::Data(LIST_DATA, vec![TypeSx::Param(0)]));
+        let b = t.intern(TypeSx::Data(LIST_DATA, vec![TypeSx::Prim]));
+        assert_ne!(a, b);
+        let mut cache = RtCache::new();
+        let mut stats = RtBuildStats::default();
+        let ra = cache.eval(&t, a, &[RtVal::Const], &mut stats, EvalCx::None);
+        let rb = cache.eval(&t, b, &[], &mut stats, EvalCx::None);
+        match (&ra, &rb) {
+            (RtVal::Data(_, fa), RtVal::Data(_, fb)) => {
+                assert!(Rc::ptr_eq(fa, fb), "hash-consed nodes share one Rc");
+            }
+            other => panic!("expected data routines, got {other:?}"),
+        }
+        assert_eq!(stats.nodes_built, 1, "the shared node is built once");
+    }
+
+    #[test]
+    fn distinct_envs_do_not_alias() {
+        let sx = TypeSx::Data(LIST_DATA, vec![TypeSx::Param(0)]);
+        let (t, id) = table_with(sx);
+        let mut cache = RtCache::new();
+        let mut stats = RtBuildStats::default();
+        let inner = RtVal::Data(LIST_DATA, Rc::new(vec![RtVal::Const]));
+        let ra = cache.eval(&t, id, &[RtVal::Const], &mut stats, EvalCx::None);
+        let rb = cache.eval(
+            &t,
+            id,
+            std::slice::from_ref(&inner),
+            &mut stats,
+            EvalCx::None,
+        );
+        assert_ne!(ra, rb);
+        assert_eq!(
+            rb,
+            RtVal::Data(LIST_DATA, Rc::new(vec![inner])),
+            "environment distinguishes memo entries"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_falls_through() {
+        let sx = TypeSx::Data(LIST_DATA, vec![TypeSx::Param(0)]);
+        let (t, id) = table_with(sx);
+        let mut cache = RtCache::new();
+        cache.enabled = false;
+        let mut stats = RtBuildStats::default();
+        for _ in 0..3 {
+            cache.eval(&t, id, &[RtVal::Const], &mut stats, EvalCx::None);
+        }
+        assert_eq!((cache.hits, cache.misses), (0, 0));
+        assert_eq!(stats.nodes_built, 3, "unmemoized path builds per call");
+        assert_eq!(cache.nodes_interned(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "type parameter 0 out of range")]
+    fn cached_eval_keeps_the_fail_fast_contract() {
+        let sx = TypeSx::Data(LIST_DATA, vec![TypeSx::Param(0)]);
+        let (t, id) = table_with(sx);
+        let mut cache = RtCache::new();
+        let mut stats = RtBuildStats::default();
+        cache.eval(&t, id, &[], &mut stats, EvalCx::Frame { fn_id: 1, site: 2 });
+    }
+}

@@ -18,17 +18,26 @@
 //!
 //! Values are traced through a typed worklist (no recursion in data
 //! depth), so million-element lists collect in constant Rust stack space.
+//!
+//! Template evaluation, Figure-3 path extraction, and descriptor
+//! conversion all route through the metadata's [`RtCache`], so a deep
+//! chain of activations of the same call site evaluates each θ once
+//! instead of once per frame. The worklist and the decoded-frame vector
+//! live in [`CollectorScratch`] (owned by `GcMeta`) and are reused across
+//! collections; the heap's forwarding bitmap is likewise allocated once
+//! and only zeroed per collection (see `tfgc_runtime::Heap`).
 
 use crate::bytes::{BytePool, DescView};
+use crate::cache::RtCache;
 use crate::desc::{DescArena, DescId};
 use crate::ground::{GroundTable, TypeRt};
 use crate::meta::{CalleePlan, ClosParamSrc, FnGcMeta, FrameParamSrc, GcMeta, SiteMeta};
 use crate::routines::{RoutineTable, TraceOp};
-use crate::rtval::{desc_to_rt, eval_sx, extract_path, RtBuildStats, RtVal};
-use crate::stack::{walk_frames, FrameInfo, FRAME_HDR};
+use crate::rtval::{EvalCx, RtBuildStats, RtVal};
+use crate::stack::{walk_frames_into, FrameInfo, FRAME_HDR};
 use crate::stats::GcStats;
 use crate::strategy::Strategy;
-use crate::sx::TypeSx;
+use crate::sx::{SxId, SxTable};
 use std::rc::Rc;
 use std::time::Instant;
 use tfgc_ir::{CallSiteId, CtorRep, IrProgram};
@@ -69,16 +78,31 @@ pub struct MachineRoots<'m> {
 /// A tracing type at collection time: an evaluated routine value, or an
 /// interpreted byte descriptor under an environment.
 #[derive(Debug, Clone)]
-enum WTy {
+pub(crate) enum WTy {
     Rt(RtVal),
     Bytes { pos: u32, env: Rc<Vec<WTy>> },
 }
 
-#[derive(Debug)]
-struct WorkItem {
+#[derive(Debug, Clone)]
+pub(crate) struct WorkItem {
     addr: Addr,
     off: u16,
     ty: WTy,
+    /// Root context the object was first reached from — reported by the
+    /// heap-corruption panics so a bad word names its tracing origin.
+    origin: EvalCx,
+}
+
+/// Persistent collector buffers, owned by `GcMeta` so one allocation
+/// serves every collection of a run: the typed worklist and the decoded
+/// dynamic-chain vector (a deep stack is decoded without growing a fresh
+/// `Vec` each pause). The third reused structure — the forwarding side
+/// bitmap — already lives in `tfgc_runtime::Heap`, sized once at heap
+/// construction and zeroed (not reallocated) on each flip.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorScratch {
+    pub(crate) work: Vec<WorkItem>,
+    pub(crate) frames: Vec<FrameInfo>,
 }
 
 /// Runs one tag-free collection.
@@ -97,13 +121,14 @@ pub fn collect_tagfree(
     mut roots: MachineRoots<'_>,
 ) {
     assert_ne!(meta.strategy, Strategy::Tagged, "use collect_tagged");
-    let t0 = Instant::now();
     let strategy = meta.strategy;
     let seq = stats.collections;
     // Snapshots so CollectionEnd reports this collection's work alone.
     let frames0 = stats.frames_visited;
     let routines0 = stats.routine_invocations;
     let nodes0 = stats.rt_nodes_built;
+    let hits0 = meta.rt_cache.hits;
+    let misses0 = meta.rt_cache.misses;
     let copied0 = heap.stats.words_copied;
     let trigger_site = roots
         .stacks
@@ -116,6 +141,11 @@ pub fn collect_tagfree(
         trigger_site,
         heap_used_before: heap.used() as u64,
     });
+    // The pause clock starts *after* the begin event: sink time (snapshot
+    // formatting, ring writes) is observer overhead, not collection work,
+    // and must not skew pause statistics between sink configurations.
+    let t0 = Instant::now();
+    let frames_buf = &mut meta.scratch.frames;
     let mut cx = Collector {
         prog,
         heap,
@@ -123,21 +153,26 @@ pub fn collect_tagfree(
         ground: &mut meta.ground,
         routines: &meta.routines,
         pool: &meta.pool,
+        sxs: &meta.sxs,
         sites: &meta.sites,
         fns: &meta.fns,
         data_variants: &meta.data_variants,
+        cache: &mut meta.rt_cache,
         stats,
         obs,
         seq,
+        strategy,
+        cur: EvalCx::None,
         build: RtBuildStats::default(),
-        work: Vec::new(),
+        work: &mut meta.scratch.work,
         enc: Encoding::new(HeapMode::TagFree),
     };
 
     // Globals first: their routines are known statically (§1.1).
     for (i, g) in meta.globals.iter().enumerate() {
         if let Some(sx) = g {
-            let rt = eval_sx(sx, &[], &mut cx.build);
+            cx.cur = EvalCx::Global(i as u32);
+            let rt = cx.eval(*sx, &[]);
             roots.globals[i] = cx.reloc(roots.globals[i], &WTy::Rt(rt));
         }
     }
@@ -146,10 +181,10 @@ pub fn collect_tagfree(
     let mut operand_env: Vec<RtVal> = Vec::new();
     let mut operand_site = None;
     for (ti, sr) in roots.stacks.iter_mut().enumerate() {
-        let frames = walk_frames(sr.stack, sr.top_fp, sr.current_site, prog);
-        cx.stats.frames_visited += frames.len() as u64;
+        walk_frames_into(frames_buf, sr.stack, sr.top_fp, sr.current_site, prog);
+        cx.stats.frames_visited += frames_buf.len() as u64;
         if cx.obs.enabled() {
-            for fr in &frames {
+            for fr in frames_buf.iter() {
                 cx.obs.emit(|_| GcEvent::FrameVisit {
                     seq,
                     fn_id: fr.fn_id.0,
@@ -158,8 +193,8 @@ pub fn collect_tagfree(
             }
         }
         let newest_env = match strategy {
-            Strategy::AppelPerFn => cx.appel_walk(&frames, sr.stack),
-            _ => cx.forward_walk(&frames, sr.stack),
+            Strategy::AppelPerFn => cx.appel_walk(frames_buf, sr.stack),
+            _ => cx.forward_walk(frames_buf, sr.stack),
         };
         if ti == roots.operand_stack {
             operand_env = newest_env;
@@ -172,10 +207,12 @@ pub fn collect_tagfree(
     // (`operands` may be empty even at an allocation site: §4 tasks
     // re-execute a blocked allocation after the collection.)
     if let Some(site) = operand_site {
-        let op_sxs: Vec<Option<TypeSx>> = cx.sites[site.0 as usize].operands.clone();
-        for (op, w) in op_sxs.iter().zip(roots.operands.iter_mut()) {
+        cx.cur = EvalCx::Operands { site: site.0 };
+        let sites = cx.sites;
+        let ops = &sites[site.0 as usize].operands;
+        for (op, w) in ops.iter().zip(roots.operands.iter_mut()) {
             if let Some(sx) = op {
-                let rt = eval_sx(sx, &operand_env, &mut cx.build);
+                let rt = cx.eval(*sx, &operand_env);
                 *w = cx.reloc(*w, &WTy::Rt(rt));
             }
         }
@@ -184,6 +221,8 @@ pub fn collect_tagfree(
     cx.drain();
     let built = cx.build.nodes_built;
     stats.rt_nodes_built += built;
+    stats.rt_cache_hits += meta.rt_cache.hits - hits0;
+    stats.rt_cache_misses += meta.rt_cache.misses - misses0;
     heap.flip();
     stats.collections += 1;
     let pause = t0.elapsed().as_nanos() as u64;
@@ -197,6 +236,8 @@ pub fn collect_tagfree(
         frames_visited: stats.frames_visited - frames0,
         routine_invocations: stats.routine_invocations - routines0,
         rt_nodes_built: stats.rt_nodes_built - nodes0,
+        rt_cache_hits: meta.rt_cache.hits - hits0,
+        rt_cache_misses: meta.rt_cache.misses - misses0,
     });
 }
 
@@ -207,14 +248,20 @@ struct Collector<'c> {
     ground: &'c mut GroundTable,
     routines: &'c RoutineTable,
     pool: &'c BytePool,
+    sxs: &'c SxTable,
     sites: &'c [SiteMeta],
     fns: &'c [FnGcMeta],
-    data_variants: &'c [Vec<Vec<TypeSx>>],
+    data_variants: &'c [Vec<Vec<SxId>>],
+    cache: &'c mut RtCache,
     stats: &'c mut GcStats,
     obs: &'c mut Obs,
     seq: u64,
+    strategy: Strategy,
+    /// Context currently being traced from (frame, global, operand, …) —
+    /// threaded into fail-fast panics and captured per work item.
+    cur: EvalCx,
     build: RtBuildStats,
-    work: Vec<WorkItem>,
+    work: &'c mut Vec<WorkItem>,
     enc: Encoding,
 }
 
@@ -229,6 +276,28 @@ enum Head {
 }
 
 impl Collector<'_> {
+    /// Memoized template evaluation under the current tracing context.
+    fn eval(&mut self, id: SxId, env: &[RtVal]) -> RtVal {
+        self.cache
+            .eval(self.sxs, id, env, &mut self.build, self.cur)
+    }
+
+    /// Memoized template evaluation under an explicit context (variant
+    /// fields, closure captures — contexts finer than `self.cur`).
+    fn eval_at(&mut self, id: SxId, env: &[RtVal], cx: EvalCx) -> RtVal {
+        self.cache.eval(self.sxs, id, env, &mut self.build, cx)
+    }
+
+    /// Memoized Figure-3 path extraction.
+    fn extract(&mut self, rt: &RtVal, path: &[u16], cx: EvalCx) -> RtVal {
+        self.cache.extract(rt, path, self.prog, self.ground, cx)
+    }
+
+    /// Memoized descriptor → routine conversion.
+    fn desc_rt(&mut self, id: DescId) -> RtVal {
+        self.cache.desc(self.descs, id, &mut self.build)
+    }
+
     /// §3's traversal: oldest to newest, propagating type routine
     /// environments through the recorded θ / closure-type plans. Returns
     /// the newest frame's environment.
@@ -237,6 +306,10 @@ impl Collector<'_> {
         let mut clos_rt: Option<RtVal> = None;
         let mut env: Vec<RtVal> = Vec::new();
         for fr in frames.iter().rev() {
+            self.cur = EvalCx::Frame {
+                fn_id: fr.fn_id.0,
+                site: fr.site.0,
+            };
             env = self.frame_env(fr, stack, theta_rts.as_deref(), clos_rt.as_ref());
             self.run_frame_routine(fr, &env, stack);
             (theta_rts, clos_rt) = self.eval_plan(fr.site, &env);
@@ -251,6 +324,10 @@ impl Collector<'_> {
         let mut newest_env = Vec::new();
         for k in 0..frames.len() {
             let env = self.appel_env(frames, k, stack);
+            self.cur = EvalCx::Frame {
+                fn_id: frames[k].fn_id.0,
+                site: frames[k].site.0,
+            };
             self.run_frame_routine(&frames[k], &env, stack);
             if k == 0 {
                 newest_env = env;
@@ -268,6 +345,10 @@ impl Collector<'_> {
         for j in (k..frames.len()).rev() {
             self.stats.chain_steps += 1;
             let fr = &frames[j];
+            self.cur = EvalCx::Frame {
+                fn_id: fr.fn_id.0,
+                site: fr.site.0,
+            };
             env = self.frame_env(fr, stack, theta_rts.as_deref(), clos_rt.as_ref());
             if j == k {
                 break;
@@ -288,15 +369,10 @@ impl Collector<'_> {
         let sites = self.sites;
         match &sites[site.0 as usize].plan {
             CalleePlan::Direct { theta } => (
-                Some(
-                    theta
-                        .iter()
-                        .map(|sx| eval_sx(sx, env, &mut self.build))
-                        .collect(),
-                ),
+                Some(theta.iter().map(|sx| self.eval(*sx, env)).collect()),
                 None,
             ),
-            CalleePlan::Closure { clos_ty } => (None, Some(eval_sx(clos_ty, env, &mut self.build))),
+            CalleePlan::Closure { clos_ty } => (None, Some(self.eval(*clos_ty, env))),
             CalleePlan::None => (None, None),
         }
     }
@@ -312,6 +388,10 @@ impl Collector<'_> {
     ) -> Vec<RtVal> {
         let fns = self.fns;
         let fm = &fns[fr.fn_id.0 as usize];
+        let cx = EvalCx::Frame {
+            fn_id: fr.fn_id.0,
+            site: fr.site.0,
+        };
         fm.frame_param_src
             .iter()
             .enumerate()
@@ -322,12 +402,12 @@ impl Collector<'_> {
                     .cloned()
                     .unwrap_or(RtVal::Const),
                 FrameParamSrc::ArrowPath(p) => match clos_rt {
-                    Some(rt) => extract_path(rt, p, self.prog, self.ground),
+                    Some(rt) => self.extract(rt, p, cx),
                     None => RtVal::Const,
                 },
                 FrameParamSrc::DescSlot(s) => {
                     let w = stack[fr.fp + FRAME_HDR + s.0 as usize];
-                    desc_to_rt(self.descs, DescId(w as u32), &mut self.build)
+                    self.desc_rt(DescId(w as u32))
                 }
             })
             .collect()
@@ -345,7 +425,8 @@ impl Collector<'_> {
             )
         });
         self.stats.routine_invocations += 1;
-        let ops = self.routines.routine(rid).ops.clone();
+        let routines = self.routines;
+        let ops = &routines.routine(rid).ops;
         let seq = self.seq;
         self.obs.emit(|_| GcEvent::RoutineRun {
             seq,
@@ -354,9 +435,9 @@ impl Collector<'_> {
         });
         for op in ops {
             self.stats.slots_traced += 1;
-            match op {
+            match *op {
                 TraceOp::Slot { slot, sx } => {
-                    let rt = eval_sx(&sx, env, &mut self.build);
+                    let rt = self.eval(sx, env);
                     let idx = fr.fp + FRAME_HDR + slot.0 as usize;
                     stack[idx] = self.reloc(stack[idx], &WTy::Rt(rt));
                 }
@@ -371,6 +452,7 @@ impl Collector<'_> {
 
     fn drain(&mut self) {
         while let Some(item) = self.work.pop() {
+            self.cur = item.origin;
             let w = self.heap.read(item.addr, item.off);
             let nw = self.reloc(w, &item.ty);
             self.heap.write(item.addr, item.off, nw);
@@ -383,6 +465,7 @@ impl Collector<'_> {
         match ty {
             WTy::Rt(RtVal::Const) => w,
             WTy::Rt(RtVal::Ground(id)) => {
+                // Cheap: TypeRt payloads sit behind `Rc`.
                 let rt = self.ground.rt(*id).clone();
                 match rt {
                     TypeRt::Prim => w,
@@ -428,9 +511,11 @@ impl Collector<'_> {
                 match self.data_head(w, *d) {
                     DataHead::Imm(w) | DataHead::Done(w) => w,
                     DataHead::Copied { ctor, rep, new } => {
-                        let templates = self.data_variants[d.0 as usize][ctor].clone();
+                        let dv = self.data_variants;
+                        let templates = &dv[d.0 as usize][ctor];
+                        let cx = EvalCx::Data(d.0);
                         for (i, sx) in templates.iter().enumerate() {
-                            let rt = eval_sx(sx, &args, &mut self.build);
+                            let rt = self.eval_at(*sx, &args, cx);
                             self.push(new, rep.field_offset(i as u16), WTy::Rt(rt));
                         }
                         self.enc.ptr(new)
@@ -468,13 +553,11 @@ impl Collector<'_> {
                             let arg_env: Rc<Vec<WTy>> = Rc::new(
                                 arg_positions
                                     .iter()
-                                    .map(|p| WTy::Bytes {
-                                        pos: *p,
-                                        env: env.clone(),
-                                    })
+                                    .map(|p| self.collapse(*p, &env))
                                     .collect(),
                             );
-                            let fields = self.pool.data_fields[d.0 as usize][ctor].clone();
+                            let pool = self.pool;
+                            let fields = &pool.data_fields[d.0 as usize][ctor];
                             for (i, p) in fields.iter().enumerate() {
                                 self.push(
                                     new,
@@ -497,6 +580,31 @@ impl Collector<'_> {
                         self.reloc_closure(w, RtVal::Arrow(Rc::new(ra), Rc::new(rb)))
                     }
                 }
+            }
+        }
+    }
+
+    /// Collapses `Param` indirection chains eagerly. Without this, a
+    /// recursive datatype's argument environment re-wraps the parent
+    /// environment once per heap node (the tail of a list adds a layer
+    /// per element), and both `Param` resolution and the `Rc` drop of
+    /// the chain recurse O(list length) deep — a stack overflow on deep
+    /// structures. Substituting `env[i]` directly is exactly `Param`'s
+    /// defined meaning, and it bounds environment depth by the static
+    /// type structure instead.
+    fn collapse(&mut self, pos: u32, env: &Rc<Vec<WTy>>) -> WTy {
+        let mut pos = pos;
+        let mut env = env.clone();
+        loop {
+            match self.pool.parse(pos, &mut self.stats.desc_bytes_read) {
+                DescView::Param(i) => match env[i as usize].clone() {
+                    WTy::Bytes { pos: p, env: e } => {
+                        pos = p;
+                        env = e;
+                    }
+                    rt => return rt,
+                },
+                _ => return WTy::Bytes { pos, env },
             }
         }
     }
@@ -555,7 +663,12 @@ impl Collector<'_> {
     }
 
     fn push(&mut self, addr: Addr, off: u16, ty: WTy) {
-        self.work.push(WorkItem { addr, off, ty });
+        self.work.push(WorkItem {
+            addr,
+            off,
+            ty,
+            origin: self.cur,
+        });
     }
 
     /// Head handling for fixed-size objects (tuples).
@@ -597,11 +710,36 @@ impl Collector<'_> {
             let t = self.heap.read(a, 0) as u32;
             reps.iter()
                 .position(|r| matches!(r, CtorRep::Ptr { tag: Some(tag), .. } if *tag == t))
-                .expect("valid discriminant in heap object")
+                .unwrap_or_else(|| {
+                    panic!(
+                        "heap corruption: discriminant {} at address {} (word {:#x}) matches \
+                         no variant of datatype {} — collection {}, strategy {}, reached \
+                         tracing {}",
+                        t,
+                        a.0,
+                        w,
+                        d.0,
+                        self.seq,
+                        self.strategy.name(),
+                        self.cur
+                    )
+                })
         } else {
             reps.iter()
                 .position(|r| matches!(r, CtorRep::Ptr { .. }))
-                .expect("pointer object of pointerless datatype")
+                .unwrap_or_else(|| {
+                    panic!(
+                        "heap corruption: pointer word {:#x} (address {}) typed as datatype {} \
+                         whose variants are all pointerless — collection {}, strategy {}, \
+                         reached tracing {}",
+                        w,
+                        a.0,
+                        d.0,
+                        self.seq,
+                        self.strategy.name(),
+                        self.cur
+                    )
+                })
         };
         let rep = reps[ctor];
         let new = self.heap.copy_out(a, rep.heap_words());
@@ -648,21 +786,24 @@ impl Collector<'_> {
         if !fm.closure_param_src.is_empty() {
             self.stats.closure_envs_built += 1;
         }
+        let cx = EvalCx::Closure {
+            fn_id: fn_id as u32,
+        };
         let mut env: Vec<RtVal> = Vec::with_capacity(fm.closure_param_src.len());
         for src in &fm.closure_param_src {
             let rt = match src {
                 ClosParamSrc::Opaque => RtVal::Const,
-                ClosParamSrc::Path(p) => extract_path(&arrow_rt, p, self.prog, self.ground),
+                ClosParamSrc::Path(p) => self.extract(&arrow_rt, p, cx),
                 ClosParamSrc::DescField(off) => {
                     let dw = self.heap.read(new, *off);
-                    desc_to_rt(self.descs, DescId(dw as u32), &mut self.build)
+                    self.desc_rt(DescId(dw as u32))
                 }
             };
             env.push(rt);
         }
-        for (off, sx) in fm.closure_fields.clone() {
-            let rt = eval_sx(&sx, &env, &mut self.build);
-            self.push(new, off, WTy::Rt(rt));
+        for (off, sx) in &fm.closure_fields {
+            let rt = self.eval_at(*sx, &env, cx);
+            self.push(new, *off, WTy::Rt(rt));
         }
         self.enc.ptr(new)
     }

@@ -29,7 +29,6 @@ pub fn collect_tagged(
     obs: &mut Obs,
     mut roots: MachineRoots<'_>,
 ) {
-    let t0 = Instant::now();
     let seq = stats.collections;
     let frames0 = stats.frames_visited;
     let routines0 = stats.routine_invocations;
@@ -45,6 +44,9 @@ pub fn collect_tagged(
         trigger_site,
         heap_used_before: heap.used() as u64,
     });
+    // Pause clock starts after the begin event: sink overhead must not
+    // count as collection time (see collect_tagfree).
+    let t0 = Instant::now();
     let enc = Encoding::new(HeapMode::Tagged);
     let mut scan: Vec<(Addr, usize)> = Vec::new();
 
@@ -108,6 +110,8 @@ pub fn collect_tagged(
         frames_visited: stats.frames_visited - frames0,
         routine_invocations: stats.routine_invocations - routines0,
         rt_nodes_built: 0,
+        rt_cache_hits: 0,
+        rt_cache_misses: 0,
     });
 }
 

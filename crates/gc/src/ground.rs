@@ -11,6 +11,7 @@
 //! routines are identified by [`TypeRtId`] and memoized per ground type.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 use tfgc_ir::{CtorRep, IrProgram};
 use tfgc_types::{DataId, Type};
 
@@ -27,24 +28,26 @@ pub struct VariantRt {
     pub fields: Vec<TypeRtId>,
 }
 
-/// A compiled ground routine.
+/// A compiled ground routine. Structured payloads sit behind `Rc` so the
+/// collector can take a cheap owned copy per traced object instead of
+/// cloning whole variant tables (the GC-time hot path).
 #[derive(Debug, Clone, PartialEq)]
 pub enum TypeRt {
     /// No pointers: integers, booleans, unit, opaque parameters.
     Prim,
     /// Heap tuple: field routines in order (object size = field count).
-    Tuple(Vec<TypeRtId>),
+    Tuple(Rc<Vec<TypeRtId>>),
     /// Datatype instance: immediate test, then per-variant plan (§2.3's
     /// discriminant check compiled in).
     Data {
         data: DataId,
-        variants: Vec<VariantRt>,
+        variants: Rc<Vec<VariantRt>>,
     },
     /// Function value at a ground arrow type: traced through the
     /// closure's own layout (the word at `code − 4`, §2.2). The ground
     /// arrow type is retained so parameter routines recoverable from the
     /// closure's type can be extracted (§3, Figure 3).
-    Arrow(Type),
+    Arrow(Rc<Type>),
 }
 
 impl TypeRt {
@@ -127,11 +130,11 @@ impl GroundTable {
                 let id = self.push(TypeRt::Prim);
                 self.memo.insert(ty.clone(), id);
                 let fields = ts.iter().map(|t| self.make(prog, t)).collect();
-                self.rts[id.0 as usize] = TypeRt::Tuple(fields);
+                self.rts[id.0 as usize] = TypeRt::Tuple(Rc::new(fields));
                 id
             }
             Type::Arrow(_, _) => {
-                let id = self.push(TypeRt::Arrow(ty.clone()));
+                let id = self.push(TypeRt::Arrow(Rc::new(ty.clone())));
                 self.memo.insert(ty.clone(), id);
                 id
             }
@@ -153,7 +156,10 @@ impl GroundTable {
                         VariantRt { rep, fields }
                     })
                     .collect();
-                self.rts[id.0 as usize] = TypeRt::Data { data: *d, variants };
+                self.rts[id.0 as usize] = TypeRt::Data {
+                    data: *d,
+                    variants: Rc::new(variants),
+                };
                 id
             }
         }

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod bytes;
+pub mod cache;
 pub mod collect;
 pub mod collect_tagged;
 pub mod desc;
@@ -53,16 +54,19 @@ pub mod stats;
 pub mod strategy;
 pub mod sx;
 
-pub use collect::{collect_tagfree, MachineRoots, StackRoots};
+pub use cache::RtCache;
+pub use collect::{collect_tagfree, CollectorScratch, MachineRoots, StackRoots};
 pub use desc::{DescArena, DescId, DescNode};
 pub use ground::{GroundTable, TypeRt, TypeRtId};
 pub use meta::{Analyses, CalleePlan, FnGcMeta, GcMeta, SiteMeta};
 pub use routines::{FrameRoutine, FrameRoutineId, RoutineTable, TraceOp, NO_TRACE};
-pub use rtval::RtVal;
-pub use stack::{pack_ret, unpack_ret, walk_frames, FrameInfo, FRAME_HDR, MAIN_RET, NO_FP};
+pub use rtval::{EvalCx, RtVal};
+pub use stack::{
+    pack_ret, unpack_ret, walk_frames, walk_frames_into, FrameInfo, FRAME_HDR, MAIN_RET, NO_FP,
+};
 pub use stats::GcStats;
 pub use strategy::Strategy;
-pub use sx::TypeSx;
+pub use sx::{SxId, SxTable, TypeSx};
 
 use tfgc_ir::IrProgram;
 use tfgc_obs::Obs;

@@ -10,10 +10,12 @@
 //! routines (§2.4's trade-off).
 
 use crate::bytes::BytePool;
+use crate::cache::RtCache;
+use crate::collect::CollectorScratch;
 use crate::ground::GroundTable;
 use crate::routines::{FrameRoutine, FrameRoutineId, RoutineTable, TraceOp, NO_TRACE};
 use crate::strategy::Strategy;
-use crate::sx::{SxCx, TypeSx};
+use crate::sx::{SxCx, SxId, SxTable};
 use std::collections::HashMap;
 use tfgc_analysis::{GcPoints, InitAnalysis, Liveness, SlotSet};
 use tfgc_ir::{IrProgram, ParamSource, SiteKind, Slot, SlotTy};
@@ -83,10 +85,11 @@ pub enum ClosParamSrc {
 pub enum CalleePlan {
     /// Allocation site (or tagged strategy): nothing to pass.
     None,
-    /// Direct call: θ templates, aligned with the callee's frame params.
-    Direct { theta: Vec<TypeSx> },
+    /// Direct call: θ templates (interned), aligned with the callee's
+    /// frame params.
+    Direct { theta: Vec<SxId> },
     /// Closure call: the static type of the invoked closure.
-    Closure { clos_ty: TypeSx },
+    Closure { clos_ty: SxId },
 }
 
 /// Per-site metadata: the gc_word (`routine`) and the callee plan.
@@ -97,9 +100,9 @@ pub struct SiteMeta {
     /// routine — that would falsify the analysis.
     pub routine: Option<FrameRoutineId>,
     pub plan: CalleePlan,
-    /// Allocation sites: per operand, the tracing template (`None` for
-    /// descriptor/prim operands).
-    pub operands: Vec<Option<TypeSx>>,
+    /// Allocation sites: per operand, the interned tracing template
+    /// (`None` for descriptor/prim operands).
+    pub operands: Vec<Option<SxId>>,
 }
 
 /// Per-function metadata.
@@ -111,29 +114,38 @@ pub struct FnGcMeta {
     /// Appel strategy: the single per-procedure routine.
     pub appel_routine: FrameRoutineId,
     /// Closure value tracing: pointerful capture fields (absolute offset,
-    /// template).
-    pub closure_fields: Vec<(u16, TypeSx)>,
+    /// interned template).
+    pub closure_fields: Vec<(u16, SxId)>,
     /// How to resolve the closure's parameters when tracing the value.
     pub closure_param_src: Vec<ClosParamSrc>,
     /// Total closure object size in payload words (1 + captures).
     pub closure_size: u16,
 }
 
-/// All metadata for one (program, strategy) pair.
+/// All metadata for one (program, strategy) pair — plus the collector's
+/// persistent GC-time state (evaluation cache and scratch buffers),
+/// which lives here so it survives across collections of a run.
 #[derive(Debug, Clone)]
 pub struct GcMeta {
     pub strategy: Strategy,
     pub ground: GroundTable,
     pub routines: RoutineTable,
     pub pool: BytePool,
+    /// Every compiled template, hash-consed; all other fields reference
+    /// templates by [`SxId`].
+    pub sxs: SxTable,
     pub sites: Vec<SiteMeta>,
     pub fns: Vec<FnGcMeta>,
-    /// Per global: tracing template (`None` = no pointers).
-    pub globals: Vec<Option<TypeSx>>,
-    /// `data_variants[data][ctor]` = field templates over the datatype's
-    /// own parameters (evaluated under the instance's argument routines
-    /// when tracing a polymorphic datatype value).
-    pub data_variants: Vec<Vec<Vec<TypeSx>>>,
+    /// Per global: interned tracing template (`None` = no pointers).
+    pub globals: Vec<Option<SxId>>,
+    /// `data_variants[data][ctor]` = interned field templates over the
+    /// datatype's own parameters (evaluated under the instance's
+    /// argument routines when tracing a polymorphic datatype value).
+    pub data_variants: Vec<Vec<Vec<SxId>>>,
+    /// Memoized GC-time evaluation state (persists across collections).
+    pub rt_cache: RtCache,
+    /// Reusable collector buffers (worklist, decoded frame vector).
+    pub scratch: CollectorScratch,
 }
 
 impl GcMeta {
@@ -161,6 +173,7 @@ impl GcMeta {
         let mut ground = GroundTable::new();
         let mut routines = RoutineTable::new();
         let mut pool = BytePool::new(prog);
+        let mut sxs = SxTable::new();
         let opaque = &prog.opaque_schemes;
 
         // Per-function param index maps.
@@ -205,7 +218,7 @@ impl GcMeta {
                     };
                     let sx = cx.compile(ty);
                     if !sx.is_prim() {
-                        closure_fields.push(((1 + i) as u16, sx));
+                        closure_fields.push(((1 + i) as u16, sxs.intern(sx)));
                     }
                 }
             }
@@ -245,7 +258,7 @@ impl GcMeta {
                         if !sx.is_prim() {
                             ops.push(TraceOp::Slot {
                                 slot: Slot(si as u16),
-                                sx,
+                                sx: sxs.intern(sx),
                             });
                         }
                     }
@@ -303,7 +316,10 @@ impl GcMeta {
                                     };
                                     let sx = cx.compile(ty);
                                     if !sx.is_prim() {
-                                        ops.push(TraceOp::Slot { slot, sx });
+                                        ops.push(TraceOp::Slot {
+                                            slot,
+                                            sx: sxs.intern(sx),
+                                        });
                                     }
                                 }
                             }
@@ -325,7 +341,8 @@ impl GcMeta {
                                 param_index: idx,
                                 opaque,
                             };
-                            cx.compile(t)
+                            let sx = cx.compile(t);
+                            sxs.intern(sx)
                         })
                         .collect();
                     CalleePlan::Direct { theta }
@@ -337,8 +354,9 @@ impl GcMeta {
                         param_index: idx,
                         opaque,
                     };
+                    let sx = cx.compile(clos_ty);
                     CalleePlan::Closure {
-                        clos_ty: cx.compile(clos_ty),
+                        clos_ty: sxs.intern(sx),
                     }
                 }
             };
@@ -359,7 +377,7 @@ impl GcMeta {
                             if sx.is_prim() {
                                 None
                             } else {
-                                Some(sx)
+                                Some(sxs.intern(sx))
                             }
                         }
                     })
@@ -390,7 +408,7 @@ impl GcMeta {
                 if sx.is_prim() {
                     None
                 } else {
-                    Some(sx)
+                    Some(sxs.intern(sx))
                 }
             })
             .collect();
@@ -416,7 +434,8 @@ impl GcMeta {
                                     param_index: &idx,
                                     opaque,
                                 };
-                                cx.compile(ft)
+                                let sx = cx.compile(ft);
+                                sxs.intern(sx)
                             })
                             .collect()
                     })
@@ -429,10 +448,13 @@ impl GcMeta {
             ground,
             routines,
             pool,
+            sxs,
             sites,
             fns,
             globals,
             data_variants,
+            rt_cache: RtCache::new(),
+            scratch: CollectorScratch::default(),
         }
     }
 
@@ -442,10 +464,13 @@ impl GcMeta {
         match self.strategy {
             Strategy::Tagged => 0,
             Strategy::Interpreted => {
-                // Byte pool plus per-site (slot, pos) entries.
-                self.pool.size_bytes() + self.routines.approx_bytes()
+                // Byte pool plus per-site (slot, pos) entries; templates
+                // still exist for θ/operands/variants, counted once.
+                self.pool.size_bytes() + self.routines.approx_bytes() + self.sxs.approx_bytes()
             }
-            _ => self.routines.approx_bytes() + self.ground.approx_bytes(),
+            _ => {
+                self.routines.approx_bytes() + self.ground.approx_bytes() + self.sxs.approx_bytes()
+            }
         }
     }
 
@@ -612,7 +637,10 @@ mod tests {
         match &meta.sites[site.id.0 as usize].plan {
             CalleePlan::Direct { theta } => {
                 assert_eq!(theta.len(), 1);
-                assert!(matches!(theta[0], TypeSx::Ground(_)));
+                assert!(matches!(
+                    meta.sxs.get(theta[0]),
+                    crate::sx::TypeSx::Ground(_)
+                ));
             }
             other => panic!("expected direct plan, got {other:?}"),
         }

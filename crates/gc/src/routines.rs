@@ -6,7 +6,7 @@
 //! `no_trace` (§2.4) — is a single shared entry that "many gc_words point
 //! to", and identical routines at different sites share one body.
 
-use crate::sx::TypeSx;
+use crate::sx::SxId;
 use std::collections::HashMap;
 use tfgc_ir::Slot;
 
@@ -18,10 +18,11 @@ pub struct FrameRoutineId(pub u32);
 pub const NO_TRACE: FrameRoutineId = FrameRoutineId(0);
 
 /// One tracing step.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceOp {
-    /// Compiled method: trace the slot with an evaluated template.
-    Slot { slot: Slot, sx: TypeSx },
+    /// Compiled method: trace the slot with an evaluated template
+    /// (interned in the metadata's [`SxTable`]).
+    Slot { slot: Slot, sx: SxId },
     /// Interpreted method: trace the slot by walking the byte descriptor
     /// at `pos` in the program's descriptor pool.
     SlotBytes { slot: Slot, pos: u32 },
@@ -78,22 +79,12 @@ impl RoutineTable {
         false
     }
 
-    /// Approximate size of all routines in bytes (one word per op plus
-    /// template sizes) — the compiled method's "code size" (E4).
+    /// Approximate size of all routines in bytes — the compiled method's
+    /// "code size" (E4). Each op costs two words (slot + template/pos
+    /// reference); the shared template trees themselves are accounted
+    /// once by [`SxTable::approx_bytes`].
     pub fn approx_bytes(&self) -> usize {
-        self.routines
-            .iter()
-            .map(|r| {
-                8 + r
-                    .ops
-                    .iter()
-                    .map(|op| match op {
-                        TraceOp::Slot { sx, .. } => 8 + sx.approx_bytes(),
-                        TraceOp::SlotBytes { .. } => 8,
-                    })
-                    .sum::<usize>()
-            })
-            .sum()
+        self.routines.iter().map(|r| 8 + r.ops.len() * 16).sum()
     }
 }
 
@@ -120,7 +111,7 @@ mod tests {
         let r = FrameRoutine {
             ops: vec![TraceOp::Slot {
                 slot: Slot(3),
-                sx: TypeSx::Prim,
+                sx: SxId(1),
             }],
         };
         let a = t.intern(r.clone());

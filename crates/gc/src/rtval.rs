@@ -6,16 +6,25 @@
 //! compiled templates ([`crate::sx::TypeSx`]) under the current frame's
 //! environment, mirroring §3's "closures representing type_gc_routines may
 //! be constructed during garbage collection".
+//!
+//! Resolution is **fail-fast**: an out-of-range type parameter or
+//! extraction path means the compiled metadata disagrees with the runtime
+//! environment, and silently treating the value as pointer-free would make
+//! the collector skip a live pointer and corrupt the heap undetected. Both
+//! [`eval_sx`] and [`extract_path`] therefore panic with the evaluation
+//! context ([`EvalCx`]) — the same contract as the collector's
+//! gc_word-omission panic.
 
 use crate::desc::{DescArena, DescId, DescNode};
 use crate::ground::{GroundTable, TypeRt, TypeRtId};
 use crate::sx::TypeSx;
+use std::fmt;
 use std::rc::Rc;
 use tfgc_ir::IrProgram;
 use tfgc_types::{DataId, Type};
 
 /// A type routine value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RtVal {
     /// `const_gc`: single-word, never a pointer.
     Const,
@@ -38,54 +47,125 @@ pub struct RtBuildStats {
     pub nodes_built: u64,
 }
 
+/// Where a template/path is being resolved — carried into the fail-fast
+/// panics so a metadata bug names the frame or object that exposed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalCx {
+    /// No specific runtime context (tests, standalone evaluation).
+    None,
+    /// A global variable's template.
+    Global(u32),
+    /// A frame of `fn_id` suspended at `site`.
+    Frame { fn_id: u32, site: u32 },
+    /// Allocation operands of `site`.
+    Operands { site: u32 },
+    /// Variant fields of a datatype instance.
+    Data(u32),
+    /// A closure object of function `fn_id`.
+    Closure { fn_id: u32 },
+}
+
+impl fmt::Display for EvalCx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalCx::None => write!(f, "no frame context"),
+            EvalCx::Global(i) => write!(f, "global {i}"),
+            EvalCx::Frame { fn_id, site } => write!(f, "frame fn {fn_id} at site {site}"),
+            EvalCx::Operands { site } => write!(f, "allocation operands of site {site}"),
+            EvalCx::Data(d) => write!(f, "variant fields of datatype {d}"),
+            EvalCx::Closure { fn_id } => write!(f, "closure object of fn {fn_id}"),
+        }
+    }
+}
+
+/// Shared fail-fast parameter lookup: an index past the environment means
+/// the metadata and the frame disagree about the routine arity.
+pub(crate) fn param_lookup(i: u16, env: &[RtVal], cx: EvalCx) -> RtVal {
+    env.get(i as usize).cloned().unwrap_or_else(|| {
+        panic!(
+            "type parameter {} out of range: environment carries {} routine(s) ({}) — \
+             treating it as non-pointer would mistrace a live value",
+            i,
+            env.len(),
+            cx
+        )
+    })
+}
+
 /// Evaluates a template under `env` (the frame's type-routine
 /// environment, aligned with its `frame_params`).
-pub fn eval_sx(sx: &TypeSx, env: &[RtVal], stats: &mut RtBuildStats) -> RtVal {
+///
+/// # Panics
+///
+/// Panics if a [`TypeSx::Param`] index is out of range for `env` — a
+/// metadata/environment mismatch that would otherwise corrupt the heap.
+pub fn eval_sx(sx: &TypeSx, env: &[RtVal], stats: &mut RtBuildStats, cx: EvalCx) -> RtVal {
     match sx {
         TypeSx::Prim => RtVal::Const,
         TypeSx::Ground(id) => RtVal::Ground(*id),
-        TypeSx::Param(i) => env.get(*i as usize).cloned().unwrap_or(RtVal::Const),
+        TypeSx::Param(i) => param_lookup(*i, env, cx),
         TypeSx::Tuple(ts) => {
             stats.nodes_built += 1;
-            RtVal::Tuple(Rc::new(ts.iter().map(|t| eval_sx(t, env, stats)).collect()))
+            RtVal::Tuple(Rc::new(
+                ts.iter().map(|t| eval_sx(t, env, stats, cx)).collect(),
+            ))
         }
         TypeSx::Data(d, ts) => {
             stats.nodes_built += 1;
             RtVal::Data(
                 *d,
-                Rc::new(ts.iter().map(|t| eval_sx(t, env, stats)).collect()),
+                Rc::new(ts.iter().map(|t| eval_sx(t, env, stats, cx)).collect()),
             )
         }
         TypeSx::Arrow(a, b) => {
             stats.nodes_built += 1;
             RtVal::Arrow(
-                Rc::new(eval_sx(a, env, stats)),
-                Rc::new(eval_sx(b, env, stats)),
+                Rc::new(eval_sx(a, env, stats, cx)),
+                Rc::new(eval_sx(b, env, stats, cx)),
             )
         }
     }
 }
 
+fn bad_path(path: &[u16], k: usize, arity: usize, what: &str, cx: EvalCx) -> ! {
+    panic!(
+        "extraction path {:?} invalid at step {} ({} has {} field(s), {}) — \
+         a silent non-pointer default would mistrace a live value",
+        path, k, what, arity, cx
+    )
+}
+
 /// Extracts the sub-routine at `path` — §3's "the type_gc_routine for x
 /// can be extracted from the closure (see Figure 3)". Ground routines
-/// extract through their retained ground type.
-pub fn extract_path(rt: &RtVal, path: &[u16], prog: &IrProgram, ground: &mut GroundTable) -> RtVal {
+/// extract through their retained ground type. A mid-path `Const` is
+/// legitimate (an opaque parameter's routine extracts as `const_gc`).
+///
+/// # Panics
+///
+/// Panics if a path step indexes past a structural node's fields — a
+/// compiled-path/type mismatch that would otherwise corrupt the heap.
+pub fn extract_path(
+    rt: &RtVal,
+    path: &[u16],
+    prog: &IrProgram,
+    ground: &mut GroundTable,
+    cx: EvalCx,
+) -> RtVal {
     let mut cur = rt.clone();
     for (k, step) in path.iter().enumerate() {
         cur = match cur {
-            RtVal::Tuple(fs) | RtVal::Data(_, fs) => {
-                fs.get(*step as usize).cloned().unwrap_or(RtVal::Const)
-            }
-            RtVal::Arrow(a, b) => {
-                if *step == 0 {
-                    (*a).clone()
-                } else {
-                    (*b).clone()
-                }
-            }
+            RtVal::Tuple(fs) | RtVal::Data(_, fs) => match fs.get(*step as usize) {
+                Some(sub) => sub.clone(),
+                None => bad_path(path, k, fs.len(), "structural routine", cx),
+            },
+            RtVal::Arrow(a, b) => match step {
+                0 => (*a).clone(),
+                1 => (*b).clone(),
+                _ => bad_path(path, k, 2, "arrow routine", cx),
+            },
             RtVal::Ground(id) => {
                 // Ground subtree: walk the retained type instead.
-                return extract_ground_path(id, &path[k..], prog, ground);
+                return extract_ground_path(id, &path[k..], path, prog, ground, cx);
             }
             RtVal::Const => return RtVal::Const,
         };
@@ -96,31 +176,33 @@ pub fn extract_path(rt: &RtVal, path: &[u16], prog: &IrProgram, ground: &mut Gro
 fn extract_ground_path(
     id: TypeRtId,
     path: &[u16],
+    full_path: &[u16],
     prog: &IrProgram,
     ground: &mut GroundTable,
+    cx: EvalCx,
 ) -> RtVal {
     // Recover the ground type at the path. Only arrows retain their type;
     // data/tuple grounds re-derive through the type argument structure is
     // unnecessary because extraction paths always start at an arrow (the
     // closure's type). Defensive: everything else extracts as Const.
     let ty = match ground.rt(id) {
-        TypeRt::Arrow(t) => t.clone(),
+        TypeRt::Arrow(t) => Rc::clone(t),
         _ => return RtVal::Const,
     };
+    let offset = full_path.len() - path.len();
     let mut cur: &Type = &ty;
-    for step in path {
+    for (k, step) in path.iter().enumerate() {
         cur = match cur {
             Type::Tuple(ts) | Type::Data(_, ts) => match ts.get(*step as usize) {
                 Some(t) => t,
-                None => return RtVal::Const,
+                None => bad_path(full_path, offset + k, ts.len(), "ground type", cx),
             },
-            Type::Arrow(a, b) => {
-                if *step == 0 {
-                    a
-                } else {
-                    b
-                }
-            }
+            Type::Arrow(a, b) => match step {
+                0 => a,
+                1 => b,
+                _ => bad_path(full_path, offset + k, 2, "ground arrow type", cx),
+            },
+            // Opaque leaves (parameters, prims) extract as const_gc.
             _ => return RtVal::Const,
         };
     }
@@ -177,7 +259,7 @@ mod tests {
         // trace_list_of(const_gc)
         let sx = TypeSx::Data(tfgc_types::LIST_DATA, vec![TypeSx::Param(0)]);
         let mut stats = RtBuildStats::default();
-        let rt = eval_sx(&sx, &[RtVal::Const], &mut stats);
+        let rt = eval_sx(&sx, &[RtVal::Const], &mut stats, EvalCx::None);
         assert_eq!(
             rt,
             RtVal::Data(tfgc_types::LIST_DATA, Rc::new(vec![RtVal::Const]))
@@ -189,11 +271,36 @@ mod tests {
             tfgc_types::LIST_DATA,
             vec![TypeSx::Data(tfgc_types::LIST_DATA, vec![TypeSx::Param(0)])],
         );
-        let rt2 = eval_sx(&nested, &[RtVal::Const], &mut stats);
+        let rt2 = eval_sx(&nested, &[RtVal::Const], &mut stats, EvalCx::None);
         match rt2 {
             RtVal::Data(_, args) => assert!(matches!(args[0], RtVal::Data(_, _))),
             other => panic!("expected nested data routine, got {other:?}"),
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "type parameter 1 out of range")]
+    fn truncated_env_panics_instead_of_mistracing() {
+        // The template references parameter 1 but the environment carries
+        // a single routine — a silent Const here is the "skip a live
+        // pointer" failure mode; it must fail loudly.
+        let sx = TypeSx::Data(tfgc_types::LIST_DATA, vec![TypeSx::Param(1)]);
+        let mut stats = RtBuildStats::default();
+        eval_sx(
+            &sx,
+            &[RtVal::Const],
+            &mut stats,
+            EvalCx::Frame { fn_id: 7, site: 3 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "extraction path")]
+    fn out_of_range_extraction_step_panics() {
+        let rt = RtVal::Tuple(Rc::new(vec![RtVal::Const]));
+        let p = prog("0");
+        let mut g = GroundTable::new();
+        extract_path(&rt, &[4], &p, &mut g, EvalCx::Closure { fn_id: 2 });
     }
 
     #[test]
@@ -208,9 +315,9 @@ mod tests {
             Rc::new(RtVal::Const),
         );
         // Path: arg(0) -> list elem(0) -> tuple field 0.
-        let sub = extract_path(&rt, &[0, 0, 0], &p, &mut g);
+        let sub = extract_path(&rt, &[0, 0, 0], &p, &mut g, EvalCx::None);
         assert_eq!(sub, RtVal::Const);
-        let sub2 = extract_path(&rt, &[0, 0], &p, &mut g);
+        let sub2 = extract_path(&rt, &[0, 0], &p, &mut g, EvalCx::None);
         assert!(matches!(sub2, RtVal::Tuple(_)));
     }
 
@@ -221,10 +328,10 @@ mod tests {
         let arrow = Type::arrow(Type::list(Type::Int), Type::Int);
         let id = g.make(&p, &arrow);
         let rt = RtVal::Ground(id);
-        let sub = extract_path(&rt, &[0], &p, &mut g);
+        let sub = extract_path(&rt, &[0], &p, &mut g, EvalCx::None);
         // The argument position holds int list: a ground pointerful type.
         assert!(matches!(sub, RtVal::Ground(_)));
-        let sub2 = extract_path(&rt, &[1], &p, &mut g);
+        let sub2 = extract_path(&rt, &[1], &p, &mut g, EvalCx::None);
         assert_eq!(sub2, RtVal::Const);
     }
 

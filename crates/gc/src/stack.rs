@@ -62,11 +62,26 @@ pub fn walk_frames(
     prog: &IrProgram,
 ) -> Vec<FrameInfo> {
     let mut frames = Vec::new();
+    walk_frames_into(&mut frames, stack, top_fp, current_site, prog);
+    frames
+}
+
+/// [`walk_frames`] into a caller-owned vector: the collector reuses one
+/// scratch vector across collections so a deep stack is decoded without
+/// reallocating every pause. Clears `out` first.
+pub fn walk_frames_into(
+    out: &mut Vec<FrameInfo>,
+    stack: &[Word],
+    top_fp: usize,
+    current_site: CallSiteId,
+    prog: &IrProgram,
+) {
+    out.clear();
     let mut fp = top_fp;
     let mut site = current_site;
     loop {
         let fn_id = prog.site(site).fn_id;
-        frames.push(FrameInfo { fp, fn_id, site });
+        out.push(FrameInfo { fp, fn_id, site });
         let saved = stack[fp];
         if saved == NO_FP {
             break;
@@ -75,7 +90,6 @@ pub fn walk_frames(
         fp = saved as usize;
         site = caller_site;
     }
-    frames
 }
 
 #[cfg(test)]

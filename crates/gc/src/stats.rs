@@ -24,6 +24,10 @@ pub struct GcStats {
     pub desc_bytes_read: u64,
     /// Closure environments reconstructed while tracing closure values.
     pub closure_envs_built: u64,
+    /// GC-time cache lookups that returned a memoized routine.
+    pub rt_cache_hits: u64,
+    /// GC-time cache lookups that had to evaluate.
+    pub rt_cache_misses: u64,
     /// Total collection pause time in nanoseconds.
     pub pause_nanos: u64,
 }
@@ -52,6 +56,8 @@ impl GcStats {
         self.chain_steps += other.chain_steps;
         self.desc_bytes_read += other.desc_bytes_read;
         self.closure_envs_built += other.closure_envs_built;
+        self.rt_cache_hits += other.rt_cache_hits;
+        self.rt_cache_misses += other.rt_cache_misses;
         self.pause_nanos += other.pause_nanos;
     }
 
@@ -61,6 +67,21 @@ impl GcStats {
     pub fn deterministic(&self) -> GcStats {
         GcStats {
             pause_nanos: 0,
+            ..*self
+        }
+    }
+
+    /// A copy with wall-clock *and* cache-accounting fields zeroed: the
+    /// part of the stats that must be bit-identical between a memoized
+    /// and an unmemoized collection. The cache changes how many routine
+    /// nodes are physically constructed (`rt_nodes_built`) and reports
+    /// its own hit/miss traffic, but nothing the mutator can observe.
+    pub fn cache_insensitive(&self) -> GcStats {
+        GcStats {
+            pause_nanos: 0,
+            rt_nodes_built: 0,
+            rt_cache_hits: 0,
+            rt_cache_misses: 0,
             ..*self
         }
     }
@@ -93,7 +114,9 @@ mod tests {
             chain_steps: 7,
             desc_bytes_read: 8,
             closure_envs_built: 9,
-            pause_nanos: 10,
+            rt_cache_hits: 10,
+            rt_cache_misses: 11,
+            pause_nanos: 12,
         };
         let mut b = a;
         b.merge(&a);
@@ -109,9 +132,31 @@ mod tests {
                 chain_steps: 14,
                 desc_bytes_read: 16,
                 closure_envs_built: 18,
-                pause_nanos: 20,
+                rt_cache_hits: 20,
+                rt_cache_misses: 22,
+                pause_nanos: 24,
             }
         );
+    }
+
+    #[test]
+    fn cache_insensitive_drops_cache_accounting() {
+        let a = GcStats {
+            collections: 3,
+            rt_nodes_built: 5,
+            rt_cache_hits: 6,
+            rt_cache_misses: 7,
+            slots_traced: 8,
+            pause_nanos: 999,
+            ..GcStats::default()
+        };
+        let c = a.cache_insensitive();
+        assert_eq!(c.rt_nodes_built, 0);
+        assert_eq!(c.rt_cache_hits, 0);
+        assert_eq!(c.rt_cache_misses, 0);
+        assert_eq!(c.pause_nanos, 0);
+        assert_eq!(c.collections, 3);
+        assert_eq!(c.slots_traced, 8);
     }
 
     #[test]

@@ -42,6 +42,80 @@ impl TypeSx {
     }
 }
 
+/// Identifies an interned template in a [`SxTable`]. Metadata stores
+/// these instead of owned [`TypeSx`] trees so structurally identical
+/// templates across sites, plans, and variants share one compiled form —
+/// and so the collector's evaluation memo ([`crate::cache::RtCache`]) can
+/// key on template identity instead of hashing whole trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SxId(pub u32);
+
+/// The always-interned `Prim` template (id 0).
+pub const SX_PRIM: SxId = SxId(0);
+
+/// Hash-consing table of compiled type templates. Built once per
+/// (program, strategy) pair by `GcMeta::build`; read-only at collection
+/// time.
+#[derive(Debug, Clone)]
+pub struct SxTable {
+    exprs: Vec<TypeSx>,
+    index: HashMap<TypeSx, SxId>,
+}
+
+impl SxTable {
+    /// A table with `Prim` preinstalled at id 0.
+    pub fn new() -> SxTable {
+        let mut t = SxTable {
+            exprs: Vec::new(),
+            index: HashMap::new(),
+        };
+        let id = t.intern(TypeSx::Prim);
+        debug_assert_eq!(id, SX_PRIM);
+        t
+    }
+
+    /// Interns a template, sharing structurally identical trees.
+    pub fn intern(&mut self, sx: TypeSx) -> SxId {
+        if let Some(id) = self.index.get(&sx) {
+            return *id;
+        }
+        let id = SxId(self.exprs.len() as u32);
+        self.exprs.push(sx.clone());
+        self.index.insert(sx, id);
+        id
+    }
+
+    /// The template behind `id`.
+    pub fn get(&self, id: SxId) -> &TypeSx {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// Number of distinct templates.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Never true: `Prim` always exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Approximate footprint of the distinct templates in bytes (each
+    /// tree counted once, plus one word per table slot).
+    pub fn approx_bytes(&self) -> usize {
+        self.exprs
+            .iter()
+            .map(|sx| 8 + sx.approx_bytes())
+            .sum::<usize>()
+    }
+}
+
+impl Default for SxTable {
+    fn default() -> Self {
+        SxTable::new()
+    }
+}
+
 /// Compilation context: which parameters map to which environment index,
 /// and which schemes are opaque.
 pub struct SxCx<'a> {
@@ -126,6 +200,19 @@ mod tests {
             param_index: idx,
             opaque: &[],
         }
+    }
+
+    #[test]
+    fn sx_table_shares_identical_templates() {
+        let mut t = SxTable::new();
+        assert_eq!(t.intern(TypeSx::Prim), SX_PRIM);
+        let a = t.intern(TypeSx::Tuple(vec![TypeSx::Param(0), TypeSx::Prim]));
+        let b = t.intern(TypeSx::Tuple(vec![TypeSx::Param(0), TypeSx::Prim]));
+        let c = t.intern(TypeSx::Tuple(vec![TypeSx::Param(1), TypeSx::Prim]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 3);
+        assert!(matches!(t.get(a), TypeSx::Tuple(_)));
     }
 
     #[test]

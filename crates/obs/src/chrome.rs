@@ -183,6 +183,8 @@ mod tests {
                 frames_visited: 2,
                 routine_invocations: 2,
                 rt_nodes_built: 0,
+                rt_cache_hits: 0,
+                rt_cache_misses: 0,
             },
             GcEvent::TaskParked {
                 t_ns: 50_000,

@@ -36,6 +36,10 @@ pub enum GcEvent {
         /// type_gc_routine closure nodes built by this collection alone
         /// (§3's metadata-construction cost).
         rt_nodes_built: u64,
+        /// GC-time metadata cache hits by this collection alone.
+        rt_cache_hits: u64,
+        /// GC-time metadata cache misses by this collection alone.
+        rt_cache_misses: u64,
     },
     /// The collector visited one activation record.
     FrameVisit { seq: u64, fn_id: u32, site: u32 },

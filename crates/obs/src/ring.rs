@@ -21,6 +21,8 @@ pub struct CollectionSummary {
     pub frames_visited: u64,
     pub routine_invocations: u64,
     pub rt_nodes_built: u64,
+    pub rt_cache_hits: u64,
+    pub rt_cache_misses: u64,
 }
 
 /// Records events into a bounded ring and maintains aggregates over the
@@ -120,6 +122,8 @@ impl RingRecorder {
                 frames_visited,
                 routine_invocations,
                 rt_nodes_built,
+                rt_cache_hits,
+                rt_cache_misses,
                 ..
             } => {
                 self.pause_hist.record(pause_ns);
@@ -134,6 +138,8 @@ impl RingRecorder {
                 s.frames_visited = frames_visited;
                 s.routine_invocations = routine_invocations;
                 s.rt_nodes_built = rt_nodes_built;
+                s.rt_cache_hits = rt_cache_hits;
+                s.rt_cache_misses = rt_cache_misses;
                 self.collections.push(s);
             }
             GcEvent::ObjectCopied {
@@ -197,6 +203,8 @@ impl RingRecorder {
                                 ("frames_visited", Json::from(c.frames_visited)),
                                 ("routine_invocations", Json::from(c.routine_invocations)),
                                 ("rt_nodes_built", Json::from(c.rt_nodes_built)),
+                                ("rt_cache_hits", Json::from(c.rt_cache_hits)),
+                                ("rt_cache_misses", Json::from(c.rt_cache_misses)),
                             ])
                         })
                         .collect(),
@@ -268,6 +276,8 @@ mod tests {
             frames_visited: 3,
             routine_invocations: 3,
             rt_nodes_built: 0,
+            rt_cache_hits: 0,
+            rt_cache_misses: 0,
         }
     }
 

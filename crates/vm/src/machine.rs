@@ -43,6 +43,9 @@ pub struct VmConfig {
     /// inline; the step reports [`StepEvent::AllocBlocked`] and the
     /// scheduler decides when every task is suspended.
     pub cooperative: bool,
+    /// GC-time metadata cache (memoized template evaluation). On by
+    /// default; disable for the unmemoized differential baseline.
+    pub rt_cache: bool,
 }
 
 impl VmConfig {
@@ -55,6 +58,7 @@ impl VmConfig {
             max_steps: Some(200_000_000),
             max_stack_words: 1 << 22,
             cooperative: false,
+            rt_cache: true,
         }
     }
 
@@ -67,6 +71,12 @@ impl VmConfig {
     /// Forces a collection every `n` allocations.
     pub fn force_gc_every(mut self, n: u64) -> VmConfig {
         self.force_gc_every = Some(n);
+        self
+    }
+
+    /// Enables or disables the GC-time metadata cache.
+    pub fn rt_cache(mut self, on: bool) -> VmConfig {
+        self.rt_cache = on;
         self
     }
 }
@@ -161,7 +171,8 @@ impl<'p> Vm<'p> {
 
     /// Creates a VM with precompiled metadata (benchmarks reuse metadata
     /// across runs).
-    pub fn with_meta(prog: &'p IrProgram, cfg: VmConfig, meta: GcMeta) -> Vm<'p> {
+    pub fn with_meta(prog: &'p IrProgram, cfg: VmConfig, mut meta: GcMeta) -> Vm<'p> {
+        meta.rt_cache.enabled = cfg.rt_cache;
         let enc = Encoding::new(cfg.strategy.heap_mode());
         let heap = Heap::new(cfg.heap_words);
         let globals = vec![enc.int(0); prog.globals.len()];

@@ -91,7 +91,12 @@ fn figure3_type_routine_closures() {
     // tests; here we check the template evaluation directly.
     let sx = TypeSx::Data(LIST_DATA, vec![TypeSx::Param(0)]);
     let mut stats = tfgc::gc::rtval::RtBuildStats::default();
-    let rt = tfgc::gc::rtval::eval_sx(&sx, &[RtVal::Const], &mut stats);
+    let rt = tfgc::gc::rtval::eval_sx(
+        &sx,
+        &[RtVal::Const],
+        &mut stats,
+        tfgc::gc::rtval::EvalCx::None,
+    );
     assert_eq!(rt, RtVal::Data(LIST_DATA, Rc::new(vec![RtVal::Const])));
 }
 
@@ -110,9 +115,10 @@ fn figure4_function_value_routines() {
         Rc::new(RtVal::Const),
     );
     // Extract the argument's element routine: path [0 (arg), 0 (elem)].
-    let elem = tfgc::gc::rtval::extract_path(&arrow, &[0, 0], &compiled.program, &mut ground);
+    let cx = tfgc::gc::rtval::EvalCx::None;
+    let elem = tfgc::gc::rtval::extract_path(&arrow, &[0, 0], &compiled.program, &mut ground, cx);
     assert_eq!(elem, RtVal::Const);
-    let arg = tfgc::gc::rtval::extract_path(&arrow, &[0], &compiled.program, &mut ground);
+    let arg = tfgc::gc::rtval::extract_path(&arrow, &[0], &compiled.program, &mut ground, cx);
     assert!(matches!(arg, RtVal::Data(_, _)));
 }
 

@@ -1,0 +1,162 @@
+//! GC-time metadata cache: memoization must be invisible.
+//!
+//! The cache ([`tfgc::gc::RtCache`]) memoizes template evaluation,
+//! Figure-3 extraction, and descriptor conversion during collection.
+//! `eval_sx` is a pure function of (template, environment), so a cached
+//! collection must be **bit-identical** to an uncached one in every
+//! mutator-observable way — results, printed output, heap statistics,
+//! and the cache-insensitive part of the GC statistics — under all five
+//! strategies. The deep-recursion tests then check the point of the
+//! cache: routine-construction work per collection is proportional to
+//! the number of distinct (site, environment) shapes, not to the number
+//! of frames on the stack.
+
+use tfgc::workloads::programs::poly_deep_alloc;
+use tfgc::{Compiled, Strategy, VmConfig};
+
+/// Runs `src` with the cache on and off under every strategy and insists
+/// on bit-identical observable behavior. Returns the number of
+/// collections observed (identical between the two runs).
+fn cached_uncached_differential(name: &str, src: &str, heap_words: usize, force: u64) -> u64 {
+    let c = Compiled::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut collections = u64::MAX;
+    for s in Strategy::ALL {
+        let base = VmConfig::new(s)
+            .heap_words(heap_words)
+            .force_gc_every(force);
+        let cached = c
+            .run_with(base.clone().rt_cache(true))
+            .unwrap_or_else(|e| panic!("{name} under {s} (cached): {e}"));
+        let uncached = c
+            .run_with(base.rt_cache(false))
+            .unwrap_or_else(|e| panic!("{name} under {s} (uncached): {e}"));
+
+        collections = collections.min(cached.heap.collections);
+        assert_eq!(cached.result, uncached.result, "{name} under {s}: result");
+        assert_eq!(
+            cached.printed, uncached.printed,
+            "{name} under {s}: printed"
+        );
+        assert_eq!(
+            cached.heap, uncached.heap,
+            "{name} under {s}: HeapStats (copies, allocations, collections)"
+        );
+        assert_eq!(
+            cached.mutator, uncached.mutator,
+            "{name} under {s}: MutatorStats"
+        );
+        assert_eq!(
+            cached.gc.cache_insensitive(),
+            uncached.gc.cache_insensitive(),
+            "{name} under {s}: GcStats minus cache accounting"
+        );
+        if s != Strategy::Tagged {
+            assert_eq!(
+                uncached.gc.rt_cache_hits + uncached.gc.rt_cache_misses,
+                0,
+                "{name} under {s}: disabled cache reports no traffic"
+            );
+        }
+    }
+    collections
+}
+
+#[test]
+fn cached_collections_are_bit_identical_polymorphic() {
+    let n = cached_uncached_differential("poly_deep", &poly_deep_alloc(150), 1 << 14, 40);
+    assert!(n > 0, "workload must collect for the comparison to bite");
+}
+
+#[test]
+fn cached_collections_are_bit_identical_closures() {
+    use tfgc::workloads::paper_examples as pe;
+    let a = cached_uncached_differential("map_closure", &pe::map_closure(60), 1 << 13, 30);
+    let b =
+        cached_uncached_differential("higher_order_poly", &pe::higher_order_poly(20), 1 << 13, 25);
+    let c = cached_uncached_differential("variant_records", &pe::variant_records(40), 1 << 13, 30);
+    assert!(a > 0 && b > 0 && c > 0, "closure workloads must collect");
+}
+
+#[test]
+fn cached_collections_are_bit_identical_suite() {
+    for (name, src) in tfgc::workloads::suite() {
+        cached_uncached_differential(name, &src, 1 << 15, 200);
+    }
+}
+
+/// Deep recursion under the forward (§3) strategies: ≥10⁵ frames on the
+/// stack during collections, yet routine construction stays bounded by
+/// the number of distinct shapes.
+#[test]
+fn deep_recursion_builds_o_sites_not_o_frames() {
+    const DEPTH: usize = 100_000;
+    let c = Compiled::compile(&poly_deep_alloc(DEPTH)).expect("compiles");
+    for s in [Strategy::Compiled, Strategy::Interpreted] {
+        let out = c
+            .run_with(VmConfig::new(s).heap_words(1 << 21).force_gc_every(60_000))
+            .unwrap_or_else(|e| panic!("{s}: {e}"));
+        assert!(out.heap.collections > 0, "{s}: must collect");
+        assert!(
+            out.gc.frames_visited >= DEPTH as u64,
+            "{s}: a collection saw the deep stack (visited {})",
+            out.gc.frames_visited
+        );
+        assert!(
+            out.gc.rt_cache_hits > 0,
+            "{s}: repeated activations hit the cache"
+        );
+        // The headline bound: evaluating the same θ at 10⁵ activations
+        // of the same call sites must not build 10⁵ routine trees.
+        assert!(
+            out.gc.rt_nodes_built * 100 < out.gc.frames_visited,
+            "{s}: built {} nodes for {} frame visits — O(frames), not O(sites)",
+            out.gc.rt_nodes_built,
+            out.gc.frames_visited
+        );
+    }
+}
+
+/// Same check for Appel's backward scheme at a depth its O(depth²) chain
+/// re-walking can afford. The cache memoizes each frame's θ evaluation,
+/// so even the quadratic traversal builds O(distinct shapes) nodes.
+#[test]
+fn deep_recursion_appel_backward_scheme() {
+    const DEPTH: usize = 2_000;
+    let c = Compiled::compile(&poly_deep_alloc(DEPTH)).expect("compiles");
+    let out = c
+        .run_with(
+            VmConfig::new(Strategy::AppelPerFn)
+                .heap_words(1 << 18)
+                .force_gc_every(1_500),
+        )
+        .expect("runs");
+    assert!(out.heap.collections > 0);
+    assert!(out.gc.chain_steps > out.gc.frames_visited, "quadratic term");
+    assert!(out.gc.rt_cache_hits > 0);
+    assert!(
+        out.gc.rt_nodes_built * 100 < out.gc.chain_steps,
+        "built {} nodes for {} chain steps",
+        out.gc.rt_nodes_built,
+        out.gc.chain_steps
+    );
+}
+
+/// The cache's hit counters surface in the per-collection event stream.
+#[test]
+fn cache_counters_reach_the_event_stream() {
+    let c = Compiled::compile(&poly_deep_alloc(150)).expect("compiles");
+    let (out, rec) = c
+        .run_profiled(
+            VmConfig::new(Strategy::Compiled)
+                .heap_words(1 << 14)
+                .force_gc_every(40),
+            1 << 12,
+        )
+        .expect("runs");
+    assert!(out.heap.collections > 1);
+    let summed: u64 = rec.collections().iter().map(|c| c.rt_cache_hits).sum();
+    assert_eq!(summed, out.gc.rt_cache_hits, "summaries sum to the total");
+    let summed_misses: u64 = rec.collections().iter().map(|c| c.rt_cache_misses).sum();
+    assert_eq!(summed_misses, out.gc.rt_cache_misses);
+    assert!(summed > 0, "a collecting polymorphic run hits the cache");
+}

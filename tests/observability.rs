@@ -110,3 +110,42 @@ fn histogram_buckets_sum_to_recorded_events() {
         .count() as u64;
     assert_eq!(raw_allocs, out.heap.allocations);
 }
+
+/// Reported pause time measures collection work, not observation setup:
+/// the pause clock starts *after* the `CollectionBegin` event is
+/// emitted, so a sink that pays per-emit cost cannot charge its
+/// begin-of-collection bookkeeping to the collector. Per-event emits
+/// *during* a collection (frame visits, copies) still legitimately
+/// count, so the bound is deliberately loose — it catches the
+/// order-of-magnitude regression of timing the sink itself, not
+/// scheduling jitter.
+#[test]
+fn pause_excludes_sink_setup() {
+    let c = churn();
+    let meta = c.metadata(Strategy::Compiled);
+    let (plain, _) = c
+        .run_observed(cfg(Strategy::Compiled), meta, Obs::null())
+        .expect("null-sink run");
+    let (ringed, rec) = c
+        .run_profiled(cfg(Strategy::Compiled), 1 << 12)
+        .expect("ring run");
+    assert!(plain.heap.collections > 0);
+    assert_eq!(plain.heap.collections, ringed.heap.collections);
+
+    let mean = |gc: &tfgc::gc::GcStats, n: u64| gc.pause_nanos as f64 / n as f64;
+    let null_mean = mean(&plain.gc, plain.heap.collections);
+    let ring_mean = mean(&ringed.gc, ringed.heap.collections);
+    // Within noise: a generous multiplicative factor plus absolute
+    // slack (debug builds on loaded CI machines jitter by tens of µs).
+    assert!(
+        ring_mean <= null_mean * 25.0 + 2_000_000.0,
+        "ring-sink mean pause {ring_mean:.0}ns vs null-sink {null_mean:.0}ns — \
+         observation overhead is being charged to the collector"
+    );
+    // The recorder's own histogram agrees with the VM's total.
+    assert_eq!(
+        rec.pause_hist().count(),
+        ringed.heap.collections,
+        "one pause sample per collection"
+    );
+}

@@ -227,3 +227,77 @@ fn print_parse_roundtrip() {
 fn imm_limit_matches_heap_base() {
     assert_eq!(tfgc::ir::IMM_LIMIT, HEAP_BASE);
 }
+
+/// Memoized template evaluation agrees with direct evaluation on random
+/// template trees and environments. One [`RtCache`] is reused across
+/// every query so the memo's hit path (and its hash-consed sharing) is
+/// exercised as heavily as its miss path — `eval_sx` is pure, so the
+/// cache must be observationally invisible.
+#[test]
+fn memoized_eval_matches_direct() {
+    use std::rc::Rc;
+    use tfgc::gc::rtval::{eval_sx, RtBuildStats};
+    use tfgc::gc::{EvalCx, RtCache, RtVal, SxTable, TypeRtId, TypeSx};
+    use tfgc::types::LIST_DATA;
+
+    const ARITY: u16 = 3;
+
+    // Random template tree. `Ground` ids are never dereferenced by
+    // evaluation (they pass through as `RtVal::Ground`), so small
+    // arbitrary ids are safe.
+    fn gen_sx(r: &mut SmallRng, depth: usize) -> TypeSx {
+        let top = if depth == 0 { 3 } else { 6 };
+        match r.gen_range(0, top) {
+            0 => TypeSx::Prim,
+            1 => TypeSx::Param(r.gen_range(0, i64::from(ARITY)) as u16),
+            2 => TypeSx::Ground(TypeRtId(r.gen_range(0, 3) as u32)),
+            3 => TypeSx::Tuple(
+                (0..r.gen_range(1, 4))
+                    .map(|_| gen_sx(r, depth - 1))
+                    .collect(),
+            ),
+            4 => TypeSx::Data(LIST_DATA, vec![gen_sx(r, depth - 1)]),
+            _ => TypeSx::Arrow(
+                Box::new(gen_sx(r, depth - 1)),
+                Box::new(gen_sx(r, depth - 1)),
+            ),
+        }
+    }
+
+    // Random routine value for the environment.
+    fn gen_rt(r: &mut SmallRng, depth: usize) -> RtVal {
+        let top = if depth == 0 { 2 } else { 5 };
+        match r.gen_range(0, top) {
+            0 => RtVal::Const,
+            1 => RtVal::Ground(TypeRtId(r.gen_range(0, 3) as u32)),
+            2 => RtVal::Tuple(Rc::new(
+                (0..r.gen_range(1, 3))
+                    .map(|_| gen_rt(r, depth - 1))
+                    .collect(),
+            )),
+            3 => RtVal::Data(LIST_DATA, Rc::new(vec![gen_rt(r, depth - 1)])),
+            _ => RtVal::Arrow(Rc::new(gen_rt(r, depth - 1)), Rc::new(gen_rt(r, depth - 1))),
+        }
+    }
+
+    let mut r = SmallRng::seed_from_u64(0x0C);
+    let mut table = SxTable::new();
+    let mut cache = RtCache::new();
+    // A modest template pool re-queried under a modest environment pool
+    // makes both the exact-hit and the miss path fire.
+    let ids: Vec<_> = (0..40).map(|_| table.intern(gen_sx(&mut r, 3))).collect();
+    let envs: Vec<Vec<RtVal>> = (0..12)
+        .map(|_| (0..ARITY).map(|_| gen_rt(&mut r, 2)).collect())
+        .collect();
+    for round in 0..400 {
+        let id = ids[r.gen_range(0, ids.len() as i64) as usize];
+        let env = envs[r.gen_range(0, envs.len() as i64) as usize].clone();
+        let mut s1 = RtBuildStats::default();
+        let mut s2 = RtBuildStats::default();
+        let memo = cache.eval(&table, id, &env, &mut s1, EvalCx::None);
+        let direct = eval_sx(table.get(id), &env, &mut s2, EvalCx::None);
+        assert_eq!(memo, direct, "round {round}: {:?}", table.get(id));
+    }
+    assert!(cache.hits > 0, "reused cache must see repeat queries");
+    assert!(cache.misses > 0, "fresh (template, env) pairs must miss");
+}
