@@ -7,6 +7,8 @@
 //! tfml gcmap [OPTS] <file | -e SRC>        show per-site gc_words/routines
 //! tfml analyze <file | -e SRC>             liveness / GC points / RTTI report
 //! tfml compare [OPTS] <file | -e SRC>      run under all five strategies
+//! tfml torture [--seeds N] [--oracle]      fault-injection matrix over
+//!                                          seeded workloads × strategies
 //!
 //! OPTS:
 //!   --strategy S     compiled | compiled-nolive | interpreted | appel | tagged
@@ -14,6 +16,10 @@
 //!   --force-gc N     force a collection every N allocations
 //!   --refined        use the closure-flow-refined GC-point analysis
 //!   --stats          print run statistics
+//!   --verify-heap    walk the reachable graph after every collection,
+//!                    failing fast on any inconsistency
+//!   --verify-oracle  replay under the tagged collector and require
+//!                    identical reachable graphs at every collection
 //!   --trace FILE     write a Chrome-trace-event JSONL file (run/profile)
 //!   --metrics FILE   write a JSON metrics document (run/profile)
 //!   --events N       raw events retained for --trace (default 65536)
@@ -41,6 +47,8 @@ struct Opts {
     force_gc: Option<u64>,
     refined: bool,
     stats: bool,
+    verify_heap: bool,
+    verify_oracle: bool,
     trace: Option<String>,
     metrics: Option<String>,
     events: usize,
@@ -64,6 +72,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut force_gc = None;
     let mut refined = false;
     let mut stats = false;
+    let mut verify_heap = false;
+    let mut verify_oracle = false;
     let mut trace = None;
     let mut metrics = None;
     let mut events = 1usize << 16;
@@ -94,6 +104,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--refined" => refined = true,
             "--stats" => stats = true,
+            "--verify-heap" => verify_heap = true,
+            "--verify-oracle" => verify_oracle = true,
             "--trace" => {
                 i += 1;
                 trace = Some(args.get(i).ok_or("--trace needs a file path")?.clone());
@@ -128,6 +140,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         force_gc,
         refined,
         stats,
+        verify_heap,
+        verify_oracle,
         trace,
         metrics,
         events,
@@ -142,10 +156,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if cmd == "--help" || cmd == "help" {
         println!(
             "tfml run|profile|disasm|gcmap|analyze|compare [--strategy S] [--heap N] \
-             [--force-gc N] [--refined] [--stats] [--trace FILE] [--metrics FILE] \
-             [--events N] <file | -e SRC>"
+             [--force-gc N] [--refined] [--stats] [--verify-heap] [--verify-oracle] \
+             [--trace FILE] [--metrics FILE] [--events N] <file | -e SRC>\n\
+             tfml torture [--seeds N] [--oracle]"
         );
         return Ok(());
+    }
+    if cmd == "torture" {
+        return cmd_torture(rest);
     }
     let opts = parse_opts(rest)?;
     let compiled = Compiled::compile(&opts.source).map_err(|e| e.to_string())?;
@@ -165,7 +183,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
 }
 
 fn vm_config(opts: &Opts) -> VmConfig {
-    let mut cfg = VmConfig::new(opts.strategy).heap_words(opts.heap);
+    let mut cfg = VmConfig::new(opts.strategy)
+        .heap_words(opts.heap)
+        .verify_heap(opts.verify_heap);
     if let Some(n) = opts.force_gc {
         cfg = cfg.force_gc_every(n);
     }
@@ -217,6 +237,23 @@ fn write_exports(compiled: &Compiled, opts: &Opts, rec: &RingRecorder) -> Result
 }
 
 fn cmd_run(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
+    if opts.verify_oracle {
+        // The oracle does its own pair of runs (strategy + tagged replay)
+        // with a forced-collection schedule so there is something to
+        // compare even on low-pressure programs.
+        let rep = tfgc::oracle_check(
+            compiled,
+            opts.strategy,
+            opts.heap,
+            opts.force_gc.unwrap_or(64),
+        )?;
+        println!("{}", rep.result);
+        eprintln!(
+            "oracle: {} collection(s) under {} match the tagged replay",
+            rep.collections, rep.strategy
+        );
+        return Ok(());
+    }
     let record = opts.trace.is_some() || opts.metrics.is_some();
     let (out, rec) = run_opts(compiled, opts, record)?;
     if let Some(rec) = &rec {
@@ -327,6 +364,63 @@ fn cmd_analyze(compiled: &Compiled) -> Result<(), String> {
         compiled.rtti.total_desc_fields()
     );
     Ok(())
+}
+
+/// `tfml torture`: the fault-injection matrix, plus (with `--oracle`) a
+/// tagged-replay differential sweep over the benchmark suite.
+fn cmd_torture(args: &[String]) -> Result<(), String> {
+    let mut n_seeds = 8u64;
+    let mut oracle = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                n_seeds = args
+                    .get(i)
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+            }
+            "--oracle" => oracle = true,
+            other => return Err(format!("torture: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    let seeds: Vec<u64> = (0..n_seeds).collect();
+    let report = tfgc::torture(&seeds);
+    println!("{}", report.summary());
+    for case in report.raw_panics() {
+        println!(
+            "RAW PANIC: {} under {} seed {} ({}): {:?}",
+            case.workload,
+            case.strategy,
+            case.seed,
+            case.plan.describe(),
+            case.outcome
+        );
+    }
+    if oracle {
+        for (name, src) in tfgc::workloads::suite() {
+            let compiled = Compiled::compile(&src).map_err(|e| format!("{name}: {e}"))?;
+            for s in Strategy::ALL {
+                let rep = tfgc::oracle_check(&compiled, s, 1 << 16, 64)
+                    .map_err(|e| format!("oracle: {name} under {s}: {e}"))?;
+                println!(
+                    "oracle ok: {name} under {s} ({} collections)",
+                    rep.collections
+                );
+            }
+        }
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} case(s) ended in a raw panic",
+            report.raw_panics().len()
+        ))
+    }
 }
 
 fn cmd_compare(compiled: &Compiled, opts: &Opts) -> Result<(), String> {

@@ -28,10 +28,14 @@
 pub mod pipeline;
 pub mod profile;
 pub mod report;
+pub mod torture;
 
 pub use pipeline::{compile_and_run, CompileError, Compiled};
 pub use profile::{metrics_json, profile_report, site_label};
 pub use report::{ratio, Table};
+pub use torture::{
+    oracle_check, torture, OracleReport, TortureCase, TortureOutcome, TortureReport,
+};
 
 // Re-export the subsystem layers under stable names.
 pub use tfgc_analysis as analysis;

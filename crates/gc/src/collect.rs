@@ -83,6 +83,19 @@ pub(crate) enum WTy {
     Bytes { pos: u32, env: Rc<Vec<WTy>> },
 }
 
+/// Fail-fast lookup for byte-descriptor parameter environments: a
+/// too-short environment is a torn stack map (e.g. truncated frame
+/// parameter sources), and tracing must stop with a structured panic
+/// rather than an anonymous index error or a silent mistrace.
+fn byte_param(env: &[WTy], i: u16) -> &WTy {
+    env.get(i as usize).unwrap_or_else(|| {
+        panic!(
+            "type parameter {i} out of range: environment carries {} byte descriptor(s)",
+            env.len()
+        )
+    })
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct WorkItem {
     addr: Addr,
@@ -528,7 +541,7 @@ impl Collector<'_> {
                 match self.pool.parse(*pos, &mut self.stats.desc_bytes_read) {
                     DescView::Prim => w,
                     DescView::Param(i) => {
-                        let sub = env[i as usize].clone();
+                        let sub = byte_param(&env, i).clone();
                         self.reloc(w, &sub)
                     }
                     DescView::Tuple(fields) => match self.head(w, fields.len()) {
@@ -597,7 +610,7 @@ impl Collector<'_> {
         let mut env = env.clone();
         loop {
             match self.pool.parse(pos, &mut self.stats.desc_bytes_read) {
-                DescView::Param(i) => match env[i as usize].clone() {
+                DescView::Param(i) => match byte_param(&env, i).clone() {
                     WTy::Bytes { pos: p, env: e } => {
                         pos = p;
                         env = e;
@@ -619,7 +632,7 @@ impl Collector<'_> {
                 match self.pool.parse(*pos, &mut self.stats.desc_bytes_read) {
                     DescView::Prim => RtVal::Const,
                     DescView::Param(i) => {
-                        let sub = env[i as usize].clone();
+                        let sub = byte_param(&env, i).clone();
                         self.wty_to_rt(&sub)
                     }
                     DescView::Tuple(fields) => {

@@ -297,7 +297,21 @@ impl GcMeta {
                         let assigned = &an.init.site_assigned[site.id.0 as usize];
                         let mut set: SlotSet = assigned.clone();
                         if strategy.uses_liveness() {
-                            set.intersect_with(&an.liveness.site_live[site.id.0 as usize]);
+                            if use_gc_points {
+                                set.intersect_with(&an.liveness.site_live[site.id.0 as usize]);
+                            } else {
+                                // Multi-task: a task parked at this site
+                                // *re-executes* the suspended instruction on
+                                // resume, so the instruction's own operand
+                                // slots must survive the collection —
+                                // `live_in`, not `live_out \ def`. With
+                                // `live_out` a blocked allocation's pending
+                                // operands (e.g. the partially built list in
+                                // a cons chain) are silently reclaimed.
+                                set.intersect_with(
+                                    &an.liveness.per_fun[fi].live_in[site.pc as usize],
+                                );
+                            }
                         }
                         let mut ops = Vec::new();
                         for slot in set.iter() {

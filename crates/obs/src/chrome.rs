@@ -131,6 +131,49 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
                 Some(us(dur_ns)),
                 Json::obj([]),
             )),
+            GcEvent::VerificationEnd {
+                t_ns,
+                seq,
+                strategy,
+                objects,
+                words,
+                ok,
+            } => Some(trace_line(
+                &format!("verify #{seq}"),
+                "verify",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([
+                    ("strategy", Json::str(strategy)),
+                    ("objects", Json::from(objects)),
+                    ("words", Json::from(words)),
+                    ("ok", Json::Bool(ok)),
+                ]),
+            )),
+            GcEvent::FaultInjected { t_ns, kind, seq } => Some(trace_line(
+                &format!("fault {kind}"),
+                "fault",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([("kind", Json::str(kind)), ("seq", Json::from(seq))]),
+            )),
+            GcEvent::HeapGrown {
+                t_ns,
+                from_words,
+                to_words,
+            } => Some(trace_line(
+                "heap grow",
+                "gc",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([
+                    ("from_words", Json::from(from_words)),
+                    ("to_words", Json::from(to_words)),
+                ]),
+            )),
             GcEvent::FrameVisit { .. }
             | GcEvent::RoutineRun { .. }
             | GcEvent::ObjectCopied { .. } => None,

@@ -74,6 +74,34 @@ pub enum GcEvent {
         start_ns: u64,
         dur_ns: u64,
     },
+    /// The post-collection heap verifier finished its walk of collection
+    /// `seq`'s surviving graph.
+    VerificationEnd {
+        t_ns: u64,
+        seq: u64,
+        strategy: &'static str,
+        /// Reachable objects visited by the verifier.
+        objects: u64,
+        /// Reachable payload words visited by the verifier.
+        words: u64,
+        /// False = a heap-invariant violation was found (the run is about
+        /// to surface a structured error).
+        ok: bool,
+    },
+    /// A configured deterministic fault fired (`kind` names the fault
+    /// class; `seq` is the allocation sequence number it keyed on).
+    FaultInjected {
+        t_ns: u64,
+        kind: &'static str,
+        seq: u64,
+    },
+    /// The heap grew under the bounded growth policy (semispace capacity
+    /// in words, before and after).
+    HeapGrown {
+        t_ns: u64,
+        from_words: u64,
+        to_words: u64,
+    },
 }
 
 impl GcEvent {
@@ -89,6 +117,9 @@ impl GcEvent {
             GcEvent::TaskParked { .. } => "task_parked",
             GcEvent::TaskResumed { .. } => "task_resumed",
             GcEvent::Phase { .. } => "phase",
+            GcEvent::VerificationEnd { .. } => "verification_end",
+            GcEvent::FaultInjected { .. } => "fault_injected",
+            GcEvent::HeapGrown { .. } => "heap_grown",
         }
     }
 }

@@ -157,7 +157,10 @@ impl RingRecorder {
             | GcEvent::RoutineRun { .. }
             | GcEvent::TaskParked { .. }
             | GcEvent::TaskResumed { .. }
-            | GcEvent::Phase { .. } => {}
+            | GcEvent::Phase { .. }
+            | GcEvent::VerificationEnd { .. }
+            | GcEvent::FaultInjected { .. }
+            | GcEvent::HeapGrown { .. } => {}
         }
     }
 

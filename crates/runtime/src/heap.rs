@@ -1,9 +1,12 @@
 //! Semispace copying heap.
 //!
-//! Two equal spaces with disjoint absolute address ranges (space A at
-//! `[HEAP_BASE, HEAP_BASE + cap)`, space B at `[HEAP_BASE + cap,
-//! HEAP_BASE + 2·cap)`). The mutator bump-allocates in from-space; a
-//! collector copies live objects into to-space and calls [`Heap::flip`].
+//! Two spaces with disjoint absolute address ranges: space A starts at
+//! `HEAP_BASE`, space B at `SPACE_B_BASE = HEAP_BASE + 2^40`. Each space
+//! has its own backing store, so one space can grow (see
+//! [`Heap::reserve_to_space`]) without moving the other — growth never
+//! relocates live objects, only a subsequent collection does. The mutator
+//! bump-allocates in from-space; a collector copies live objects into
+//! to-space and calls [`Heap::flip`].
 //!
 //! **Forwarding without tags.** A copying collector must detect
 //! already-copied objects. Tag-free objects have no header word to spare,
@@ -19,11 +22,18 @@
 use crate::stats::HeapStats;
 use crate::word::{Addr, Word, HEAP_BASE};
 
+/// Absolute base address of space B. Spaces are bounded by
+/// [`MAX_SPACE_WORDS`], so the two address ranges can never meet.
+pub const SPACE_B_BASE: u64 = HEAP_BASE + (1 << 40);
+
+/// Hard upper bound on the size of one semispace, in words (8 TiB).
+pub const MAX_SPACE_WORDS: usize = 1 << 40;
+
 /// A semispace copying heap over raw words.
 #[derive(Debug, Clone)]
 pub struct Heap {
-    words: Vec<Word>,
-    cap: usize,
+    space_a: Vec<Word>,
+    space_b: Vec<Word>,
     /// True when space A (low addresses) is the current from-space.
     a_is_from: bool,
     /// Bump pointer within from-space (offset).
@@ -38,9 +48,13 @@ pub struct Heap {
 impl Heap {
     /// Creates a heap with `cap` words per semispace.
     pub fn new(cap: usize) -> Heap {
+        assert!(
+            cap <= MAX_SPACE_WORDS,
+            "semispace larger than {MAX_SPACE_WORDS} words"
+        );
         Heap {
-            words: vec![0; cap * 2],
-            cap,
+            space_a: vec![0; cap],
+            space_b: vec![0; cap],
             a_is_from: true,
             from_alloc: 0,
             to_alloc: 0,
@@ -49,9 +63,31 @@ impl Heap {
         }
     }
 
-    /// Words per semispace.
+    fn space_from(&self) -> &Vec<Word> {
+        if self.a_is_from {
+            &self.space_a
+        } else {
+            &self.space_b
+        }
+    }
+
+    fn space_to(&self) -> &Vec<Word> {
+        if self.a_is_from {
+            &self.space_b
+        } else {
+            &self.space_a
+        }
+    }
+
+    /// Words in the current from-space (the mutator's view of capacity).
     pub fn capacity(&self) -> usize {
-        self.cap
+        self.space_from().len()
+    }
+
+    /// Words in the current to-space (differs from [`Heap::capacity`]
+    /// only between a growth reservation and the next flip).
+    pub fn to_space_capacity(&self) -> usize {
+        self.space_to().len()
     }
 
     /// Words currently allocated in from-space.
@@ -61,7 +97,7 @@ impl Heap {
 
     /// Words still available without a collection.
     pub fn available(&self) -> usize {
-        self.cap - self.from_alloc
+        self.capacity() - self.from_alloc
     }
 
     // "from" is the semispace, not a conversion.
@@ -70,39 +106,51 @@ impl Heap {
         if self.a_is_from {
             HEAP_BASE
         } else {
-            HEAP_BASE + self.cap as u64
+            SPACE_B_BASE
         }
     }
 
     fn to_base(&self) -> u64 {
         if self.a_is_from {
-            HEAP_BASE + self.cap as u64
+            SPACE_B_BASE
         } else {
             HEAP_BASE
         }
     }
 
-    fn index(&self, a: Addr) -> usize {
-        debug_assert!(a.0 >= HEAP_BASE, "address {a:?} below heap base");
-        (a.0 - HEAP_BASE) as usize
+    /// The absolute span `[base, base + used)` of live from-space data.
+    /// Every valid tag-free pointer falls inside this span; the heap
+    /// verifier checks object extents against it.
+    pub fn live_span(&self) -> (u64, u64) {
+        let b = self.from_base();
+        (b, b + self.from_alloc as u64)
     }
 
     /// Is the address inside the current from-space?
     pub fn in_from(&self, a: Addr) -> bool {
         let b = self.from_base();
-        a.0 >= b && a.0 < b + self.cap as u64
+        a.0 >= b && a.0 < b + self.space_from().len() as u64
     }
 
     /// Is the address inside the current to-space?
     pub fn in_to(&self, a: Addr) -> bool {
         let b = self.to_base();
-        a.0 >= b && a.0 < b + self.cap as u64
+        a.0 >= b && a.0 < b + self.space_to().len() as u64
+    }
+
+    fn index(a: Addr) -> (bool, usize) {
+        debug_assert!(a.0 >= HEAP_BASE, "address {a:?} below heap base");
+        if a.0 >= SPACE_B_BASE {
+            (false, (a.0 - SPACE_B_BASE) as usize)
+        } else {
+            (true, (a.0 - HEAP_BASE) as usize)
+        }
     }
 
     /// Allocates `n` words in from-space. Returns `None` when a collection
     /// is needed first.
     pub fn alloc(&mut self, n: usize) -> Option<Addr> {
-        if self.from_alloc + n > self.cap {
+        if self.from_alloc + n > self.capacity() {
             return None;
         }
         let a = Addr(self.from_base() + self.from_alloc as u64);
@@ -118,7 +166,12 @@ impl Heap {
     ///
     /// Panics if the address is outside the heap.
     pub fn read(&self, a: Addr, off: u16) -> Word {
-        self.words[self.index(a.offset(off))]
+        let (in_a, i) = Self::index(a.offset(off));
+        if in_a {
+            self.space_a[i]
+        } else {
+            self.space_b[i]
+        }
     }
 
     /// Writes the word at `a + off`.
@@ -127,8 +180,12 @@ impl Heap {
     ///
     /// Panics if the address is outside the heap.
     pub fn write(&mut self, a: Addr, off: u16, w: Word) {
-        let i = self.index(a.offset(off));
-        self.words[i] = w;
+        let (in_a, i) = Self::index(a.offset(off));
+        if in_a {
+            self.space_a[i] = w;
+        } else {
+            self.space_b[i] = w;
+        }
     }
 
     // ---- collection support -------------------------------------------
@@ -138,15 +195,22 @@ impl Heap {
     ///
     /// # Panics
     ///
-    /// Panics if to-space overflows (cannot happen: live ≤ allocated).
+    /// Panics if to-space overflows (cannot happen: live ≤ allocated and
+    /// to-space is never smaller than from-space at collection time).
     pub fn copy_out(&mut self, src: Addr, n: usize) -> Addr {
         debug_assert!(self.in_from(src), "copy_out source not in from-space");
-        assert!(self.to_alloc + n <= self.cap, "to-space overflow");
-        let si = self.index(src);
-        let di = (self.to_base() - HEAP_BASE) as usize + self.to_alloc;
-        for k in 0..n {
-            self.words[di + k] = self.words[si + k];
-        }
+        assert!(
+            self.to_alloc + n <= self.space_to().len(),
+            "to-space overflow"
+        );
+        let (_, si) = Self::index(src);
+        let di = self.to_alloc;
+        let (from, to) = if self.a_is_from {
+            (&self.space_a, &mut self.space_b)
+        } else {
+            (&self.space_b, &mut self.space_a)
+        };
+        to[di..di + n].copy_from_slice(&from[si..si + n]);
         let dst = Addr(self.to_base() + self.to_alloc as u64);
         self.to_alloc += n;
         self.stats.objects_copied += 1;
@@ -159,8 +223,7 @@ impl Heap {
         debug_assert!(self.in_from(src));
         let off = (src.0 - self.from_base()) as usize;
         self.forwarded[off / 64] |= 1 << (off % 64);
-        let i = self.index(src);
-        self.words[i] = dst.0;
+        self.write(src, 0, dst.0);
     }
 
     /// The forwarding address of `src`, if it was already copied this
@@ -169,19 +232,42 @@ impl Heap {
         debug_assert!(self.in_from(src));
         let off = (src.0 - self.from_base()) as usize;
         if self.forwarded[off / 64] & (1 << (off % 64)) != 0 {
-            Some(Addr(self.words[self.index(src)]))
+            Some(Addr(self.read(src, 0)))
         } else {
             None
         }
     }
 
+    /// Grows to-space to at least `words` (capped at [`MAX_SPACE_WORDS`]).
+    /// Returns `true` if the space grew. Absolute addresses are stable
+    /// across growth — each space has a fixed base — so live pointers
+    /// need no relocation; the next collection simply copies into the
+    /// larger space. Call outside a collection (`to_alloc == 0`), then
+    /// collect, then call again to grow the other space.
+    pub fn reserve_to_space(&mut self, words: usize) -> bool {
+        let words = words.min(MAX_SPACE_WORDS);
+        let cur = self.space_to().len();
+        if words <= cur {
+            return false;
+        }
+        if self.a_is_from {
+            self.space_b.resize(words, 0);
+        } else {
+            self.space_a.resize(words, 0);
+        }
+        true
+    }
+
     /// Finishes a collection: to-space becomes from-space, the bitmap is
-    /// cleared, statistics are updated.
+    /// cleared (and resized to cover the new from-space), statistics are
+    /// updated.
     pub fn flip(&mut self) {
         self.a_is_from = !self.a_is_from;
         self.from_alloc = self.to_alloc;
         self.to_alloc = 0;
-        self.forwarded.iter_mut().for_each(|w| *w = 0);
+        let bitmap_words = self.space_from().len().div_ceil(64);
+        self.forwarded.clear();
+        self.forwarded.resize(bitmap_words, 0);
         self.stats.collections += 1;
         self.stats.live_words_after_last_gc = self.from_alloc as u64;
         self.stats.peak_live_words = self.stats.peak_live_words.max(self.from_alloc as u64);
@@ -288,5 +374,58 @@ mod tests {
         assert_eq!(h.read(n2, 0), 1);
         assert_eq!(h.read(n2, 1), 2);
         assert_eq!(h.stats.collections, 2);
+    }
+
+    #[test]
+    fn spaces_have_disjoint_fixed_bases() {
+        let mut h = Heap::new(8);
+        let a = h.alloc(8).unwrap();
+        assert_eq!(a, Addr(HEAP_BASE));
+        let na = h.copy_out(a, 8);
+        assert_eq!(na, Addr(SPACE_B_BASE));
+        h.set_forward(a, na);
+        h.flip();
+        // After the flip new allocations come from space B's range.
+        let b = h.alloc(0).unwrap();
+        assert!(b.0 >= SPACE_B_BASE);
+    }
+
+    #[test]
+    fn growth_preserves_addresses_across_collection() {
+        let mut h = Heap::new(4);
+        let a = h.alloc(4).unwrap();
+        h.write(a, 0, 11);
+        h.write(a, 3, 44);
+        assert!(h.alloc(1).is_none());
+        // Grow to-space, "collect" the one live object, flip, then grow
+        // the other space: capacity doubles and data survives in place.
+        assert!(h.reserve_to_space(8));
+        let na = h.copy_out(a, 4);
+        h.set_forward(a, na);
+        h.flip();
+        assert!(h.reserve_to_space(8));
+        assert_eq!(h.capacity(), 8);
+        assert_eq!(h.to_space_capacity(), 8);
+        assert_eq!(h.read(na, 0), 11);
+        assert_eq!(h.read(na, 3), 44);
+        let b = h.alloc(4).unwrap();
+        assert!(h.in_from(b));
+        // Shrinking is a no-op.
+        assert!(!h.reserve_to_space(2));
+    }
+
+    #[test]
+    fn forwarding_bitmap_resizes_with_growth() {
+        let mut h = Heap::new(64);
+        let a = h.alloc(64).unwrap();
+        h.reserve_to_space(256);
+        let na = h.copy_out(a, 64);
+        h.set_forward(a, na);
+        h.flip();
+        // Bitmap now covers the 256-word from-space.
+        assert_eq!(h.collector_side_bytes(), 256usize.div_ceil(64) * 8);
+        let b = h.alloc(150).unwrap();
+        let _ = b;
+        assert!(h.forward_of(Addr(h.live_span().0 + 199)).is_none());
     }
 }

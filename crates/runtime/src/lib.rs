@@ -21,6 +21,6 @@ pub mod stats;
 pub mod word;
 
 pub use encode::{ArithKind, Encoding};
-pub use heap::Heap;
+pub use heap::{Heap, MAX_SPACE_WORDS, SPACE_B_BASE};
 pub use stats::HeapStats;
 pub use word::{Addr, HeapMode, Word, HEAP_BASE};

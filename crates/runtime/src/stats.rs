@@ -19,6 +19,8 @@ pub struct HeapStats {
     pub live_words_after_last_gc: u64,
     /// Maximum of `live_words_after_last_gc` over the run.
     pub peak_live_words: u64,
+    /// Times the heap grew under the bounded growth policy.
+    pub grows: u64,
 }
 
 impl HeapStats {

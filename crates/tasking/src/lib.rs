@@ -25,10 +25,10 @@
 
 use std::fmt;
 use tfgc_gc::{GcStats, Strategy};
-use tfgc_ir::{FnId, Instr, IrProgram};
+use tfgc_ir::{CallSiteId, FnId, Instr, IrProgram};
 use tfgc_obs::{GcEvent, Obs};
 use tfgc_runtime::HeapStats;
-use tfgc_vm::{MutatorStats, StepEvent, Vm, VmConfig, VmError, VmResult};
+use tfgc_vm::{FaultPlan, MutatorStats, StepEvent, Vm, VmConfig, VmError, VmResult};
 
 /// When may a task be parked for collection? (§4.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +70,14 @@ pub struct TaskConfig {
     pub quantum: u64,
     /// Total instruction budget across all tasks.
     pub max_steps: u64,
+    /// Bounded growth policy: grow each semispace up to this many words
+    /// when a collection cannot satisfy an allocation (`None` = fixed
+    /// heap).
+    pub heap_max_words: Option<usize>,
+    /// Run the post-collection heap verifier after every collection.
+    pub verify_heap: bool,
+    /// Deterministic fault schedule injected into the VM.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl TaskConfig {
@@ -81,6 +89,9 @@ impl TaskConfig {
             policy: SuspendPolicy::EveryCall,
             quantum: 64,
             max_steps: 500_000_000,
+            heap_max_words: None,
+            verify_heap: false,
+            fault_plan: None,
         }
     }
 }
@@ -88,8 +99,12 @@ impl TaskConfig {
 /// Result of a multi-task run.
 #[derive(Debug, Clone)]
 pub struct TaskReport {
-    /// Per task: the rendered result value.
+    /// Per task: the rendered result value, or `"<error: …>"` when the
+    /// task was quarantined.
     pub results: Vec<String>,
+    /// Per task: the error that quarantined it (`None` = finished
+    /// normally). One failing task does not stop its siblings.
+    pub task_errors: Vec<Option<VmError>>,
     /// Interleaved `print` output across tasks.
     pub printed: Vec<i64>,
     pub heap: HeapStats,
@@ -154,6 +169,9 @@ pub fn run_tasks_with_obs(
     let mut vm_cfg = VmConfig::new(cfg.strategy).heap_words(cfg.heap_words);
     vm_cfg.cooperative = true;
     vm_cfg.max_steps = Some(cfg.max_steps);
+    vm_cfg.heap_max_words = cfg.heap_max_words;
+    vm_cfg.verify_heap = cfg.verify_heap;
+    vm_cfg.fault_plan = cfg.fault_plan;
     let mut vm = Vm::new(prog, vm_cfg);
     vm.obs = obs;
 
@@ -181,6 +199,8 @@ pub fn run_tasks_with_obs(
         gc_pending: false,
         parked: vec![false; task_ids.len()],
         done: vec![false; task_ids.len()],
+        blocked_on_alloc: vec![None; task_ids.len()],
+        task_errors: vec![None; task_ids.len()],
         latency: 0,
         allocs_at_last_gc: None,
         report_checks: 0,
@@ -192,6 +212,7 @@ pub fn run_tasks_with_obs(
 
     let Scheduler {
         mut vm,
+        task_errors,
         report_checks,
         report_events,
         report_total_latency,
@@ -202,14 +223,19 @@ pub fn run_tasks_with_obs(
     let results = task_ids
         .iter()
         .zip(entries)
-        .map(|(t, (f, _))| {
-            let w = vm.thread_result(*t).expect("task finished");
-            vm.render(w, &prog.fun(*f).ret_ty)
+        .enumerate()
+        .map(|(i, (t, (f, _)))| match &task_errors[i] {
+            Some(e) => format!("<error: {e}>"),
+            None => {
+                let w = vm.thread_result(*t).expect("task finished");
+                vm.render(w, &prog.fun(*f).ret_ty)
+            }
         })
         .collect();
     Ok((
         TaskReport {
             results,
+            task_errors,
             printed: std::mem::take(&mut vm.printed),
             heap: vm.heap.stats,
             gc: vm.gc_stats,
@@ -232,13 +258,21 @@ fn run_single(vm: &mut Vm<'_>) -> VmResult<()> {
             StepEvent::Done(_) => return Ok(()),
             StepEvent::AllocBlocked(site) => {
                 if blocked_without_progress {
-                    return Err(VmError::OutOfMemory {
-                        requested: 0,
-                        live: vm.heap.used(),
-                    });
+                    // The collection freed nothing and the allocation
+                    // already retried once: growing is the only way
+                    // forward.
+                    if !vm.grow_parked(site)? {
+                        return Err(VmError::OutOfMemory {
+                            requested: 0,
+                            live: vm.heap.used(),
+                            site: site.0,
+                            strategy: vm.strategy_name(),
+                        });
+                    }
+                } else {
+                    vm.collect_parked(site)?;
+                    blocked_without_progress = true;
                 }
-                vm.collect_parked(site);
-                blocked_without_progress = true;
             }
             StepEvent::Continue => blocked_without_progress = false,
         }
@@ -253,6 +287,12 @@ struct Scheduler<'p> {
     gc_pending: bool,
     parked: Vec<bool>,
     done: Vec<bool>,
+    /// Per task: the allocation site it is blocked on, while blocked.
+    /// Distinguishes tasks starving for memory from tasks merely parked
+    /// at a call so OOM can be pinned on the right tasks.
+    blocked_on_alloc: Vec<Option<CallSiteId>>,
+    /// Per task: the error that quarantined it.
+    task_errors: Vec<Option<VmError>>,
     /// Instructions executed since the pending collection was requested.
     latency: u64,
     /// Successful allocation count at the previous collection: if no
@@ -296,6 +336,9 @@ impl Scheduler<'_> {
         if self.parked[i] {
             self.vm.unpark_thread(thread);
             self.parked[i] = false;
+            // Resuming retries the blocked allocation; a fresh block
+            // will re-mark the task.
+            self.blocked_on_alloc[i] = None;
         }
         for _ in 0..self.quantum {
             // The suspension test (§4): executed per the policy's cost
@@ -345,18 +388,19 @@ impl Scheduler<'_> {
                     return Ok(());
                 }
             }
-            match self.vm.step()? {
-                StepEvent::Continue => {
+            match self.vm.step() {
+                Ok(StepEvent::Continue) => {
                     if self.gc_pending {
                         self.latency += 1;
                     }
                 }
-                StepEvent::Done(_) => {
+                Ok(StepEvent::Done(_)) => {
                     self.done[i] = true;
                     return Ok(());
                 }
-                StepEvent::AllocBlocked(site) => {
+                Ok(StepEvent::AllocBlocked(site)) => {
                     self.gc_pending = true;
+                    self.blocked_on_alloc[i] = Some(site);
                     self.vm.park_thread(thread, site);
                     self.parked[i] = true;
                     let task = i as u32;
@@ -367,26 +411,41 @@ impl Scheduler<'_> {
                     });
                     return Ok(());
                 }
+                Err(e) => return self.quarantine(i, e),
             }
         }
         Ok(())
     }
 
-    /// All tasks parked: collect, account, resume.
-    ///
-    /// # Errors
-    ///
-    /// Reports OOM when no allocation succeeded since the previous
-    /// collection — the heap is exhausted by live data.
-    fn do_collection(&mut self) -> VmResult<()> {
-        let allocs_now = self.vm.heap.stats.allocations;
-        if self.allocs_at_last_gc == Some(allocs_now) {
-            return Err(VmError::OutOfMemory {
-                requested: 0,
-                live: self.vm.heap.used(),
-            });
+    /// Records a per-task error, kills the task's stack (its heap data
+    /// dies at the next collection), and lets the siblings run on.
+    /// Whole-machine errors — budget exhaustion and heap-verification
+    /// failures — propagate instead: no task can make progress past
+    /// them.
+    fn quarantine(&mut self, i: usize, e: VmError) -> VmResult<()> {
+        if matches!(
+            e,
+            VmError::StepLimit { .. } | VmError::VerificationFailed { .. }
+        ) {
+            return Err(e);
         }
-        self.allocs_at_last_gc = Some(allocs_now);
+        self.vm.kill_thread(self.tasks[i]);
+        self.task_errors[i] = Some(e);
+        self.done[i] = true;
+        self.parked[i] = false;
+        self.blocked_on_alloc[i] = None;
+        Ok(())
+    }
+
+    /// All tasks parked: collect (growing if a previous collection freed
+    /// nothing and the growth policy allows it), account, resume.
+    ///
+    /// When the heap is genuinely exhausted by live data and cannot
+    /// grow, the tasks starving for memory are quarantined with a
+    /// structured [`VmError::OutOfMemory`] — each blocked allocation has
+    /// by then parked and retried exactly once after a full collection —
+    /// and the surviving tasks resume.
+    fn do_collection(&mut self) -> VmResult<()> {
         // Any live parked task can stand for the trigger (no operands are
         // pending: blocked allocations re-execute after the collection).
         let i = (0..self.tasks.len())
@@ -398,15 +457,37 @@ impl Scheduler<'_> {
             .vm
             .current_site()
             .expect("parked tasks sit at call/alloc sites");
-        self.vm.collect_parked(site);
-        self.report_events += 1;
+        let allocs_now = self.vm.heap.stats.allocations;
+        let mut collected = true;
+        if self.allocs_at_last_gc == Some(allocs_now) {
+            // No allocation succeeded since the previous collection: the
+            // heap is exhausted by live data. Grow within the bounded
+            // policy (this collects internally) or degrade by
+            // quarantining the starving tasks.
+            if self.vm.grow_parked(site)? {
+                self.allocs_at_last_gc = Some(allocs_now);
+            } else {
+                self.quarantine_starving(site)?;
+                // The killed tasks' data is garbage now; let the next
+                // exhaustion collect it rather than declaring
+                // no-progress again.
+                self.allocs_at_last_gc = None;
+                collected = false;
+            }
+        } else {
+            self.allocs_at_last_gc = Some(allocs_now);
+            self.vm.collect_parked(site)?;
+        }
+        if collected {
+            self.report_events += 1;
+        }
         self.report_total_latency += self.latency;
         self.report_max_latency = self.report_max_latency.max(self.latency);
         self.latency = 0;
         self.gc_pending = false;
         if self.vm.obs.enabled() {
             for (ix, was_parked) in self.parked.iter().enumerate() {
-                if *was_parked {
+                if *was_parked && !self.done[ix] {
                     let task = ix as u32;
                     self.vm.obs.emit(|t_ns| GcEvent::TaskResumed { t_ns, task });
                 }
@@ -415,9 +496,47 @@ impl Scheduler<'_> {
         for p in self.parked.iter_mut() {
             *p = false;
         }
-        for t in &self.tasks {
-            self.vm.unpark_thread(*t);
+        for (ix, t) in self.tasks.iter().enumerate() {
+            if !self.done[ix] {
+                self.blocked_on_alloc[ix] = None;
+                self.vm.unpark_thread(*t);
+            }
         }
+        Ok(())
+    }
+
+    /// Quarantines ONE task blocked on an allocation (the lowest-index
+    /// starving task, for determinism) with a structured OOM carrying its
+    /// own failing site. Killing its stack turns its data into garbage,
+    /// so the surviving blocked tasks get a fresh collection and retry
+    /// before any of them is condemned in turn. At least one task must be
+    /// blocked — only a blocked allocation raises a collection request.
+    fn quarantine_starving(&mut self, trigger: CallSiteId) -> VmResult<()> {
+        let live = self.vm.heap.used();
+        let strategy = self.vm.strategy_name();
+        let victim =
+            (0..self.tasks.len()).find(|&j| !self.done[j] && self.blocked_on_alloc[j].is_some());
+        let Some(j) = victim else {
+            // Defensive: nobody is waiting on memory yet nothing was
+            // freed — surface the exhaustion globally.
+            return Err(VmError::OutOfMemory {
+                requested: 0,
+                live,
+                site: trigger.0,
+                strategy,
+            });
+        };
+        let bsite = self.blocked_on_alloc[j].expect("victim is blocked");
+        self.vm.kill_thread(self.tasks[j]);
+        self.task_errors[j] = Some(VmError::OutOfMemory {
+            requested: 0,
+            live,
+            site: bsite.0,
+            strategy,
+        });
+        self.done[j] = true;
+        self.parked[j] = false;
+        self.blocked_on_alloc[j] = None;
         Ok(())
     }
 }
@@ -558,6 +677,114 @@ mod tests {
         let mut sorted = a.printed.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    /// Satellite: cooperative-tasking OOM. The exhausted allocation must
+    /// park, collect via the scheduler, and retry exactly once before
+    /// the task is quarantined with a structured error.
+    #[test]
+    fn exhausted_heap_parks_collects_and_retries_once_before_error() {
+        let prog = compile(
+            "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+             fun len xs = case xs of [] => 0 | _ :: r => 1 + len r ;
+             fun hog n = len (build n) ;
+             0",
+        );
+        let es = entries(&prog, &[("hog", 2000)]);
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 9; // far too small for 2000 live cons cells
+        let report = run_tasks(&prog, &es, cfg).unwrap();
+        let err = report.task_errors[0]
+            .as_ref()
+            .expect("starving task must be quarantined");
+        assert!(
+            matches!(
+                err,
+                VmError::OutOfMemory {
+                    strategy: "compiled",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // The failing allocation's own site is recorded.
+        let VmError::OutOfMemory { site, .. } = err else {
+            unreachable!()
+        };
+        assert!(
+            prog.sites.len() > *site as usize,
+            "site {site} out of range"
+        );
+        assert!(report.results[0].starts_with("<error: out of memory"));
+        // The block parked and a collection ran before the error: the
+        // no-progress check only fires after a full collect + retry.
+        assert!(report.suspension_events >= 1);
+    }
+
+    #[test]
+    fn oom_task_is_quarantined_while_siblings_finish() {
+        let prog = compile(
+            "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+             fun len xs = case xs of [] => 0 | _ :: r => 1 + len r ;
+             fun hog n = len (build n) ;
+             fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+             fun worker n = if n = 0 then 0 else (sum (build 20) + worker (n - 1)) - sum (build 20) ;
+             0",
+        );
+        let es = entries(&prog, &[("hog", 4000), ("worker", 25)]);
+        for strategy in Strategy::ALL {
+            let mut cfg = TaskConfig::new(strategy);
+            // Headroom for the no-liveness strategies' retained dead
+            // lists, yet far below hog's ~8000-word live set.
+            cfg.heap_words = 1 << 12;
+            let report = run_tasks(&prog, &es, cfg).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            assert!(
+                matches!(report.task_errors[0], Some(VmError::OutOfMemory { .. })),
+                "{strategy}: hog must starve"
+            );
+            assert_eq!(
+                report.task_errors[1], None,
+                "{strategy}: worker must run on"
+            );
+            assert_eq!(report.results[1], "0", "{strategy}");
+        }
+    }
+
+    #[test]
+    fn per_task_error_is_quarantined_not_fatal() {
+        let prog = compile(
+            "fun crash n = n div (n - n) ;
+             fun ok n = n + 1 ;
+             0",
+        );
+        let es = entries(&prog, &[("crash", 7), ("ok", 41)]);
+        let report = run_tasks(&prog, &es, TaskConfig::new(Strategy::Compiled)).unwrap();
+        assert!(
+            matches!(report.task_errors[0], Some(VmError::DivideByZero { .. })),
+            "{:?}",
+            report.task_errors[0]
+        );
+        assert!(report.results[0].starts_with("<error: division by zero"));
+        assert_eq!(report.results[1], "42");
+    }
+
+    #[test]
+    fn bounded_growth_rescues_oversized_live_set() {
+        let prog = compile(
+            "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+             fun len xs = case xs of [] => 0 | _ :: r => 1 + len r ;
+             fun hog n = len (build n) ;
+             0",
+        );
+        let es = entries(&prog, &[("hog", 2000)]);
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 9;
+        cfg.heap_max_words = Some(1 << 15);
+        cfg.verify_heap = true;
+        let report = run_tasks(&prog, &es, cfg).unwrap();
+        assert_eq!(report.task_errors[0], None);
+        assert_eq!(report.results[0], "2000");
+        assert!(report.heap.grows > 0, "growth policy must have engaged");
     }
 
     #[test]

@@ -60,8 +60,16 @@ fn oom_detected_when_live_exceeds_heap() {
     let f = find_fn(&prog, "hold").unwrap();
     let mut cfg = TaskConfig::new(Strategy::Compiled);
     cfg.heap_words = 128;
-    let err = run_tasks(&prog, &[(f, 500)], cfg).unwrap_err();
-    assert!(matches!(err, tfgc_vm::VmError::OutOfMemory { .. }));
+    let report = run_tasks(&prog, &[(f, 500)], cfg).unwrap();
+    let err = report.task_errors[0]
+        .as_ref()
+        .expect("starving task is quarantined");
+    assert!(matches!(err, tfgc_vm::VmError::OutOfMemory { .. }), "{err}");
+    assert!(
+        report.results[0].starts_with("<error: out of memory"),
+        "{}",
+        report.results[0]
+    );
 }
 
 #[test]

@@ -1,0 +1,149 @@
+//! Canonical, encoding-independent heap snapshots.
+//!
+//! A [`CanonHeap`] is the reachable word set of a program at one moment,
+//! rendered so the tag-free and tagged encodings of the *same* abstract
+//! state compare equal:
+//!
+//! * immediates are decoded (a tagged `2·i + 1` and a tag-free `i` both
+//!   canonicalize to `Imm(i)`);
+//! * pointers become indices into a discovery-ordered object list (both
+//!   walkers discover breadth-first, enumerating each object's payload in
+//!   layout order, so isomorphic graphs get identical indices);
+//! * tagged header words are dropped (the payload length is implicit in
+//!   `fields.len()`), while discriminants, closure code pointers, and
+//!   descriptor ids — real payload in both encodings — are kept as
+//!   decoded immediates.
+//!
+//! Diffing two snapshots ([`diff`]) is therefore a word-for-word
+//! comparison of what the two collectors consider reachable.
+
+/// One canonical word: a decoded immediate or a reference to the `n`th
+/// discovered object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanonWord {
+    /// A decoded non-pointer value (integer, bool, unit, nullary
+    /// constructor, discriminant, code pointer, descriptor id).
+    Imm(i64),
+    /// A pointer to the object at this index in [`CanonHeap::objects`].
+    Ref(u32),
+}
+
+/// One reachable object: its payload words in layout order (headers
+/// excluded; discriminants included).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CanonObj {
+    pub fields: Vec<CanonWord>,
+}
+
+/// A canonical snapshot of everything reachable from the collector's
+/// roots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CanonHeap {
+    /// Root words in enumeration order (globals, then each stack's frames
+    /// oldest → newest with each frame's traced slots in routine order,
+    /// then pending allocation operands).
+    pub roots: Vec<CanonWord>,
+    /// Reachable objects in breadth-first discovery order.
+    pub objects: Vec<CanonObj>,
+}
+
+impl CanonHeap {
+    /// Total payload words across all reachable objects.
+    pub fn words(&self) -> u64 {
+        self.objects.iter().map(|o| o.fields.len() as u64).sum()
+    }
+}
+
+fn word_str(w: CanonWord) -> String {
+    match w {
+        CanonWord::Imm(i) => format!("imm {i}"),
+        CanonWord::Ref(i) => format!("ref #{i}"),
+    }
+}
+
+/// Compares two snapshots; `None` means word-for-word identical,
+/// otherwise a description of the first divergence.
+pub fn diff(a: &CanonHeap, b: &CanonHeap) -> Option<String> {
+    if a.roots.len() != b.roots.len() {
+        return Some(format!(
+            "root count differs: {} vs {}",
+            a.roots.len(),
+            b.roots.len()
+        ));
+    }
+    for (i, (ra, rb)) in a.roots.iter().zip(&b.roots).enumerate() {
+        if ra != rb {
+            return Some(format!(
+                "root {} differs: {} vs {}",
+                i,
+                word_str(*ra),
+                word_str(*rb)
+            ));
+        }
+    }
+    if a.objects.len() != b.objects.len() {
+        return Some(format!(
+            "reachable object count differs: {} vs {}",
+            a.objects.len(),
+            b.objects.len()
+        ));
+    }
+    for (i, (oa, ob)) in a.objects.iter().zip(&b.objects).enumerate() {
+        if oa.fields.len() != ob.fields.len() {
+            return Some(format!(
+                "object #{} size differs: {} vs {} words",
+                i,
+                oa.fields.len(),
+                ob.fields.len()
+            ));
+        }
+        for (k, (fa, fb)) in oa.fields.iter().zip(&ob.fields).enumerate() {
+            if fa != fb {
+                return Some(format!(
+                    "object #{} word {} differs: {} vs {}",
+                    i,
+                    k,
+                    word_str(*fa),
+                    word_str(*fb)
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_snapshots_diff_to_none() {
+        let h = CanonHeap {
+            roots: vec![CanonWord::Imm(1), CanonWord::Ref(0)],
+            objects: vec![CanonObj {
+                fields: vec![CanonWord::Imm(7)],
+            }],
+        };
+        assert_eq!(diff(&h, &h.clone()), None);
+        assert_eq!(h.words(), 1);
+    }
+
+    #[test]
+    fn divergences_name_the_first_difference() {
+        let a = CanonHeap {
+            roots: vec![CanonWord::Ref(0)],
+            objects: vec![CanonObj {
+                fields: vec![CanonWord::Imm(1), CanonWord::Imm(2)],
+            }],
+        };
+        let mut b = a.clone();
+        b.objects[0].fields[1] = CanonWord::Imm(3);
+        let d = diff(&a, &b).unwrap();
+        assert!(d.contains("object #0 word 1"), "{d}");
+        let mut c = a.clone();
+        c.roots[0] = CanonWord::Imm(0);
+        assert!(diff(&a, &c).unwrap().contains("root 0"));
+        let e = CanonHeap::default();
+        assert!(diff(&a, &e).unwrap().contains("root count"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] names at most one fault per class, keyed to a
+//! deterministic event count (the VM's allocation sequence number), so a
+//! failing torture run replays exactly from its seed. The VM consults the
+//! plan at well-defined points:
+//!
+//! * `alloc_fail_at` — the `n`th allocation reports the heap full once
+//!   even though space remains, forcing the collect-and-retry path.
+//! * `exhaust_at` — from the `n`th allocation on, heap growth is refused,
+//!   so collection must either reclaim enough or surface a structured
+//!   out-of-memory error.
+//! * `corrupt_discriminant_at` — the `n`th allocation of a *tagged*
+//!   datatype object gets its discriminant word overwritten with a value
+//!   matching no variant; the next trace through it must fail fast with
+//!   the `heap corruption:` panic, never silently mistrace.
+//! * `truncate_frame_params_of` — function `f`'s frame type-parameter
+//!   sources are truncated before the program runs, so the first
+//!   collection through one of its frames hits the `type parameter N out
+//!   of range` fail-fast panic (a torn stack-map fault).
+
+/// A deterministic schedule of injected faults (all counts 1-based;
+/// `None` = fault disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Report allocation failure (once) at this allocation sequence
+    /// number, exercising collect-and-retry.
+    pub alloc_fail_at: Option<u64>,
+    /// Refuse heap growth from this allocation sequence number on,
+    /// simulating exhausted memory.
+    pub exhaust_at: Option<u64>,
+    /// Corrupt the discriminant word of the object built by this
+    /// allocation sequence number (tagged datatype allocations only).
+    pub corrupt_discriminant_at: Option<u64>,
+    /// Truncate the frame type-parameter sources of this function id
+    /// before the run starts.
+    pub truncate_frame_params_of: Option<u32>,
+}
+
+/// `splitmix64` — tiny, dependency-free, well-distributed; the same
+/// generator the workloads crate uses, so seeds mean the same thing
+/// everywhere.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Derives one single-fault plan from a seed: the fault class and its
+    /// trigger point are both seed-determined, so a torture matrix over
+    /// seeds covers every class with varied timing.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed;
+        let kind = splitmix64(&mut s) % 4;
+        // Small trigger counts: workload programs allocate tens to
+        // hundreds of objects, and a fault beyond the last allocation
+        // never fires.
+        let at = 1 + splitmix64(&mut s) % 24;
+        let mut plan = FaultPlan::none();
+        match kind {
+            0 => plan.alloc_fail_at = Some(at),
+            1 => plan.exhaust_at = Some(at),
+            2 => plan.corrupt_discriminant_at = Some(at),
+            _ => plan.truncate_frame_params_of = Some((at % 4) as u32),
+        }
+        plan
+    }
+
+    /// No fault armed?
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::none()
+    }
+
+    /// Human-readable one-liner for logs and torture reports.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.alloc_fail_at {
+            parts.push(format!("alloc-fail@{n}"));
+        }
+        if let Some(n) = self.exhaust_at {
+            parts.push(format!("exhaust@{n}"));
+        }
+        if let Some(n) = self.corrupt_discriminant_at {
+            parts.push(format!("corrupt-discriminant@{n}"));
+        }
+        if let Some(f) = self.truncate_frame_params_of {
+            parts.push(format!("truncate-frame-params(fn {f})"));
+        }
+        if parts.is_empty() {
+            "no faults".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_single_fault() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b);
+            let armed = usize::from(a.alloc_fail_at.is_some())
+                + usize::from(a.exhaust_at.is_some())
+                + usize::from(a.corrupt_discriminant_at.is_some())
+                + usize::from(a.truncate_frame_params_of.is_some());
+            assert_eq!(armed, 1, "seed {seed} armed {armed} faults");
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_fault_class() {
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::from_seed).collect();
+        assert!(plans.iter().any(|p| p.alloc_fail_at.is_some()));
+        assert!(plans.iter().any(|p| p.exhaust_at.is_some()));
+        assert!(plans.iter().any(|p| p.corrupt_discriminant_at.is_some()));
+        assert!(plans.iter().any(|p| p.truncate_frame_params_of.is_some()));
+    }
+
+    #[test]
+    fn describe_names_the_armed_fault() {
+        assert_eq!(FaultPlan::none().describe(), "no faults");
+        let p = FaultPlan {
+            exhaust_at: Some(7),
+            ..FaultPlan::none()
+        };
+        assert!(!p.is_empty());
+        assert_eq!(p.describe(), "exhaust@7");
+    }
+}

@@ -1,0 +1,102 @@
+//! # tfgc-verify — heap verification, differential oracle, fault injection
+//!
+//! Goldberg's central claim is that tag-free collection is *exactly* as
+//! safe as tagged collection: the type metadata must identify precisely
+//! the pointers a tag bit would. This crate checks that claim at runtime
+//! instead of assuming it:
+//!
+//! * **Heap verifier** ([`verify_tagfree`] / [`verify_tagged`]) — a
+//!   read-only walk of the reachable graph from the same roots the
+//!   collector used, asserting every pointer is in-bounds and inside the
+//!   current from-space, every object extent fits the live span, objects
+//!   never overlap, discriminants name a real variant, and closure code
+//!   pointers and descriptor ids are in range. Run after a collection it
+//!   proves no forwarding word or to-space pointer survived the flip.
+//! * **Tagged oracle** ([`snapshot_tagfree`] / [`snapshot_tagged`]) — the
+//!   same walk rendered as a [`canon::CanonHeap`]: a canonical,
+//!   encoding-independent picture of the reachable word set. Running a
+//!   program twice — once under a tag-free strategy, once under the
+//!   tagged baseline with the *same* collection schedule — and diffing
+//!   the snapshots checks that metadata-driven tracing and tag-driven
+//!   tracing agree word-for-word on what is reachable.
+//! * **Fault injection** ([`fault::FaultPlan`]) — seeded, deterministic
+//!   faults (allocation failure, heap exhaustion, discriminant
+//!   corruption, truncated frame type-parameter maps) that the VM injects
+//!   so tests can prove each fault class is *detected* with a structured
+//!   error rather than silently mistraced.
+//!
+//! The crate deliberately re-implements the collector's traversal from
+//! the gc crate's public metadata (templates, plans, descriptors) rather
+//! than calling into the collector: a shared bug would hide itself.
+
+pub mod canon;
+pub mod fault;
+pub mod walker;
+
+pub use canon::{diff, CanonHeap, CanonObj, CanonWord};
+pub use fault::FaultPlan;
+pub use walker::{
+    snapshot_tagfree, snapshot_tagged, verify_tagfree, verify_tagged, VerifyError, VerifyReport,
+};
+
+use tfgc_ir::CallSiteId;
+use tfgc_runtime::Word;
+
+/// A read-only view of one task's activation-record stack.
+#[derive(Debug, Clone, Copy)]
+pub struct StackView<'a> {
+    /// The whole activation-record stack.
+    pub stack: &'a [Word],
+    /// Base of the newest frame.
+    pub top_fp: usize,
+    /// Site the newest frame is suspended at.
+    pub current_site: CallSiteId,
+}
+
+/// A read-only view of the mutator state — the verifier's analog of the
+/// collector's `MachineRoots`.
+#[derive(Debug)]
+pub struct RootsView<'a> {
+    /// All live task stacks.
+    pub stacks: Vec<StackView<'a>>,
+    /// Global variable words.
+    pub globals: &'a [Word],
+    /// Pending operand words of the allocation in progress, typed by
+    /// `stacks[operand_stack]`'s current site.
+    pub operands: &'a [Word],
+    /// Index of the stack whose suspension site types the operands.
+    pub operand_stack: usize,
+}
+
+/// Panic-message prefixes of the runtime's *structured* fail-fast panics
+/// (PR 3's corruption-context style). The torture harness accepts these —
+/// they carry site/seq/strategy context — and rejects anything else.
+pub const STRUCTURED_PANIC_PREFIXES: &[&str] = &[
+    "heap corruption:",
+    "type parameter",
+    "extraction path",
+    "collection while suspended at site",
+    "collection while task",
+];
+
+/// Is `msg` one of the runtime's structured fail-fast panics?
+pub fn is_structured_panic(msg: &str) -> bool {
+    STRUCTURED_PANIC_PREFIXES.iter().any(|p| msg.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_panic_prefixes_are_recognized() {
+        assert!(is_structured_panic(
+            "heap corruption: discriminant 99 at address 5000"
+        ));
+        assert!(is_structured_panic(
+            "type parameter 3 out of range: environment carries 1 routine(s)"
+        ));
+        assert!(!is_structured_panic("index out of bounds: the len is 4"));
+        assert!(!is_structured_panic("attempt to subtract with overflow"));
+    }
+}

@@ -5,12 +5,17 @@ use std::fmt;
 /// A runtime error during TFML execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VmError {
-    /// The heap is exhausted even after a collection.
+    /// The heap is exhausted even after a collection (and any growth the
+    /// bounded policy allowed).
     OutOfMemory {
         /// Words requested.
         requested: usize,
         /// Words live after the failed collection.
         live: usize,
+        /// The allocation site whose request failed (`CallSiteId.0`).
+        site: u32,
+        /// The collection strategy in effect.
+        strategy: &'static str,
     },
     /// No `case` arm (or refutable binding) matched.
     MatchFailure { function: String },
@@ -20,14 +25,30 @@ pub enum VmError {
     StepLimit { limit: u64 },
     /// The activation-record stack exceeded its configured size.
     StackOverflow { words: usize },
+    /// The post-collection heap verifier (or a pre-collection oracle
+    /// snapshot) found a heap-invariant violation.
+    VerificationFailed {
+        /// Which collection (0-based sequence number) exposed it.
+        collection: u64,
+        /// The collection strategy in effect.
+        strategy: &'static str,
+        /// The verifier's description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VmError::OutOfMemory { requested, live } => write!(
+            VmError::OutOfMemory {
+                requested,
+                live,
+                site,
+                strategy,
+            } => write!(
                 f,
-                "out of memory: {requested} words requested, {live} live after collection"
+                "out of memory: {requested} words requested at site {site}, {live} live \
+                 after collection ({strategy} strategy)"
             ),
             VmError::MatchFailure { function } => {
                 write!(f, "match failure in `{function}`")
@@ -39,6 +60,15 @@ impl fmt::Display for VmError {
             VmError::StackOverflow { words } => {
                 write!(f, "stack overflow at {words} words")
             }
+            VmError::VerificationFailed {
+                collection,
+                strategy,
+                detail,
+            } => write!(
+                f,
+                "heap verification failed after collection #{collection} \
+                 ({strategy} strategy): {detail}"
+            ),
         }
     }
 }
@@ -57,8 +87,19 @@ mod tests {
         let e = VmError::OutOfMemory {
             requested: 3,
             live: 100,
+            site: 12,
+            strategy: "compiled",
         };
         assert!(e.to_string().contains("out of memory"));
+        assert!(e.to_string().contains("site 12"));
+        assert!(e.to_string().contains("compiled"));
         assert!(VmError::StepLimit { limit: 7 }.to_string().contains('7'));
+        let v = VmError::VerificationFailed {
+            collection: 4,
+            strategy: "appel",
+            detail: "pointer 0x10 is not in from-space".to_string(),
+        };
+        assert!(v.to_string().contains("collection #4"));
+        assert!(v.to_string().contains("from-space"));
     }
 }

@@ -34,6 +34,10 @@ pub use error::{VmError, VmResult};
 pub use machine::{run_program, RunOutcome, StepEvent, Vm, VmConfig};
 pub use render::render_value;
 pub use stats::MutatorStats;
+/// Re-exported so VM embedders (scheduler, CLI, torture harness) can
+/// configure fault schedules and consume oracle snapshots without a
+/// direct tfgc-verify dependency.
+pub use tfgc_verify::{diff, is_structured_panic, CanonHeap, FaultPlan};
 
 #[cfg(test)]
 mod tests {

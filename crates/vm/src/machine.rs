@@ -23,6 +23,10 @@ use tfgc_ir::{ArithOp, CallSiteId, CmpOp, CtorRep, FnId, Instr, IrProgram, Slot}
 use tfgc_obs::{GcEvent, Obs};
 use tfgc_runtime::{ArithKind, Encoding, Heap, HeapStats, Word, HEAP_BASE};
 use tfgc_types::ParamId;
+use tfgc_verify::{
+    snapshot_tagfree, snapshot_tagged, verify_tagfree, verify_tagged, CanonHeap, FaultPlan,
+    RootsView, StackView,
+};
 
 /// VM configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +50,18 @@ pub struct VmConfig {
     /// GC-time metadata cache (memoized template evaluation). On by
     /// default; disable for the unmemoized differential baseline.
     pub rt_cache: bool,
+    /// Walk and check the whole reachable graph after every collection
+    /// (`tfml run --verify-heap`).
+    pub verify_heap: bool,
+    /// Deterministic fault schedule (`None` = no faults).
+    pub fault_plan: Option<FaultPlan>,
+    /// Bounded growth policy: grow each semispace up to this many words
+    /// when a collection cannot satisfy an allocation (`None` = fixed
+    /// heap, the historical behavior).
+    pub heap_max_words: Option<usize>,
+    /// Growth factor in percent (200 = double). Values ≤ 100 are treated
+    /// as the minimum useful step.
+    pub heap_growth_pct: u32,
 }
 
 impl VmConfig {
@@ -59,6 +75,10 @@ impl VmConfig {
             max_stack_words: 1 << 22,
             cooperative: false,
             rt_cache: true,
+            verify_heap: false,
+            fault_plan: None,
+            heap_max_words: None,
+            heap_growth_pct: 200,
         }
     }
 
@@ -77,6 +97,24 @@ impl VmConfig {
     /// Enables or disables the GC-time metadata cache.
     pub fn rt_cache(mut self, on: bool) -> VmConfig {
         self.rt_cache = on;
+        self
+    }
+
+    /// Enables the post-collection heap verifier.
+    pub fn verify_heap(mut self, on: bool) -> VmConfig {
+        self.verify_heap = on;
+        self
+    }
+
+    /// Installs a deterministic fault schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> VmConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Allows the heap to grow up to `words` per semispace.
+    pub fn heap_max_words(mut self, words: usize) -> VmConfig {
+        self.heap_max_words = Some(words);
         self
     }
 }
@@ -152,6 +190,19 @@ pub struct Vm<'p> {
     pub obs: Obs,
     cfg: VmConfig,
     allocs_since_force: u64,
+    /// Monotone allocation sequence number (fault-plan trigger key).
+    alloc_seq: u64,
+    /// Differential-oracle state, when snapshots are enabled.
+    oracle: Option<Box<OracleState>>,
+}
+
+/// Pre-collection snapshots for the tagged-oracle differential check.
+#[derive(Debug)]
+struct OracleState {
+    /// The tag-free strategy's metadata whose routine positions define
+    /// the root set. The tagged run walks the *same* slots by tags.
+    root_meta: GcMeta,
+    snapshots: Vec<CanonHeap>,
 }
 
 impl<'p> Vm<'p> {
@@ -173,6 +224,19 @@ impl<'p> Vm<'p> {
     /// across runs).
     pub fn with_meta(prog: &'p IrProgram, cfg: VmConfig, mut meta: GcMeta) -> Vm<'p> {
         meta.rt_cache.enabled = cfg.rt_cache;
+        // Truncated-stack-map fault: drop the function's frame
+        // type-parameter sources so the first collection through one of
+        // its polymorphic frames hits the fail-fast "type parameter N out
+        // of range" panic instead of silently mistracing.
+        if let Some(f) = cfg
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.truncate_frame_params_of)
+        {
+            if let Some(fm) = meta.fns.get_mut(f as usize) {
+                fm.frame_param_src.clear();
+            }
+        }
         let enc = Encoding::new(cfg.strategy.heap_mode());
         let heap = Heap::new(cfg.heap_words);
         let globals = vec![enc.int(0); prog.globals.len()];
@@ -191,9 +255,31 @@ impl<'p> Vm<'p> {
             obs: Obs::null(),
             cfg,
             allocs_since_force: 0,
+            alloc_seq: 0,
+            oracle: None,
         };
         vm.spawn_thread(prog.main, &[]);
         vm
+    }
+
+    /// Enables pre-collection canonical snapshots for the differential
+    /// oracle. `root_meta` must be the *tag-free* strategy's metadata
+    /// whose run this one is compared against (for a tag-free run, pass a
+    /// clone of its own metadata).
+    pub fn enable_snapshots(&mut self, root_meta: GcMeta) {
+        self.oracle = Some(Box::new(OracleState {
+            root_meta,
+            snapshots: Vec::new(),
+        }));
+    }
+
+    /// Takes the snapshots captured so far (empty if snapshots were never
+    /// enabled).
+    pub fn take_snapshots(&mut self) -> Vec<CanonHeap> {
+        self.oracle
+            .as_mut()
+            .map(|o| std::mem::take(&mut o.snapshots))
+            .unwrap_or_default()
     }
 
     /// Spawns a new thread whose bottom frame runs `f` with `args` already
@@ -255,6 +341,21 @@ impl<'p> Vm<'p> {
     /// Clears a thread's parked state (on resume).
     pub fn unpark_thread(&mut self, i: usize) {
         self.threads[i].parked_site = None;
+    }
+
+    /// Quarantines a failed thread: clears its stack so the collector
+    /// stops tracing it (its heap data dies at the next collection) and
+    /// drops its parked state. The scheduler uses this to let sibling
+    /// tasks run on after one task errors.
+    pub fn kill_thread(&mut self, i: usize) {
+        let t = &mut self.threads[i];
+        t.stack.clear();
+        t.parked_site = None;
+    }
+
+    /// The configured strategy's name (for error reporting).
+    pub fn strategy_name(&self) -> &'static str {
+        self.cfg.strategy.name()
     }
 
     fn frame_fill(&self) -> Word {
@@ -433,7 +534,7 @@ impl<'p> Vm<'p> {
             }
             Instr::MakeTuple { dst, elems, site } => {
                 let mut words: Vec<Word> = elems.iter().map(|s| self.get(*s)).collect();
-                match self.alloc_object(*site, None, &mut words)? {
+                match self.alloc_object(*site, None, &mut words, false)? {
                     Some(ptr) => self.set(*dst, ptr),
                     None => return Ok(StepEvent::AllocBlocked(*site)),
                 }
@@ -454,7 +555,7 @@ impl<'p> Vm<'p> {
                     }
                 };
                 let mut words: Vec<Word> = fields.iter().map(|s| self.get(*s)).collect();
-                match self.alloc_object(*site, tag_word, &mut words)? {
+                match self.alloc_object(*site, tag_word, &mut words, tag_word.is_some())? {
                     Some(ptr) => self.set(*dst, ptr),
                     None => return Ok(StepEvent::AllocBlocked(*site)),
                 }
@@ -467,7 +568,7 @@ impl<'p> Vm<'p> {
             } => {
                 let fn_word = self.encode_fn_id(*f);
                 let mut words: Vec<Word> = captures.iter().map(|s| self.get(*s)).collect();
-                match self.alloc_object(*site, Some(fn_word), &mut words)? {
+                match self.alloc_object(*site, Some(fn_word), &mut words, false)? {
                     Some(ptr) => self.set(*dst, ptr),
                     None => return Ok(StepEvent::AllocBlocked(*site)),
                 }
@@ -593,36 +694,61 @@ impl<'p> Vm<'p> {
     /// Allocates a heap object with optional head word (discriminant or
     /// closure code pointer) and the given payload. In cooperative mode an
     /// exhausted heap yields `Ok(None)` (the scheduler collects); otherwise
-    /// it collects inline. `operands` may be relocated by the collector.
+    /// it collects inline, growing under the bounded policy if configured.
+    /// `operands` may be relocated by the collector.
     fn alloc_object(
         &mut self,
         site: CallSiteId,
         head: Option<Word>,
         operands: &mut [Word],
+        head_is_discriminant: bool,
     ) -> VmResult<Option<Word>> {
         let payload = operands.len() + usize::from(head.is_some());
         let total = payload + self.enc.mode.header_words();
+        self.alloc_seq += 1;
+        let seq = self.alloc_seq;
 
         if !self.cfg.cooperative {
             if let Some(n) = self.cfg.force_gc_every {
                 self.allocs_since_force += 1;
                 if self.allocs_since_force >= n {
                     self.allocs_since_force = 0;
-                    self.collect_now(site, operands);
+                    self.collect_now(site, operands)?;
                 }
             }
         }
-        let addr = match self.heap.alloc(total) {
+        // Transient-failure fault: this allocation reports an exhausted
+        // heap once even though space remains, forcing the
+        // collect-and-retry path.
+        let forced_fail = self
+            .cfg
+            .fault_plan
+            .is_some_and(|p| p.alloc_fail_at == Some(seq));
+        if forced_fail {
+            self.obs.emit(|t_ns| GcEvent::FaultInjected {
+                t_ns,
+                kind: "alloc-fail",
+                seq,
+            });
+        }
+        let first = if forced_fail {
+            None
+        } else {
+            self.heap.alloc(total)
+        };
+        let addr = match first {
             Some(a) => a,
             None if self.cfg.cooperative => return Ok(None),
             None => {
-                self.collect_now(site, operands);
-                match self.heap.alloc(total) {
+                self.collect_now(site, operands)?;
+                match self.alloc_with_growth(site, operands, total)? {
                     Some(a) => a,
                     None => {
                         return Err(VmError::OutOfMemory {
                             requested: total,
                             live: self.heap.used(),
+                            site: site.0,
+                            strategy: self.cfg.strategy.name(),
                         })
                     }
                 }
@@ -640,6 +766,24 @@ impl<'p> Vm<'p> {
         for (i, w) in operands.iter().enumerate() {
             self.heap.write(addr, off + i as u16, *w);
         }
+        // Discriminant-corruption fault: overwrite the freshly written
+        // variant tag with a value matching no constructor. The next
+        // trace through this object must fail fast, never mistrace.
+        if head_is_discriminant
+            && self
+                .cfg
+                .fault_plan
+                .is_some_and(|p| p.corrupt_discriminant_at == Some(seq))
+        {
+            let tag_off = self.enc.mode.header_words() as u16;
+            let bogus = self.encode_tag(u32::MAX);
+            self.heap.write(addr, tag_off, bogus);
+            self.obs.emit(|t_ns| GcEvent::FaultInjected {
+                t_ns,
+                kind: "corrupt-discriminant",
+                seq,
+            });
+        }
         self.obs.emit(|t_ns| GcEvent::Alloc {
             t_ns,
             site: site.0,
@@ -649,8 +793,90 @@ impl<'p> Vm<'p> {
         Ok(Some(self.enc.ptr(addr)))
     }
 
-    /// Invokes the collector with every thread's stack as roots.
-    fn collect_now(&mut self, site: CallSiteId, operands: &mut [Word]) {
+    /// Retries a post-collection allocation under the bounded growth
+    /// policy: grow the to-space, collect again (the flip relocates into
+    /// the larger space — growth itself never moves an object), bring the
+    /// new to-space up to the same capacity, retry.
+    fn alloc_with_growth(
+        &mut self,
+        site: CallSiteId,
+        operands: &mut [Word],
+        total: usize,
+    ) -> VmResult<Option<tfgc_runtime::Addr>> {
+        if let Some(a) = self.heap.alloc(total) {
+            return Ok(Some(a));
+        }
+        while self.try_grow(total) {
+            self.collect_now(site, operands)?;
+            let cap = self.heap.capacity();
+            self.heap.reserve_to_space(cap);
+            if let Some(a) = self.heap.alloc(total) {
+                return Ok(Some(a));
+            }
+        }
+        Ok(None)
+    }
+
+    /// One step of the bounded growth policy. Refused when growth is not
+    /// configured, the hard cap is reached, or the exhaustion fault is
+    /// active.
+    fn try_grow(&mut self, needed: usize) -> bool {
+        let Some(max) = self.cfg.heap_max_words else {
+            return false;
+        };
+        let seq = self.alloc_seq;
+        if self
+            .cfg
+            .fault_plan
+            .is_some_and(|p| p.exhaust_at.is_some_and(|n| seq >= n))
+        {
+            self.obs.emit(|t_ns| GcEvent::FaultInjected {
+                t_ns,
+                kind: "exhaust",
+                seq,
+            });
+            return false;
+        }
+        let cur = self.heap.capacity();
+        if cur >= max {
+            return false;
+        }
+        let pct = u128::from(self.cfg.heap_growth_pct.max(101));
+        let mut target = ((cur as u128 * pct) / 100) as usize;
+        target = target.clamp(cur + 1, max);
+        let want = self.heap.used() + needed;
+        if target < want {
+            target = want.min(max);
+        }
+        if !self.heap.reserve_to_space(target) {
+            return false;
+        }
+        self.heap.stats.grows += 1;
+        self.obs.emit(|t_ns| GcEvent::HeapGrown {
+            t_ns,
+            from_words: cur as u64,
+            to_words: target as u64,
+        });
+        true
+    }
+
+    /// Invokes the collector with every thread's stack as roots; captures
+    /// an oracle snapshot first and verifies the heap afterwards when
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::VerificationFailed`] when a snapshot or post-collection
+    /// walk finds a heap-invariant violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (structured: "collection while task …") if another live
+    /// task is not parked at a call site — a scheduler invariant
+    /// violation, not a recoverable error.
+    fn collect_now(&mut self, site: CallSiteId, operands: &mut [Word]) -> VmResult<()> {
+        self.capture_snapshot(site, operands)?;
+        let prog = self.prog;
         let cur = self.cur;
         let mut stacks = Vec::new();
         let mut operand_stack = 0;
@@ -661,8 +887,17 @@ impl<'p> Vm<'p> {
             let current_site = if i == cur {
                 site
             } else {
-                t.parked_site
-                    .expect("all other tasks are parked at call sites during collection")
+                match t.parked_site {
+                    Some(s) => s,
+                    None => panic!(
+                        "collection while task {i} (fn {} `{}`, pc {}) is not parked at a \
+                         call site — scheduler invariant violated (trigger site {})",
+                        t.fn_id.0,
+                        prog.fun(t.fn_id).name,
+                        t.pc,
+                        site.0
+                    ),
+                }
             };
             if i == cur {
                 operand_stack = stacks.len();
@@ -687,12 +922,107 @@ impl<'p> Vm<'p> {
                 operand_stack,
             },
         );
+        self.verify_now(site, operands)
+    }
+
+    /// Oracle hook: renders everything reachable from the collector's
+    /// roots as a canonical snapshot *before* the collection mutates
+    /// anything.
+    fn capture_snapshot(&mut self, site: CallSiteId, operands: &[Word]) -> VmResult<()> {
+        if self.oracle.is_none() {
+            return Ok(());
+        }
+        let roots = build_roots_view(&self.threads, &self.globals, operands, self.cur, site);
+        let snap = if self.cfg.strategy == Strategy::Tagged {
+            let o = self.oracle.as_ref().expect("oracle checked above");
+            snapshot_tagged(&o.root_meta, self.prog, &self.heap, &roots)
+        } else {
+            snapshot_tagfree(&mut self.meta, self.prog, &self.heap, &self.descs, &roots)
+        };
+        match snap {
+            Ok(s) => {
+                self.oracle
+                    .as_mut()
+                    .expect("oracle checked above")
+                    .snapshots
+                    .push(s);
+                Ok(())
+            }
+            Err(e) => Err(VmError::VerificationFailed {
+                collection: self.gc_stats.collections,
+                strategy: self.cfg.strategy.name(),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    /// Post-collection verifier: walks the surviving reachable graph from
+    /// the same roots the collector used, checking every heap invariant.
+    fn verify_now(&mut self, site: CallSiteId, operands: &[Word]) -> VmResult<()> {
+        if !self.cfg.verify_heap {
+            return Ok(());
+        }
+        let seq = self.gc_stats.collections.saturating_sub(1);
+        let roots = build_roots_view(&self.threads, &self.globals, operands, self.cur, site);
+        let res = if self.cfg.strategy == Strategy::Tagged {
+            verify_tagged(self.prog, &self.heap, &roots)
+        } else {
+            verify_tagfree(&mut self.meta, self.prog, &self.heap, &self.descs, &roots)
+        };
+        let strategy = self.cfg.strategy.name();
+        match res {
+            Ok(r) => {
+                self.obs.emit(|t_ns| GcEvent::VerificationEnd {
+                    t_ns,
+                    seq,
+                    strategy,
+                    objects: r.objects,
+                    words: r.words,
+                    ok: true,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                self.obs.emit(|t_ns| GcEvent::VerificationEnd {
+                    t_ns,
+                    seq,
+                    strategy,
+                    objects: 0,
+                    words: 0,
+                    ok: false,
+                });
+                Err(VmError::VerificationFailed {
+                    collection: seq,
+                    strategy,
+                    detail: e.to_string(),
+                })
+            }
+        }
     }
 
     /// Runs a collection with the current thread suspended at `site`
     /// (tasking: all tasks parked).
-    pub fn collect_parked(&mut self, site: CallSiteId) {
-        self.collect_now(site, &mut []);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::VerificationFailed`] from the verifier or
+    /// oracle, when enabled.
+    pub fn collect_parked(&mut self, site: CallSiteId) -> VmResult<()> {
+        self.collect_now(site, &mut [])
+    }
+
+    /// Tasking: one growth step with every task parked — grow the
+    /// to-space, collect into it, then level the new to-space. Returns
+    /// `Ok(false)` when the growth policy refuses (no cap configured, cap
+    /// reached, or exhaustion fault active).
+    pub fn grow_parked(&mut self, site: CallSiteId) -> VmResult<bool> {
+        if !self.try_grow(0) {
+            return Ok(false);
+        }
+        self.collect_now(site, &mut [])?;
+        let cap = self.heap.capacity();
+        self.heap.reserve_to_space(cap);
+        Ok(true)
     }
 
     // ---- encoding helpers ----------------------------------------------
@@ -805,5 +1135,49 @@ fn decode_desc_word(enc: Encoding, w: Word) -> u32 {
     match enc.mode {
         tfgc_runtime::HeapMode::TagFree => w as u32,
         tfgc_runtime::HeapMode::Tagged => enc.int_of(w) as u32,
+    }
+}
+
+/// Builds the verifier's read-only view of the collector's roots — the
+/// same thread filtering and operand attribution as `collect_now`.
+fn build_roots_view<'t>(
+    threads: &'t [ThreadState],
+    globals: &'t [Word],
+    operands: &'t [Word],
+    cur: usize,
+    site: CallSiteId,
+) -> RootsView<'t> {
+    let mut stacks = Vec::new();
+    let mut operand_stack = 0;
+    for (i, t) in threads.iter().enumerate() {
+        if t.result.is_some() || t.stack.is_empty() {
+            continue;
+        }
+        let current_site = if i == cur {
+            site
+        } else {
+            match t.parked_site {
+                Some(s) => s,
+                None => panic!(
+                    "collection while task {i} is not parked at a call site — scheduler \
+                     invariant violated (trigger site {})",
+                    site.0
+                ),
+            }
+        };
+        if i == cur {
+            operand_stack = stacks.len();
+        }
+        stacks.push(StackView {
+            stack: &t.stack,
+            top_fp: t.fp,
+            current_site,
+        });
+    }
+    RootsView {
+        stacks,
+        globals,
+        operands,
+        operand_stack,
     }
 }

@@ -88,7 +88,7 @@ fn cooperative_alloc_block_reexecutes_cleanly() {
             StepEvent::AllocBlocked(site) => {
                 blocks += 1;
                 assert!(blocks < 10_000, "must make progress");
-                vm.collect_parked(site);
+                vm.collect_parked(site).unwrap();
             }
             StepEvent::Continue => {}
         }
