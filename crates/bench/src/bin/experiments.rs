@@ -1,14 +1,16 @@
-//! Prints every experiment table (E1–E8), or with `--json` writes the
+//! Prints every experiment table (E1–E10), or with `--json` writes the
 //! machine-readable documents instead:
 //!
 //! ```sh
 //! cargo run --release -p tfgc-bench --bin experiments
-//! cargo run --release -p tfgc-bench --bin experiments -- --json [--out DIR]
+//! cargo run --release -p tfgc-bench --bin experiments -- --json [--out DIR] [--deterministic]
 //! ```
 //!
-//! `--json` writes `BENCH_E1.json` … `BENCH_E8.json` (per-strategy pause
+//! `--json` writes `BENCH_E1.json` … `BENCH_E10.json` (per-strategy pause
 //! histograms, labeled per-site allocation counts, experiment extras)
-//! into `--out DIR` (default: the current directory).
+//! into `--out DIR` (default: the current directory). With
+//! `--deterministic`, wall-clock subtrees (pause histograms, timing
+//! blocks) are stripped so consecutive runs diff byte-for-byte.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -20,21 +22,26 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut dir = ".".to_string();
+    let mut deterministic = false;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--out" {
-            i += 1;
-            match args.get(i) {
-                Some(d) => dir.clone_from(d),
-                None => {
-                    eprintln!("experiments: --out needs a directory");
-                    return ExitCode::FAILURE;
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => dir.clone_from(d),
+                    None => {
+                        eprintln!("experiments: --out needs a directory");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
+            "--deterministic" => deterministic = true,
+            _ => {}
         }
         i += 1;
     }
-    match tfgc_bench::export::write_all(Path::new(&dir)) {
+    match tfgc_bench::export::write_all_with(Path::new(&dir), deterministic) {
         Ok(paths) => {
             for p in paths {
                 println!("wrote {}", p.display());

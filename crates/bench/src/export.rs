@@ -20,7 +20,7 @@ use tfgc::{Compiled, Strategy, VmConfig};
 const RING: usize = 1 << 14;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 9] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"];
+pub const EXPERIMENTS: [&str; 10] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"];
 
 fn profile_one(c: &Compiled, s: Strategy, heap: usize, force: Option<u64>) -> Json {
     let mut cfg = VmConfig::new(s).heap_words(heap);
@@ -340,6 +340,70 @@ fn e9_json() -> Json {
     )
 }
 
+fn e10_json() -> Json {
+    // Outcome classes of the fault-injection matrix are pure functions
+    // of (seed, strategy, workload): this whole document is
+    // deterministic, down to the serve-mode completed/failed counts.
+    let seeds: Vec<u64> = (0..6).collect();
+    let report = tfgc::torture(&seeds);
+    let serve_cases = tfgc::torture_serve(&seeds[..3]);
+    let profiles = Json::Arr(
+        Strategy::ALL
+            .iter()
+            .map(|s| {
+                let mine: Vec<_> = report.cases.iter().filter(|c| c.strategy == *s).collect();
+                let count = |class: &str| {
+                    Json::from(mine.iter().filter(|c| c.outcome.class() == class).count())
+                };
+                let serve: Vec<_> = serve_cases.iter().filter(|c| c.strategy == *s).collect();
+                let mut pairs = vec![
+                    ("strategy", Json::str(s.name())),
+                    ("cases", Json::from(mine.len())),
+                    ("completed", count("completed")),
+                    ("structured_errors", count("error")),
+                    ("fail_fast", count("fail-fast")),
+                    ("raw_panics", count("RAW PANIC")),
+                ];
+                if !serve.is_empty() {
+                    pairs.push((
+                        "serve",
+                        Json::obj([
+                            ("cases", Json::from(serve.len())),
+                            (
+                                "requests_completed",
+                                Json::from(serve.iter().map(|c| c.completed).sum::<u64>()),
+                            ),
+                            (
+                                "requests_quarantined",
+                                Json::from(serve.iter().map(|c| c.failed).sum::<u64>()),
+                            ),
+                            (
+                                "violations",
+                                Json::from(serve.iter().map(|c| c.violations.len()).sum::<usize>()),
+                            ),
+                        ]),
+                    ));
+                }
+                Json::obj(pairs)
+            })
+            .collect(),
+    );
+    doc(
+        "E10",
+        "graceful degradation: fault-injection matrix + serve-mode torture",
+        "seeded faults over the torture workloads and the request server",
+        profiles,
+        vec![
+            ("seeds".to_string(), Json::from(seeds.len())),
+            ("total_cases".to_string(), Json::from(report.cases.len())),
+            (
+                "raw_panics".to_string(),
+                Json::from(report.raw_panics().len()),
+            ),
+        ],
+    )
+}
+
 /// The JSON document of one experiment.
 ///
 /// # Panics
@@ -357,22 +421,68 @@ pub fn bench_json(id: &str) -> Json {
         "E7" => e7_json(),
         "E8" => e8_json(),
         "E9" => e9_json(),
+        "E10" => e10_json(),
         other => panic!("unknown experiment `{other}`"),
     }
 }
 
-/// Writes `BENCH_E1.json` … `BENCH_E9.json` into `dir`, returning the
+/// Keys whose values are wall-clock measurements: everything else in an
+/// experiment document is a pure function of the workload and seed.
+const WALL_CLOCK_KEYS: [&str; 7] = [
+    "pause_ns",
+    "pause_ns_total",
+    "latency_ns",
+    "t_ns",
+    "timing",
+    "utilization",
+    "windows",
+];
+
+/// The deterministic projection of an experiment document: wall-clock
+/// subtrees removed, everything else untouched. Two runs of the same
+/// experiment produce byte-identical projections, so CI can diff them.
+pub fn deterministic_view(j: &Json) -> Json {
+    match j {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| !WALL_CLOCK_KEYS.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), deterministic_view(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(deterministic_view).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Writes `BENCH_E1.json` … `BENCH_E10.json` into `dir`, returning the
 /// paths written.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn write_all(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    write_all_with(dir, false)
+}
+
+/// [`write_all`], optionally writing the [`deterministic_view`] of each
+/// document so consecutive runs diff byte-for-byte.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_all_with(dir: &Path, deterministic: bool) -> io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::new();
     for id in EXPERIMENTS {
         let path = dir.join(format!("BENCH_{id}.json"));
-        std::fs::write(&path, bench_json(id).to_json_pretty())?;
+        let doc = bench_json(id);
+        let doc = if deterministic {
+            deterministic_view(&doc)
+        } else {
+            doc
+        };
+        std::fs::write(&path, doc.to_json_pretty())?;
         paths.push(path);
     }
     Ok(paths)
@@ -403,5 +513,43 @@ mod tests {
         // Forced collections mean real pauses were histogrammed.
         let pause0 = profiles[0].get("metrics").unwrap().get("pause_ns").unwrap();
         assert!(pause0.get("count").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_view_diffs_clean_across_runs() {
+        let a = deterministic_view(&bench_json("E1"));
+        let b = deterministic_view(&bench_json("E1"));
+        assert_eq!(
+            a.to_json_pretty(),
+            b.to_json_pretty(),
+            "projection must be byte-identical across runs"
+        );
+        // The projection actually removed the wall-clock subtrees…
+        let text = a.to_json_pretty();
+        assert!(!text.contains("\"pause_ns\""));
+        // …and kept the deterministic ones.
+        assert!(text.contains("\"words_allocated\""));
+        assert!(text.contains("\"alloc_words\"") || text.contains("\"collections\""));
+    }
+
+    #[test]
+    fn e10_reports_a_clean_fault_matrix() {
+        let d = bench_json("E10");
+        assert_eq!(d.get("raw_panics").and_then(Json::as_f64), Some(0.0));
+        let profiles = d.get("profiles").unwrap().as_arr().unwrap();
+        assert_eq!(profiles.len(), Strategy::ALL.len());
+        for p in profiles {
+            let cases = p.get("cases").and_then(Json::as_f64).unwrap();
+            let completed = p.get("completed").and_then(Json::as_f64).unwrap();
+            assert!(cases > 0.0);
+            assert!(completed > 0.0, "some cases must absorb their fault");
+            assert_eq!(p.get("raw_panics").and_then(Json::as_f64), Some(0.0));
+        }
+        // The serve block rides on the two serve-torture strategies.
+        let with_serve = profiles.iter().filter(|p| p.get("serve").is_some()).count();
+        assert_eq!(with_serve, 2);
+        // Deterministic end to end: E10 carries no wall-clock keys at all.
+        let a = bench_json("E10").to_json_pretty();
+        assert_eq!(a, d.to_json_pretty());
     }
 }

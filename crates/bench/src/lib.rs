@@ -425,6 +425,27 @@ pub fn e9_deep_recursion() -> String {
     )
 }
 
+/// E10 — steady-state service telemetry: the request server drained
+/// under every strategy, with collection pressure, latency quantiles,
+/// and mutator utilization side by side (`tfml serve` is the
+/// interactive form; `BENCH_E10.json` exports the fault-matrix
+/// summary).
+pub fn e10_serve() -> String {
+    let mut runs = Vec::new();
+    for s in Strategy::ALL {
+        let mut cfg = tfgc::ServeConfig::new(s);
+        cfg.requests = 200;
+        runs.push(tfgc::serve(&cfg).expect("service runs"));
+    }
+    format!(
+        "E10 — request service under steady traffic (seed {}, {} requests, pool {})\n{}",
+        runs[0].config.seed,
+        runs[0].config.requests,
+        runs[0].config.pool,
+        tfgc::serve_table(&runs).render()
+    )
+}
+
 /// Every experiment, concatenated.
 pub fn all_experiments() -> String {
     [
@@ -438,6 +459,7 @@ pub fn all_experiments() -> String {
         e7_tasking(),
         e8_append(),
         e9_deep_recursion(),
+        e10_serve(),
     ]
     .join("\n")
 }

@@ -7,8 +7,14 @@
 //! tfml gcmap [OPTS] <file | -e SRC>        show per-site gc_words/routines
 //! tfml analyze <file | -e SRC>             liveness / GC points / RTTI report
 //! tfml compare [OPTS] <file | -e SRC>      run under all five strategies
-//! tfml torture [--seeds N] [--oracle]      fault-injection matrix over
+//! tfml serve [SERVE OPTS]                  drive a seeded request mix against
+//!                                          a persistent heap; steady-state
+//!                                          telemetry + SLO gate
+//! tfml torture [--seeds N] [--oracle] [--serve]
+//!                                          fault-injection matrix over
 //!                                          seeded workloads × strategies
+//!                                          (--serve: mid-traffic faults
+//!                                          against the request server)
 //!
 //! OPTS:
 //!   --strategy S     compiled | compiled-nolive | interpreted | appel | tagged
@@ -23,6 +29,21 @@
 //!   --trace FILE     write a Chrome-trace-event JSONL file (run/profile)
 //!   --metrics FILE   write a JSON metrics document (run/profile)
 //!   --events N       raw events retained for --trace (default 65536)
+//!
+//! SERVE OPTS:
+//!   --strategy S|all          strategies to serve under (default all)
+//!   --requests N              requests to drain (default 400)
+//!   --pool N                  concurrent pool slots (default 4)
+//!   --seed N                  traffic-mix seed (default 1)
+//!   --heap N                  semispace words (default 2048)
+//!   --heap-max N              growth ceiling in words (default 65536)
+//!   --quantum N               instructions per scheduling quantum
+//!   --window-ms N             steady-state metrics window (default 10)
+//!   --sample-every N          occupancy sample period in quanta (default 32)
+//!   --json FILE               write the BENCH_SERVE.json document
+//!   --trace FILE              write a Chrome trace (single strategy only)
+//!   --slo-p99-latency-ms F    gate: p99 request latency ceiling
+//!   --slo-p99-pause-ms F      gate: p99 GC pause ceiling
 //! ```
 
 use std::process::ExitCode;
@@ -158,12 +179,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "tfml run|profile|disasm|gcmap|analyze|compare [--strategy S] [--heap N] \
              [--force-gc N] [--refined] [--stats] [--verify-heap] [--verify-oracle] \
              [--trace FILE] [--metrics FILE] [--events N] <file | -e SRC>\n\
-             tfml torture [--seeds N] [--oracle]"
+             tfml serve [--strategy S|all] [--requests N] [--pool N] [--seed N] [--heap N] \
+             [--heap-max N] [--quantum N] [--window-ms N] [--sample-every N] [--json FILE] \
+             [--trace FILE] [--slo-p99-latency-ms F] [--slo-p99-pause-ms F]\n\
+             tfml torture [--seeds N] [--oracle] [--serve]"
         );
         return Ok(());
     }
     if cmd == "torture" {
         return cmd_torture(rest);
+    }
+    if cmd == "serve" {
+        return cmd_serve(rest);
     }
     let opts = parse_opts(rest)?;
     let compiled = Compiled::compile(&opts.source).map_err(|e| e.to_string())?;
@@ -366,11 +393,139 @@ fn cmd_analyze(compiled: &Compiled) -> Result<(), String> {
     Ok(())
 }
 
+/// `tfml serve`: drains a seeded traffic mix through the request engine
+/// per strategy and reports steady-state telemetry, optionally gated on
+/// service-level objectives.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut strategies: Vec<Strategy> = Strategy::ALL.to_vec();
+    let mut base = tfgc::ServeConfig::new(Strategy::Compiled);
+    let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut slo_latency_ms: Option<f64> = None;
+    let mut slo_pause_ms: Option<f64> = None;
+    fn num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        args.get(i)
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("bad {flag}: {e}"))
+    }
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strategy" => {
+                i += 1;
+                let v = args.get(i).ok_or("--strategy needs a value")?;
+                strategies = if v == "all" {
+                    Strategy::ALL.to_vec()
+                } else {
+                    vec![parse_strategy(v)?]
+                };
+            }
+            "--requests" => {
+                i += 1;
+                base.requests = num(args, i, "--requests")?;
+            }
+            "--pool" => {
+                i += 1;
+                base.pool = num(args, i, "--pool")?;
+            }
+            "--seed" => {
+                i += 1;
+                base.seed = num(args, i, "--seed")?;
+            }
+            "--heap" => {
+                i += 1;
+                base.heap_words = num(args, i, "--heap")?;
+            }
+            "--heap-max" => {
+                i += 1;
+                base.heap_max_words = Some(num(args, i, "--heap-max")?);
+            }
+            "--quantum" => {
+                i += 1;
+                base.quantum = num(args, i, "--quantum")?;
+            }
+            "--window-ms" => {
+                i += 1;
+                base.window_ms = num(args, i, "--window-ms")?;
+            }
+            "--sample-every" => {
+                i += 1;
+                base.sample_every = num(args, i, "--sample-every")?;
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).ok_or("--json needs a file path")?.clone());
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).ok_or("--trace needs a file path")?.clone());
+            }
+            "--slo-p99-latency-ms" => {
+                i += 1;
+                slo_latency_ms = Some(num(args, i, "--slo-p99-latency-ms")?);
+            }
+            "--slo-p99-pause-ms" => {
+                i += 1;
+                slo_pause_ms = Some(num(args, i, "--slo-p99-pause-ms")?);
+            }
+            other => return Err(format!("serve: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if trace_path.is_some() && strategies.len() != 1 {
+        return Err("serve: --trace needs a single --strategy (one trace per run)".into());
+    }
+    if base.pool == 0 {
+        return Err("serve: --pool must be at least 1".into());
+    }
+
+    let mut runs = Vec::new();
+    for s in &strategies {
+        let mut cfg = base.clone();
+        cfg.strategy = *s;
+        runs.push(tfgc::serve(&cfg)?);
+    }
+    println!("{}", tfgc::serve_table(&runs).render());
+
+    if let Some(path) = &json_path {
+        let doc = tfgc::serve_doc(base.seed, base.requests, base.pool, &runs);
+        std::fs::write(path, doc.to_json_pretty())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = &trace_path {
+        let events: Vec<GcEvent> = runs[0].rec.ring().events().iter().cloned().collect();
+        std::fs::write(path, write_chrome_trace(&events))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+
+    if slo_latency_ms.is_some() || slo_pause_ms.is_some() {
+        let to_ns =
+            |ms: Option<f64>| ms.map_or(u64::MAX, |v| (v * 1_000_000.0).max(0.0).round() as u64);
+        let slo = tfgc::Slo {
+            max_p99_latency_ns: to_ns(slo_latency_ms),
+            max_p99_pause_ns: to_ns(slo_pause_ms),
+        };
+        let violations: Vec<String> = runs.iter().flat_map(|r| tfgc::check_slo(r, slo)).collect();
+        if violations.is_empty() {
+            eprintln!("SLO: pass ({} strategies)", runs.len());
+        } else {
+            return Err(format!("SLO violations:\n  {}", violations.join("\n  ")));
+        }
+    }
+    Ok(())
+}
+
 /// `tfml torture`: the fault-injection matrix, plus (with `--oracle`) a
-/// tagged-replay differential sweep over the benchmark suite.
+/// tagged-replay differential sweep over the benchmark suite and (with
+/// `--serve`) mid-traffic fault injection against the request server.
 fn cmd_torture(args: &[String]) -> Result<(), String> {
     let mut n_seeds = 8u64;
     let mut oracle = false;
+    let mut serve_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -383,11 +538,39 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad --seeds: {e}"))?;
             }
             "--oracle" => oracle = true,
+            "--serve" => serve_mode = true,
             other => return Err(format!("torture: unknown option `{other}`")),
         }
         i += 1;
     }
     let seeds: Vec<u64> = (0..n_seeds).collect();
+    if serve_mode {
+        let cases = tfgc::torture_serve(&seeds);
+        let mut bad = 0;
+        for c in &cases {
+            let status = if c.violations.is_empty() {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "serve {status}: {} seed {} ({}) completed {} failed {}",
+                c.strategy,
+                c.seed,
+                c.plan.describe(),
+                c.completed,
+                c.failed
+            );
+            for v in &c.violations {
+                println!("  violation: {v}");
+                bad += 1;
+            }
+        }
+        if bad > 0 {
+            return Err(format!("{bad} serve-torture violation(s)"));
+        }
+        return Ok(());
+    }
     let report = tfgc::torture(&seeds);
     println!("{}", report.summary());
     for case in report.raw_panics() {

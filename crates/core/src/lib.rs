@@ -28,11 +28,16 @@
 pub mod pipeline;
 pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod torture;
 
 pub use pipeline::{compile_and_run, CompileError, Compiled};
 pub use profile::{metrics_json, profile_report, site_label};
 pub use report::{ratio, Table};
+pub use serve::{
+    bench_serve_json, check_slo, serve, serve_doc, serve_json, serve_table, torture_serve,
+    MixEntry, ServeConfig, ServeRun, ServeTortureCase, Slo, SERVICE_SRC,
+};
 pub use torture::{
     oracle_check, torture, OracleReport, TortureCase, TortureOutcome, TortureReport,
 };

@@ -1,0 +1,663 @@
+//! `tfml serve` — a request-server harness over the cooperative task
+//! pool.
+//!
+//! The paper's experiments are batch runs: one program, one heap, one
+//! exit. A server is the opposite regime — a persistent heap serving an
+//! open-ended stream of small computations — and it is the regime where
+//! pause behavior (E6) and suspension latency (E7) actually bite. This
+//! module drives a deterministic, seeded traffic mix of handler
+//! invocations through [`tfgc_tasking::serve_requests`] against one
+//! shared heap per strategy and reports steady-state telemetry:
+//!
+//! * per-request latency and GC pause histograms (log₂ buckets),
+//! * windowed rates (allocations, collections, completions per window),
+//! * a heap-occupancy timeline sampled at deterministic scheduler
+//!   points, and
+//! * minimum-mutator-utilization figures derived from pause intervals.
+//!
+//! Everything wall-clock lives under the `"timing"` key of the exported
+//! JSON; everything under `"deterministic"` is a pure function of
+//! `(seed, requests, pool, strategy)` and is diffed byte-for-byte in CI.
+//! [`check_slo`] is the gate: p99 request latency and p99 pause under
+//! fixed thresholds, zero failed requests.
+
+use crate::pipeline::Compiled;
+use crate::report::Table;
+use tfgc_gc::Strategy;
+use tfgc_obs::{Json, Obs, ServeRecorder};
+use tfgc_tasking::{find_fn, serve_requests, Request, ServeReport, SuspendPolicy, TaskConfig};
+use tfgc_vm::FaultPlan;
+use tfgc_workloads::SmallRng;
+
+/// The service program: a persistent global table (the shared heap
+/// state every request sees) plus one handler per traffic class. Each
+/// handler takes exactly one int argument — the request engine's
+/// calling convention.
+pub const SERVICE_SRC: &str = "
+    datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree ;
+    fun build n = if n = 0 then [] else n :: build (n - 1) ;
+    fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+    fun map f xs = case xs of [] => [] | x :: r => f x :: map f r ;
+    fun insert t x = case t of
+        Leaf => Node (Leaf, x, Leaf)
+      | Node (l, v, r) => if x < v then Node (insert l x, v, r)
+                          else Node (l, v, insert r x) ;
+    fun tbuild lo hi t = if lo > hi then t else tbuild (lo + 1) hi (insert t ((lo * 37) mod hi)) ;
+    fun tsize t = case t of Leaf => 0 | Node (l, _, r) => 1 + tsize l + tsize r ;
+    fun spin n = if n = 0 then 0 else (let val x = n * n in spin (n - 1) end) ;
+    val table = build 48 ;
+    fun req_churn n = sum (build n) ;
+    fun req_scan n = sum table + n ;
+    fun req_tree n = tsize (tbuild 1 n Leaf) ;
+    fun req_close n = sum (map (fn x => x * 2) (build n)) ;
+    fun req_spin n = (spin (n * 4); n) ;
+    fun req_hog n = sum (build (n * 32)) ;
+    0";
+
+/// One traffic class in the service mix.
+#[derive(Debug, Clone, Copy)]
+pub struct MixEntry {
+    /// Class name (JSON key in the exported mix counts).
+    pub name: &'static str,
+    /// Handler function in [`SERVICE_SRC`].
+    pub entry: &'static str,
+    /// Relative weight in the seeded draw.
+    pub weight: u64,
+    /// Argument range `[lo, hi)` drawn per request.
+    pub lo: i64,
+    pub hi: i64,
+}
+
+/// The default traffic mix: allocation churn dominates, with steady
+/// shared-table scans, tree builds, closure pipelines, and a
+/// low-allocation compute class that stresses suspension latency.
+pub const MIX: [MixEntry; 5] = [
+    MixEntry {
+        name: "churn",
+        entry: "req_churn",
+        weight: 4,
+        lo: 8,
+        hi: 40,
+    },
+    MixEntry {
+        name: "scan",
+        entry: "req_scan",
+        weight: 3,
+        lo: 1,
+        hi: 100,
+    },
+    MixEntry {
+        name: "tree",
+        entry: "req_tree",
+        weight: 2,
+        lo: 4,
+        hi: 16,
+    },
+    MixEntry {
+        name: "close",
+        entry: "req_close",
+        weight: 2,
+        lo: 4,
+        hi: 24,
+    },
+    MixEntry {
+        name: "spin",
+        entry: "req_spin",
+        weight: 1,
+        lo: 16,
+        hi: 64,
+    },
+];
+
+/// Service-run configuration (`tfml serve` flags map 1:1 onto this).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub strategy: Strategy,
+    /// Total requests to drain.
+    pub requests: usize,
+    /// Concurrent pool slots.
+    pub pool: usize,
+    /// Traffic-mix seed (same seed → same request sequence).
+    pub seed: u64,
+    pub heap_words: usize,
+    pub heap_max_words: Option<usize>,
+    pub quantum: u64,
+    /// Steady-state metrics window, in milliseconds of wall clock.
+    pub window_ms: u64,
+    /// Raw-event ring capacity.
+    pub ring: usize,
+    /// Heap-occupancy sample period, in scheduling quanta (0 = off).
+    pub sample_every: u64,
+    /// Fault schedule for torture runs.
+    pub fault_plan: Option<FaultPlan>,
+    /// Replace every `hog_every`-th request with a `req_hog` whose live
+    /// set dwarfs a torture-sized heap (0 = no hogs). Hogs report as
+    /// kind [`MIX`]`.len()` ("hog" in the exported mix counts).
+    pub hog_every: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: 400 requests over 4 slots, seed 1, 2Ki-word semispaces
+    /// growable to 64Ki words (tight enough that steady-state traffic
+    /// collects repeatedly — a server that never collects measures
+    /// nothing), every-call suspension, 10 ms windows, occupancy sampled
+    /// every 32 quanta.
+    pub fn new(strategy: Strategy) -> ServeConfig {
+        ServeConfig {
+            strategy,
+            requests: 400,
+            pool: 4,
+            seed: 1,
+            heap_words: 1 << 11,
+            heap_max_words: Some(1 << 16),
+            quantum: 64,
+            window_ms: 10,
+            ring: 1 << 14,
+            sample_every: 32,
+            fault_plan: None,
+            hog_every: 0,
+        }
+    }
+}
+
+/// Draws `n` requests from `mix` with the seeded generator: class by
+/// weight, argument uniform in the class range. `kind` is the mix
+/// index. Pure function of `(seed, n, mix)`.
+pub fn build_traffic(
+    prog: &tfgc_ir::IrProgram,
+    seed: u64,
+    n: usize,
+    mix: &[MixEntry],
+) -> Vec<Request> {
+    let entries: Vec<_> = mix
+        .iter()
+        .map(|m| find_fn(prog, m.entry).unwrap_or_else(|| panic!("no handler {}", m.entry)))
+        .collect();
+    let total: u64 = mix.iter().map(|m| m.weight).sum();
+    assert!(total > 0, "traffic mix needs at least one positive weight");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut draw = rng.gen_range(0, total as i64) as u64;
+            let mut k = 0;
+            while draw >= mix[k].weight {
+                draw -= mix[k].weight;
+                k += 1;
+            }
+            Request {
+                entry: entries[k],
+                arg: rng.gen_range(mix[k].lo, mix[k].hi),
+                kind: k as u32,
+            }
+        })
+        .collect()
+}
+
+/// One completed service run: the engine's report plus the serve-mode
+/// recorder and the per-class request counts of the generated traffic.
+#[derive(Debug)]
+pub struct ServeRun {
+    pub config: ServeConfig,
+    pub report: ServeReport,
+    pub rec: ServeRecorder,
+    /// Requests drawn per mix class (index = kind).
+    pub mix_counts: Vec<u64>,
+}
+
+/// Compiles [`SERVICE_SRC`], draws the seeded traffic, and drains it
+/// through the request engine with a [`ServeRecorder`] attached.
+///
+/// # Errors
+///
+/// Compile errors and whole-machine VM errors render as strings.
+pub fn serve(cfg: &ServeConfig) -> Result<ServeRun, String> {
+    let c = Compiled::compile(SERVICE_SRC).map_err(|e| format!("service program: {e}"))?;
+    let mut traffic = build_traffic(&c.program, cfg.seed, cfg.requests, &MIX);
+    if cfg.hog_every > 0 {
+        let hog = find_fn(&c.program, "req_hog").expect("service program has req_hog");
+        for (i, r) in traffic.iter_mut().enumerate() {
+            if (i + 1) % cfg.hog_every == 0 {
+                *r = Request {
+                    entry: hog,
+                    // ~64-96 * 32 live cons cells: far past a
+                    // torture-sized heap ceiling, deterministic per
+                    // (seed, position).
+                    arg: 64 + ((cfg.seed + i as u64) % 32) as i64,
+                    kind: MIX.len() as u32,
+                };
+            }
+        }
+    }
+    let mut mix_counts = vec![0u64; MIX.len() + 1];
+    for r in &traffic {
+        mix_counts[r.kind as usize] += 1;
+    }
+    let mut tc = TaskConfig::new(cfg.strategy);
+    tc.heap_words = cfg.heap_words;
+    tc.heap_max_words = cfg.heap_max_words;
+    tc.policy = SuspendPolicy::EveryCall;
+    tc.quantum = cfg.quantum;
+    tc.fault_plan = cfg.fault_plan;
+    let obs = Obs::serve(cfg.ring, cfg.window_ms.max(1) * 1_000_000);
+    let (report, obs) = serve_requests(&c.program, &traffic, cfg.pool, cfg.sample_every, tc, obs)
+        .map_err(|e| format!("{} serve: {e}", cfg.strategy))?;
+    let rec = obs.into_serve_recorder().expect("serve sink attached");
+    Ok(ServeRun {
+        config: cfg.clone(),
+        report,
+        rec,
+        mix_counts,
+    })
+}
+
+/// FNV-1a over the rendered outcomes (kind, result, error text): one
+/// order-sensitive digest standing for the full response stream.
+fn results_digest(report: &ServeReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for o in &report.outcomes {
+        eat(&o.kind.to_le_bytes());
+        eat(o.result.as_bytes());
+        eat(&[0]);
+    }
+    h
+}
+
+/// Per-strategy JSON: a `"deterministic"` block (a pure function of
+/// seed and config; CI diffs it byte-for-byte) and a `"timing"` block
+/// (wall-clock histograms, windows, utilization).
+pub fn serve_json(run: &ServeRun) -> Json {
+    let r = &run.report;
+    // The digest is a hex *string*: JSON numbers are f64 and would
+    // silently round a 64-bit hash above 2^53.
+    let digest = format!("{:016x}", results_digest(r));
+    let mix = Json::Obj(
+        MIX.iter()
+            .map(|m| m.name)
+            .chain(std::iter::once("hog"))
+            .zip(&run.mix_counts)
+            .map(|(name, n)| (name.to_string(), Json::Num(*n as f64)))
+            .collect(),
+    );
+    let deterministic = Json::obj([
+        (
+            "requests",
+            Json::obj([
+                ("total", Json::Num(r.outcomes.len() as f64)),
+                ("completed", Json::Num(r.completed as f64)),
+                ("failed", Json::Num(r.failed as f64)),
+            ]),
+        ),
+        ("mix", mix),
+        ("results_digest", Json::str(digest)),
+        ("collections", Json::Num(r.heap.collections as f64)),
+        ("allocations", Json::Num(r.heap.allocations as f64)),
+        ("words_allocated", Json::Num(r.heap.words_allocated as f64)),
+        ("words_copied", Json::Num(r.heap.words_copied as f64)),
+        ("peak_live_words", Json::Num(r.heap.peak_live_words as f64)),
+        ("heap_grows", Json::Num(r.heap.grows as f64)),
+        (
+            "peak_heap_words_sampled",
+            Json::Num(run.rec.peak_heap_words() as f64),
+        ),
+        (
+            "peak_live_words_sampled",
+            Json::Num(run.rec.peak_live_words() as f64),
+        ),
+        (
+            "max_in_flight",
+            Json::Num(f64::from(run.rec.max_in_flight())),
+        ),
+        ("suspension_checks", Json::Num(r.suspension_checks as f64)),
+        ("suspension_events", Json::Num(r.suspension_events as f64)),
+        (
+            "max_suspension_latency",
+            Json::Num(r.max_suspension_latency as f64),
+        ),
+    ]);
+    Json::obj([
+        ("strategy", Json::str(run.config.strategy.name())),
+        ("deterministic", deterministic),
+        ("timing", run.rec.serve_json()),
+    ])
+}
+
+/// Assembles the `BENCH_SERVE.json` document from completed runs.
+pub fn serve_doc(seed: u64, requests: usize, pool: usize, runs: &[ServeRun]) -> Json {
+    Json::obj([
+        (
+            "doc",
+            Json::obj([
+                ("experiment", Json::str("SERVE")),
+                (
+                    "title",
+                    Json::str("steady-state request service: latency, pauses, utilization"),
+                ),
+                (
+                    "workload",
+                    Json::str("seeded traffic mix over a persistent shared heap"),
+                ),
+                (
+                    "note",
+                    Json::str(
+                        "the `deterministic` block of each strategy is a pure function \
+                         of (seed, requests, pool); `timing` is wall-clock",
+                    ),
+                ),
+            ]),
+        ),
+        ("seed", Json::Num(seed as f64)),
+        ("requests", Json::Num(requests as f64)),
+        ("pool", Json::Num(pool as f64)),
+        ("strategies", Json::arr(runs.iter().map(serve_json))),
+    ])
+}
+
+/// The full `BENCH_SERVE.json` document: one seeded service run per
+/// strategy under the default configuration.
+///
+/// # Errors
+///
+/// Propagates the first failing strategy's error.
+pub fn bench_serve_json(seed: u64, requests: usize, pool: usize) -> Result<Json, String> {
+    let mut runs = Vec::new();
+    for s in Strategy::ALL {
+        let mut cfg = ServeConfig::new(s);
+        cfg.seed = seed;
+        cfg.requests = requests;
+        cfg.pool = pool;
+        runs.push(serve(&cfg)?);
+    }
+    Ok(serve_doc(seed, requests, pool, &runs))
+}
+
+/// Service-level objectives for the CI gate.
+#[derive(Debug, Clone, Copy)]
+pub struct Slo {
+    /// Ceiling on p99 request latency, nanoseconds.
+    pub max_p99_latency_ns: u64,
+    /// Ceiling on p99 GC pause, nanoseconds.
+    pub max_p99_pause_ns: u64,
+}
+
+/// Checks one run against the objectives. Empty = pass. Beyond the two
+/// latency ceilings, service integrity itself is an objective: every
+/// request resolved, none failed.
+pub fn check_slo(run: &ServeRun, slo: Slo) -> Vec<String> {
+    let name = run.config.strategy.name();
+    let mut violations = Vec::new();
+    let r = &run.report;
+    if r.outcomes.len() != run.config.requests {
+        violations.push(format!(
+            "{name}: {} of {} requests resolved",
+            r.outcomes.len(),
+            run.config.requests
+        ));
+    }
+    if r.completed == 0 {
+        violations.push(format!("{name}: zero requests completed"));
+    }
+    if r.failed > 0 {
+        violations.push(format!("{name}: {} requests failed", r.failed));
+    }
+    let p99_latency = run.rec.latency_hist().p99();
+    if p99_latency > slo.max_p99_latency_ns {
+        violations.push(format!(
+            "{name}: p99 request latency {p99_latency}ns > {}ns",
+            slo.max_p99_latency_ns
+        ));
+    }
+    let p99_pause = run.rec.pause_hist().p99();
+    if p99_pause > slo.max_p99_pause_ns {
+        violations.push(format!(
+            "{name}: p99 pause {p99_pause}ns > {}ns",
+            slo.max_p99_pause_ns
+        ));
+    }
+    violations
+}
+
+/// Human summary across runs: one row per strategy.
+pub fn serve_table(runs: &[ServeRun]) -> Table {
+    let mut t = Table::new(&[
+        "strategy",
+        "completed",
+        "failed",
+        "collections",
+        "lat p50",
+        "lat p99",
+        "pause p99",
+        "util",
+        "mmu 1ms",
+        "peak heap",
+    ]);
+    for run in runs {
+        let lat = run.rec.latency_hist();
+        t.row(vec![
+            run.config.strategy.name().to_string(),
+            run.report.completed.to_string(),
+            run.report.failed.to_string(),
+            run.report.heap.collections.to_string(),
+            format!("{}us", lat.p50() / 1_000),
+            format!("{}us", lat.p99() / 1_000),
+            format!("{}us", run.rec.pause_hist().p99() / 1_000),
+            format!("{:.3}", run.rec.utilization()),
+            format!("{:.3}", run.rec.mmu(1_000_000)),
+            format!("{}w", run.rec.peak_heap_words()),
+        ]);
+    }
+    t
+}
+
+/// One serve-mode torture case: mid-traffic heap exhaustion.
+#[derive(Debug)]
+pub struct ServeTortureCase {
+    pub strategy: Strategy,
+    pub seed: u64,
+    pub plan: FaultPlan,
+    pub completed: u64,
+    pub failed: u64,
+    /// Invariant violations (empty = graceful degradation held).
+    pub violations: Vec<String>,
+}
+
+/// Runs the service under seeded mid-traffic fault injection: a tight
+/// heap whose growth is refused partway through the run. The graceful-
+/// degradation contract is that faults quarantine individual requests —
+/// they never drop the service: every request resolves, and requests
+/// *behind* a quarantined one still complete on the recycled slot.
+pub fn torture_serve(seeds: &[u64]) -> Vec<ServeTortureCase> {
+    let mut cases = Vec::new();
+    for &seed in seeds {
+        for strategy in [Strategy::Compiled, Strategy::Tagged] {
+            let mut cfg = ServeConfig::new(strategy);
+            cfg.seed = seed;
+            cfg.requests = 60;
+            cfg.pool = 3;
+            cfg.heap_words = 1 << 10;
+            cfg.heap_max_words = Some(1 << 12);
+            cfg.sample_every = 16;
+            cfg.hog_every = 7;
+            // Exhaustion strikes mid-traffic at a seed-determined
+            // allocation count; growth is refused from then on.
+            cfg.fault_plan = Some(FaultPlan {
+                exhaust_at: Some(200 + seed % 400),
+                ..FaultPlan::none()
+            });
+            let mut violations = Vec::new();
+            let (completed, failed) = match serve(&cfg) {
+                Ok(run) => {
+                    let r = &run.report;
+                    if r.outcomes.len() != cfg.requests {
+                        violations.push(format!(
+                            "{} of {} requests resolved",
+                            r.outcomes.len(),
+                            cfg.requests
+                        ));
+                    }
+                    if r.completed + r.failed != r.outcomes.len() as u64 {
+                        violations.push("completed + failed != total".to_string());
+                    }
+                    if r.completed == 0 {
+                        violations.push("service dropped: nothing completed".to_string());
+                    }
+                    for (i, o) in r.outcomes.iter().enumerate() {
+                        if let Some(e) = &o.error {
+                            if !matches!(e, tfgc_vm::VmError::OutOfMemory { .. }) {
+                                violations.push(format!("request {i}: non-OOM error {e}"));
+                            }
+                        }
+                    }
+                    (r.completed, r.failed)
+                }
+                Err(e) => {
+                    violations.push(format!("service dropped: {e}"));
+                    (0, 0)
+                }
+            };
+            cases.push(ServeTortureCase {
+                strategy,
+                seed,
+                plan: cfg.fault_plan.unwrap(),
+                completed,
+                failed,
+                violations,
+            });
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_is_seeded_and_weighted() {
+        let c = Compiled::compile(SERVICE_SRC).unwrap();
+        let a = build_traffic(&c.program, 7, 500, &MIX);
+        let b = build_traffic(&c.program, 7, 500, &MIX);
+        assert_eq!(a, b, "same seed, same traffic");
+        let other = build_traffic(&c.program, 8, 500, &MIX);
+        assert_ne!(a, other, "different seed, different traffic");
+        let churn = a.iter().filter(|r| r.kind == 0).count();
+        let spin = a.iter().filter(|r| r.kind == 4).count();
+        assert!(churn > spin, "weight 4 class must outdraw weight 1");
+        for r in &a {
+            let m = &MIX[r.kind as usize];
+            assert!((m.lo..m.hi).contains(&r.arg));
+        }
+    }
+
+    #[test]
+    fn serve_runs_deterministically_per_seed() {
+        let mut cfg = ServeConfig::new(Strategy::Compiled);
+        cfg.requests = 40;
+        cfg.pool = 3;
+        cfg.seed = 11;
+        let a = serve(&cfg).unwrap();
+        let b = serve(&cfg).unwrap();
+        assert_eq!(a.report.outcomes, b.report.outcomes);
+        assert_eq!(a.report.heap, b.report.heap);
+        assert_eq!(a.mix_counts, b.mix_counts);
+        assert_eq!(
+            results_digest(&a.report),
+            results_digest(&b.report),
+            "digest is a pure function of the outcomes"
+        );
+        // Sampled peaks come from deterministic sample points.
+        assert_eq!(a.rec.peak_heap_words(), b.rec.peak_heap_words());
+        assert_eq!(a.rec.max_in_flight(), b.rec.max_in_flight());
+    }
+
+    #[test]
+    fn all_strategies_serve_the_same_responses() {
+        let mut digests = Vec::new();
+        for s in Strategy::ALL {
+            let mut cfg = ServeConfig::new(s);
+            cfg.requests = 40;
+            cfg.pool = 3;
+            let run = serve(&cfg).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(run.report.completed, 40, "{s}");
+            assert_eq!(run.report.failed, 0, "{s}");
+            digests.push(results_digest(&run.report));
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "strategies must agree on every response: {digests:x?}"
+        );
+    }
+
+    #[test]
+    fn serve_json_separates_deterministic_from_timing() {
+        let mut cfg = ServeConfig::new(Strategy::Compiled);
+        cfg.requests = 30;
+        let run = serve(&cfg).unwrap();
+        let j = serve_json(&run);
+        let det = j.get("deterministic").expect("deterministic block");
+        assert_eq!(
+            det.get("requests")
+                .and_then(|r| r.get("completed"))
+                .and_then(Json::as_f64),
+            Some(30.0)
+        );
+        let digest = det.get("results_digest").expect("digest");
+        assert!(
+            matches!(digest, Json::Str(s) if s.len() == 16),
+            "digest must be a 16-hex-char string, got {digest:?}"
+        );
+        assert!(j.get("timing").and_then(|t| t.get("utilization")).is_some());
+        let a = serve(&cfg).unwrap();
+        assert_eq!(
+            serve_json(&a).get("deterministic"),
+            j.get("deterministic"),
+            "deterministic block must diff clean across same-seed runs"
+        );
+    }
+
+    #[test]
+    fn slo_gate_passes_sane_runs_and_fails_absurd_ones() {
+        let mut cfg = ServeConfig::new(Strategy::Compiled);
+        cfg.requests = 30;
+        let run = serve(&cfg).unwrap();
+        let lenient = Slo {
+            max_p99_latency_ns: u64::MAX,
+            max_p99_pause_ns: u64::MAX,
+        };
+        assert!(check_slo(&run, lenient).is_empty());
+        let absurd = Slo {
+            max_p99_latency_ns: 0,
+            max_p99_pause_ns: 0,
+        };
+        let v = check_slo(&run, absurd);
+        assert!(v.iter().any(|s| s.contains("p99 request latency")), "{v:?}");
+    }
+
+    #[test]
+    fn torture_survives_mid_traffic_exhaustion() {
+        let cases = torture_serve(&[0, 1, 2]);
+        assert_eq!(cases.len(), 6);
+        for c in &cases {
+            assert!(
+                c.violations.is_empty(),
+                "{} seed {} ({}): {:?}",
+                c.strategy,
+                c.seed,
+                c.plan.describe(),
+                c.violations
+            );
+            assert!(c.completed > 0, "{} seed {}", c.strategy, c.seed);
+        }
+        // The tight heap with refused growth must actually bite
+        // somewhere in the matrix, or the case proves nothing.
+        assert!(
+            cases.iter().any(|c| c.failed > 0),
+            "no case exercised quarantine: {cases:?}"
+        );
+    }
+}

@@ -12,6 +12,11 @@
 //! * collections and pipeline phases → complete (`"ph": "X"`) duration
 //!   events on the GC/compile tracks;
 //! * allocations and task park/resume → instant (`"ph": "i"`) events;
+//! * serve-mode heap samples → counter (`"ph": "C"`) events on the
+//!   `heap_words`, `live_words`, and `in_flight_requests` tracks, so
+//!   occupancy and load render as timelines under the duration events;
+//! * serve-mode request start/end → async (`"ph": "b"`/`"e"`) events
+//!   keyed by request id, so each request renders as a span;
 //! * frame visits, routine runs, and object copies are deliberately not
 //!   exported (volume) — their aggregates live in the metrics document.
 
@@ -50,6 +55,27 @@ fn trace_line(
     Json::Obj(pairs)
 }
 
+/// A counter (`"ph": "C"`) event: one named series with one value.
+fn counter_line(name: &str, ts_us: f64, value: u64) -> Json {
+    trace_line(
+        name,
+        "serve",
+        "C",
+        ts_us,
+        None,
+        Json::obj([("value", Json::Num(value as f64))]),
+    )
+}
+
+/// An async (`"ph": "b"`/`"e"`) event; `id` pairs begins with ends.
+fn async_line(name: &str, cat: &str, ph: &str, ts_us: f64, id: u64, args: Json) -> Json {
+    let mut l = trace_line(name, cat, ph, ts_us, None, args);
+    if let Json::Obj(pairs) = &mut l {
+        pairs.insert(3, ("id".to_string(), Json::Num(id as f64)));
+    }
+    l
+}
+
 /// Renders `events` as a Chrome-loadable trace. Returns the full file
 /// contents.
 pub fn write_chrome_trace(events: &[GcEvent]) -> String {
@@ -57,6 +83,24 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
     // Collection begin timestamps, for pairing with their ends.
     let mut begins: HashMap<u64, (u64, &'static str)> = HashMap::new();
     for ev in events {
+        // Heap samples expand to one counter line per series.
+        if let GcEvent::HeapSample {
+            t_ns,
+            heap_words,
+            live_words,
+            in_flight,
+        } = *ev
+        {
+            for (name, v) in [
+                ("heap_words", heap_words),
+                ("live_words", live_words),
+                ("in_flight_requests", u64::from(in_flight)),
+            ] {
+                out.push_str(&counter_line(name, us(t_ns), v).to_json());
+                out.push_str(",\n");
+            }
+            continue;
+        }
         let line = match *ev {
             GcEvent::CollectionBegin {
                 t_ns,
@@ -174,9 +218,37 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
                     ("to_words", Json::from(to_words)),
                 ]),
             )),
+            GcEvent::RequestStart {
+                t_ns, req, kind, ..
+            } => Some(async_line(
+                "req",
+                "request",
+                "b",
+                us(t_ns),
+                req,
+                Json::obj([("req", Json::from(req)), ("kind", Json::from(kind))]),
+            )),
+            GcEvent::RequestEnd {
+                t_ns,
+                req,
+                latency_ns,
+                ok,
+                ..
+            } => Some(async_line(
+                "req",
+                "request",
+                "e",
+                us(t_ns),
+                req,
+                Json::obj([
+                    ("latency_us", Json::Num(us(latency_ns))),
+                    ("ok", Json::Bool(ok)),
+                ]),
+            )),
             GcEvent::FrameVisit { .. }
             | GcEvent::RoutineRun { .. }
-            | GcEvent::ObjectCopied { .. } => None,
+            | GcEvent::ObjectCopied { .. }
+            | GcEvent::HeapSample { .. } => None,
         };
         if let Some(l) = line {
             out.push_str(&l.to_json());
@@ -264,6 +336,99 @@ mod tests {
         let closed = format!("{}]", text.trim_end().trim_end_matches(','));
         let doc = json::parse(&closed).expect("array form parses");
         assert_eq!(doc.as_arr().unwrap().len(), 5);
+    }
+
+    /// Counter events: each heap sample expands to the three counter
+    /// series, every counter line is well-formed `"ph": "C"` with a
+    /// numeric value, and counters appear in non-decreasing timestamp
+    /// order (the loading-order contract — Chrome sorts by `ts`, but a
+    /// monotone file round-trips bit-identically and diffs cleanly).
+    #[test]
+    fn counter_events_are_ordered_and_complete() {
+        let evs = vec![
+            GcEvent::HeapSample {
+                t_ns: 10_000,
+                heap_words: 512,
+                live_words: 128,
+                in_flight: 4,
+            },
+            GcEvent::RequestStart {
+                t_ns: 12_000,
+                req: 0,
+                task: 1,
+                kind: 2,
+            },
+            GcEvent::HeapSample {
+                t_ns: 20_000,
+                heap_words: 640,
+                live_words: 130,
+                in_flight: 4,
+            },
+            GcEvent::RequestEnd {
+                t_ns: 26_000,
+                req: 0,
+                task: 1,
+                latency_ns: 14_000,
+                ok: true,
+            },
+            GcEvent::HeapSample {
+                t_ns: 30_000,
+                heap_words: 64,
+                live_words: 64,
+                in_flight: 3,
+            },
+        ];
+        let text = write_chrome_trace(&evs);
+        let mut counters: Vec<(String, f64, f64)> = Vec::new();
+        let mut asyncs = 0;
+        for line in text.lines().skip(1) {
+            let line = line.trim_end_matches(',');
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            match v.get("ph") {
+                Some(Json::Str(ph)) if ph == "C" => {
+                    let name = match v.get("name") {
+                        Some(Json::Str(n)) => n.clone(),
+                        other => panic!("counter without name: {other:?}"),
+                    };
+                    let ts = v.get("ts").unwrap().as_f64().unwrap();
+                    let value = v
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Json::as_f64)
+                        .expect("counter value is numeric");
+                    counters.push((name, ts, value));
+                }
+                Some(Json::Str(ph)) if ph == "b" || ph == "e" => {
+                    assert!(v.get("id").is_some(), "async events carry an id");
+                    asyncs += 1;
+                }
+                _ => {}
+            }
+        }
+        // Three series per sample, three samples.
+        assert_eq!(counters.len(), 9);
+        for series in ["heap_words", "live_words", "in_flight_requests"] {
+            let ts: Vec<f64> = counters
+                .iter()
+                .filter(|(n, _, _)| n == series)
+                .map(|(_, t, _)| *t)
+                .collect();
+            assert_eq!(ts.len(), 3, "{series}");
+            assert!(
+                ts.windows(2).all(|w| w[0] <= w[1]),
+                "{series} counters out of loading order: {ts:?}"
+            );
+        }
+        // The last sample's values made it through.
+        let last_heap = counters
+            .iter()
+            .rfind(|(n, _, _)| n == "heap_words")
+            .unwrap();
+        assert_eq!(last_heap.2, 64.0);
+        assert_eq!(asyncs, 2, "request start + end exported as async pair");
     }
 
     #[test]

@@ -102,6 +102,35 @@ pub enum GcEvent {
         from_words: u64,
         to_words: u64,
     },
+    /// Serve mode: a request was dispatched into a task-pool slot. `req`
+    /// numbers requests from 0 within a service run; `kind` is the
+    /// traffic-mix class the driver assigned.
+    RequestStart {
+        t_ns: u64,
+        req: u64,
+        task: u32,
+        kind: u32,
+    },
+    /// The matching completion of `RequestStart { req }`. `ok` is false
+    /// when the request was quarantined with a per-task error.
+    RequestEnd {
+        t_ns: u64,
+        req: u64,
+        task: u32,
+        latency_ns: u64,
+        ok: bool,
+    },
+    /// Serve mode: a heap-occupancy sample, taken on the scheduler's
+    /// deterministic cadence (quantum counts and request boundaries, not
+    /// wall clock). `heap_words` is from-space in use, `live_words` the
+    /// survivors of the most recent collection, `in_flight` the number
+    /// of pool slots with an active request.
+    HeapSample {
+        t_ns: u64,
+        heap_words: u64,
+        live_words: u64,
+        in_flight: u32,
+    },
 }
 
 impl GcEvent {
@@ -120,6 +149,9 @@ impl GcEvent {
             GcEvent::VerificationEnd { .. } => "verification_end",
             GcEvent::FaultInjected { .. } => "fault_injected",
             GcEvent::HeapGrown { .. } => "heap_grown",
+            GcEvent::RequestStart { .. } => "request_start",
+            GcEvent::RequestEnd { .. } => "request_end",
+            GcEvent::HeapSample { .. } => "heap_sample",
         }
     }
 }

@@ -55,6 +55,13 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of all recorded samples. Together with [`Histogram::count`]
+    /// this lets callers derive rates (e.g. pause time per window,
+    /// mutator utilization) without a parallel accumulator.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of recorded samples (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -178,6 +185,47 @@ mod tests {
         h.record(1_000_000);
         assert_eq!(h.p50(), 1_000_000); // clamped to max
         assert_eq!(h.max(), 1_000_000);
+    }
+
+    /// Regression: quantile at the domain boundaries. `q = 0.0` must
+    /// resolve to the first non-empty bucket (rank is clamped to 1, not
+    /// 0), `q = 1.0` to the max, and the empty histogram to 0 for every
+    /// `q` — without panicking on the degenerate rank arithmetic.
+    #[test]
+    fn quantile_bucket_boundaries() {
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        assert_eq!(empty.sum(), 0);
+
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 4, 8, 1 << 20] {
+            h.record(v);
+        }
+        // q=0.0: rank clamps to the first sample's bucket (value 0 here).
+        assert_eq!(h.quantile(0.0), 0);
+        // q=1.0: exactly the max, not the top bucket's upper bound.
+        assert_eq!(h.quantile(1.0), 1 << 20);
+        assert_eq!(h.sum(), (1 + 2 + 4 + 8 + (1 << 20)) as u128);
+
+        // Samples exactly on a power-of-two boundary land in the bucket
+        // whose upper bound is the next power minus one.
+        let mut b = Histogram::new();
+        b.record(8);
+        assert_eq!(b.quantile(0.0), 8); // clamped to max within bucket
+        assert_eq!(b.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn sum_survives_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(32);
+        a.merge(&b);
+        assert_eq!(a.sum(), 42);
+        assert_eq!(a.mean(), 21.0);
     }
 
     #[test]

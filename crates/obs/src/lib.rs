@@ -20,6 +20,10 @@
 //!   [`Obs::emit`] does not run otherwise). A differential test in the
 //!   workspace proves a `NullSink` run is observably identical to a
 //!   build without observability.
+//! * [`ServeRecorder`] — the serve-mode sink: a ring plus steady-state
+//!   service metrics (per-request latency histogram, windowed
+//!   allocation/pause metrics, heap-occupancy timeline, and an
+//!   MMU-style mutator-utilization figure from the pause intervals).
 //! * [`json`] — a hand-rolled minimal JSON model (writer + parser); the
 //!   workspace keeps its no-serde constraint (DESIGN.md §5).
 //! * [`chrome`] — `chrome://tracing`-loadable trace output, one event
@@ -35,6 +39,7 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod ring;
+pub mod serve;
 pub mod sink;
 pub mod sites;
 
@@ -43,5 +48,6 @@ pub use event::GcEvent;
 pub use hist::Histogram;
 pub use json::Json;
 pub use ring::{CollectionSummary, RingRecorder};
+pub use serve::{OccupancyPoint, PauseInterval, ServeRecorder, ServeWindow};
 pub use sink::{GcEventSink, NullSink, Obs};
 pub use sites::{SiteProfile, SiteTable};

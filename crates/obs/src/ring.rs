@@ -160,7 +160,10 @@ impl RingRecorder {
             | GcEvent::Phase { .. }
             | GcEvent::VerificationEnd { .. }
             | GcEvent::FaultInjected { .. }
-            | GcEvent::HeapGrown { .. } => {}
+            | GcEvent::HeapGrown { .. }
+            | GcEvent::RequestStart { .. }
+            | GcEvent::RequestEnd { .. }
+            | GcEvent::HeapSample { .. } => {}
         }
     }
 
@@ -220,9 +223,12 @@ impl RingRecorder {
 }
 
 /// Histogram as JSON: summary percentiles plus the raw log₂ buckets.
+/// `count`/`sum`/`mean` expose the exact accumulators so rate metrics
+/// (pause time per window, utilization) need no parallel bookkeeping.
 pub fn hist_json(h: &Histogram) -> Json {
     Json::obj([
         ("count", Json::from(h.count())),
+        ("sum", Json::Num(h.sum() as f64)),
         ("p50", Json::from(h.p50())),
         ("p90", Json::from(h.p90())),
         ("p99", Json::from(h.p99())),

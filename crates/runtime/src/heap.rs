@@ -19,7 +19,7 @@
 //! mechanism for uniformity (a real tagged runtime would smuggle the
 //! forwarding pointer into the header).
 
-use crate::stats::HeapStats;
+use crate::stats::{HeapStats, OccupancySample};
 use crate::word::{Addr, Word, HEAP_BASE};
 
 /// Absolute base address of space B. Spaces are bounded by
@@ -98,6 +98,18 @@ impl Heap {
     /// Words still available without a collection.
     pub fn available(&self) -> usize {
         self.capacity() - self.from_alloc
+    }
+
+    /// An instantaneous occupancy reading (serve-mode timeline samples):
+    /// current from-space usage and capacity plus the live words left by
+    /// the most recent collection. Deterministic — derived purely from
+    /// allocator state, never the wall clock.
+    pub fn occupancy(&self) -> OccupancySample {
+        OccupancySample {
+            heap_words: self.from_alloc as u64,
+            capacity_words: self.capacity() as u64,
+            live_words: self.stats.live_words_after_last_gc,
+        }
     }
 
     // "from" is the semispace, not a conversion.

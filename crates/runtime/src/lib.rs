@@ -22,5 +22,5 @@ pub mod word;
 
 pub use encode::{ArithKind, Encoding};
 pub use heap::{Heap, MAX_SPACE_WORDS, SPACE_B_BASE};
-pub use stats::HeapStats;
+pub use stats::{HeapStats, OccupancySample};
 pub use word::{Addr, HeapMode, Word, HEAP_BASE};

@@ -34,6 +34,32 @@ impl HeapStats {
     }
 }
 
+/// One instantaneous occupancy reading, taken by the serve scheduler at
+/// deterministic points (quantum counts and request boundaries). The
+/// fields are pure functions of the instruction stream — no wall clock —
+/// so sampled peaks are reproducible across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// From-space words currently in use (bump-pointer position).
+    pub heap_words: u64,
+    /// Current semispace capacity in words.
+    pub capacity_words: u64,
+    /// Live words surviving the most recent collection (0 before the
+    /// first collection).
+    pub live_words: u64,
+}
+
+impl OccupancySample {
+    /// Occupancy as a fraction of capacity (0.0 for an empty heap).
+    pub fn fraction(&self) -> f64 {
+        if self.capacity_words == 0 {
+            0.0
+        } else {
+            self.heap_words as f64 / self.capacity_words as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,14 @@
 //! checking only at allocations is free until a collection is needed, but
 //! lets allocation-free tasks "run for a long time while others are
 //! suspended".
+//!
+//! The scheduler is a *request engine*: a fixed pool of thread slots
+//! drains a queue of [`Request`]s against one persistent shared heap.
+//! [`run_tasks`] is the one-request-per-slot special case (the original
+//! batch mode); [`serve_requests`] is the service mode behind
+//! `tfml serve`, which recycles each slot for the next queued request the
+//! moment its current one completes and emits request-lifecycle and
+//! heap-occupancy events into the attached [`Obs`] sink.
 
 use std::fmt;
 use tfgc_gc::{GcStats, Strategy};
@@ -122,6 +130,53 @@ pub struct TaskReport {
     pub max_suspension_latency: u64,
 }
 
+/// One unit of service work: run `entry(arg)` to completion on some
+/// pool slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    pub entry: FnId,
+    pub arg: i64,
+    /// Caller-assigned request class (e.g. an index into a traffic
+    /// mix); carried through to the outcome and the `RequestStart`
+    /// event, never interpreted by the engine.
+    pub kind: u32,
+}
+
+/// What became of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// The [`Request::kind`] it was submitted with.
+    pub kind: u32,
+    /// The rendered result value, or `"<error: …>"` when the request
+    /// was quarantined. Rendered eagerly at completion: a finished
+    /// thread's value is not a GC root, so the words behind it are only
+    /// guaranteed intact until the next collection.
+    pub result: String,
+    /// The error that quarantined it (`None` = completed normally).
+    pub error: Option<VmError>,
+}
+
+/// Result of a service run ([`serve_requests`]).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per request, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests that completed normally.
+    pub completed: u64,
+    /// Requests quarantined with an error. `completed + failed` always
+    /// equals `outcomes.len()`: the engine resolves every request.
+    pub failed: u64,
+    /// Interleaved `print` output across requests.
+    pub printed: Vec<i64>,
+    pub heap: HeapStats,
+    pub gc: GcStats,
+    pub mutator: MutatorStats,
+    pub suspension_checks: u64,
+    pub suspension_events: u64,
+    pub total_suspension_latency: u64,
+    pub max_suspension_latency: u64,
+}
+
 /// Looks up a top-level function by its source name (alpha renaming
 /// appends `#u<n>`).
 pub fn find_fn(prog: &IrProgram, name: &str) -> Option<FnId> {
@@ -166,6 +221,72 @@ pub fn run_tasks_with_obs(
     cfg: TaskConfig,
     obs: Obs,
 ) -> VmResult<(TaskReport, Obs)> {
+    // Batch mode is the one-request-per-slot special case of the serve
+    // engine: pool width = request count, so no slot is ever recycled.
+    let requests: Vec<Request> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, (f, a))| Request {
+            entry: *f,
+            arg: *a,
+            kind: i as u32,
+        })
+        .collect();
+    let (report, obs) = serve_requests(prog, &requests, requests.len().max(1), 0, cfg, obs)?;
+    let (results, task_errors) = report
+        .outcomes
+        .into_iter()
+        .map(|o| (o.result, o.error))
+        .unzip();
+    Ok((
+        TaskReport {
+            results,
+            task_errors,
+            printed: report.printed,
+            heap: report.heap,
+            gc: report.gc,
+            mutator: report.mutator,
+            suspension_checks: report.suspension_checks,
+            suspension_events: report.suspension_events,
+            total_suspension_latency: report.total_suspension_latency,
+            max_suspension_latency: report.max_suspension_latency,
+        },
+        obs,
+    ))
+}
+
+/// Runs `main` (initializing globals), then drains `requests` through a
+/// pool of `pool` cooperative thread slots sharing one persistent heap.
+/// Each slot picks up the next queued request the moment its current one
+/// completes (the stack is respawned in place, so the collector's root
+/// scan stays proportional to the pool, not the request count). One
+/// quarantined request does not stop service: its slot is recycled like
+/// any other.
+///
+/// When `obs` is enabled, the engine emits `RequestStart`/`RequestEnd`
+/// events (with wall-clock latency) at every request boundary, and —
+/// when `sample_every > 0` — a `HeapSample` occupancy event every
+/// `sample_every` scheduling quanta plus one at every request boundary
+/// and collection. Sample *points* are deterministic (quantum counts),
+/// so the sampled occupancy values are reproducible across runs.
+///
+/// # Errors
+///
+/// Propagates whole-machine VM errors (budget exhaustion, heap
+/// verification); per-request errors are quarantined into the outcomes.
+///
+/// # Panics
+///
+/// Panics if `pool` is zero (with a non-empty queue) or a request entry
+/// does not take exactly one argument.
+pub fn serve_requests(
+    prog: &IrProgram,
+    requests: &[Request],
+    pool: usize,
+    sample_every: u64,
+    cfg: TaskConfig,
+    obs: Obs,
+) -> VmResult<(ServeReport, Obs)> {
     let mut vm_cfg = VmConfig::new(cfg.strategy).heap_words(cfg.heap_words);
     vm_cfg.cooperative = true;
     vm_cfg.max_steps = Some(cfg.max_steps);
@@ -175,32 +296,59 @@ pub fn run_tasks_with_obs(
     let mut vm = Vm::new(prog, vm_cfg);
     vm.obs = obs;
 
-    // Phase 1: run main alone (it initializes globals).
+    // Phase 1: run main alone (it initializes globals — the persistent
+    // shared heap the whole service runs against).
     run_single(&mut vm)?;
 
-    // Phase 2: spawn the tasks.
-    let mut task_ids = Vec::new();
-    for (f, arg) in entries {
-        let fun = prog.fun(*f);
+    if requests.is_empty() {
+        let report = ServeReport {
+            outcomes: Vec::new(),
+            completed: 0,
+            failed: 0,
+            printed: std::mem::take(&mut vm.printed),
+            heap: vm.heap.stats,
+            gc: vm.gc_stats,
+            mutator: vm.mutator,
+            suspension_checks: 0,
+            suspension_events: 0,
+            total_suspension_latency: 0,
+            max_suspension_latency: 0,
+        };
+        return Ok((report, std::mem::take(&mut vm.obs)));
+    }
+    assert!(pool > 0, "serve_requests needs at least one pool slot");
+    let n = pool.min(requests.len());
+
+    // Phase 2: fill the pool with the first requests.
+    let mut task_ids = Vec::with_capacity(n);
+    for req in &requests[..n] {
+        let fun = prog.fun(req.entry);
         assert_eq!(
             fun.n_params, 1,
-            "task entry `{}` must take exactly one int argument",
+            "request entry `{}` must take exactly one int argument",
             fun.name
         );
-        let w = vm.encode_int(*arg);
-        task_ids.push(vm.spawn_thread(*f, &[w]));
+        let w = vm.encode_int(req.arg);
+        task_ids.push(vm.spawn_thread(req.entry, &[w]));
     }
 
     let mut sched = Scheduler {
         vm,
-        tasks: task_ids.clone(),
+        prog,
+        tasks: task_ids,
+        requests: requests.to_vec(),
+        slot_req: (0..n).collect(),
+        next_req: n,
+        outcomes: vec![None; requests.len()],
+        started_ns: vec![0; n],
+        sample_every,
+        quanta: 0,
         policy: cfg.policy,
         quantum: cfg.quantum,
         gc_pending: false,
-        parked: vec![false; task_ids.len()],
-        done: vec![false; task_ids.len()],
-        blocked_on_alloc: vec![None; task_ids.len()],
-        task_errors: vec![None; task_ids.len()],
+        parked: vec![false; n],
+        done: vec![false; n],
+        blocked_on_alloc: vec![None; n],
         latency: 0,
         allocs_at_last_gc: None,
         report_checks: 0,
@@ -208,11 +356,15 @@ pub fn run_tasks_with_obs(
         report_total_latency: 0,
         report_max_latency: 0,
     };
+    for i in 0..n {
+        sched.announce_start(i);
+    }
+    sched.sample_heap();
     sched.run()?;
 
     let Scheduler {
         mut vm,
-        task_errors,
+        outcomes,
         report_checks,
         report_events,
         report_total_latency,
@@ -220,22 +372,17 @@ pub fn run_tasks_with_obs(
         ..
     } = sched;
 
-    let results = task_ids
-        .iter()
-        .zip(entries)
-        .enumerate()
-        .map(|(i, (t, (f, _)))| match &task_errors[i] {
-            Some(e) => format!("<error: {e}>"),
-            None => {
-                let w = vm.thread_result(*t).expect("task finished");
-                vm.render(w, &prog.fun(*f).ret_ty)
-            }
-        })
+    let outcomes: Vec<RequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("the engine resolves every request"))
         .collect();
+    let failed = outcomes.iter().filter(|o| o.error.is_some()).count() as u64;
+    let completed = outcomes.len() as u64 - failed;
     Ok((
-        TaskReport {
-            results,
-            task_errors,
+        ServeReport {
+            outcomes,
+            completed,
+            failed,
             printed: std::mem::take(&mut vm.printed),
             heap: vm.heap.stats,
             gc: vm.gc_stats,
@@ -279,20 +426,39 @@ fn run_single(vm: &mut Vm<'_>) -> VmResult<()> {
     }
 }
 
+/// The request engine: a fixed pool of thread slots (`tasks`) draining a
+/// request queue. All per-slot vectors are indexed by pool slot, not by
+/// request.
 struct Scheduler<'p> {
     vm: Vm<'p>,
+    prog: &'p IrProgram,
+    /// Per slot: the VM thread index it owns (fixed for the whole run —
+    /// the thread is respawned in place between requests).
     tasks: Vec<usize>,
+    /// The full submission queue.
+    requests: Vec<Request>,
+    /// Per slot: index into `requests` of the request it is running.
+    slot_req: Vec<usize>,
+    /// Next queue index to hand to a freed slot.
+    next_req: usize,
+    /// Per request: its outcome, filled as requests resolve.
+    outcomes: Vec<Option<RequestOutcome>>,
+    /// Per slot: `Obs` timestamp when its current request started (only
+    /// maintained while observation is enabled).
+    started_ns: Vec<u64>,
+    /// Emit a `HeapSample` every this many quanta (0 = never).
+    sample_every: u64,
+    /// Scheduling quanta executed (the deterministic sample clock).
+    quanta: u64,
     policy: SuspendPolicy,
     quantum: u64,
     gc_pending: bool,
     parked: Vec<bool>,
     done: Vec<bool>,
-    /// Per task: the allocation site it is blocked on, while blocked.
+    /// Per slot: the allocation site it is blocked on, while blocked.
     /// Distinguishes tasks starving for memory from tasks merely parked
     /// at a call so OOM can be pinned on the right tasks.
     blocked_on_alloc: Vec<Option<CallSiteId>>,
-    /// Per task: the error that quarantined it.
-    task_errors: Vec<Option<VmError>>,
     /// Instructions executed since the pending collection was requested.
     latency: u64,
     /// Successful allocation count at the previous collection: if no
@@ -317,6 +483,10 @@ impl Scheduler<'_> {
                 }
                 rr = (i + 1) % n;
                 self.run_quantum(i)?;
+                self.quanta += 1;
+                if self.sample_every != 0 && self.quanta.is_multiple_of(self.sample_every) {
+                    self.sample_heap();
+                }
                 break;
             }
             if self.gc_pending {
@@ -327,6 +497,108 @@ impl Scheduler<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Emits the `RequestStart` event (and stamps the latency clock) for
+    /// the request currently in slot `i`.
+    fn announce_start(&mut self, i: usize) {
+        if !self.vm.obs.enabled() {
+            return;
+        }
+        self.started_ns[i] = self.vm.obs.now_ns();
+        let req_ix = self.slot_req[i];
+        let kind = self.requests[req_ix].kind;
+        let req = req_ix as u64;
+        let task = i as u32;
+        self.vm.obs.emit(|t_ns| GcEvent::RequestStart {
+            t_ns,
+            req,
+            task,
+            kind,
+        });
+    }
+
+    /// Respawns slot `i`'s thread for request `req_ix`. The slot's
+    /// previous request must already be resolved (its thread finished or
+    /// killed).
+    fn start_in_slot(&mut self, i: usize, req_ix: usize) {
+        let req = self.requests[req_ix];
+        let fun = self.prog.fun(req.entry);
+        assert_eq!(
+            fun.n_params, 1,
+            "request entry `{}` must take exactly one int argument",
+            fun.name
+        );
+        let w = self.vm.encode_int(req.arg);
+        self.vm.respawn_thread(self.tasks[i], req.entry, &[w]);
+        self.slot_req[i] = req_ix;
+        self.done[i] = false;
+        self.parked[i] = false;
+        self.blocked_on_alloc[i] = None;
+        self.announce_start(i);
+    }
+
+    /// Resolves slot `i`'s current request — rendering its result (or
+    /// formatting its quarantine error), emitting `RequestEnd` — then
+    /// recycles the slot for the next queued request or retires it.
+    fn finish(&mut self, i: usize, error: Option<VmError>) {
+        let req_ix = self.slot_req[i];
+        let req = self.requests[req_ix];
+        let result = match &error {
+            Some(e) => format!("<error: {e}>"),
+            None => {
+                let w = self
+                    .vm
+                    .thread_result(self.tasks[i])
+                    .expect("finished request has a result");
+                self.vm.render(w, &self.prog.fun(req.entry).ret_ty)
+            }
+        };
+        let ok = error.is_none();
+        self.outcomes[req_ix] = Some(RequestOutcome {
+            kind: req.kind,
+            result,
+            error,
+        });
+        if self.vm.obs.enabled() {
+            let started = self.started_ns[i];
+            let req = req_ix as u64;
+            let task = i as u32;
+            self.vm.obs.emit(|t_ns| GcEvent::RequestEnd {
+                t_ns,
+                req,
+                task,
+                latency_ns: t_ns.saturating_sub(started),
+                ok,
+            });
+        }
+        if self.next_req < self.requests.len() {
+            let nx = self.next_req;
+            self.next_req += 1;
+            self.start_in_slot(i, nx);
+        } else {
+            self.done[i] = true;
+            self.parked[i] = false;
+            self.blocked_on_alloc[i] = None;
+        }
+        self.sample_heap();
+    }
+
+    /// Emits one heap-occupancy sample (a no-op unless sampling and
+    /// observation are both on). The occupancy fields are functions of
+    /// the instruction stream, so the sampled values are deterministic.
+    fn sample_heap(&mut self) {
+        if self.sample_every == 0 || !self.vm.obs.enabled() {
+            return;
+        }
+        let occ = self.vm.heap.occupancy();
+        let in_flight = self.done.iter().filter(|d| !**d).count() as u32;
+        self.vm.obs.emit(|t_ns| GcEvent::HeapSample {
+            t_ns,
+            heap_words: occ.heap_words,
+            live_words: occ.live_words,
+            in_flight,
+        });
     }
 
     /// Runs task `i` for up to a quantum, honoring safe-point parking.
@@ -395,7 +667,7 @@ impl Scheduler<'_> {
                     }
                 }
                 Ok(StepEvent::Done(_)) => {
-                    self.done[i] = true;
+                    self.finish(i, None);
                     return Ok(());
                 }
                 Ok(StepEvent::AllocBlocked(site)) => {
@@ -417,11 +689,12 @@ impl Scheduler<'_> {
         Ok(())
     }
 
-    /// Records a per-task error, kills the task's stack (its heap data
-    /// dies at the next collection), and lets the siblings run on.
-    /// Whole-machine errors — budget exhaustion and heap-verification
-    /// failures — propagate instead: no task can make progress past
-    /// them.
+    /// Records a per-request error, kills the slot's stack (its heap
+    /// data dies at the next collection), and lets the siblings run on —
+    /// the slot is recycled for the next queued request like any normal
+    /// completion. Whole-machine errors — budget exhaustion and
+    /// heap-verification failures — propagate instead: no task can make
+    /// progress past them.
     fn quarantine(&mut self, i: usize, e: VmError) -> VmResult<()> {
         if matches!(
             e,
@@ -430,10 +703,9 @@ impl Scheduler<'_> {
             return Err(e);
         }
         self.vm.kill_thread(self.tasks[i]);
-        self.task_errors[i] = Some(e);
-        self.done[i] = true;
         self.parked[i] = false;
         self.blocked_on_alloc[i] = None;
+        self.finish(i, Some(e));
         Ok(())
     }
 
@@ -502,6 +774,7 @@ impl Scheduler<'_> {
                 self.vm.unpark_thread(*t);
             }
         }
+        self.sample_heap();
         Ok(())
     }
 
@@ -528,15 +801,17 @@ impl Scheduler<'_> {
         };
         let bsite = self.blocked_on_alloc[j].expect("victim is blocked");
         self.vm.kill_thread(self.tasks[j]);
-        self.task_errors[j] = Some(VmError::OutOfMemory {
-            requested: 0,
-            live,
-            site: bsite.0,
-            strategy,
-        });
-        self.done[j] = true;
         self.parked[j] = false;
         self.blocked_on_alloc[j] = None;
+        self.finish(
+            j,
+            Some(VmError::OutOfMemory {
+                requested: 0,
+                live,
+                site: bsite.0,
+                strategy,
+            }),
+        );
         Ok(())
     }
 }
@@ -785,6 +1060,128 @@ mod tests {
         assert_eq!(report.task_errors[0], None);
         assert_eq!(report.results[0], "2000");
         assert!(report.heap.grows > 0, "growth policy must have engaged");
+    }
+
+    /// Builds a request queue cycling through `(name, arg, kind)`
+    /// triples.
+    fn requests(prog: &IrProgram, specs: &[(&str, i64, u32)]) -> Vec<Request> {
+        specs
+            .iter()
+            .map(|(n, a, k)| Request {
+                entry: find_fn(prog, n).unwrap_or_else(|| panic!("no fn {n}")),
+                arg: *a,
+                kind: *k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_smaller_than_queue_drains_every_request() {
+        let prog = compile(WORKLOAD);
+        let q: Vec<Request> = (0..12)
+            .map(|i| Request {
+                entry: find_fn(&prog, "worker").unwrap(),
+                arg: 5 + (i % 3),
+                kind: i as u32,
+            })
+            .collect();
+        for strategy in Strategy::ALL {
+            let mut cfg = TaskConfig::new(strategy);
+            cfg.heap_words = 1 << 12;
+            let (report, _) = serve_requests(&prog, &q, 3, 0, cfg, Obs::null())
+                .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            assert_eq!(report.outcomes.len(), 12, "{strategy}");
+            assert_eq!(report.completed, 12, "{strategy}");
+            assert_eq!(report.failed, 0, "{strategy}");
+            for (i, o) in report.outcomes.iter().enumerate() {
+                assert_eq!(o.kind, i as u32, "{strategy}: kinds ride along");
+                assert_eq!(o.result, "0", "{strategy}: request {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic_and_observation_neutral() {
+        let prog = compile(WORKLOAD);
+        let q = requests(
+            &prog,
+            &[
+                ("worker", 20, 0),
+                ("spin", 500, 1),
+                ("worker", 15, 0),
+                ("worker", 10, 0),
+                ("spin", 300, 1),
+                ("worker", 25, 0),
+            ],
+        );
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 11;
+        let (a, _) = serve_requests(&prog, &q, 2, 0, cfg.clone(), Obs::null()).unwrap();
+        let (b, _) = serve_requests(&prog, &q, 2, 8, cfg, Obs::serve(1 << 10, 1_000_000)).unwrap();
+        assert_eq!(a.outcomes, b.outcomes, "telemetry must not steer requests");
+        assert_eq!(a.printed, b.printed);
+        assert_eq!(a.heap, b.heap);
+        assert_eq!(a.mutator, b.mutator);
+        assert_eq!(a.suspension_events, b.suspension_events);
+    }
+
+    #[test]
+    fn quarantined_request_does_not_drop_service() {
+        let prog = compile(
+            "fun crash n = n div (n - n) ;
+             fun ok n = n + 1 ;
+             0",
+        );
+        let q = requests(
+            &prog,
+            &[
+                ("ok", 1, 0),
+                ("crash", 7, 1),
+                ("ok", 2, 0),
+                ("ok", 3, 0),
+                ("crash", 9, 1),
+                ("ok", 4, 0),
+            ],
+        );
+        let (report, _) = serve_requests(
+            &prog,
+            &q,
+            2,
+            0,
+            TaskConfig::new(Strategy::Compiled),
+            Obs::null(),
+        )
+        .unwrap();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.failed, 2);
+        assert!(
+            matches!(report.outcomes[1].error, Some(VmError::DivideByZero { .. })),
+            "{:?}",
+            report.outcomes[1].error
+        );
+        // Requests queued *behind* the crash still ran on the recycled
+        // slot.
+        assert_eq!(report.outcomes[5].result, "5");
+        assert_eq!(report.outcomes[3].result, "4");
+    }
+
+    #[test]
+    fn serve_emits_request_lifecycle_and_occupancy_events() {
+        let prog = compile(WORKLOAD);
+        let q = requests(&prog, &[("worker", 10, 3), ("worker", 12, 4)]);
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 12;
+        let (_, obs) =
+            serve_requests(&prog, &q, 1, 4, cfg, Obs::serve(1 << 12, 1_000_000)).unwrap();
+        let rec = obs.into_serve_recorder().expect("serve sink");
+        let (started, completed, failed) = rec.requests();
+        assert_eq!((started, completed, failed), (2, 2, 0));
+        assert_eq!(rec.latency_hist().count(), 2);
+        assert!(
+            !rec.samples().is_empty(),
+            "quantum sampling must produce occupancy points"
+        );
+        assert!(rec.peak_heap_words() > 0);
     }
 
     #[test]

@@ -282,9 +282,10 @@ impl<'p> Vm<'p> {
             .unwrap_or_default()
     }
 
-    /// Spawns a new thread whose bottom frame runs `f` with `args` already
-    /// in its first slots. Returns the thread index.
-    pub fn spawn_thread(&mut self, f: FnId, args: &[Word]) -> usize {
+    /// Builds a fresh bottom frame running `f` with `args` already in
+    /// its first slots (shared by spawn and respawn; accounts the frame
+    /// init stores identically in both).
+    fn make_thread(&mut self, f: FnId, args: &[Word]) -> ThreadState {
         let fun = self.prog.fun(f);
         let mut stack = Vec::with_capacity(FRAME_HDR + fun.slots.len());
         stack.push(NO_FP);
@@ -296,15 +297,42 @@ impl<'p> Vm<'p> {
         if self.cfg.strategy.requires_frame_init() {
             self.mutator.frame_init_stores += (fun.slots.len() - args.len()) as u64;
         }
-        self.threads.push(ThreadState {
+        ThreadState {
             stack,
             fp: 0,
             fn_id: f,
             pc: 0,
             result: None,
             parked_site: None,
-        });
+        }
+    }
+
+    /// Spawns a new thread whose bottom frame runs `f` with `args` already
+    /// in its first slots. Returns the thread index.
+    pub fn spawn_thread(&mut self, f: FnId, args: &[Word]) -> usize {
+        let t = self.make_thread(f, args);
+        self.threads.push(t);
         self.threads.len() - 1
+    }
+
+    /// Reuses thread slot `i` for a fresh run of `f` (the serve
+    /// scheduler's request-lifecycle hook): the previous request's stack
+    /// and result are replaced in place, so the collector's root scan
+    /// stays proportional to the pool size rather than the total request
+    /// count, and the thread vector never grows during a service run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the slot still holds a live
+    /// (unfinished, unkilled) computation.
+    pub fn respawn_thread(&mut self, i: usize, f: FnId, args: &[Word]) {
+        assert!(i < self.threads.len(), "no thread {i}");
+        let old = &self.threads[i];
+        assert!(
+            old.result.is_some() || old.stack.is_empty(),
+            "thread {i} is still running; respawn would drop live frames"
+        );
+        self.threads[i] = self.make_thread(f, args);
     }
 
     /// Number of threads (including finished ones).

@@ -111,6 +111,109 @@ fn histogram_buckets_sum_to_recorded_events() {
     assert_eq!(raw_allocs, out.heap.allocations);
 }
 
+/// Serve-mode observation neutrality: driving the request engine with
+/// the full serve telemetry sink (latency histograms, windowed
+/// steady-state metrics, occupancy sampling) produces bit-identical
+/// per-request results — and identical engine reports — to a `NullSink`
+/// run, across strategies. The request-lifecycle hooks sit on the
+/// `Obs::emit` closure path, so the disabled run never even constructs
+/// the events.
+#[test]
+fn serve_telemetry_is_observation_neutral() {
+    use tfgc::tasking::{serve_requests, Request, SuspendPolicy, TaskConfig};
+
+    let c = Compiled::compile(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+         fun churn n = sum (build n) ;
+         fun spin n = if n = 0 then 0 else (let val x = n * n in spin (n - 1) end) ;
+         0",
+    )
+    .expect("compiles");
+    let churn = tfgc::tasking::find_fn(&c.program, "churn").expect("churn");
+    let spin = tfgc::tasking::find_fn(&c.program, "spin").expect("spin");
+    let requests: Vec<Request> = (0..24)
+        .map(|i| Request {
+            entry: if i % 5 == 4 { spin } else { churn },
+            arg: if i % 5 == 4 { 200 } else { 25 + (i % 7) * 10 },
+            kind: (i % 5 == 4) as u32,
+        })
+        .collect();
+
+    for s in [Strategy::Compiled, Strategy::Tagged, Strategy::AppelPerFn] {
+        let mk = || {
+            let mut tc = TaskConfig::new(s);
+            tc.heap_words = 1 << 10;
+            tc.policy = SuspendPolicy::EveryCall;
+            tc
+        };
+        let (plain, obs) =
+            serve_requests(&c.program, &requests, 3, 0, mk(), Obs::null()).expect("null run");
+        assert!(!obs.enabled(), "{s}");
+        let (observed, obs) = serve_requests(
+            &c.program,
+            &requests,
+            3,
+            16,
+            mk(),
+            Obs::serve(1 << 12, 1_000_000),
+        )
+        .expect("observed run");
+        assert!(
+            plain.heap.collections > 0,
+            "{s}: the differential must cover collections"
+        );
+        assert_eq!(
+            observed.outcomes, plain.outcomes,
+            "{s}: responses identical"
+        );
+        assert_eq!(observed.printed, plain.printed, "{s}");
+        assert_eq!(observed.heap, plain.heap, "{s}: HeapStats identical");
+        assert_eq!(
+            observed.mutator, plain.mutator,
+            "{s}: MutatorStats identical"
+        );
+        assert_eq!(
+            observed.gc.deterministic(),
+            plain.gc.deterministic(),
+            "{s}: GcStats identical up to wall-clock pause"
+        );
+        assert_eq!(
+            (observed.suspension_checks, observed.suspension_events),
+            (plain.suspension_checks, plain.suspension_events),
+            "{s}: suspension accounting identical"
+        );
+
+        // The telemetry itself is coherent: every request's start and
+        // end were seen, and the sampled occupancy timeline is nonempty.
+        let rec = obs.into_serve_recorder().expect("serve sink");
+        assert_eq!(rec.requests(), (24, 24, 0), "{s}");
+        assert_eq!(rec.latency_hist().count(), 24, "{s}");
+        assert!(!rec.samples().is_empty(), "{s}");
+    }
+
+    // The batch adapter (run_tasks) rides the same engine: its reports
+    // must also be sink-independent.
+    let entries = vec![(churn, 12), (churn, 15), (spin, 200)];
+    let cfg = || {
+        let mut tc = TaskConfig::new(Strategy::Compiled);
+        tc.heap_words = 1 << 10;
+        tc
+    };
+    let plain = tfgc::tasking::run_tasks(&c.program, &entries, cfg()).expect("plain tasks");
+    let (observed, _) = tfgc::tasking::run_tasks_with_obs(
+        &c.program,
+        &entries,
+        cfg(),
+        Obs::serve(1 << 12, 1_000_000),
+    )
+    .expect("observed tasks");
+    assert_eq!(observed.results, plain.results);
+    assert_eq!(observed.task_errors, plain.task_errors);
+    assert_eq!(observed.heap, plain.heap);
+    assert_eq!(observed.mutator, plain.mutator);
+}
+
 /// Reported pause time measures collection work, not observation setup:
 /// the pause clock starts *after* the `CollectionBegin` event is
 /// emitted, so a sink that pays per-emit cost cannot charge its
