@@ -10,11 +10,14 @@
 //! tfml serve [SERVE OPTS]                  drive a seeded request mix against
 //!                                          a persistent heap; steady-state
 //!                                          telemetry + SLO gate
-//! tfml torture [--seeds N] [--oracle] [--serve]
+//! tfml torture [--seeds N] [--oracle] [--serve] [--overload]
 //!                                          fault-injection matrix over
 //!                                          seeded workloads × strategies
 //!                                          (--serve: mid-traffic faults
-//!                                          against the request server)
+//!                                          against the request server;
+//!                                          --serve --overload: burst /
+//!                                          deadline-storm / runaway-hog /
+//!                                          watermark-flap scenarios)
 //!
 //! OPTS:
 //!   --strategy S     compiled | compiled-nolive | interpreted | appel | tagged
@@ -41,9 +44,27 @@
 //!   --window-ms N             steady-state metrics window (default 10)
 //!   --sample-every N          occupancy sample period in quanta (default 32)
 //!   --json FILE               write the BENCH_SERVE.json document
+//!                             (includes the gated overload section)
 //!   --trace FILE              write a Chrome trace (single strategy only)
 //!   --slo-p99-latency-ms F    gate: p99 request latency ceiling
 //!   --slo-p99-pause-ms F      gate: p99 GC pause ceiling
+//!
+//! SERVE OVERLOAD OPTS (deterministic per seed):
+//!   --deadline-quanta N       service-wide deadline in scheduler quanta
+//!   --fuel N                  service-wide instruction-fuel budget
+//!   --queue-cap N             admission-queue depth beyond idle slots
+//!                             (0 = unbounded)
+//!   --admission POLICY        reject | backoff[:ATTEMPTS:BASE]
+//!                             | degrade[:MINKIND]
+//!   --soft-watermark PCT      heap pressure: proactive GC + throttling
+//!   --hard-watermark PCT      heap pressure: shed new admissions
+//!   --breaker-threshold K     consecutive quarantines that open a
+//!                             kind's circuit breaker (0 = off)
+//!   --breaker-cooldown N      quanta an open breaker fast-rejects
+//!   --drain-after N           stop admitting from this quantum on
+//!   --runaway-every N         replace every Nth request with a
+//!                             non-terminating handler (pair with a
+//!                             deadline or fuel budget)
 //! ```
 
 use std::process::ExitCode;
@@ -84,6 +105,39 @@ fn parse_strategy(s: &str) -> Result<Strategy, String> {
         "appel" => Strategy::AppelPerFn,
         "tagged" => Strategy::Tagged,
         other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+/// `reject`, `backoff[:ATTEMPTS:BASE]`, or `degrade[:MINKIND]`.
+fn parse_admission(s: &str) -> Result<tfgc::AdmissionPolicy, String> {
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    let arg = |i: usize, what: &str| -> Result<u64, String> {
+        rest.get(i)
+            .ok_or(format!("--admission {head} needs {what}"))?
+            .parse()
+            .map_err(|e| format!("bad --admission {what}: {e}"))
+    };
+    Ok(match (head, rest.len()) {
+        ("reject", 0) => tfgc::AdmissionPolicy::Reject,
+        ("backoff", 0) => tfgc::AdmissionPolicy::RetryBackoff {
+            max_attempts: 6,
+            base: 16,
+        },
+        ("backoff", 2) => tfgc::AdmissionPolicy::RetryBackoff {
+            max_attempts: arg(0, "ATTEMPTS")? as u32,
+            base: arg(1, "BASE")?,
+        },
+        ("degrade", 0) => tfgc::AdmissionPolicy::Degrade { low_kind_min: 2 },
+        ("degrade", 1) => tfgc::AdmissionPolicy::Degrade {
+            low_kind_min: arg(0, "MINKIND")? as u32,
+        },
+        _ => {
+            return Err(format!(
+                "unknown --admission `{s}` (reject | backoff[:ATTEMPTS:BASE] | degrade[:MINKIND])"
+            ))
+        }
     })
 }
 
@@ -181,8 +235,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
              [--trace FILE] [--metrics FILE] [--events N] <file | -e SRC>\n\
              tfml serve [--strategy S|all] [--requests N] [--pool N] [--seed N] [--heap N] \
              [--heap-max N] [--quantum N] [--window-ms N] [--sample-every N] [--json FILE] \
-             [--trace FILE] [--slo-p99-latency-ms F] [--slo-p99-pause-ms F]\n\
-             tfml torture [--seeds N] [--oracle] [--serve]"
+             [--trace FILE] [--slo-p99-latency-ms F] [--slo-p99-pause-ms F] \
+             [--deadline-quanta N] [--fuel N] [--queue-cap N] \
+             [--admission reject|backoff[:A:B]|degrade[:K]] [--soft-watermark PCT] \
+             [--hard-watermark PCT] [--breaker-threshold K] [--breaker-cooldown N] \
+             [--drain-after N] [--runaway-every N]\n\
+             tfml torture [--seeds N] [--oracle] [--serve] [--overload]"
         );
         return Ok(());
     }
@@ -472,6 +530,47 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 i += 1;
                 slo_pause_ms = Some(num(args, i, "--slo-p99-pause-ms")?);
             }
+            "--deadline-quanta" => {
+                i += 1;
+                base.overload.deadline_quanta = Some(num(args, i, "--deadline-quanta")?);
+            }
+            "--fuel" => {
+                i += 1;
+                base.overload.fuel = Some(num(args, i, "--fuel")?);
+            }
+            "--queue-cap" => {
+                i += 1;
+                base.overload.queue_cap = num(args, i, "--queue-cap")?;
+            }
+            "--admission" => {
+                i += 1;
+                let v = args.get(i).ok_or("--admission needs a value")?;
+                base.overload.admission = parse_admission(v)?;
+            }
+            "--soft-watermark" => {
+                i += 1;
+                base.overload.soft_watermark_pct = Some(num(args, i, "--soft-watermark")?);
+            }
+            "--hard-watermark" => {
+                i += 1;
+                base.overload.hard_watermark_pct = Some(num(args, i, "--hard-watermark")?);
+            }
+            "--breaker-threshold" => {
+                i += 1;
+                base.overload.breaker_threshold = num(args, i, "--breaker-threshold")?;
+            }
+            "--breaker-cooldown" => {
+                i += 1;
+                base.overload.breaker_cooldown = num(args, i, "--breaker-cooldown")?;
+            }
+            "--drain-after" => {
+                i += 1;
+                base.overload.drain_after = Some(num(args, i, "--drain-after")?);
+            }
+            "--runaway-every" => {
+                i += 1;
+                base.runaway_every = num(args, i, "--runaway-every")?;
+            }
             other => return Err(format!("serve: unknown option `{other}`")),
         }
         i += 1;
@@ -481,6 +580,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if base.pool == 0 {
         return Err("serve: --pool must be at least 1".into());
+    }
+    if base.runaway_every > 0
+        && base.overload.deadline_quanta.is_none()
+        && base.overload.fuel.is_none()
+    {
+        return Err(
+            "serve: --runaway-every needs --deadline-quanta or --fuel (a runaway \
+             handler never terminates on its own)"
+                .into(),
+        );
     }
 
     let mut runs = Vec::new();
@@ -492,9 +601,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("{}", tfgc::serve_table(&runs).render());
 
     if let Some(path) = &json_path {
-        let doc = tfgc::serve_doc(base.seed, base.requests, base.pool, &runs);
+        // The exported document always carries the canonical overload
+        // section: the burst scenario per strategy, gated on graceful
+        // degradation (conservation, goodput floor, shed-rate ceiling).
+        let (overload_section, overload_violations) = tfgc::bench_overload_json(base.seed)?;
+        let mut doc = tfgc::serve_doc(base.seed, base.requests, base.pool, &runs);
+        if let tfgc::obs::Json::Obj(fields) = &mut doc {
+            fields.push(("overload".to_string(), overload_section));
+        }
         std::fs::write(path, doc.to_json_pretty())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        if !overload_violations.is_empty() {
+            return Err(format!(
+                "overload SLO violations:\n  {}",
+                overload_violations.join("\n  ")
+            ));
+        }
+        eprintln!("overload SLO: pass ({} strategies)", Strategy::ALL.len());
     }
     if let Some(path) = &trace_path {
         let events: Vec<GcEvent> = runs[0].rec.ring().events().iter().cloned().collect();
@@ -526,6 +649,7 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
     let mut n_seeds = 8u64;
     let mut oracle = false;
     let mut serve_mode = false;
+    let mut overload = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -539,11 +663,44 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
             }
             "--oracle" => oracle = true,
             "--serve" => serve_mode = true,
+            "--overload" => overload = true,
             other => return Err(format!("torture: unknown option `{other}`")),
         }
         i += 1;
     }
     let seeds: Vec<u64> = (0..n_seeds).collect();
+    if overload && !serve_mode {
+        return Err("torture: --overload needs --serve".into());
+    }
+    if serve_mode && overload {
+        let cases = tfgc::torture_overload(&seeds);
+        let mut bad = 0;
+        for c in &cases {
+            let status = if c.violations.is_empty() {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "overload {status}: {} under {} seed {} completed {} failed {} shed {}",
+                c.scenario, c.strategy, c.seed, c.completed, c.failed, c.shed
+            );
+            for v in &c.violations {
+                println!("  violation: {v}");
+                bad += 1;
+            }
+        }
+        println!(
+            "{} overload cases ({} scenarios x {} seeds x 2 strategies)",
+            cases.len(),
+            tfgc::OVERLOAD_SCENARIOS.len(),
+            seeds.len()
+        );
+        if bad > 0 {
+            return Err(format!("{bad} overload-torture violation(s)"));
+        }
+        return Ok(());
+    }
     if serve_mode {
         let cases = tfgc::torture_serve(&seeds);
         let mut bad = 0;

@@ -35,8 +35,10 @@ pub use pipeline::{compile_and_run, CompileError, Compiled};
 pub use profile::{metrics_json, profile_report, site_label};
 pub use report::{ratio, Table};
 pub use serve::{
-    bench_serve_json, check_slo, serve, serve_doc, serve_json, serve_table, torture_serve,
-    MixEntry, ServeConfig, ServeRun, ServeTortureCase, Slo, SERVICE_SRC,
+    bench_overload_json, bench_serve_json, check_overload_slo, check_slo, overload_scenario, serve,
+    serve_doc, serve_json, serve_table, torture_overload, torture_serve, MixEntry, OverloadSlo,
+    OverloadTortureCase, ServeConfig, ServeRun, ServeTortureCase, Slo, OVERLOAD_SCENARIOS,
+    SERVICE_SRC,
 };
 pub use torture::{
     oracle_check, torture, OracleReport, TortureCase, TortureOutcome, TortureReport,
@@ -56,6 +58,7 @@ pub use tfgc_workloads as workloads;
 
 // The names used in almost every example and bench.
 pub use tfgc_gc::Strategy;
+pub use tfgc_tasking::{AdmissionPolicy, OverloadConfig, Request};
 pub use tfgc_vm::{RunOutcome, VmConfig, VmError};
 
 #[cfg(test)]

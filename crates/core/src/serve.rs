@@ -20,13 +20,29 @@
 //! `(seed, requests, pool, strategy)` and is diffed byte-for-byte in CI.
 //! [`check_slo`] is the gate: p99 request latency and p99 pause under
 //! fixed thresholds, zero failed requests.
+//!
+//! Overload is a first-class regime, not a failure: [`ServeConfig`]
+//! embeds an [`OverloadConfig`] (deadline/fuel budgets, bounded-queue
+//! admission with backpressure, heap-pressure watermarks, per-kind
+//! circuit breakers) and `runaway_every` injects handlers that never
+//! terminate on their own — the budgets must catch them. The
+//! degradation contract is checked two ways: [`check_overload_slo`]
+//! gates the canonical burst scenario ([`overload_scenario`]) on
+//! conservation, goodput, and shed rate, and [`torture_overload`] races
+//! the mechanisms through seeded burst / deadline-storm / runaway-hog /
+//! watermark-flap cases that must never raw-panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::pipeline::Compiled;
 use crate::report::Table;
 use tfgc_gc::Strategy;
 use tfgc_obs::{Json, Obs, ServeRecorder};
-use tfgc_tasking::{find_fn, serve_requests, Request, ServeReport, SuspendPolicy, TaskConfig};
-use tfgc_vm::FaultPlan;
+use tfgc_tasking::{
+    find_fn, serve_requests_overload, AdmissionPolicy, OverloadConfig, Request, ServeReport,
+    SuspendPolicy, TaskConfig,
+};
+use tfgc_vm::{FaultPlan, VmError};
 use tfgc_workloads::SmallRng;
 
 /// The service program: a persistent global table (the shared heap
@@ -52,6 +68,7 @@ pub const SERVICE_SRC: &str = "
     fun req_close n = sum (map (fn x => x * 2) (build n)) ;
     fun req_spin n = (spin (n * 4); n) ;
     fun req_hog n = sum (build (n * 32)) ;
+    fun req_runaway n = if n = 0 then 0 else req_runaway (n + 1) ;
     0";
 
 /// One traffic class in the service mix.
@@ -134,6 +151,19 @@ pub struct ServeConfig {
     /// set dwarfs a torture-sized heap (0 = no hogs). Hogs report as
     /// kind [`MIX`]`.len()` ("hog" in the exported mix counts).
     pub hog_every: usize,
+    /// Replace every `runaway_every`-th request with a `req_runaway`
+    /// that never terminates on its own (0 = no runaways). Pair it with
+    /// a deadline or fuel budget in [`ServeConfig::overload`] — without
+    /// one the run only ends at the whole-machine step limit. Runaways
+    /// report as kind [`MIX`]`.len() + 1` ("runaway" in the exported mix
+    /// counts).
+    pub runaway_every: usize,
+    /// Overload management: budgets, bounded-queue admission,
+    /// watermarks, circuit breakers, drain. [`OverloadConfig::none`]
+    /// reproduces the plain engine exactly. The jitter seed is
+    /// overridden with [`ServeConfig::seed`] at run time so one seed
+    /// determines the whole run.
+    pub overload: OverloadConfig,
 }
 
 impl ServeConfig {
@@ -156,6 +186,8 @@ impl ServeConfig {
             sample_every: 32,
             fault_plan: None,
             hog_every: 0,
+            runaway_every: 0,
+            overload: OverloadConfig::none(),
         }
     }
 }
@@ -184,11 +216,7 @@ pub fn build_traffic(
                 draw -= mix[k].weight;
                 k += 1;
             }
-            Request {
-                entry: entries[k],
-                arg: rng.gen_range(mix[k].lo, mix[k].hi),
-                kind: k as u32,
-            }
+            Request::new(entries[k], rng.gen_range(mix[k].lo, mix[k].hi), k as u32)
         })
         .collect()
 }
@@ -217,18 +245,22 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeRun, String> {
         let hog = find_fn(&c.program, "req_hog").expect("service program has req_hog");
         for (i, r) in traffic.iter_mut().enumerate() {
             if (i + 1) % cfg.hog_every == 0 {
-                *r = Request {
-                    entry: hog,
-                    // ~64-96 * 32 live cons cells: far past a
-                    // torture-sized heap ceiling, deterministic per
-                    // (seed, position).
-                    arg: 64 + ((cfg.seed + i as u64) % 32) as i64,
-                    kind: MIX.len() as u32,
-                };
+                // ~64-96 * 32 live cons cells: far past a torture-sized
+                // heap ceiling, deterministic per (seed, position).
+                let arg = 64 + ((cfg.seed + i as u64) % 32) as i64;
+                *r = Request::new(hog, arg, MIX.len() as u32);
             }
         }
     }
-    let mut mix_counts = vec![0u64; MIX.len() + 1];
+    if cfg.runaway_every > 0 {
+        let runaway = find_fn(&c.program, "req_runaway").expect("service program has req_runaway");
+        for (i, r) in traffic.iter_mut().enumerate() {
+            if (i + 1) % cfg.runaway_every == 0 {
+                *r = Request::new(runaway, 1, MIX.len() as u32 + 1);
+            }
+        }
+    }
+    let mut mix_counts = vec![0u64; MIX.len() + 2];
     for r in &traffic {
         mix_counts[r.kind as usize] += 1;
     }
@@ -239,8 +271,18 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeRun, String> {
     tc.quantum = cfg.quantum;
     tc.fault_plan = cfg.fault_plan;
     let obs = Obs::serve(cfg.ring, cfg.window_ms.max(1) * 1_000_000);
-    let (report, obs) = serve_requests(&c.program, &traffic, cfg.pool, cfg.sample_every, tc, obs)
-        .map_err(|e| format!("{} serve: {e}", cfg.strategy))?;
+    let mut overload = cfg.overload;
+    overload.seed = cfg.seed;
+    let (report, obs) = serve_requests_overload(
+        &c.program,
+        &traffic,
+        cfg.pool,
+        cfg.sample_every,
+        tc,
+        overload,
+        obs,
+    )
+    .map_err(|e| format!("{} serve: {e}", cfg.strategy))?;
     let rec = obs.into_serve_recorder().expect("serve sink attached");
     Ok(ServeRun {
         config: cfg.clone(),
@@ -279,11 +321,47 @@ pub fn serve_json(run: &ServeRun) -> Json {
     let mix = Json::Obj(
         MIX.iter()
             .map(|m| m.name)
-            .chain(std::iter::once("hog"))
+            .chain(["hog", "runaway"])
             .zip(&run.mix_counts)
             .map(|(name, n)| (name.to_string(), Json::Num(*n as f64)))
             .collect(),
     );
+    // Goodput/shed-rate are ratios of deterministic counters; the
+    // breaker/backlog folds come from quantum-clocked events — all of it
+    // diffs clean across same-seed runs.
+    let overload = Json::obj([
+        ("shed", Json::Num(r.shed as f64)),
+        (
+            "shed_by_reason",
+            Json::Obj(
+                run.rec
+                    .shed_by_reason()
+                    .iter()
+                    .map(|(reason, n)| (reason.to_string(), Json::Num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "deadline_exceeded",
+            Json::Num(run.rec.deadline_exceeded() as f64),
+        ),
+        ("breaker_trips", Json::Num(r.breaker_trips as f64)),
+        (
+            "breaker_final",
+            Json::arr(r.breaker_final.iter().map(|(kind, state)| {
+                Json::obj([
+                    ("kind", Json::Num(f64::from(*kind))),
+                    ("state", Json::str(*state)),
+                ])
+            })),
+        ),
+        ("goodput", Json::Num(run.rec.goodput())),
+        ("shed_rate", Json::Num(run.rec.shed_rate())),
+        (
+            "conservation",
+            Json::Bool(r.completed + r.failed + r.shed == r.outcomes.len() as u64),
+        ),
+    ]);
     let deterministic = Json::obj([
         (
             "requests",
@@ -291,6 +369,7 @@ pub fn serve_json(run: &ServeRun) -> Json {
                 ("total", Json::Num(r.outcomes.len() as f64)),
                 ("completed", Json::Num(r.completed as f64)),
                 ("failed", Json::Num(r.failed as f64)),
+                ("shed", Json::Num(r.shed as f64)),
             ]),
         ),
         ("mix", mix),
@@ -319,6 +398,7 @@ pub fn serve_json(run: &ServeRun) -> Json {
             "max_suspension_latency",
             Json::Num(r.max_suspension_latency as f64),
         ),
+        ("overload", overload),
     ]);
     Json::obj([
         ("strategy", Json::str(run.config.strategy.name())),
@@ -387,7 +467,10 @@ pub struct Slo {
 
 /// Checks one run against the objectives. Empty = pass. Beyond the two
 /// latency ceilings, service integrity itself is an objective: every
-/// request resolved, none failed.
+/// request resolved exactly one way (`completed + failed + shed ==
+/// total`), and none failed — except that when the run configures a
+/// deadline or fuel budget, budget breaches are the mechanism working
+/// as intended and do not count as failures.
 pub fn check_slo(run: &ServeRun, slo: Slo) -> Vec<String> {
     let name = run.config.strategy.name();
     let mut violations = Vec::new();
@@ -399,11 +482,31 @@ pub fn check_slo(run: &ServeRun, slo: Slo) -> Vec<String> {
             run.config.requests
         ));
     }
+    if r.completed + r.failed + r.shed != r.outcomes.len() as u64 {
+        violations.push(format!(
+            "{name}: conservation violated: {} completed + {} failed + {} shed != {} total",
+            r.completed,
+            r.failed,
+            r.shed,
+            r.outcomes.len()
+        ));
+    }
     if r.completed == 0 {
         violations.push(format!("{name}: zero requests completed"));
     }
-    if r.failed > 0 {
-        violations.push(format!("{name}: {} requests failed", r.failed));
+    let budgeted =
+        run.config.overload.deadline_quanta.is_some() || run.config.overload.fuel.is_some();
+    let unexpected_failures = r
+        .outcomes
+        .iter()
+        .filter(|o| match &o.error {
+            None => false,
+            Some(VmError::DeadlineExceeded { .. }) => !budgeted,
+            Some(_) => true,
+        })
+        .count();
+    if unexpected_failures > 0 {
+        violations.push(format!("{name}: {unexpected_failures} requests failed"));
     }
     let p99_latency = run.rec.latency_hist().p99();
     if p99_latency > slo.max_p99_latency_ns {
@@ -422,12 +525,300 @@ pub fn check_slo(run: &ServeRun, slo: Slo) -> Vec<String> {
     violations
 }
 
+/// Objectives for a run that is *supposed* to be overloaded: the
+/// service must degrade (shed, quarantine) without collapsing.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSlo {
+    /// Ceiling on the shed fraction of submitted work.
+    pub max_shed_rate: f64,
+    /// Floor on goodput (completed / submitted).
+    pub min_goodput: f64,
+}
+
+impl OverloadSlo {
+    /// The CI gate for [`overload_scenario`]: bounded shedding, nonzero
+    /// goodput. Deliberately loose — the gate is about degradation shape
+    /// (conserve every request, keep completing work), not throughput.
+    pub fn gate() -> OverloadSlo {
+        OverloadSlo {
+            max_shed_rate: 0.9,
+            min_goodput: 0.05,
+        }
+    }
+}
+
+/// Checks an overload run: every request resolved, conservation holds,
+/// goodput above the floor, shed rate below the ceiling. Empty = pass.
+pub fn check_overload_slo(run: &ServeRun, slo: OverloadSlo) -> Vec<String> {
+    let name = run.config.strategy.name();
+    let mut violations = Vec::new();
+    let r = &run.report;
+    if r.outcomes.len() != run.config.requests {
+        violations.push(format!(
+            "{name}: {} of {} requests resolved",
+            r.outcomes.len(),
+            run.config.requests
+        ));
+    }
+    if r.completed + r.failed + r.shed != r.outcomes.len() as u64 {
+        violations.push(format!(
+            "{name}: conservation violated: {} completed + {} failed + {} shed != {} total",
+            r.completed,
+            r.failed,
+            r.shed,
+            r.outcomes.len()
+        ));
+    }
+    let goodput = run.rec.goodput();
+    if goodput < slo.min_goodput {
+        violations.push(format!(
+            "{name}: goodput {goodput:.3} < {:.3}",
+            slo.min_goodput
+        ));
+    }
+    let shed_rate = run.rec.shed_rate();
+    if shed_rate > slo.max_shed_rate {
+        violations.push(format!(
+            "{name}: shed rate {shed_rate:.3} > {:.3}",
+            slo.max_shed_rate
+        ));
+    }
+    violations
+}
+
+/// The canonical overload scenario for the benchmark document: a burst
+/// of 160 requests (every 16th a runaway) against 3 slots behind a
+/// bounded queue with backoff, watermarks, and a circuit breaker over
+/// the runaway kind. Deadlines catch the runaways; the breaker
+/// fast-rejects the kind once it proves itself hostile.
+pub fn overload_scenario(strategy: Strategy, seed: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(strategy);
+    cfg.seed = seed;
+    cfg.requests = 160;
+    cfg.pool = 3;
+    cfg.runaway_every = 16;
+    cfg.overload = OverloadConfig {
+        queue_cap: 8,
+        admission: AdmissionPolicy::RetryBackoff {
+            max_attempts: 8,
+            base: 16,
+        },
+        deadline_quanta: Some(1_500),
+        fuel: None,
+        soft_watermark_pct: Some(70),
+        hard_watermark_pct: Some(95),
+        breaker_threshold: 3,
+        breaker_cooldown: 384,
+        drain_after: None,
+        seed,
+    };
+    cfg
+}
+
+/// Runs [`overload_scenario`] under every strategy and assembles the
+/// `"overload"` section of `BENCH_SERVE.json`, returning it together
+/// with any [`OverloadSlo::gate`] violations (CI fails on any).
+///
+/// # Errors
+///
+/// Propagates the first failing strategy's whole-machine error.
+pub fn bench_overload_json(seed: u64) -> Result<(Json, Vec<String>), String> {
+    let slo = OverloadSlo::gate();
+    let mut entries = Vec::new();
+    let mut violations = Vec::new();
+    for s in Strategy::ALL {
+        let run = serve(&overload_scenario(s, seed))?;
+        violations.extend(check_overload_slo(&run, slo));
+        entries.push(serve_json(&run));
+    }
+    let section = Json::obj([
+        (
+            "doc",
+            Json::obj([
+                (
+                    "scenario",
+                    Json::str("burst: 160 requests (every 16th a runaway) over 3 slots"),
+                ),
+                (
+                    "gate",
+                    Json::str(
+                        "conservation holds, goodput above floor, shed rate below \
+                         ceiling, per strategy",
+                    ),
+                ),
+            ]),
+        ),
+        ("seed", Json::Num(seed as f64)),
+        ("strategies", Json::Arr(entries)),
+    ]);
+    Ok((section, violations))
+}
+
+/// One overload-torture case.
+#[derive(Debug)]
+pub struct OverloadTortureCase {
+    pub strategy: Strategy,
+    pub seed: u64,
+    /// Scenario name (`burst`, `deadline-storm`, `runaway-hog`,
+    /// `watermark-flap`).
+    pub scenario: &'static str,
+    pub completed: u64,
+    pub failed: u64,
+    pub shed: u64,
+    /// Invariant violations (empty = graceful degradation held).
+    pub violations: Vec<String>,
+}
+
+/// Seeded overload-torture configurations. Every scenario keeps the
+/// torture-sized heap of [`torture_serve`]; each stresses one mechanism:
+///
+/// * `burst` — 60 requests hit a 4-deep queue at once; backoff must
+///   either drain or shed them, never lose one.
+/// * `deadline-storm` — a service-wide deadline tight enough to kill the
+///   long tail of the mix while short requests still complete.
+/// * `runaway-hog` — runaways and heap hogs interleaved; deadlines
+///   quarantine the former, the breaker learns to fast-reject the kind.
+/// * `watermark-flap` — a heap squeezed by hogs and a refused-growth
+///   fault, with watermarks throttling and degrading admissions as
+///   occupancy crosses the thresholds both ways.
+fn overload_torture_config(scenario: &'static str, strategy: Strategy, seed: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(strategy);
+    cfg.seed = seed;
+    cfg.requests = 60;
+    cfg.pool = 3;
+    cfg.heap_words = 1 << 10;
+    cfg.heap_max_words = Some(1 << 14);
+    cfg.sample_every = 16;
+    match scenario {
+        "burst" => {
+            cfg.overload.queue_cap = 4;
+            cfg.overload.admission = AdmissionPolicy::RetryBackoff {
+                max_attempts: 4,
+                base: 8 + seed % 8,
+            };
+        }
+        "deadline-storm" => {
+            // Unbounded queue: the deadline is the only mechanism under
+            // test, and it must kill the mix's long tail while short
+            // requests still complete.
+            cfg.overload.deadline_quanta = Some(60 + seed % 90);
+        }
+        "runaway-hog" => {
+            cfg.runaway_every = 6;
+            cfg.hog_every = 7;
+            cfg.overload.deadline_quanta = Some(800);
+            cfg.overload.breaker_threshold = 2;
+            cfg.overload.breaker_cooldown = 200 + seed % 200;
+            cfg.overload.queue_cap = 6;
+            cfg.overload.admission = AdmissionPolicy::RetryBackoff {
+                max_attempts: 6,
+                base: 16,
+            };
+        }
+        "watermark-flap" => {
+            cfg.heap_max_words = Some(1 << 12);
+            cfg.hog_every = 5;
+            cfg.overload.soft_watermark_pct = Some(50);
+            cfg.overload.hard_watermark_pct = Some(85);
+            cfg.overload.queue_cap = 4;
+            cfg.overload.admission = AdmissionPolicy::Degrade { low_kind_min: 2 };
+            cfg.overload.deadline_quanta = Some(4_000);
+            cfg.fault_plan = Some(FaultPlan {
+                exhaust_at: Some(300 + seed % 300),
+                ..FaultPlan::none()
+            });
+        }
+        other => unreachable!("unknown overload scenario {other}"),
+    }
+    cfg
+}
+
+/// Scenario names for [`torture_overload`].
+pub const OVERLOAD_SCENARIOS: [&str; 4] =
+    ["burst", "deadline-storm", "runaway-hog", "watermark-flap"];
+
+/// Races the overload mechanisms: for each seed, every scenario under
+/// the compiled and tagged strategies. The contract per case: no panic
+/// of any kind escapes, every request resolves exactly one way
+/// (conservation), and the service keeps completing work. Panic output
+/// is suppressed for the duration (the hook is restored before
+/// returning).
+pub fn torture_overload(seeds: &[u64]) -> Vec<OverloadTortureCase> {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut cases = Vec::new();
+    for &seed in seeds {
+        for scenario in OVERLOAD_SCENARIOS {
+            for strategy in [Strategy::Compiled, Strategy::Tagged] {
+                let cfg = overload_torture_config(scenario, strategy, seed);
+                let mut violations = Vec::new();
+                let (completed, failed, shed) = match catch_unwind(AssertUnwindSafe(|| serve(&cfg)))
+                {
+                    Ok(Ok(run)) => {
+                        let r = &run.report;
+                        if r.outcomes.len() != cfg.requests {
+                            violations.push(format!(
+                                "{} of {} requests resolved",
+                                r.outcomes.len(),
+                                cfg.requests
+                            ));
+                        }
+                        if r.completed + r.failed + r.shed != r.outcomes.len() as u64 {
+                            violations.push(format!(
+                                "conservation violated: {} + {} + {} != {}",
+                                r.completed,
+                                r.failed,
+                                r.shed,
+                                r.outcomes.len()
+                            ));
+                        }
+                        if r.completed == 0 {
+                            violations.push("service collapsed: nothing completed".to_string());
+                        }
+                        (r.completed, r.failed, r.shed)
+                    }
+                    Ok(Err(e)) => {
+                        violations.push(format!("service dropped: {e}"));
+                        (0, 0, 0)
+                    }
+                    Err(payload) => {
+                        violations.push(format!("raw panic: {}", panic_text(payload.as_ref())));
+                        (0, 0, 0)
+                    }
+                };
+                cases.push(OverloadTortureCase {
+                    strategy,
+                    seed,
+                    scenario,
+                    completed,
+                    failed,
+                    shed,
+                    violations,
+                });
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    cases
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Human summary across runs: one row per strategy.
 pub fn serve_table(runs: &[ServeRun]) -> Table {
     let mut t = Table::new(&[
         "strategy",
         "completed",
         "failed",
+        "shed",
         "collections",
         "lat p50",
         "lat p99",
@@ -442,6 +833,7 @@ pub fn serve_table(runs: &[ServeRun]) -> Table {
             run.config.strategy.name().to_string(),
             run.report.completed.to_string(),
             run.report.failed.to_string(),
+            run.report.shed.to_string(),
             run.report.heap.collections.to_string(),
             format!("{}us", lat.p50() / 1_000),
             format!("{}us", lat.p99() / 1_000),
@@ -636,6 +1028,70 @@ mod tests {
         };
         let v = check_slo(&run, absurd);
         assert!(v.iter().any(|s| s.contains("p99 request latency")), "{v:?}");
+    }
+
+    #[test]
+    fn runaways_are_quarantined_by_deadline_while_siblings_complete() {
+        let mut cfg = ServeConfig::new(Strategy::Compiled);
+        cfg.requests = 32;
+        cfg.pool = 3;
+        cfg.runaway_every = 8;
+        cfg.overload.deadline_quanta = Some(1_200);
+        let run = serve(&cfg).unwrap();
+        let r = &run.report;
+        let runaway_kind = MIX.len() as u32 + 1;
+        assert_eq!(run.mix_counts[runaway_kind as usize], 4);
+        for (i, o) in r.outcomes.iter().enumerate() {
+            if o.kind == runaway_kind {
+                assert!(
+                    matches!(o.error, Some(VmError::DeadlineExceeded { .. })),
+                    "runaway {i} must breach its deadline: {o:?}"
+                );
+            }
+        }
+        assert_eq!(r.failed, 4, "exactly the runaways fail");
+        assert_eq!(r.completed, 28, "every sibling completes");
+        assert_eq!(r.completed + r.failed + r.shed, r.outcomes.len() as u64);
+    }
+
+    #[test]
+    fn overload_scenario_degrades_without_collapsing() {
+        let run = serve(&overload_scenario(Strategy::Compiled, 1)).unwrap();
+        let v = check_overload_slo(&run, OverloadSlo::gate());
+        assert!(v.is_empty(), "{v:?}");
+        assert!(run.report.failed > 0, "no runaway was ever quarantined");
+        assert!(
+            run.rec.deadline_exceeded() > 0,
+            "deadline events must reach the recorder"
+        );
+        let again = serve(&overload_scenario(Strategy::Compiled, 1)).unwrap();
+        assert_eq!(
+            serve_json(&run).get("deterministic"),
+            serve_json(&again).get("deterministic"),
+            "the overload block must diff clean across same-seed runs"
+        );
+    }
+
+    #[test]
+    fn overload_torture_conserves_every_request() {
+        let cases = torture_overload(&[0, 1, 2]);
+        assert_eq!(cases.len(), 3 * OVERLOAD_SCENARIOS.len() * 2);
+        for c in &cases {
+            assert!(
+                c.violations.is_empty(),
+                "{} under {} seed {}: {:?}",
+                c.scenario,
+                c.strategy,
+                c.seed,
+                c.violations
+            );
+        }
+        // The matrix proves nothing unless the mechanisms actually bit.
+        assert!(cases.iter().any(|c| c.shed > 0), "no case ever shed");
+        assert!(
+            cases.iter().any(|c| c.failed > 0),
+            "no case ever quarantined"
+        );
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! * serve-mode heap samples → counter (`"ph": "C"`) events on the
 //!   `heap_words`, `live_words`, and `in_flight_requests` tracks, so
 //!   occupancy and load render as timelines under the duration events;
+//! * serve-mode backlog samples → counter events on the
+//!   `backlog_queued`, `backlog_waiting`, and `watermark_level` tracks;
+//! * circuit-breaker transitions → a `breaker_state_k{kind}` counter
+//!   track (0 = closed, 1 = half-open, 2 = open) plus an instant event
+//!   per transition;
+//! * request sheds and deadline breaches → instant events;
 //! * serve-mode request start/end → async (`"ph": "b"`/`"e"`) events
 //!   keyed by request id, so each request renders as a span;
 //! * frame visits, routine runs, and object copies are deliberately not
@@ -100,6 +106,36 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
                 out.push_str(",\n");
             }
             continue;
+        }
+        // Backlog samples likewise expand to one counter line per series.
+        if let GcEvent::BacklogSample {
+            t_ns,
+            queued,
+            waiting,
+            watermark,
+        } = *ev
+        {
+            for (name, v) in [
+                ("backlog_queued", u64::from(queued)),
+                ("backlog_waiting", u64::from(waiting)),
+                ("watermark_level", u64::from(watermark)),
+            ] {
+                out.push_str(&counter_line(name, us(t_ns), v).to_json());
+                out.push_str(",\n");
+            }
+            continue;
+        }
+        // Breaker transitions get a per-kind state counter track in
+        // addition to the instant event the match below emits.
+        if let Some((t_ns, kind, level)) = match *ev {
+            GcEvent::BreakerOpen { t_ns, kind, .. } => Some((t_ns, kind, 2)),
+            GcEvent::BreakerHalfOpen { t_ns, kind } => Some((t_ns, kind, 1)),
+            GcEvent::BreakerClose { t_ns, kind } => Some((t_ns, kind, 0)),
+            _ => None,
+        } {
+            let line = counter_line(&format!("breaker_state_k{kind}"), us(t_ns), level);
+            out.push_str(&line.to_json());
+            out.push_str(",\n");
         }
         let line = match *ev {
             GcEvent::CollectionBegin {
@@ -245,10 +281,72 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
                     ("ok", Json::Bool(ok)),
                 ]),
             )),
+            GcEvent::RequestShed {
+                t_ns, req, reason, ..
+            } => Some(trace_line(
+                "shed",
+                "serve",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([("req", Json::from(req)), ("reason", Json::str(reason))]),
+            )),
+            GcEvent::DeadlineExceeded {
+                t_ns,
+                req,
+                spent,
+                budget,
+                unit,
+                ..
+            } => Some(trace_line(
+                "deadline exceeded",
+                "serve",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([
+                    ("req", Json::from(req)),
+                    ("spent", Json::from(spent)),
+                    ("budget", Json::from(budget)),
+                    ("unit", Json::str(unit)),
+                ]),
+            )),
+            GcEvent::BreakerOpen {
+                t_ns,
+                kind,
+                consecutive,
+            } => Some(trace_line(
+                &format!("breaker open k{kind}"),
+                "serve",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([
+                    ("kind", Json::from(kind)),
+                    ("consecutive", Json::from(consecutive)),
+                ]),
+            )),
+            GcEvent::BreakerHalfOpen { t_ns, kind } => Some(trace_line(
+                &format!("breaker half-open k{kind}"),
+                "serve",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([("kind", Json::from(kind))]),
+            )),
+            GcEvent::BreakerClose { t_ns, kind } => Some(trace_line(
+                &format!("breaker close k{kind}"),
+                "serve",
+                "i",
+                us(t_ns),
+                None,
+                Json::obj([("kind", Json::from(kind))]),
+            )),
             GcEvent::FrameVisit { .. }
             | GcEvent::RoutineRun { .. }
             | GcEvent::ObjectCopied { .. }
-            | GcEvent::HeapSample { .. } => None,
+            | GcEvent::HeapSample { .. }
+            | GcEvent::BacklogSample { .. } => None,
         };
         if let Some(l) = line {
             out.push_str(&l.to_json());
@@ -429,6 +527,131 @@ mod tests {
             .unwrap();
         assert_eq!(last_heap.2, 64.0);
         assert_eq!(asyncs, 2, "request start + end exported as async pair");
+    }
+
+    /// Overload tracks: backlog samples expand to their three counter
+    /// series in loading order, breaker transitions produce both a
+    /// per-kind state counter and an instant event, and sheds/deadline
+    /// breaches export as instants.
+    #[test]
+    fn overload_counter_tracks_are_ordered_and_complete() {
+        let evs = vec![
+            GcEvent::BacklogSample {
+                t_ns: 10_000,
+                queued: 2,
+                waiting: 4,
+                watermark: 0,
+            },
+            GcEvent::RequestShed {
+                t_ns: 12_000,
+                req: 7,
+                kind: 1,
+                reason: "queue-full",
+            },
+            GcEvent::BreakerOpen {
+                t_ns: 14_000,
+                kind: 1,
+                consecutive: 3,
+            },
+            GcEvent::BacklogSample {
+                t_ns: 20_000,
+                queued: 5,
+                waiting: 1,
+                watermark: 2,
+            },
+            GcEvent::DeadlineExceeded {
+                t_ns: 22_000,
+                req: 3,
+                task: 0,
+                spent: 40,
+                budget: 32,
+                unit: "quanta",
+            },
+            GcEvent::BreakerHalfOpen {
+                t_ns: 24_000,
+                kind: 1,
+            },
+            GcEvent::BreakerClose {
+                t_ns: 26_000,
+                kind: 1,
+            },
+            GcEvent::BacklogSample {
+                t_ns: 30_000,
+                queued: 0,
+                waiting: 0,
+                watermark: 0,
+            },
+        ];
+        let text = write_chrome_trace(&evs);
+        let mut counters: Vec<(String, f64, f64)> = Vec::new();
+        let mut instants: Vec<String> = Vec::new();
+        for line in text.lines().skip(1) {
+            let line = line.trim_end_matches(',');
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            let name = match v.get("name") {
+                Some(Json::Str(n)) => n.clone(),
+                other => panic!("line without name: {other:?}"),
+            };
+            match v.get("ph") {
+                Some(Json::Str(ph)) if ph == "C" => {
+                    let ts = v.get("ts").unwrap().as_f64().unwrap();
+                    let value = v
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Json::as_f64)
+                        .expect("counter value is numeric");
+                    counters.push((name, ts, value));
+                }
+                Some(Json::Str(ph)) if ph == "i" => instants.push(name),
+                _ => {}
+            }
+        }
+        // Three series per backlog sample, three samples, plus three
+        // breaker-state counter points.
+        for series in ["backlog_queued", "backlog_waiting", "watermark_level"] {
+            let pts: Vec<(f64, f64)> = counters
+                .iter()
+                .filter(|(n, _, _)| n == series)
+                .map(|(_, t, v)| (*t, *v))
+                .collect();
+            assert_eq!(pts.len(), 3, "{series}");
+            assert!(
+                pts.windows(2).all(|w| w[0].0 <= w[1].0),
+                "{series} counters out of loading order: {pts:?}"
+            );
+        }
+        let breaker: Vec<(f64, f64)> = counters
+            .iter()
+            .filter(|(n, _, _)| n == "breaker_state_k1")
+            .map(|(_, t, v)| (*t, *v))
+            .collect();
+        assert_eq!(
+            breaker,
+            vec![(14.0, 2.0), (24.0, 1.0), (26.0, 0.0)],
+            "open → half-open → closed renders as 2 → 1 → 0"
+        );
+        // Watermark values survived the expansion.
+        let wm: Vec<f64> = counters
+            .iter()
+            .filter(|(n, _, _)| n == "watermark_level")
+            .map(|(_, _, v)| *v)
+            .collect();
+        assert_eq!(wm, vec![0.0, 2.0, 0.0]);
+        for inst in [
+            "shed",
+            "deadline exceeded",
+            "breaker open k1",
+            "breaker half-open k1",
+            "breaker close k1",
+        ] {
+            assert!(
+                instants.iter().any(|n| n == inst),
+                "missing instant {inst}: {instants:?}"
+            );
+        }
     }
 
     #[test]

@@ -131,6 +131,50 @@ pub enum GcEvent {
         live_words: u64,
         in_flight: u32,
     },
+    /// Overload management: a request was shed at admission instead of
+    /// dispatched. `reason` is one of `queue-full`, `hard-watermark`,
+    /// `soft-watermark`, `breaker-open`, `backoff-exhausted`, `degrade`,
+    /// `drain`.
+    RequestShed {
+        t_ns: u64,
+        req: u64,
+        kind: u32,
+        reason: &'static str,
+    },
+    /// A request exceeded its deadline (quanta) or fuel (instructions)
+    /// budget and was quarantined at a quantum boundary.
+    DeadlineExceeded {
+        t_ns: u64,
+        req: u64,
+        task: u32,
+        spent: u64,
+        budget: u64,
+        /// `"quanta"` or `"instructions"`.
+        unit: &'static str,
+    },
+    /// A handler kind's circuit breaker opened after `consecutive`
+    /// quarantines in a row; admissions of that kind fast-reject until
+    /// the cooldown elapses.
+    BreakerOpen {
+        t_ns: u64,
+        kind: u32,
+        consecutive: u32,
+    },
+    /// The breaker's cooldown elapsed; one probe request is admitted.
+    BreakerHalfOpen { t_ns: u64, kind: u32 },
+    /// The half-open probe completed cleanly; the breaker closed.
+    BreakerClose { t_ns: u64, kind: u32 },
+    /// Overload management: a backlog sample on the same deterministic
+    /// cadence as [`GcEvent::HeapSample`]. `queued` counts admitted
+    /// requests waiting for a slot, `waiting` counts arrivals deferred by
+    /// backoff/throttling, `watermark` is the heap-pressure level
+    /// (0 = normal, 1 = soft, 2 = hard).
+    BacklogSample {
+        t_ns: u64,
+        queued: u32,
+        waiting: u32,
+        watermark: u8,
+    },
 }
 
 impl GcEvent {
@@ -152,6 +196,12 @@ impl GcEvent {
             GcEvent::RequestStart { .. } => "request_start",
             GcEvent::RequestEnd { .. } => "request_end",
             GcEvent::HeapSample { .. } => "heap_sample",
+            GcEvent::RequestShed { .. } => "request_shed",
+            GcEvent::DeadlineExceeded { .. } => "deadline_exceeded",
+            GcEvent::BreakerOpen { .. } => "breaker_open",
+            GcEvent::BreakerHalfOpen { .. } => "breaker_half_open",
+            GcEvent::BreakerClose { .. } => "breaker_close",
+            GcEvent::BacklogSample { .. } => "backlog_sample",
         }
     }
 }

@@ -163,7 +163,13 @@ impl RingRecorder {
             | GcEvent::HeapGrown { .. }
             | GcEvent::RequestStart { .. }
             | GcEvent::RequestEnd { .. }
-            | GcEvent::HeapSample { .. } => {}
+            | GcEvent::HeapSample { .. }
+            | GcEvent::RequestShed { .. }
+            | GcEvent::DeadlineExceeded { .. }
+            | GcEvent::BreakerOpen { .. }
+            | GcEvent::BreakerHalfOpen { .. }
+            | GcEvent::BreakerClose { .. }
+            | GcEvent::BacklogSample { .. } => {}
         }
     }
 

@@ -11,6 +11,10 @@
 //!   pause distribution inside the window;
 //! * the heap-occupancy / live-words / in-flight timeline (from
 //!   `HeapSample` events), with deterministic peaks;
+//! * overload metrics — shed counts by reason, goodput and shed-rate,
+//!   deadline breaches, circuit-breaker transition counts, and the
+//!   admission-backlog / watermark timeline (from `RequestShed`,
+//!   `DeadlineExceeded`, `Breaker*`, and `BacklogSample` events);
 //! * a minimum-mutator-utilization (MMU) metric computed from the pause
 //!   intervals: for a window size `w`, the smallest fraction of any
 //!   length-`w` wall-clock interval the mutator got to run.
@@ -26,6 +30,7 @@ use crate::hist::Histogram;
 use crate::json::Json;
 use crate::ring::{hist_json, RingRecorder};
 use crate::sink::GcEventSink;
+use std::collections::BTreeMap;
 
 /// Windows tracked per run; later events fold into the last window so
 /// the recorder stays bounded even under a clock anomaly.
@@ -42,6 +47,8 @@ pub struct ServeWindow {
     pub collections: u64,
     /// Requests completed (ok or failed) in the window.
     pub requests_completed: u64,
+    /// Requests shed by admission control in the window.
+    pub requests_shed: u64,
     /// Pause distribution of the window's collections.
     pub pause: Histogram,
 }
@@ -63,6 +70,26 @@ pub struct OccupancyPoint {
     pub in_flight: u32,
 }
 
+/// One point of the admission-backlog timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BacklogPoint {
+    pub t_ns: u64,
+    /// Admitted requests waiting for a pool slot.
+    pub queued: u32,
+    /// Arrivals deferred by backoff or throttling.
+    pub waiting: u32,
+    /// Heap-pressure level: 0 = normal, 1 = soft, 2 = hard.
+    pub watermark: u8,
+}
+
+/// Circuit-breaker transition counts across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerCounts {
+    pub opens: u64,
+    pub half_opens: u64,
+    pub closes: u64,
+}
+
 /// The serve-mode sink: a [`RingRecorder`] plus steady-state aggregates.
 #[derive(Debug, Clone)]
 pub struct ServeRecorder {
@@ -75,6 +102,15 @@ pub struct ServeRecorder {
     started: u64,
     completed: u64,
     failed: u64,
+    shed: u64,
+    shed_reasons: BTreeMap<&'static str, u64>,
+    deadline_exceeded: u64,
+    breaker: BreakerCounts,
+    backlog: Vec<BacklogPoint>,
+    max_queued: u32,
+    max_waiting: u32,
+    /// Backlog samples at each watermark level (`[normal, soft, hard]`).
+    watermark_samples: [u64; 3],
     peak_heap_words: u64,
     peak_live_words: u64,
     max_in_flight: u32,
@@ -102,6 +138,14 @@ impl ServeRecorder {
             started: 0,
             completed: 0,
             failed: 0,
+            shed: 0,
+            shed_reasons: BTreeMap::new(),
+            deadline_exceeded: 0,
+            breaker: BreakerCounts::default(),
+            backlog: Vec::new(),
+            max_queued: 0,
+            max_waiting: 0,
+            watermark_samples: [0; 3],
             peak_heap_words: 0,
             peak_live_words: 0,
             max_in_flight: 0,
@@ -153,6 +197,63 @@ impl ServeRecorder {
     /// Requests dispatched / completed / failed.
     pub fn requests(&self) -> (u64, u64, u64) {
         (self.started, self.completed, self.failed)
+    }
+
+    /// Requests shed by admission control.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Shed counts by reason, sorted by reason name.
+    pub fn shed_by_reason(&self) -> &BTreeMap<&'static str, u64> {
+        &self.shed_reasons
+    }
+
+    /// Requests quarantined for breaching a deadline or fuel budget.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded
+    }
+
+    /// Circuit-breaker transition counts.
+    pub fn breaker_counts(&self) -> BreakerCounts {
+        self.breaker
+    }
+
+    /// The admission-backlog timeline.
+    pub fn backlog(&self) -> &[BacklogPoint] {
+        &self.backlog
+    }
+
+    /// Deepest sampled admitted queue and deferred-arrival backlog.
+    pub fn peak_backlog(&self) -> (u32, u32) {
+        (self.max_queued, self.max_waiting)
+    }
+
+    /// Backlog samples taken at each watermark level
+    /// (`[normal, soft, hard]`).
+    pub fn watermark_samples(&self) -> [u64; 3] {
+        self.watermark_samples
+    }
+
+    /// Completed requests as a fraction of all submitted work
+    /// (completed + failed + shed) — the run's goodput. 1.0 with no
+    /// traffic.
+    pub fn goodput(&self) -> f64 {
+        let submitted = self.completed + self.failed + self.shed;
+        if submitted == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / submitted as f64
+    }
+
+    /// Shed requests as a fraction of all submitted work. 0.0 with no
+    /// traffic.
+    pub fn shed_rate(&self) -> f64 {
+        let submitted = self.completed + self.failed + self.shed;
+        if submitted == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / submitted as f64
     }
 
     /// Peak sampled from-space occupancy in words (deterministic: samples
@@ -248,7 +349,12 @@ impl ServeRecorder {
             self.windows
                 .iter()
                 .enumerate()
-                .filter(|(_, w)| w.allocs > 0 || w.collections > 0 || w.requests_completed > 0)
+                .filter(|(_, w)| {
+                    w.allocs > 0
+                        || w.collections > 0
+                        || w.requests_completed > 0
+                        || w.requests_shed > 0
+                })
                 .map(|(i, w)| {
                     Json::obj([
                         ("window", Json::from(i)),
@@ -256,6 +362,7 @@ impl ServeRecorder {
                         ("alloc_words", Json::from(w.alloc_words)),
                         ("collections", Json::from(w.collections)),
                         ("requests_completed", Json::from(w.requests_completed)),
+                        ("requests_shed", Json::from(w.requests_shed)),
                         ("pause_p50", Json::from(w.pause.p50())),
                         ("pause_p90", Json::from(w.pause.p90())),
                         ("pause_p99", Json::from(w.pause.p99())),
@@ -271,6 +378,49 @@ impl ServeRecorder {
                     ("started", Json::from(self.started)),
                     ("completed", Json::from(self.completed)),
                     ("failed", Json::from(self.failed)),
+                    ("shed", Json::from(self.shed)),
+                ]),
+            ),
+            (
+                "overload",
+                Json::obj([
+                    ("goodput", Json::Num(self.goodput())),
+                    ("shed_rate", Json::Num(self.shed_rate())),
+                    ("deadline_exceeded", Json::from(self.deadline_exceeded)),
+                    (
+                        "shed_by_reason",
+                        Json::Obj(
+                            self.shed_reasons
+                                .iter()
+                                .map(|(r, n)| (r.to_string(), Json::from(*n)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "breaker",
+                        Json::obj([
+                            ("opens", Json::from(self.breaker.opens)),
+                            ("half_opens", Json::from(self.breaker.half_opens)),
+                            ("closes", Json::from(self.breaker.closes)),
+                        ]),
+                    ),
+                    (
+                        "backlog",
+                        Json::obj([
+                            ("max_queued", Json::from(self.max_queued)),
+                            ("max_waiting", Json::from(self.max_waiting)),
+                            ("samples", Json::from(self.backlog.len())),
+                            (
+                                "watermark_samples",
+                                Json::Arr(
+                                    self.watermark_samples
+                                        .iter()
+                                        .map(|n| Json::from(*n))
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    ),
                 ]),
             ),
             ("latency_ns", hist_json(&self.latency)),
@@ -352,6 +502,45 @@ impl GcEventSink for ServeRecorder {
                     heap_words,
                     live_words,
                     in_flight,
+                });
+            }
+            GcEvent::RequestShed { t_ns, reason, .. } => {
+                self.touch(t_ns);
+                self.shed += 1;
+                *self.shed_reasons.entry(reason).or_insert(0) += 1;
+                self.window_mut(t_ns).requests_shed += 1;
+            }
+            GcEvent::DeadlineExceeded { t_ns, .. } => {
+                self.touch(t_ns);
+                self.deadline_exceeded += 1;
+            }
+            GcEvent::BreakerOpen { t_ns, .. } => {
+                self.touch(t_ns);
+                self.breaker.opens += 1;
+            }
+            GcEvent::BreakerHalfOpen { t_ns, .. } => {
+                self.touch(t_ns);
+                self.breaker.half_opens += 1;
+            }
+            GcEvent::BreakerClose { t_ns, .. } => {
+                self.touch(t_ns);
+                self.breaker.closes += 1;
+            }
+            GcEvent::BacklogSample {
+                t_ns,
+                queued,
+                waiting,
+                watermark,
+            } => {
+                self.touch(t_ns);
+                self.max_queued = self.max_queued.max(queued);
+                self.max_waiting = self.max_waiting.max(waiting);
+                self.watermark_samples[usize::from(watermark.min(2))] += 1;
+                self.backlog.push(BacklogPoint {
+                    t_ns,
+                    queued,
+                    waiting,
+                    watermark,
                 });
             }
             _ => {}
@@ -482,6 +671,117 @@ mod tests {
         let clean = ServeRecorder::new(4, 100);
         assert_eq!(clean.mmu(100), 1.0);
         assert_eq!(clean.utilization(), 1.0);
+    }
+
+    #[test]
+    fn overload_events_fold_into_shed_breaker_and_backlog_metrics() {
+        let mut r = ServeRecorder::new(32, 1_000);
+        r.record(GcEvent::RequestStart {
+            t_ns: 0,
+            req: 0,
+            task: 0,
+            kind: 0,
+        });
+        r.record(GcEvent::RequestShed {
+            t_ns: 100,
+            req: 1,
+            kind: 2,
+            reason: "queue-full",
+        });
+        r.record(GcEvent::RequestShed {
+            t_ns: 150,
+            req: 2,
+            kind: 2,
+            reason: "queue-full",
+        });
+        r.record(GcEvent::RequestShed {
+            t_ns: 200,
+            req: 3,
+            kind: 1,
+            reason: "breaker-open",
+        });
+        r.record(GcEvent::DeadlineExceeded {
+            t_ns: 300,
+            req: 0,
+            task: 0,
+            spent: 40,
+            budget: 32,
+            unit: "quanta",
+        });
+        r.record(GcEvent::RequestEnd {
+            t_ns: 350,
+            req: 0,
+            task: 0,
+            latency_ns: 350,
+            ok: false,
+        });
+        r.record(GcEvent::BreakerOpen {
+            t_ns: 400,
+            kind: 1,
+            consecutive: 2,
+        });
+        r.record(GcEvent::BreakerHalfOpen { t_ns: 500, kind: 1 });
+        r.record(GcEvent::BreakerClose { t_ns: 600, kind: 1 });
+        r.record(GcEvent::BacklogSample {
+            t_ns: 700,
+            queued: 3,
+            waiting: 5,
+            watermark: 1,
+        });
+        r.record(GcEvent::BacklogSample {
+            t_ns: 800,
+            queued: 1,
+            waiting: 0,
+            watermark: 0,
+        });
+        assert_eq!(r.shed(), 3);
+        assert_eq!(r.shed_by_reason().get("queue-full"), Some(&2));
+        assert_eq!(r.shed_by_reason().get("breaker-open"), Some(&1));
+        assert_eq!(r.deadline_exceeded(), 1);
+        assert_eq!(
+            r.breaker_counts(),
+            BreakerCounts {
+                opens: 1,
+                half_opens: 1,
+                closes: 1
+            }
+        );
+        assert_eq!(r.peak_backlog(), (3, 5));
+        assert_eq!(r.backlog().len(), 2);
+        assert_eq!(r.watermark_samples(), [1, 1, 0]);
+        // 0 completed, 1 failed, 3 shed.
+        assert!((r.goodput() - 0.0).abs() < 1e-9);
+        assert!((r.shed_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(r.windows()[0].requests_shed, 3);
+        // The JSON document carries the overload section.
+        let doc = r.serve_json();
+        let back = crate::json::parse(&doc.to_json_pretty()).expect("parses");
+        let over = back.get("overload").unwrap();
+        assert_eq!(over.get("deadline_exceeded").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            over.get("shed_by_reason")
+                .unwrap()
+                .get("queue-full")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            over.get("breaker").unwrap().get("opens").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            over.get("backlog")
+                .unwrap()
+                .get("max_waiting")
+                .unwrap()
+                .as_f64(),
+            Some(5.0)
+        );
+        assert_eq!(
+            back.get("requests").unwrap().get("shed").unwrap().as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -30,13 +30,46 @@
 //! `tfml serve`, which recycles each slot for the next queued request the
 //! moment its current one completes and emits request-lifecycle and
 //! heap-occupancy events into the attached [`Obs`] sink.
+//!
+//! ## Overload management
+//!
+//! [`serve_requests_overload`] layers load protection over the engine,
+//! all of it keyed to the deterministic quantum clock (never wall time):
+//!
+//! * **budgets** — each request may carry a deadline in scheduler quanta
+//!   and an instruction-fuel budget, both checked at the quantum boundary
+//!   (the same safe-point cadence §4's suspension protocol uses); a
+//!   breach quarantines the request with
+//!   [`VmError::DeadlineExceeded`], so a runaway handler can never
+//!   starve the pool;
+//! * **admission control** — a bounded admission queue with a seeded
+//!   [`AdmissionPolicy`] (`Reject` sheds, `RetryBackoff` re-offers with
+//!   deterministic exponential backoff plus seeded jitter, `Degrade`
+//!   sheds only low-priority kinds);
+//! * **heap-pressure watermarks** — crossing the soft watermark fires
+//!   one proactive collection and throttles admissions to
+//!   direct-to-slot; at the hard watermark new admissions are refused
+//!   while in-flight requests finish;
+//! * **circuit breakers** — per request kind, K consecutive quarantines
+//!   open the breaker (fast-reject) for a deterministic cooldown, then a
+//!   half-open probe decides whether to close it;
+//! * **drain** — after [`OverloadConfig::drain_after`] quanta the engine
+//!   stops admitting and lets in-flight requests finish within their
+//!   deadlines.
+//!
+//! Every transition emits a [`GcEvent`] through the zero-cost
+//! [`Obs::emit`] path; none of the decisions read the sink, so shed
+//! decisions are bit-identical between null-sink and recording runs.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
 use tfgc_gc::{GcStats, Strategy};
 use tfgc_ir::{CallSiteId, FnId, Instr, IrProgram};
 use tfgc_obs::{GcEvent, Obs};
 use tfgc_runtime::HeapStats;
 use tfgc_vm::{FaultPlan, MutatorStats, StepEvent, Vm, VmConfig, VmError, VmResult};
+use tfgc_workloads::rng::SmallRng;
 
 /// When may a task be parked for collection? (§4.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,8 +171,113 @@ pub struct Request {
     pub arg: i64,
     /// Caller-assigned request class (e.g. an index into a traffic
     /// mix); carried through to the outcome and the `RequestStart`
-    /// event, never interpreted by the engine.
+    /// event. The engine itself only consults it for per-kind circuit
+    /// breakers and the `Degrade` admission policy.
     pub kind: u32,
+    /// Deadline in scheduler quanta from dispatch (`None` = unbounded,
+    /// or the service-wide default from [`OverloadConfig`]).
+    pub deadline_quanta: Option<u64>,
+    /// Instruction-fuel budget (`None` = unbounded, or the service-wide
+    /// default from [`OverloadConfig`]).
+    pub fuel: Option<u64>,
+}
+
+impl Request {
+    /// A request with no per-request budgets (the service-wide defaults
+    /// still apply).
+    pub fn new(entry: FnId, arg: i64, kind: u32) -> Request {
+        Request {
+            entry,
+            arg,
+            kind,
+            deadline_quanta: None,
+            fuel: None,
+        }
+    }
+
+    /// Sets a per-request deadline in scheduler quanta.
+    pub fn with_deadline(mut self, quanta: u64) -> Request {
+        self.deadline_quanta = Some(quanta);
+        self
+    }
+
+    /// Sets a per-request instruction-fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Request {
+        self.fuel = Some(fuel);
+        self
+    }
+}
+
+/// What to do with an arrival the service cannot take right now (queue
+/// full, hard watermark). All policies are pure functions of the quantum
+/// clock and the [`OverloadConfig::seed`], never of wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Shed immediately (recorded as a shed outcome, not an error).
+    Reject,
+    /// Re-offer with deterministic exponential backoff: attempt `k`
+    /// waits `base << k` quanta plus seeded jitter in `[0, base)`; after
+    /// `max_attempts` refusals the request is shed (`backoff-exhausted`).
+    RetryBackoff { max_attempts: u32, base: u64 },
+    /// Shed only low-priority kinds (`kind >= low_kind_min`); higher
+    /// priority arrivals wait for room instead.
+    Degrade { low_kind_min: u32 },
+}
+
+/// Overload-management configuration for [`serve_requests_overload`].
+/// [`OverloadConfig::none`] disables every mechanism and reproduces the
+/// plain [`serve_requests`] behavior exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Admission-queue capacity beyond the idle pool slots (0 =
+    /// unbounded, the historical behavior).
+    pub queue_cap: usize,
+    /// What to do with refused arrivals.
+    pub admission: AdmissionPolicy,
+    /// Service-wide default deadline in quanta for requests that carry
+    /// none.
+    pub deadline_quanta: Option<u64>,
+    /// Service-wide default instruction-fuel budget for requests that
+    /// carry none.
+    pub fuel: Option<u64>,
+    /// Soft heap-pressure watermark in percent of semispace capacity:
+    /// crossing it fires one proactive collection and throttles
+    /// admissions to direct-to-slot until pressure falls below it again.
+    pub soft_watermark_pct: Option<u32>,
+    /// Hard heap-pressure watermark in percent: while at or above it (and
+    /// work is in flight), new admissions are refused via the policy.
+    pub hard_watermark_pct: Option<u32>,
+    /// Consecutive quarantines of one kind that open its circuit breaker
+    /// (0 = breakers disabled).
+    pub breaker_threshold: u32,
+    /// Quanta an open breaker fast-rejects before admitting a half-open
+    /// probe.
+    pub breaker_cooldown: u64,
+    /// Graceful drain: from this quantum on, stop admitting (every
+    /// not-yet-dispatched request is shed with reason `drain`) while
+    /// in-flight requests finish within their deadlines.
+    pub drain_after: Option<u64>,
+    /// Seed for backoff jitter (`tfgc_workloads::rng`).
+    pub seed: u64,
+}
+
+impl OverloadConfig {
+    /// Everything off: unbounded queue, no budgets, no watermarks, no
+    /// breakers, no drain.
+    pub fn none() -> OverloadConfig {
+        OverloadConfig {
+            queue_cap: 0,
+            admission: AdmissionPolicy::Reject,
+            deadline_quanta: None,
+            fuel: None,
+            soft_watermark_pct: None,
+            hard_watermark_pct: None,
+            breaker_threshold: 0,
+            breaker_cooldown: 0,
+            drain_after: None,
+            seed: 0,
+        }
+    }
 }
 
 /// What became of one request.
@@ -147,13 +285,26 @@ pub struct Request {
 pub struct RequestOutcome {
     /// The [`Request::kind`] it was submitted with.
     pub kind: u32,
-    /// The rendered result value, or `"<error: …>"` when the request
-    /// was quarantined. Rendered eagerly at completion: a finished
-    /// thread's value is not a GC root, so the words behind it are only
-    /// guaranteed intact until the next collection.
+    /// The rendered result value, `"<error: …>"` when the request was
+    /// quarantined, or `"<shed: …>"` when admission shed it. Rendered
+    /// eagerly at completion: a finished thread's value is not a GC
+    /// root, so the words behind it are only guaranteed intact until the
+    /// next collection.
     pub result: String,
-    /// The error that quarantined it (`None` = completed normally).
+    /// The error that quarantined it (`None` = completed normally or
+    /// shed).
     pub error: Option<VmError>,
+    /// `Some(reason)` when admission control shed the request instead of
+    /// dispatching it (`queue-full`, `hard-watermark`, `breaker-open`,
+    /// `backoff-exhausted`, `degrade`, `drain`).
+    pub shed: Option<&'static str>,
+}
+
+impl RequestOutcome {
+    /// Completed normally (not quarantined, not shed).
+    pub fn is_completed(&self) -> bool {
+        self.error.is_none() && self.shed.is_none()
+    }
 }
 
 /// Result of a service run ([`serve_requests`]).
@@ -163,9 +314,18 @@ pub struct ServeReport {
     pub outcomes: Vec<RequestOutcome>,
     /// Requests that completed normally.
     pub completed: u64,
-    /// Requests quarantined with an error. `completed + failed` always
-    /// equals `outcomes.len()`: the engine resolves every request.
+    /// Requests quarantined with an error.
     pub failed: u64,
+    /// Requests shed by admission control. The conservation invariant
+    /// `completed + failed + shed == outcomes.len()` always holds: the
+    /// engine resolves every request exactly one way.
+    pub shed: u64,
+    /// Circuit-breaker open transitions across the run.
+    pub breaker_trips: u64,
+    /// Final breaker state per request kind that ever tripped or was
+    /// tracked: `(kind, "closed" | "open" | "half-open")`, sorted by
+    /// kind.
+    pub breaker_final: Vec<(u32, &'static str)>,
     /// Interleaved `print` output across requests.
     pub printed: Vec<i64>,
     pub heap: HeapStats,
@@ -226,11 +386,7 @@ pub fn run_tasks_with_obs(
     let requests: Vec<Request> = entries
         .iter()
         .enumerate()
-        .map(|(i, (f, a))| Request {
-            entry: *f,
-            arg: *a,
-            kind: i as u32,
-        })
+        .map(|(i, (f, a))| Request::new(*f, *a, i as u32))
         .collect();
     let (report, obs) = serve_requests(prog, &requests, requests.len().max(1), 0, cfg, obs)?;
     let (results, task_errors) = report
@@ -287,6 +443,44 @@ pub fn serve_requests(
     cfg: TaskConfig,
     obs: Obs,
 ) -> VmResult<(ServeReport, Obs)> {
+    serve_requests_overload(
+        prog,
+        requests,
+        pool,
+        sample_every,
+        cfg,
+        OverloadConfig::none(),
+        obs,
+    )
+}
+
+/// [`serve_requests`] with overload management: per-request
+/// deadline/fuel budgets enforced at quantum boundaries, a bounded
+/// admission queue with backpressure, heap-pressure watermarks,
+/// per-kind circuit breakers, and graceful drain. See the module docs
+/// for the state machines; [`OverloadConfig::none`] reproduces the
+/// plain engine exactly.
+///
+/// # Errors
+///
+/// Propagates whole-machine VM errors (budget exhaustion, heap
+/// verification, engine-invariant violations); per-request errors are
+/// quarantined into the outcomes and shed requests are recorded, never
+/// errors.
+///
+/// # Panics
+///
+/// Panics if `pool` is zero (with a non-empty queue) or a request entry
+/// does not take exactly one argument.
+pub fn serve_requests_overload(
+    prog: &IrProgram,
+    requests: &[Request],
+    pool: usize,
+    sample_every: u64,
+    cfg: TaskConfig,
+    overload: OverloadConfig,
+    obs: Obs,
+) -> VmResult<(ServeReport, Obs)> {
     let mut vm_cfg = VmConfig::new(cfg.strategy).heap_words(cfg.heap_words);
     vm_cfg.cooperative = true;
     vm_cfg.max_steps = Some(cfg.max_steps);
@@ -305,6 +499,9 @@ pub fn serve_requests(
             outcomes: Vec::new(),
             completed: 0,
             failed: 0,
+            shed: 0,
+            breaker_trips: 0,
+            breaker_final: Vec::new(),
             printed: std::mem::take(&mut vm.printed),
             heap: vm.heap.stats,
             gc: vm.gc_stats,
@@ -319,52 +516,65 @@ pub fn serve_requests(
     assert!(pool > 0, "serve_requests needs at least one pool slot");
     let n = pool.min(requests.len());
 
-    // Phase 2: fill the pool with the first requests.
-    let mut task_ids = Vec::with_capacity(n);
-    for req in &requests[..n] {
-        let fun = prog.fun(req.entry);
-        assert_eq!(
-            fun.n_params, 1,
-            "request entry `{}` must take exactly one int argument",
-            fun.name
-        );
-        let w = vm.encode_int(req.arg);
-        task_ids.push(vm.spawn_thread(req.entry, &[w]));
+    // Service-wide default budgets apply to requests that carry none.
+    let mut requests: Vec<Request> = requests.to_vec();
+    for r in &mut requests {
+        if r.deadline_quanta.is_none() {
+            r.deadline_quanta = overload.deadline_quanta;
+        }
+        if r.fuel.is_none() {
+            r.fuel = overload.fuel;
+        }
     }
 
+    // Every request starts as a pending offer at quantum 0 (burst
+    // arrival); the admission pump in `run` decides its fate.
+    let waiting: BinaryHeap<Reverse<(u64, usize, u32)>> =
+        (0..requests.len()).map(|ix| Reverse((0, ix, 0))).collect();
+
+    let outcomes_len = requests.len();
     let mut sched = Scheduler {
         vm,
         prog,
-        tasks: task_ids,
-        requests: requests.to_vec(),
-        slot_req: (0..n).collect(),
-        next_req: n,
-        outcomes: vec![None; requests.len()],
+        tasks: Vec::with_capacity(n),
+        requests,
+        slot_req: vec![0; n],
+        outcomes: vec![None; outcomes_len],
+        resolved: 0,
         started_ns: vec![0; n],
         sample_every,
         quanta: 0,
         policy: cfg.policy,
         quantum: cfg.quantum,
         gc_pending: false,
+        proactive_gc: false,
         parked: vec![false; n],
-        done: vec![false; n],
+        done: vec![true; n],
         blocked_on_alloc: vec![None; n],
         latency: 0,
         allocs_at_last_gc: None,
+        waiting,
+        queue: VecDeque::new(),
+        started_quanta: vec![0; n],
+        fuel_spent: vec![0; n],
+        rng: SmallRng::seed_from_u64(overload.seed),
+        breakers: BTreeMap::new(),
+        breaker_trips: 0,
+        soft_armed: true,
+        shed_count: 0,
+        overload,
         report_checks: 0,
         report_events: 0,
         report_total_latency: 0,
         report_max_latency: 0,
     };
-    for i in 0..n {
-        sched.announce_start(i);
-    }
-    sched.sample_heap();
     sched.run()?;
 
     let Scheduler {
         mut vm,
         outcomes,
+        breakers,
+        breaker_trips,
         report_checks,
         report_events,
         report_total_latency,
@@ -372,17 +582,30 @@ pub fn serve_requests(
         ..
     } = sched;
 
-    let outcomes: Vec<RequestOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("the engine resolves every request"))
-        .collect();
-    let failed = outcomes.iter().filter(|o| o.error.is_some()).count() as u64;
-    let completed = outcomes.len() as u64 - failed;
+    let mut resolved = Vec::with_capacity(outcomes.len());
+    for (ix, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Some(o) => resolved.push(o),
+            None => {
+                return Err(VmError::Internal {
+                    detail: format!("request {ix} left unresolved by the serve engine"),
+                })
+            }
+        }
+    }
+    let failed = resolved.iter().filter(|o| o.error.is_some()).count() as u64;
+    let shed = resolved.iter().filter(|o| o.shed.is_some()).count() as u64;
+    let completed = resolved.len() as u64 - failed - shed;
+    let breaker_final: Vec<(u32, &'static str)> =
+        breakers.iter().map(|(k, b)| (*k, b.state.name())).collect();
     Ok((
         ServeReport {
-            outcomes,
+            outcomes: resolved,
             completed,
             failed,
+            shed,
+            breaker_trips,
+            breaker_final,
             printed: std::mem::take(&mut vm.printed),
             heap: vm.heap.stats,
             gc: vm.gc_stats,
@@ -432,17 +655,20 @@ fn run_single(vm: &mut Vm<'_>) -> VmResult<()> {
 struct Scheduler<'p> {
     vm: Vm<'p>,
     prog: &'p IrProgram,
-    /// Per slot: the VM thread index it owns (fixed for the whole run —
-    /// the thread is respawned in place between requests).
+    /// Per *activated* slot: the VM thread index it owns (fixed for the
+    /// whole run — the thread is respawned in place between requests).
+    /// Slots activate lazily in index order as requests are dispatched,
+    /// so `tasks.len() <= done.len()`.
     tasks: Vec<usize>,
     /// The full submission queue.
     requests: Vec<Request>,
     /// Per slot: index into `requests` of the request it is running.
     slot_req: Vec<usize>,
-    /// Next queue index to hand to a freed slot.
-    next_req: usize,
     /// Per request: its outcome, filled as requests resolve.
     outcomes: Vec<Option<RequestOutcome>>,
+    /// Requests resolved so far (completed + failed + shed); the run
+    /// ends when every request is resolved.
+    resolved: usize,
     /// Per slot: `Obs` timestamp when its current request started (only
     /// maintained while observation is enabled).
     started_ns: Vec<u64>,
@@ -453,7 +679,12 @@ struct Scheduler<'p> {
     policy: SuspendPolicy,
     quantum: u64,
     gc_pending: bool,
+    /// The pending collection was requested by the soft watermark, not a
+    /// blocked allocation: skip the no-progress exhaustion accounting.
+    proactive_gc: bool,
     parked: Vec<bool>,
+    /// Per slot: `true` while the slot holds no request (idle or never
+    /// activated).
     done: Vec<bool>,
     /// Per slot: the allocation site it is blocked on, while blocked.
     /// Distinguishes tasks starving for memory from tasks merely parked
@@ -465,17 +696,97 @@ struct Scheduler<'p> {
     /// allocation succeeds between two collections, the heap is
     /// genuinely exhausted.
     allocs_at_last_gc: Option<u64>,
+    /// Pending offers: `(due_quantum, request_index, attempts)`,
+    /// min-ordered so arrivals pump in deterministic `(due, index)`
+    /// order. Initially every request is due at quantum 0.
+    waiting: BinaryHeap<Reverse<(u64, usize, u32)>>,
+    /// Admitted requests waiting for an idle slot.
+    queue: VecDeque<usize>,
+    /// Per slot: the quantum its current request was dispatched at (the
+    /// deadline clock's zero).
+    started_quanta: Vec<u64>,
+    /// Per slot: instructions its current request has executed (the fuel
+    /// clock).
+    fuel_spent: Vec<u64>,
+    /// Backoff jitter source, seeded from [`OverloadConfig::seed`];
+    /// drawn only on admission decisions, so the stream is independent
+    /// of the observation sink.
+    rng: SmallRng,
+    /// Per request kind: circuit-breaker state.
+    breakers: BTreeMap<u32, Breaker>,
+    /// Breaker open transitions across the run.
+    breaker_trips: u64,
+    /// Soft watermark is edge-triggered: armed below the line, fires one
+    /// proactive collection on crossing.
+    soft_armed: bool,
+    shed_count: u64,
+    overload: OverloadConfig,
     report_checks: u64,
     report_events: u64,
     report_total_latency: u64,
     report_max_latency: u64,
 }
 
+/// Per-kind circuit-breaker state machine: `Closed` (counting
+/// consecutive quarantines) → `Open` (fast-reject until a quantum
+/// deadline) → `HalfOpen` (one probe admitted) → `Closed` on probe
+/// success or back to `Open` on probe failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until: u64 },
+    HalfOpen { probe: Option<usize> },
+}
+
+impl BreakerState {
+    fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    /// Consecutive quarantines since the last success.
+    consecutive: u32,
+    state: BreakerState,
+}
+
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker {
+            consecutive: 0,
+            state: BreakerState::Closed,
+        }
+    }
+}
+
+/// What the breaker says about an arrival of some kind.
+enum BreakerGate {
+    Admit,
+    FastReject,
+}
+
 impl Scheduler<'_> {
     fn run(&mut self) -> VmResult<()> {
-        let n = self.tasks.len();
+        let n = self.done.len();
         let mut rr = 0usize;
-        while !self.done.iter().all(|d| *d) {
+        // Initial burst: pump admissions, fill the pool, take the
+        // opening occupancy sample.
+        self.pump();
+        self.dispatch();
+        self.sample_heap();
+        self.sample_backlog();
+        while self.resolved < self.requests.len() {
+            self.pump();
+            self.dispatch();
+            if self.resolved == self.requests.len() {
+                break;
+            }
+            let mut ran = false;
             for off in 0..n {
                 let i = (rr + off) % n;
                 if self.done[i] || (self.gc_pending && self.parked[i]) {
@@ -486,7 +797,9 @@ impl Scheduler<'_> {
                 self.quanta += 1;
                 if self.sample_every != 0 && self.quanta.is_multiple_of(self.sample_every) {
                     self.sample_heap();
+                    self.sample_backlog();
                 }
+                ran = true;
                 break;
             }
             if self.gc_pending {
@@ -495,8 +808,276 @@ impl Scheduler<'_> {
                     self.do_collection()?;
                 }
             }
+            if !ran && !self.gc_pending {
+                // Nothing runnable: every unresolved request is a
+                // deferred/backoff offer. Jump the quantum clock to the
+                // next offer instead of spinning.
+                match self.waiting.peek() {
+                    Some(&Reverse((due, _, _))) => self.quanta = self.quanta.max(due),
+                    None => {
+                        return Err(VmError::Internal {
+                            detail: format!(
+                                "{} requests unresolved with no runnable slot and no \
+                                 pending offers",
+                                self.requests.len() - self.resolved
+                            ),
+                        })
+                    }
+                }
+            }
         }
         Ok(())
+    }
+
+    // ---- admission control ---------------------------------------------
+
+    /// Moves every due pending offer through admission control.
+    fn pump(&mut self) {
+        while let Some(&Reverse((due, ix, attempts))) = self.waiting.peek() {
+            if due > self.quanta {
+                break;
+            }
+            self.waiting.pop();
+            self.offer(ix, attempts);
+        }
+        self.check_soft_watermark();
+    }
+
+    /// One arrival at the admission gate: drain, breaker, watermarks,
+    /// queue capacity — in that order — then admit or refuse.
+    fn offer(&mut self, ix: usize, attempts: u32) {
+        let kind = self.requests[ix].kind;
+        if self.overload.drain_after.is_some_and(|q| self.quanta >= q) {
+            self.shed(ix, "drain");
+            return;
+        }
+        if let BreakerGate::FastReject = self.breaker_gate(kind) {
+            self.shed(ix, "breaker-open");
+            return;
+        }
+        // Watermarks gate admissions only while work is in flight or
+        // queued; with an idle service, shedding would serve nobody and
+        // only the admitted mutator can relieve the pressure.
+        let busy = self.in_flight() > 0 || !self.queue.is_empty();
+        let level = self.watermark_level();
+        if busy && level >= 2 {
+            self.refuse(ix, attempts, "hard-watermark");
+            return;
+        }
+        let idle = (0..self.done.len()).filter(|&i| self.done[i]).count();
+        if busy && level == 1 && !(self.queue.is_empty() && idle > 0) {
+            // Soft throttle: admit direct-to-slot only; everyone else
+            // waits a beat.
+            self.defer(ix, attempts);
+            return;
+        }
+        if self.overload.queue_cap > 0 && self.queue.len() >= self.overload.queue_cap + idle {
+            self.refuse(ix, attempts, "queue-full");
+            return;
+        }
+        self.mark_probe(kind, ix);
+        self.queue.push_back(ix);
+    }
+
+    /// Applies the admission policy to a refused arrival.
+    fn refuse(&mut self, ix: usize, attempts: u32, reason: &'static str) {
+        match self.overload.admission {
+            AdmissionPolicy::Reject => self.shed(ix, reason),
+            AdmissionPolicy::RetryBackoff { max_attempts, base } => {
+                if attempts >= max_attempts {
+                    self.shed(ix, "backoff-exhausted");
+                } else {
+                    let base = base.max(1);
+                    let delay = base << attempts.min(16);
+                    let jitter = self.rng.next_u64() % base;
+                    self.waiting
+                        .push(Reverse((self.quanta + delay + jitter, ix, attempts + 1)));
+                }
+            }
+            AdmissionPolicy::Degrade { low_kind_min } => {
+                if self.requests[ix].kind >= low_kind_min {
+                    self.shed(ix, "degrade");
+                } else {
+                    self.defer(ix, attempts);
+                }
+            }
+        }
+    }
+
+    /// Re-offers an arrival next quantum without burning an attempt
+    /// (soft throttle / high-priority wait).
+    fn defer(&mut self, ix: usize, attempts: u32) {
+        self.waiting.push(Reverse((self.quanta + 1, ix, attempts)));
+    }
+
+    /// Resolves a request as shed: an outcome, never an error.
+    fn shed(&mut self, ix: usize, reason: &'static str) {
+        let kind = self.requests[ix].kind;
+        self.outcomes[ix] = Some(RequestOutcome {
+            kind,
+            result: format!("<shed: {reason}>"),
+            error: None,
+            shed: Some(reason),
+        });
+        self.resolved += 1;
+        self.shed_count += 1;
+        let req = ix as u64;
+        self.vm.obs.emit(|t_ns| GcEvent::RequestShed {
+            t_ns,
+            req,
+            kind,
+            reason,
+        });
+    }
+
+    /// Fills idle slots from the admitted queue, lowest slot first.
+    fn dispatch(&mut self) {
+        while !self.queue.is_empty() {
+            let Some(slot) = (0..self.done.len()).find(|&i| self.done[i]) else {
+                break;
+            };
+            let Some(ix) = self.queue.pop_front() else {
+                break;
+            };
+            self.start_in_slot(slot, ix);
+        }
+    }
+
+    /// Pool slots currently holding a request.
+    fn in_flight(&self) -> usize {
+        self.done.iter().filter(|d| !**d).count()
+    }
+
+    // ---- heap-pressure watermarks --------------------------------------
+
+    /// Current heap-pressure level: 0 = normal, 1 = at/above the soft
+    /// watermark, 2 = at/above the hard watermark. A pure function of
+    /// heap occupancy, so identical across observed and unobserved runs.
+    fn watermark_level(&self) -> u8 {
+        let cap = self.vm.heap.capacity();
+        if cap == 0 {
+            return 0;
+        }
+        let pct = (self.vm.heap.used() * 100 / cap) as u32;
+        if self.overload.hard_watermark_pct.is_some_and(|h| pct >= h) {
+            2
+        } else if self.overload.soft_watermark_pct.is_some_and(|s| pct >= s) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Edge-triggered soft watermark: on crossing, request one proactive
+    /// collection (the §4 park-everyone protocol, minus the blocked
+    /// allocation) so pressure is relieved *before* allocation fails.
+    fn check_soft_watermark(&mut self) {
+        if self.overload.soft_watermark_pct.is_none() {
+            return;
+        }
+        if self.watermark_level() >= 1 {
+            if self.soft_armed && self.in_flight() > 0 {
+                self.soft_armed = false;
+                self.gc_pending = true;
+                self.proactive_gc = true;
+            }
+        } else {
+            self.soft_armed = true;
+        }
+    }
+
+    // ---- circuit breakers ----------------------------------------------
+
+    /// Consults (and transitions) `kind`'s breaker for one arrival.
+    fn breaker_gate(&mut self, kind: u32) -> BreakerGate {
+        if self.overload.breaker_threshold == 0 {
+            return BreakerGate::Admit;
+        }
+        let quanta = self.quanta;
+        let Some(b) = self.breakers.get_mut(&kind) else {
+            return BreakerGate::Admit;
+        };
+        if let BreakerState::Open { until } = b.state {
+            if quanta < until {
+                return BreakerGate::FastReject;
+            }
+            // Cooldown elapsed: this arrival becomes the half-open
+            // probe candidate.
+            b.state = BreakerState::HalfOpen { probe: None };
+            self.vm
+                .obs
+                .emit(|t_ns| GcEvent::BreakerHalfOpen { t_ns, kind });
+        }
+        if let BreakerState::HalfOpen { probe: Some(_) } = b.state {
+            // One probe at a time; everyone else fast-rejects until it
+            // resolves.
+            return BreakerGate::FastReject;
+        }
+        BreakerGate::Admit
+    }
+
+    /// Marks an admitted request as the half-open probe if its kind's
+    /// breaker is waiting for one.
+    fn mark_probe(&mut self, kind: u32, ix: usize) {
+        if let Some(b) = self.breakers.get_mut(&kind) {
+            if b.state == (BreakerState::HalfOpen { probe: None }) {
+                b.state = BreakerState::HalfOpen { probe: Some(ix) };
+            }
+        }
+    }
+
+    /// Folds one resolution (quarantine or completion) into the
+    /// breaker of the request's kind.
+    fn breaker_note(&mut self, kind: u32, req_ix: usize, ok: bool) {
+        let threshold = self.overload.breaker_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let cooldown = self.overload.breaker_cooldown;
+        let quanta = self.quanta;
+        let b = self.breakers.entry(kind).or_default();
+        match b.state {
+            BreakerState::HalfOpen { probe: Some(p) } if p == req_ix => {
+                if ok {
+                    b.state = BreakerState::Closed;
+                    b.consecutive = 0;
+                    self.vm
+                        .obs
+                        .emit(|t_ns| GcEvent::BreakerClose { t_ns, kind });
+                } else {
+                    b.consecutive += 1;
+                    b.state = BreakerState::Open {
+                        until: quanta + cooldown,
+                    };
+                    self.breaker_trips += 1;
+                    let consecutive = b.consecutive;
+                    self.vm.obs.emit(|t_ns| GcEvent::BreakerOpen {
+                        t_ns,
+                        kind,
+                        consecutive,
+                    });
+                }
+            }
+            _ => {
+                if ok {
+                    b.consecutive = 0;
+                } else {
+                    b.consecutive += 1;
+                    if b.state == BreakerState::Closed && b.consecutive >= threshold {
+                        b.state = BreakerState::Open {
+                            until: quanta + cooldown,
+                        };
+                        self.breaker_trips += 1;
+                        let consecutive = b.consecutive;
+                        self.vm.obs.emit(|t_ns| GcEvent::BreakerOpen {
+                            t_ns,
+                            kind,
+                            consecutive,
+                        });
+                    }
+                }
+            }
+        }
     }
 
     /// Emits the `RequestStart` event (and stamps the latency clock) for
@@ -518,9 +1099,10 @@ impl Scheduler<'_> {
         });
     }
 
-    /// Respawns slot `i`'s thread for request `req_ix`. The slot's
-    /// previous request must already be resolved (its thread finished or
-    /// killed).
+    /// Dispatches request `req_ix` into slot `i`, activating the slot's
+    /// VM thread on first use (slots activate in index order). The
+    /// slot's previous request must already be resolved (its thread
+    /// finished or killed).
     fn start_in_slot(&mut self, i: usize, req_ix: usize) {
         let req = self.requests[req_ix];
         let fun = self.prog.fun(req.entry);
@@ -530,36 +1112,51 @@ impl Scheduler<'_> {
             fun.name
         );
         let w = self.vm.encode_int(req.arg);
-        self.vm.respawn_thread(self.tasks[i], req.entry, &[w]);
+        if i == self.tasks.len() {
+            self.tasks.push(self.vm.spawn_thread(req.entry, &[w]));
+        } else {
+            self.vm.respawn_thread(self.tasks[i], req.entry, &[w]);
+        }
         self.slot_req[i] = req_ix;
         self.done[i] = false;
         self.parked[i] = false;
         self.blocked_on_alloc[i] = None;
+        self.started_quanta[i] = self.quanta;
+        self.fuel_spent[i] = 0;
         self.announce_start(i);
     }
 
     /// Resolves slot `i`'s current request — rendering its result (or
-    /// formatting its quarantine error), emitting `RequestEnd` — then
-    /// recycles the slot for the next queued request or retires it.
+    /// formatting its quarantine error), noting the breaker, emitting
+    /// `RequestEnd` — and idles the slot; the run loop's dispatch
+    /// refills it from the admitted queue.
     fn finish(&mut self, i: usize, error: Option<VmError>) {
         let req_ix = self.slot_req[i];
         let req = self.requests[req_ix];
+        let mut error = error;
         let result = match &error {
             Some(e) => format!("<error: {e}>"),
-            None => {
-                let w = self
-                    .vm
-                    .thread_result(self.tasks[i])
-                    .expect("finished request has a result");
-                self.vm.render(w, &self.prog.fun(req.entry).ret_ty)
-            }
+            None => match self.vm.thread_result(self.tasks[i]) {
+                Some(w) => self.vm.render(w, &self.prog.fun(req.entry).ret_ty),
+                None => {
+                    let e = VmError::Internal {
+                        detail: format!("slot {i} finished with no thread result"),
+                    };
+                    let rendered = format!("<error: {e}>");
+                    error = Some(e);
+                    rendered
+                }
+            },
         };
         let ok = error.is_none();
+        self.breaker_note(req.kind, req_ix, ok);
         self.outcomes[req_ix] = Some(RequestOutcome {
             kind: req.kind,
             result,
             error,
+            shed: None,
         });
+        self.resolved += 1;
         if self.vm.obs.enabled() {
             let started = self.started_ns[i];
             let req = req_ix as u64;
@@ -572,15 +1169,9 @@ impl Scheduler<'_> {
                 ok,
             });
         }
-        if self.next_req < self.requests.len() {
-            let nx = self.next_req;
-            self.next_req += 1;
-            self.start_in_slot(i, nx);
-        } else {
-            self.done[i] = true;
-            self.parked[i] = false;
-            self.blocked_on_alloc[i] = None;
-        }
+        self.done[i] = true;
+        self.parked[i] = false;
+        self.blocked_on_alloc[i] = None;
         self.sample_heap();
     }
 
@@ -592,7 +1183,7 @@ impl Scheduler<'_> {
             return;
         }
         let occ = self.vm.heap.occupancy();
-        let in_flight = self.done.iter().filter(|d| !**d).count() as u32;
+        let in_flight = self.in_flight() as u32;
         self.vm.obs.emit(|t_ns| GcEvent::HeapSample {
             t_ns,
             heap_words: occ.heap_words,
@@ -601,8 +1192,71 @@ impl Scheduler<'_> {
         });
     }
 
+    /// Emits one backlog-depth sample on the same cadence as
+    /// [`Scheduler::sample_heap`].
+    fn sample_backlog(&mut self) {
+        if self.sample_every == 0 || !self.vm.obs.enabled() {
+            return;
+        }
+        let queued = self.queue.len() as u32;
+        let waiting = self.waiting.len() as u32;
+        let watermark = self.watermark_level();
+        self.vm.obs.emit(|t_ns| GcEvent::BacklogSample {
+            t_ns,
+            queued,
+            waiting,
+            watermark,
+        });
+    }
+
+    /// Quarantines slot `i`'s request for breaching its deadline or fuel
+    /// budget (checked at the quantum boundary — the same safe-point
+    /// cadence the suspension protocol uses, so no preemption is
+    /// needed).
+    fn quarantine_budget(
+        &mut self,
+        i: usize,
+        spent: u64,
+        budget: u64,
+        unit: &'static str,
+    ) -> VmResult<()> {
+        let req = self.slot_req[i] as u64;
+        let task = i as u32;
+        self.vm.obs.emit(|t_ns| GcEvent::DeadlineExceeded {
+            t_ns,
+            req,
+            task,
+            spent,
+            budget,
+            unit,
+        });
+        self.quarantine(
+            i,
+            VmError::DeadlineExceeded {
+                spent,
+                budget,
+                unit,
+            },
+        )
+    }
+
     /// Runs task `i` for up to a quantum, honoring safe-point parking.
+    /// Budgets are checked first: a request past its deadline (quanta)
+    /// or out of fuel (instructions) is quarantined before it runs
+    /// again.
     fn run_quantum(&mut self, i: usize) -> VmResult<()> {
+        let req = self.requests[self.slot_req[i]];
+        if let Some(d) = req.deadline_quanta {
+            let elapsed = self.quanta.saturating_sub(self.started_quanta[i]);
+            if elapsed >= d {
+                return self.quarantine_budget(i, elapsed, d, "quanta");
+            }
+        }
+        if let Some(f) = req.fuel {
+            if self.fuel_spent[i] >= f {
+                return self.quarantine_budget(i, self.fuel_spent[i], f, "instructions");
+            }
+        }
         let thread = self.tasks[i];
         self.vm.set_current_thread(thread);
         if self.parked[i] {
@@ -645,10 +1299,16 @@ impl Scheduler<'_> {
                     SuspendPolicy::EveryCall | SuspendPolicy::EveryCallRgc => at_call || at_alloc,
                 };
                 if safe {
-                    let site = self
-                        .vm
-                        .current_site()
-                        .expect("calls and allocations carry sites");
+                    let site = match self.vm.current_site() {
+                        Some(s) => s,
+                        None => {
+                            return Err(VmError::Internal {
+                                detail: format!(
+                                    "slot {i} parking at an instruction with no call/alloc site"
+                                ),
+                            })
+                        }
+                    };
                     self.vm.park_thread(thread, site);
                     self.parked[i] = true;
                     let task = i as u32;
@@ -662,11 +1322,13 @@ impl Scheduler<'_> {
             }
             match self.vm.step() {
                 Ok(StepEvent::Continue) => {
+                    self.fuel_spent[i] += 1;
                     if self.gc_pending {
                         self.latency += 1;
                     }
                 }
                 Ok(StepEvent::Done(_)) => {
+                    self.fuel_spent[i] += 1;
                     self.finish(i, None);
                     return Ok(());
                 }
@@ -698,7 +1360,9 @@ impl Scheduler<'_> {
     fn quarantine(&mut self, i: usize, e: VmError) -> VmResult<()> {
         if matches!(
             e,
-            VmError::StepLimit { .. } | VmError::VerificationFailed { .. }
+            VmError::StepLimit { .. }
+                | VmError::VerificationFailed { .. }
+                | VmError::Internal { .. }
         ) {
             return Err(e);
         }
@@ -720,18 +1384,36 @@ impl Scheduler<'_> {
     fn do_collection(&mut self) -> VmResult<()> {
         // Any live parked task can stand for the trigger (no operands are
         // pending: blocked allocations re-execute after the collection).
-        let i = (0..self.tasks.len())
-            .find(|i| !self.done[*i])
-            .expect("at least one live task requested the collection");
+        let Some(i) = (0..self.tasks.len()).find(|i| !self.done[*i]) else {
+            // Every slot drained before the pending collection ran (the
+            // triggering task was quarantined). Nothing to collect for.
+            self.gc_pending = false;
+            self.proactive_gc = false;
+            self.report_total_latency += self.latency;
+            self.report_max_latency = self.report_max_latency.max(self.latency);
+            self.latency = 0;
+            return Ok(());
+        };
         let thread = self.tasks[i];
         self.vm.set_current_thread(thread);
-        let site = self
-            .vm
-            .current_site()
-            .expect("parked tasks sit at call/alloc sites");
+        let site = match self.vm.current_site() {
+            Some(s) => s,
+            None => {
+                return Err(VmError::Internal {
+                    detail: format!("parked slot {i} holds no call/alloc site"),
+                })
+            }
+        };
+        let proactive = std::mem::replace(&mut self.proactive_gc, false);
         let allocs_now = self.vm.heap.stats.allocations;
         let mut collected = true;
-        if self.allocs_at_last_gc == Some(allocs_now) {
+        if proactive {
+            // Watermark-triggered collection: the heap is under pressure
+            // but nobody is starving, so skip the no-progress/exhaustion
+            // accounting — this cycle is advisory, not a last resort.
+            self.allocs_at_last_gc = Some(allocs_now);
+            self.vm.collect_parked(site)?;
+        } else if self.allocs_at_last_gc == Some(allocs_now) {
             // No allocation succeeded since the previous collection: the
             // heap is exhausted by live data. Grow within the bounded
             // policy (this collects internally) or degrade by
@@ -799,7 +1481,11 @@ impl Scheduler<'_> {
                 strategy,
             });
         };
-        let bsite = self.blocked_on_alloc[j].expect("victim is blocked");
+        let Some(bsite) = self.blocked_on_alloc[j] else {
+            return Err(VmError::Internal {
+                detail: format!("starving victim slot {j} lost its blocked-allocation site"),
+            });
+        };
         self.vm.kill_thread(self.tasks[j]);
         self.parked[j] = false;
         self.blocked_on_alloc[j] = None;
@@ -1067,10 +1753,12 @@ mod tests {
     fn requests(prog: &IrProgram, specs: &[(&str, i64, u32)]) -> Vec<Request> {
         specs
             .iter()
-            .map(|(n, a, k)| Request {
-                entry: find_fn(prog, n).unwrap_or_else(|| panic!("no fn {n}")),
-                arg: *a,
-                kind: *k,
+            .map(|(n, a, k)| {
+                Request::new(
+                    find_fn(prog, n).unwrap_or_else(|| panic!("no fn {n}")),
+                    *a,
+                    *k,
+                )
             })
             .collect()
     }
@@ -1079,11 +1767,7 @@ mod tests {
     fn pool_smaller_than_queue_drains_every_request() {
         let prog = compile(WORKLOAD);
         let q: Vec<Request> = (0..12)
-            .map(|i| Request {
-                entry: find_fn(&prog, "worker").unwrap(),
-                arg: 5 + (i % 3),
-                kind: i as u32,
-            })
+            .map(|i| Request::new(find_fn(&prog, "worker").unwrap(), 5 + (i % 3), i as u32))
             .collect();
         for strategy in Strategy::ALL {
             let mut cfg = TaskConfig::new(strategy);
@@ -1201,5 +1885,457 @@ mod tests {
             assert_eq!(report.results, vec!["15", "15"], "{strategy}");
             assert!(report.suspension_events > 0, "{strategy}");
         }
+    }
+
+    // ---- overload management -------------------------------------------
+
+    const RUNAWAY: &str = "
+        fun runaway n = if n = 0 then 0 else runaway (n + 1) ;
+        fun ok n = n + 1 ;
+        0";
+
+    fn conservation(report: &ServeReport) {
+        assert_eq!(
+            report.completed + report.failed + report.shed,
+            report.outcomes.len() as u64,
+            "conservation: completed + failed + shed == submitted"
+        );
+    }
+
+    /// Acceptance: a seeded runaway request is quarantined with a
+    /// structured `DeadlineExceeded` within its budget while sibling
+    /// requests complete normally.
+    #[test]
+    fn deadline_quarantines_runaway_while_siblings_complete() {
+        let prog = compile(RUNAWAY);
+        let q = vec![
+            Request::new(find_fn(&prog, "runaway").unwrap(), 1, 0).with_deadline(40),
+            Request::new(find_fn(&prog, "ok").unwrap(), 41, 1),
+            Request::new(find_fn(&prog, "ok").unwrap(), 1, 1),
+        ];
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let (report, _) =
+            serve_requests_overload(&prog, &q, 2, 0, cfg, OverloadConfig::none(), Obs::null())
+                .unwrap();
+        assert!(
+            matches!(
+                report.outcomes[0].error,
+                Some(VmError::DeadlineExceeded {
+                    unit: "quanta",
+                    budget: 40,
+                    ..
+                })
+            ),
+            "{:?}",
+            report.outcomes[0].error
+        );
+        assert!(report.outcomes[0]
+            .result
+            .starts_with("<error: deadline exceeded"));
+        assert_eq!(report.outcomes[1].result, "42");
+        assert_eq!(report.outcomes[2].result, "2");
+        assert_eq!((report.completed, report.failed, report.shed), (2, 1, 0));
+        conservation(&report);
+    }
+
+    #[test]
+    fn fuel_budget_quarantines_in_instructions() {
+        let prog = compile(RUNAWAY);
+        let q = vec![
+            Request::new(find_fn(&prog, "runaway").unwrap(), 1, 0).with_fuel(500),
+            Request::new(find_fn(&prog, "ok").unwrap(), 6, 1),
+        ];
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let (report, _) =
+            serve_requests_overload(&prog, &q, 2, 0, cfg, OverloadConfig::none(), Obs::null())
+                .unwrap();
+        let Some(VmError::DeadlineExceeded {
+            spent,
+            budget: 500,
+            unit: "instructions",
+        }) = report.outcomes[0].error
+        else {
+            panic!("{:?}", report.outcomes[0].error);
+        };
+        assert!(spent >= 500, "quarantined only once past the budget");
+        assert_eq!(report.outcomes[1].result, "7");
+        conservation(&report);
+    }
+
+    #[test]
+    fn service_wide_default_deadline_applies_to_plain_requests() {
+        let prog = compile(RUNAWAY);
+        let q = requests(&prog, &[("runaway", 1, 0), ("ok", 1, 1)]);
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let over = OverloadConfig {
+            deadline_quanta: Some(25),
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 2, 0, cfg, over, Obs::null()).unwrap();
+        assert!(matches!(
+            report.outcomes[0].error,
+            Some(VmError::DeadlineExceeded { budget: 25, .. })
+        ));
+        assert_eq!(report.outcomes[1].result, "2");
+        conservation(&report);
+    }
+
+    #[test]
+    fn bounded_queue_with_reject_sheds_overflow() {
+        let prog = compile(
+            "fun crash n = n div (n - n) ;
+             0",
+        );
+        let q: Vec<Request> = (0..6)
+            .map(|_| Request::new(find_fn(&prog, "crash").unwrap(), 1, 0))
+            .collect();
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let over = OverloadConfig {
+            queue_cap: 1,
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 1, 0, cfg, over, Obs::null()).unwrap();
+        assert_eq!((report.completed, report.failed, report.shed), (0, 2, 4));
+        for o in report.outcomes.iter().filter(|o| o.shed.is_some()) {
+            assert_eq!(o.shed, Some("queue-full"));
+            assert_eq!(o.result, "<shed: queue-full>");
+            assert!(o.error.is_none(), "shed is an outcome, not an error");
+        }
+        conservation(&report);
+    }
+
+    /// Backpressure: with retry-backoff, refused arrivals come back and
+    /// are admitted as the pool drains — nothing is lost.
+    #[test]
+    fn retry_backoff_drains_everything_under_pressure() {
+        let prog = compile(RUNAWAY);
+        let q: Vec<Request> = (0..6)
+            .map(|i| Request::new(find_fn(&prog, "ok").unwrap(), i, 0))
+            .collect();
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let over = OverloadConfig {
+            queue_cap: 1,
+            admission: AdmissionPolicy::RetryBackoff {
+                max_attempts: 10,
+                base: 2,
+            },
+            seed: 7,
+            ..OverloadConfig::none()
+        };
+        let (report, _) =
+            serve_requests_overload(&prog, &q, 1, 0, cfg.clone(), over, Obs::null()).unwrap();
+        assert_eq!(
+            (report.completed, report.shed),
+            (6, 0),
+            "{:?}",
+            report.outcomes
+        );
+        conservation(&report);
+        // Seeded determinism: the identical run resolves identically.
+        let (again, _) = serve_requests_overload(&prog, &q, 1, 0, cfg, over, Obs::null()).unwrap();
+        assert_eq!(report.outcomes, again.outcomes);
+    }
+
+    #[test]
+    fn exhausted_backoff_sheds_with_its_own_reason() {
+        let prog = compile(
+            "fun crash n = n div (n - n) ;
+             0",
+        );
+        let q: Vec<Request> = (0..5)
+            .map(|_| Request::new(find_fn(&prog, "crash").unwrap(), 1, 0))
+            .collect();
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let over = OverloadConfig {
+            queue_cap: 1,
+            admission: AdmissionPolicy::RetryBackoff {
+                max_attempts: 0,
+                base: 1,
+            },
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 1, 0, cfg, over, Obs::null()).unwrap();
+        assert!(report.shed >= 1);
+        for o in report.outcomes.iter().filter(|o| o.shed.is_some()) {
+            assert_eq!(o.shed, Some("backoff-exhausted"));
+        }
+        conservation(&report);
+    }
+
+    /// Degrade sheds only low-priority kinds; high-priority arrivals
+    /// wait for room instead.
+    #[test]
+    fn degrade_sheds_low_priority_kinds_only() {
+        let prog = compile(RUNAWAY);
+        let specs = [0u32, 5, 0, 5, 0, 5];
+        let q: Vec<Request> = specs
+            .iter()
+            .map(|k| Request::new(find_fn(&prog, "ok").unwrap(), 1, *k))
+            .collect();
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let over = OverloadConfig {
+            queue_cap: 1,
+            admission: AdmissionPolicy::Degrade { low_kind_min: 1 },
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 1, 0, cfg, over, Obs::null()).unwrap();
+        for o in &report.outcomes {
+            if o.kind == 0 {
+                assert!(o.is_completed(), "high priority must complete: {o:?}");
+            }
+            if let Some(reason) = o.shed {
+                assert_eq!(reason, "degrade");
+                assert!(o.kind >= 1, "only low-priority kinds degrade");
+            }
+        }
+        assert!(
+            report.shed >= 1,
+            "pressure must shed some low-priority work"
+        );
+        conservation(&report);
+    }
+
+    /// Acceptance: at the hard watermark the service sheds *new*
+    /// admissions; requests already in flight run to completion and are
+    /// never quarantined by pressure.
+    #[test]
+    fn hard_watermark_sheds_admissions_not_in_flight_work() {
+        let prog = compile(RUNAWAY);
+        let q: Vec<Request> = (0..4)
+            .map(|i| Request::new(find_fn(&prog, "ok").unwrap(), i, 0))
+            .collect();
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let over = OverloadConfig {
+            // Degenerate 0% hard watermark: pressure is permanent, so
+            // only the first arrival (idle service) is admitted.
+            hard_watermark_pct: Some(0),
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 2, 0, cfg, over, Obs::null()).unwrap();
+        assert!(
+            report.outcomes[0].is_completed(),
+            "{:?}",
+            report.outcomes[0]
+        );
+        assert_eq!(report.outcomes[0].result, "1");
+        for o in report.outcomes.iter().filter(|o| o.shed.is_some()) {
+            assert_eq!(o.shed, Some("hard-watermark"));
+        }
+        assert!(report.shed >= 1);
+        assert_eq!(report.failed, 0, "in-flight work is never quarantined");
+        conservation(&report);
+    }
+
+    /// Soft watermark: crossing it triggers a proactive collection while
+    /// requests still complete normally.
+    #[test]
+    fn soft_watermark_collects_proactively() {
+        let prog = compile(WORKLOAD);
+        let q = requests(&prog, &[("worker", 30, 0), ("worker", 30, 1)]);
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 11;
+        let baseline_cfg = cfg.clone();
+        let (baseline, _) = serve_requests_overload(
+            &prog,
+            &q,
+            2,
+            0,
+            baseline_cfg,
+            OverloadConfig::none(),
+            Obs::null(),
+        )
+        .unwrap();
+        let over = OverloadConfig {
+            soft_watermark_pct: Some(20),
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 2, 0, cfg, over, Obs::null()).unwrap();
+        assert_eq!(report.completed, 2, "{:?}", report.outcomes);
+        assert!(
+            report.gc.collections > baseline.gc.collections,
+            "proactive cycles must add collections: {} vs {}",
+            report.gc.collections,
+            baseline.gc.collections
+        );
+        conservation(&report);
+    }
+
+    /// Breaker opens after K consecutive quarantines of one kind.
+    #[test]
+    fn breaker_opens_after_consecutive_quarantines() {
+        let prog = compile(
+            "fun crash n = n div (n - n) ;
+             0",
+        );
+        let q: Vec<Request> = (0..6)
+            .map(|_| Request::new(find_fn(&prog, "crash").unwrap(), 1, 0))
+            .collect();
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let over = OverloadConfig {
+            queue_cap: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: 64,
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 1, 0, cfg, over, Obs::null()).unwrap();
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.breaker_final, vec![(0, "open")]);
+        assert_eq!(report.failed, 2, "exactly threshold quarantines ran");
+        conservation(&report);
+    }
+
+    /// Open breaker fast-rejects re-offered arrivals, then the half-open
+    /// probe closes it on success.
+    #[test]
+    fn breaker_fast_rejects_then_probe_closes() {
+        let prog = compile(
+            "fun crash n = n div (n - n) ;
+             fun ok n = n + 1 ;
+             0",
+        );
+        let crash = find_fn(&prog, "crash").unwrap();
+        let ok = find_fn(&prog, "ok").unwrap();
+        let q = vec![
+            Request::new(crash, 1, 0),
+            Request::new(crash, 1, 0),
+            Request::new(ok, 1, 0),
+            Request::new(ok, 2, 0),
+        ];
+        let cfg = TaskConfig::new(Strategy::Compiled);
+        let mk = |cooldown| OverloadConfig {
+            queue_cap: 1,
+            admission: AdmissionPolicy::RetryBackoff {
+                max_attempts: 10,
+                base: 1,
+            },
+            breaker_threshold: 2,
+            breaker_cooldown: cooldown,
+            ..OverloadConfig::none()
+        };
+        // Long cooldown: the re-offered ok arrival hits the open breaker
+        // and fast-rejects.
+        let (rejecting, _) =
+            serve_requests_overload(&prog, &q, 1, 0, cfg.clone(), mk(1_000), Obs::null()).unwrap();
+        assert_eq!(rejecting.breaker_trips, 1);
+        assert!(
+            rejecting
+                .outcomes
+                .iter()
+                .any(|o| o.shed == Some("breaker-open")),
+            "{:?}",
+            rejecting.outcomes
+        );
+        conservation(&rejecting);
+        // Zero cooldown: the same arrival becomes the half-open probe,
+        // succeeds, and closes the breaker.
+        let (closing, _) =
+            serve_requests_overload(&prog, &q, 1, 0, cfg, mk(0), Obs::null()).unwrap();
+        assert_eq!(
+            closing.breaker_final,
+            vec![(0, "closed")],
+            "{:?}",
+            closing.outcomes
+        );
+        assert_eq!(closing.shed, 0, "{:?}", closing.outcomes);
+        conservation(&closing);
+    }
+
+    /// Graceful drain: once the drain quantum passes, re-offered
+    /// arrivals are shed while admitted work finishes.
+    #[test]
+    fn drain_sheds_pending_offers_and_finishes_in_flight() {
+        let prog = compile(WORKLOAD);
+        let q: Vec<Request> = (0..5)
+            .map(|i| Request::new(find_fn(&prog, "worker").unwrap(), 8, i))
+            .collect();
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 12;
+        let over = OverloadConfig {
+            queue_cap: 1,
+            admission: AdmissionPolicy::RetryBackoff {
+                max_attempts: 10,
+                base: 4,
+            },
+            drain_after: Some(1),
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 1, 0, cfg, over, Obs::null()).unwrap();
+        assert!(report.completed >= 1, "admitted work finishes");
+        assert!(report.shed >= 1, "pending offers are shed");
+        for o in report.outcomes.iter().filter(|o| o.shed.is_some()) {
+            assert_eq!(o.shed, Some("drain"));
+        }
+        conservation(&report);
+    }
+
+    /// The overload engine is observation-neutral: shed decisions,
+    /// breaker transitions, and outcomes are bit-identical between the
+    /// null sink and a full serve sink.
+    #[test]
+    fn overload_decisions_are_observation_neutral() {
+        let prog = compile(WORKLOAD);
+        let q: Vec<Request> = (0..8)
+            .map(|i| Request::new(find_fn(&prog, "worker").unwrap(), 6 + (i % 3), i as u32 % 2))
+            .collect();
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 12;
+        let over = OverloadConfig {
+            queue_cap: 1,
+            admission: AdmissionPolicy::RetryBackoff {
+                max_attempts: 6,
+                base: 2,
+            },
+            deadline_quanta: Some(2_000),
+            soft_watermark_pct: Some(60),
+            hard_watermark_pct: Some(95),
+            breaker_threshold: 2,
+            breaker_cooldown: 16,
+            seed: 11,
+            ..OverloadConfig::none()
+        };
+        let (a, _) =
+            serve_requests_overload(&prog, &q, 2, 0, cfg.clone(), over, Obs::null()).unwrap();
+        let (b, _) =
+            serve_requests_overload(&prog, &q, 2, 8, cfg, over, Obs::serve(1 << 10, 1_000_000))
+                .unwrap();
+        assert_eq!(a.outcomes, b.outcomes, "telemetry must not steer admission");
+        assert_eq!(a.breaker_trips, b.breaker_trips);
+        assert_eq!(a.breaker_final, b.breaker_final);
+        assert_eq!(a.heap, b.heap);
+        assert_eq!(a.mutator, b.mutator);
+        conservation(&a);
+    }
+
+    /// The seeded stall fault arms on a task thread and is then caught
+    /// by the deadline budget — the per-class detection path.
+    #[test]
+    fn stall_fault_is_detected_by_deadline_budget() {
+        let prog = compile(WORKLOAD);
+        let q = requests(&prog, &[("worker", 20, 0), ("worker", 20, 1)]);
+        let mut cfg = TaskConfig::new(Strategy::Compiled);
+        cfg.heap_words = 1 << 12;
+        cfg.fault_plan = Some(FaultPlan {
+            stall_at: Some(8),
+            ..FaultPlan::none()
+        });
+        let over = OverloadConfig {
+            deadline_quanta: Some(2_000),
+            ..OverloadConfig::none()
+        };
+        let (report, _) = serve_requests_overload(&prog, &q, 2, 0, cfg, over, Obs::null()).unwrap();
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .any(|o| matches!(o.error, Some(VmError::DeadlineExceeded { .. }))),
+            "the stalled handler must breach its deadline: {:?}",
+            report.outcomes
+        );
+        assert!(
+            report.outcomes.iter().any(|o| o.is_completed()),
+            "the sibling must complete: {:?}",
+            report.outcomes
+        );
+        conservation(&report);
     }
 }

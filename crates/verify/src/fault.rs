@@ -18,6 +18,12 @@
 //!   sources are truncated before the program runs, so the first
 //!   collection through one of its frames hits the `type parameter N out
 //!   of range` fail-fast panic (a torn stack-map fault).
+//! * `stall_at` — the task thread performing the `n`th allocation starts
+//!   spinning forever right after it (a runaway-handler fault): every
+//!   subsequent step burns an instruction without making progress, so
+//!   only a deadline/fuel budget (or the whole-machine step limit) can
+//!   end it. Arms on cooperative task threads only — the batch pipeline
+//!   and the main/globals phase are never stalled.
 
 /// A deterministic schedule of injected faults (all counts 1-based;
 /// `None` = fault disabled).
@@ -35,6 +41,9 @@ pub struct FaultPlan {
     /// Truncate the frame type-parameter sources of this function id
     /// before the run starts.
     pub truncate_frame_params_of: Option<u32>,
+    /// Stall (spin forever) the task thread that performs this allocation
+    /// sequence number; cooperative task threads only.
+    pub stall_at: Option<u64>,
 }
 
 /// `splitmix64` — tiny, dependency-free, well-distributed; the same
@@ -59,7 +68,7 @@ impl FaultPlan {
     /// seeds covers every class with varied timing.
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut s = seed;
-        let kind = splitmix64(&mut s) % 4;
+        let kind = splitmix64(&mut s) % 5;
         // Small trigger counts: workload programs allocate tens to
         // hundreds of objects, and a fault beyond the last allocation
         // never fires.
@@ -69,7 +78,8 @@ impl FaultPlan {
             0 => plan.alloc_fail_at = Some(at),
             1 => plan.exhaust_at = Some(at),
             2 => plan.corrupt_discriminant_at = Some(at),
-            _ => plan.truncate_frame_params_of = Some((at % 4) as u32),
+            3 => plan.truncate_frame_params_of = Some((at % 4) as u32),
+            _ => plan.stall_at = Some(at),
         }
         plan
     }
@@ -94,6 +104,9 @@ impl FaultPlan {
         if let Some(f) = self.truncate_frame_params_of {
             parts.push(format!("truncate-frame-params(fn {f})"));
         }
+        if let Some(n) = self.stall_at {
+            parts.push(format!("stall@{n}"));
+        }
         if parts.is_empty() {
             "no faults".to_string()
         } else {
@@ -115,7 +128,8 @@ mod tests {
             let armed = usize::from(a.alloc_fail_at.is_some())
                 + usize::from(a.exhaust_at.is_some())
                 + usize::from(a.corrupt_discriminant_at.is_some())
-                + usize::from(a.truncate_frame_params_of.is_some());
+                + usize::from(a.truncate_frame_params_of.is_some())
+                + usize::from(a.stall_at.is_some());
             assert_eq!(armed, 1, "seed {seed} armed {armed} faults");
         }
     }
@@ -127,6 +141,7 @@ mod tests {
         assert!(plans.iter().any(|p| p.exhaust_at.is_some()));
         assert!(plans.iter().any(|p| p.corrupt_discriminant_at.is_some()));
         assert!(plans.iter().any(|p| p.truncate_frame_params_of.is_some()));
+        assert!(plans.iter().any(|p| p.stall_at.is_some()));
     }
 
     #[test]
@@ -138,5 +153,10 @@ mod tests {
         };
         assert!(!p.is_empty());
         assert_eq!(p.describe(), "exhaust@7");
+        let s = FaultPlan {
+            stall_at: Some(11),
+            ..FaultPlan::none()
+        };
+        assert_eq!(s.describe(), "stall@11");
     }
 }

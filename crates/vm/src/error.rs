@@ -35,6 +35,23 @@ pub enum VmError {
         /// The verifier's description of the violation.
         detail: String,
     },
+    /// A request exceeded its deadline or instruction-fuel budget and was
+    /// quarantined at a scheduler quantum boundary.
+    DeadlineExceeded {
+        /// Budget units spent when the breach was detected.
+        spent: u64,
+        /// The budget the request carried.
+        budget: u64,
+        /// What the budget counts: `"quanta"` or `"instructions"`.
+        unit: &'static str,
+    },
+    /// A scheduler/engine invariant was violated — always a bug in the
+    /// engine, never in the guest program; surfaced structurally so the
+    /// service layer can report it instead of unwinding.
+    Internal {
+        /// Which invariant broke, with context.
+        detail: String,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -69,6 +86,17 @@ impl fmt::Display for VmError {
                 "heap verification failed after collection #{collection} \
                  ({strategy} strategy): {detail}"
             ),
+            VmError::DeadlineExceeded {
+                spent,
+                budget,
+                unit,
+            } => write!(
+                f,
+                "deadline exceeded: {spent} {unit} spent of a {budget}-{unit} budget"
+            ),
+            VmError::Internal { detail } => {
+                write!(f, "internal engine invariant violated: {detail}")
+            }
         }
     }
 }
@@ -101,5 +129,17 @@ mod tests {
         };
         assert!(v.to_string().contains("collection #4"));
         assert!(v.to_string().contains("from-space"));
+        let d = VmError::DeadlineExceeded {
+            spent: 12,
+            budget: 8,
+            unit: "quanta",
+        };
+        assert!(d.to_string().contains("12 quanta"));
+        assert!(d.to_string().contains("8-quanta budget"));
+        let i = VmError::Internal {
+            detail: "request 3 left unresolved".to_string(),
+        };
+        assert!(i.to_string().contains("internal engine invariant"));
+        assert!(i.to_string().contains("request 3"));
     }
 }

@@ -169,6 +169,10 @@ struct ThreadState {
     result: Option<Word>,
     /// Where the scheduler parked this thread (valid while suspended).
     parked_site: Option<CallSiteId>,
+    /// Runaway fault ([`FaultPlan::stall_at`]): the thread spins — every
+    /// step burns an instruction without advancing — until a budget ends
+    /// it.
+    stalled: bool,
 }
 
 /// The virtual machine.
@@ -304,6 +308,7 @@ impl<'p> Vm<'p> {
             pc: 0,
             result: None,
             parked_site: None,
+            stalled: false,
         }
     }
 
@@ -379,6 +384,13 @@ impl<'p> Vm<'p> {
         let t = &mut self.threads[i];
         t.stack.clear();
         t.parked_site = None;
+        t.stalled = false;
+    }
+
+    /// True while thread `i` is spinning under the `stall_at` runaway
+    /// fault.
+    pub fn thread_stalled(&self, i: usize) -> bool {
+        self.threads[i].stalled
     }
 
     /// The configured strategy's name (for error reporting).
@@ -453,6 +465,12 @@ impl<'p> Vm<'p> {
             }
         }
         self.mutator.instructions += 1;
+        // A stalled (runaway-fault) thread burns its instruction without
+        // making progress; only a deadline/fuel budget or the step limit
+        // above can end it.
+        if self.th().stalled {
+            return Ok(StepEvent::Continue);
+        }
         let prog = self.prog;
         let (fn_id, pc) = {
             let t = self.th();
@@ -735,6 +753,23 @@ impl<'p> Vm<'p> {
         let total = payload + self.enc.mode.header_words();
         self.alloc_seq += 1;
         let seq = self.alloc_seq;
+
+        // Runaway fault: the task thread that performs this allocation
+        // starts spinning right after it completes. Task threads only —
+        // stalling the main/globals phase (thread 0) or the batch
+        // pipeline would hang setup instead of modeling a runaway
+        // request handler.
+        if self.cfg.cooperative
+            && self.cur != 0
+            && self.cfg.fault_plan.is_some_and(|p| p.stall_at == Some(seq))
+        {
+            self.threads[self.cur].stalled = true;
+            self.obs.emit(|t_ns| GcEvent::FaultInjected {
+                t_ns,
+                kind: "stall",
+                seq,
+            });
+        }
 
         if !self.cfg.cooperative {
             if let Some(n) = self.cfg.force_gc_every {

@@ -133,10 +133,12 @@ fn serve_telemetry_is_observation_neutral() {
     let churn = tfgc::tasking::find_fn(&c.program, "churn").expect("churn");
     let spin = tfgc::tasking::find_fn(&c.program, "spin").expect("spin");
     let requests: Vec<Request> = (0..24)
-        .map(|i| Request {
-            entry: if i % 5 == 4 { spin } else { churn },
-            arg: if i % 5 == 4 { 200 } else { 25 + (i % 7) * 10 },
-            kind: (i % 5 == 4) as u32,
+        .map(|i| {
+            Request::new(
+                if i % 5 == 4 { spin } else { churn },
+                if i % 5 == 4 { 200 } else { 25 + (i % 7) * 10 },
+                (i % 5 == 4) as u32,
+            )
         })
         .collect();
 
@@ -212,6 +214,105 @@ fn serve_telemetry_is_observation_neutral() {
     assert_eq!(observed.task_errors, plain.task_errors);
     assert_eq!(observed.heap, plain.heap);
     assert_eq!(observed.mutator, plain.mutator);
+}
+
+/// Overload decisions are observation-neutral and conserve every
+/// request: the admission policy, deadline budgets, and circuit breaker
+/// are driven by the quantum clock and the seeded jitter stream, never
+/// by telemetry — so a null-sink run and a full serve-sink run must
+/// agree bit-for-bit on which requests were shed (and why), which were
+/// quarantined, and the breaker's entire history. Checked across seeds
+/// and strategies, with `completed + failed + shed == submitted` in
+/// every configuration.
+#[test]
+fn overload_decisions_are_observation_neutral_and_conserved() {
+    use tfgc::tasking::{
+        serve_requests_overload, AdmissionPolicy, OverloadConfig, Request, SuspendPolicy,
+        TaskConfig,
+    };
+
+    let c = Compiled::compile(
+        "fun build n = if n = 0 then [] else n :: build (n - 1) ;
+         fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;
+         fun churn n = sum (build n) ;
+         fun runaway n = if n = 0 then 0 else runaway (n + 1) ;
+         0",
+    )
+    .expect("compiles");
+    let churn = tfgc::tasking::find_fn(&c.program, "churn").expect("churn");
+    let runaway = tfgc::tasking::find_fn(&c.program, "runaway").expect("runaway");
+    let requests: Vec<Request> = (0..30)
+        .map(|i| {
+            if i % 6 == 5 {
+                Request::new(runaway, 1, 1)
+            } else {
+                Request::new(churn, 20 + (i % 5) * 8, 0)
+            }
+        })
+        .collect();
+
+    let mut sheds = 0u64;
+    let mut deadline_kills = 0usize;
+    for s in [Strategy::Compiled, Strategy::Tagged] {
+        for seed in [1u64, 9] {
+            let overload = OverloadConfig {
+                queue_cap: 2,
+                admission: AdmissionPolicy::RetryBackoff {
+                    max_attempts: 4,
+                    base: 8,
+                },
+                deadline_quanta: Some(600),
+                breaker_threshold: 2,
+                breaker_cooldown: 150,
+                seed,
+                ..OverloadConfig::none()
+            };
+            let mk = || {
+                let mut tc = TaskConfig::new(s);
+                tc.heap_words = 1 << 10;
+                tc.policy = SuspendPolicy::EveryCall;
+                tc
+            };
+            let run =
+                |obs| serve_requests_overload(&c.program, &requests, 2, 16, mk(), overload, obs);
+            let (plain, obs) = run(Obs::null()).expect("null run");
+            assert!(!obs.enabled(), "{s} seed {seed}");
+            let (observed, _) = run(Obs::serve(1 << 12, 1_000_000)).expect("observed run");
+            let (replayed, _) = run(Obs::null()).expect("replayed null run");
+
+            assert_eq!(
+                observed.outcomes, plain.outcomes,
+                "{s} seed {seed}: shed/quarantine decisions must not depend on the sink"
+            );
+            assert_eq!(
+                replayed.outcomes, plain.outcomes,
+                "{s} seed {seed}: determinism"
+            );
+            assert_eq!(
+                (
+                    observed.shed,
+                    observed.breaker_trips,
+                    &observed.breaker_final
+                ),
+                (plain.shed, plain.breaker_trips, &plain.breaker_final),
+                "{s} seed {seed}: breaker history identical"
+            );
+            assert_eq!(
+                plain.completed + plain.failed + plain.shed,
+                plain.outcomes.len() as u64,
+                "{s} seed {seed}: conservation"
+            );
+            sheds += plain.shed;
+            deadline_kills += plain
+                .outcomes
+                .iter()
+                .filter(|o| matches!(o.error, Some(tfgc::VmError::DeadlineExceeded { .. })))
+                .count();
+        }
+    }
+    // The matrix proves nothing unless both mechanisms actually fired.
+    assert!(sheds > 0, "no configuration ever shed");
+    assert!(deadline_kills > 0, "no runaway was ever quarantined");
 }
 
 /// Reported pause time measures collection work, not observation setup:

@@ -301,3 +301,51 @@ fn memoized_eval_matches_direct() {
     assert!(cache.hits > 0, "reused cache must see repeat queries");
     assert!(cache.misses > 0, "fresh (template, env) pairs must miss");
 }
+
+/// Overload management is a pure function of `(seed, config)`: across a
+/// seeds × strategies sweep of the canonical burst scenario, every
+/// request resolves exactly one way (`completed + failed + shed ==
+/// submitted`), and a same-seed replay reproduces the outcome stream,
+/// the per-request shed reasons, and the circuit breaker's final states
+/// bit-for-bit.
+#[test]
+fn overload_conserves_and_replays_across_seeds_and_strategies() {
+    use tfgc::{overload_scenario, serve, Strategy};
+
+    let mut total_shed = 0u64;
+    let mut total_failed = 0u64;
+    for seed in [2u64, 5, 11] {
+        for s in [Strategy::Compiled, Strategy::Tagged] {
+            let mut cfg = overload_scenario(s, seed);
+            cfg.requests = 64; // keep the debug-build sweep quick
+            let a = serve(&cfg).unwrap_or_else(|e| panic!("{s} seed {seed}: {e}"));
+            let r = &a.report;
+            assert_eq!(r.outcomes.len(), cfg.requests, "{s} seed {seed}");
+            assert_eq!(
+                r.completed + r.failed + r.shed,
+                r.outcomes.len() as u64,
+                "{s} seed {seed}: conservation"
+            );
+            let b = serve(&cfg).unwrap_or_else(|e| panic!("{s} seed {seed} replay: {e}"));
+            assert_eq!(
+                a.report.outcomes, b.report.outcomes,
+                "{s} seed {seed}: outcome stream must replay bit-for-bit"
+            );
+            assert_eq!(
+                a.report.breaker_trips, b.report.breaker_trips,
+                "{s} seed {seed}"
+            );
+            assert_eq!(
+                a.report.breaker_final, b.report.breaker_final,
+                "{s} seed {seed}"
+            );
+            total_shed += r.shed;
+            total_failed += r.failed;
+        }
+    }
+    assert!(total_shed > 0, "the burst scenario must actually shed");
+    assert!(
+        total_failed > 0,
+        "the runaways must actually be quarantined"
+    );
+}
