@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E10), or with `--json` writes the
+//! Prints every experiment table (E1–E10 and E13), or with `--json` writes the
 //! machine-readable documents instead:
 //!
 //! ```sh
@@ -6,7 +6,7 @@
 //! cargo run --release -p tfgc-bench --bin experiments -- --json [--out DIR] [--deterministic]
 //! ```
 //!
-//! `--json` writes `BENCH_E1.json` … `BENCH_E10.json` (per-strategy pause
+//! `--json` writes one `BENCH_E<n>.json` per experiment (per-strategy pause
 //! histograms, labeled per-site allocation counts, experiment extras)
 //! into `--out DIR` (default: the current directory). With
 //! `--deterministic`, wall-clock subtrees (pause histograms, timing

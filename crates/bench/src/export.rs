@@ -20,7 +20,9 @@ use tfgc::{Compiled, Strategy, VmConfig};
 const RING: usize = 1 << 14;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 10] = ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"];
+pub const EXPERIMENTS: [&str; 11] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13",
+];
 
 fn profile_one(c: &Compiled, s: Strategy, heap: usize, force: Option<u64>) -> Json {
     let mut cfg = VmConfig::new(s).heap_words(heap);
@@ -41,6 +43,9 @@ fn profile_one(c: &Compiled, s: Strategy, heap: usize, force: Option<u64>) -> Js
         ("rt_nodes_built", Json::from(out.gc.rt_nodes_built)),
         ("rt_cache_hits", Json::from(out.gc.rt_cache_hits)),
         ("rt_cache_misses", Json::from(out.gc.rt_cache_misses)),
+        ("plan_hits", Json::from(out.gc.plan_hits)),
+        ("plan_misses", Json::from(out.gc.plan_misses)),
+        ("plans_compiled", Json::from(out.gc.plans_compiled)),
         ("metrics", tfgc::metrics_json(&rec, &c.program)),
     ])
 }
@@ -404,6 +409,84 @@ fn e10_json() -> Json {
     )
 }
 
+fn e13_json() -> Json {
+    // Per-strategy profiles on moderate polymorphic recursion with
+    // plans on (the default) — the counters show every strategy's plan
+    // traffic, including the tagged baseline's zeros.
+    let depth = 2_000usize;
+    let src = tfgc::workloads::programs::poly_deep_alloc(depth);
+    let c = Compiled::compile(&src).expect("compiles");
+
+    // Plans-vs-closures stress rows: a deep polymorphic stack (many
+    // frames, few shapes) and a wide list spine (many objects, one
+    // shape), each under both forward tracing methods with plans on
+    // and off. Pause totals accumulate per mode so the document can
+    // carry a regression verdict for CI.
+    let mut plan_pause = 0u64;
+    let mut walk_pause = 0u64;
+    let mut stress_row = |c: &Compiled, label: &str, s: Strategy, heap: usize, force: u64| {
+        [true, false].map(|plans| {
+            let out = c
+                .run_with(
+                    VmConfig::new(s)
+                        .heap_words(heap)
+                        .force_gc_every(force)
+                        .trace_plans(plans),
+                )
+                .expect("stress run");
+            if plans {
+                plan_pause += out.gc.pause_nanos;
+            } else {
+                walk_pause += out.gc.pause_nanos;
+            }
+            Json::obj([
+                ("workload", Json::str(label)),
+                ("strategy", Json::str(s.name())),
+                ("trace_plans", Json::Bool(plans)),
+                ("result", Json::str(&out.result)),
+                ("collections", Json::from(out.heap.collections)),
+                ("words_copied", Json::from(out.heap.words_copied)),
+                ("desc_bytes_read", Json::from(out.gc.desc_bytes_read)),
+                ("plan_hits", Json::from(out.gc.plan_hits)),
+                ("plan_misses", Json::from(out.gc.plan_misses)),
+                ("plans_compiled", Json::from(out.gc.plans_compiled)),
+                ("pause_ns_total", Json::from(out.gc.pause_nanos)),
+            ])
+        })
+    };
+    let deep_depth = 50_000usize;
+    let deep_src = tfgc::workloads::programs::poly_deep_alloc(deep_depth);
+    let dc = Compiled::compile(&deep_src).expect("compiles");
+    let wide_src = tfgc::workloads::programs::sumlist(3_000, 40);
+    let wc = Compiled::compile(&wide_src).expect("compiles");
+    let mut stress = Vec::new();
+    for s in [Strategy::Compiled, Strategy::Interpreted] {
+        stress.extend(stress_row(&dc, "deep", s, 1 << 21, (deep_depth / 2) as u64));
+        // sumlist allocates ~3000 cons cells total, so force a
+        // collection every 500: each one recopies the growing spine.
+        stress.extend(stress_row(&wc, "wide", s, 1 << 17, 500));
+    }
+    doc(
+        "E13",
+        "trace plans vs closure walks: flattened routines on deep and wide heaps",
+        "poly_deep_alloc(2000) / poly_deep_alloc(50000) / sumlist(3000, 40)",
+        profiles(&c, 1 << 19, Some((depth / 2) as u64)),
+        vec![
+            ("stress".to_string(), Json::Arr(stress)),
+            // True when the plan path's accumulated stress pauses
+            // exceed the closure walk's by more than 1.5× — the CI gate
+            // greps for `"plan_pause_regression": false`. A generous
+            // margin: single-run pause totals are noisy, and the plan
+            // tier must merely not be a regression, with the honest
+            // comparison living in the wall-clock rows above.
+            (
+                "plan_pause_regression".to_string(),
+                Json::Bool(plan_pause * 2 > walk_pause * 3),
+            ),
+        ],
+    )
+}
+
 /// The JSON document of one experiment.
 ///
 /// # Panics
@@ -422,6 +505,7 @@ pub fn bench_json(id: &str) -> Json {
         "E8" => e8_json(),
         "E9" => e9_json(),
         "E10" => e10_json(),
+        "E13" => e13_json(),
         other => panic!("unknown experiment `{other}`"),
     }
 }
@@ -455,8 +539,8 @@ pub fn deterministic_view(j: &Json) -> Json {
     }
 }
 
-/// Writes `BENCH_E1.json` … `BENCH_E10.json` into `dir`, returning the
-/// paths written.
+/// Writes one `BENCH_E<n>.json` per [`EXPERIMENTS`] entry into `dir`,
+/// returning the paths written.
 ///
 /// # Errors
 ///
@@ -530,6 +614,43 @@ mod tests {
         // …and kept the deterministic ones.
         assert!(text.contains("\"words_allocated\""));
         assert!(text.contains("\"alloc_words\"") || text.contains("\"collections\""));
+    }
+
+    #[test]
+    fn e13_compares_plans_against_closure_walks() {
+        let d = bench_json("E13");
+        let profiles = d.get("profiles").unwrap().as_arr().unwrap();
+        assert_eq!(profiles.len(), Strategy::ALL.len());
+        for p in profiles {
+            let s = p.get("strategy").unwrap();
+            let compiled = p.get("plans_compiled").and_then(Json::as_f64).unwrap();
+            if matches!(s, Json::Str(name) if name == "tagged") {
+                assert_eq!(compiled, 0.0, "the tagged baseline lowers no plans");
+            } else {
+                assert!(compiled > 0.0, "plans must actually be lowered: {s:?}");
+            }
+        }
+        let stress = d.get("stress").unwrap().as_arr().unwrap();
+        assert_eq!(stress.len(), 8, "2 workloads × 2 strategies × on/off");
+        for row in stress {
+            let plans = matches!(row.get("trace_plans"), Some(Json::Bool(true)));
+            let compiled = row.get("plans_compiled").and_then(Json::as_f64).unwrap();
+            let hits = row.get("plan_hits").and_then(Json::as_f64).unwrap();
+            if plans {
+                assert!(compiled > 0.0);
+                assert!(hits > compiled, "plans are reused across collections");
+            } else {
+                assert_eq!(compiled, 0.0, "plans off must not lower plans");
+                assert_eq!(hits, 0.0);
+            }
+        }
+        assert!(d.get("plan_pause_regression").is_some());
+        // Everything but the pause rows is deterministic.
+        let a = deterministic_view(&bench_json("E13"));
+        let b = deterministic_view(&d);
+        let a = a.to_json_pretty();
+        assert!(!a.contains("pause_ns_total"));
+        assert_eq!(a, b.to_json_pretty());
     }
 
     #[test]

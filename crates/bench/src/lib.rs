@@ -1,6 +1,6 @@
 //! # tfgc-bench — experiment runners
 //!
-//! One function per experiment (E1–E9, see EXPERIMENTS.md), each
+//! One function per experiment (E1–E10 and E13, see EXPERIMENTS.md), each
 //! returning a rendered text table. The wall-clock benches under
 //! `benches/` ([`timing`]) time the same configurations; the
 //! `experiments` binary prints every table — or, with `--json`, writes
@@ -446,6 +446,64 @@ pub fn e10_serve() -> String {
     )
 }
 
+/// E13 — trace plans vs closure walks: each routine and descriptor is
+/// lowered once into a branch-free linear plan, then reused across
+/// collections (`plan hits ≫ plans compiled`), with results and copy
+/// orders bit-identical to the closure walk (`tests/gc_cache.rs`
+/// proves the differential; this table shows the traffic).
+pub fn e13_trace_plans() -> String {
+    let mut t = Table::new(&[
+        "workload",
+        "strategy",
+        "plans",
+        "GCs",
+        "words copied",
+        "desc bytes",
+        "plans compiled",
+        "plan hits",
+        "hits/compile",
+    ]);
+    let deep = tfgc::workloads::programs::poly_deep_alloc(20_000);
+    let wide = tfgc::workloads::programs::sumlist(3_000, 40);
+    for (label, src, heap, force) in [
+        ("deep", &deep, 1usize << 20, 10_000u64),
+        ("wide", &wide, 1 << 17, 500),
+    ] {
+        let c = Compiled::compile(src).expect("compiles");
+        for s in [Strategy::Compiled, Strategy::Interpreted] {
+            for plans in [true, false] {
+                let out = c
+                    .run_with(
+                        VmConfig::new(s)
+                            .heap_words(heap)
+                            .force_gc_every(force)
+                            .trace_plans(plans),
+                    )
+                    .expect("runs");
+                t.row(vec![
+                    label.to_string(),
+                    s.to_string(),
+                    if plans { "on" } else { "off" }.to_string(),
+                    out.heap.collections.to_string(),
+                    out.heap.words_copied.to_string(),
+                    out.gc.desc_bytes_read.to_string(),
+                    out.gc.plans_compiled.to_string(),
+                    out.gc.plan_hits.to_string(),
+                    format!(
+                        "{:.1}",
+                        out.gc.plan_hits as f64 / out.gc.plans_compiled.max(1) as f64
+                    ),
+                ]);
+            }
+        }
+    }
+    format!(
+        "E13 — flattened trace plans: shape lowering is O(shapes), \
+         execution is branch-free\n{}",
+        t.render()
+    )
+}
+
 /// Every experiment, concatenated.
 pub fn all_experiments() -> String {
     [
@@ -460,6 +518,7 @@ pub fn all_experiments() -> String {
         e8_append(),
         e9_deep_recursion(),
         e10_serve(),
+        e13_trace_plans(),
     ]
     .join("\n")
 }

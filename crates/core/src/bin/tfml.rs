@@ -29,6 +29,8 @@
 //!                    failing fast on any inconsistency
 //!   --verify-oracle  replay under the tagged collector and require
 //!                    identical reachable graphs at every collection
+//!   --no-trace-plans trace with the nested-closure walk instead of the
+//!                    flattened trace plans (differential baseline)
 //!   --trace FILE     write a Chrome-trace-event JSONL file (run/profile)
 //!   --metrics FILE   write a JSON metrics document (run/profile)
 //!   --events N       raw events retained for --trace (default 65536)
@@ -43,6 +45,7 @@
 //!   --quantum N               instructions per scheduling quantum
 //!   --window-ms N             steady-state metrics window (default 10)
 //!   --sample-every N          occupancy sample period in quanta (default 32)
+//!   --no-trace-plans          closure-walk tracing (plans differential)
 //!   --json FILE               write the BENCH_SERVE.json document
 //!                             (includes the gated overload section)
 //!   --trace FILE              write a Chrome trace (single strategy only)
@@ -76,11 +79,37 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
+            eprintln!("tfml: {msg}");
+            eprintln!("run `tfml --help` for usage");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(msg)) => {
             eprintln!("tfml: {msg}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Command-line failure, split by whose fault it is: `Usage` is a
+/// malformed invocation (unknown flag, unparsable value) and exits 2
+/// with a usage pointer; `Run` is a failure of the requested work
+/// (compile error, VM error, SLO violation, unwritable file) and exits 1.
+#[derive(Debug, PartialEq)]
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Run(msg)
+    }
+}
+
+/// A malformed-invocation error (exit 2).
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
 }
 
 struct Opts {
@@ -94,30 +123,31 @@ struct Opts {
     trace: Option<String>,
     metrics: Option<String>,
     events: usize,
+    trace_plans: bool,
     source: String,
 }
 
-fn parse_strategy(s: &str) -> Result<Strategy, String> {
+fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
     Ok(match s {
         "compiled" => Strategy::Compiled,
         "compiled-nolive" => Strategy::CompiledNoLiveness,
         "interpreted" => Strategy::Interpreted,
         "appel" => Strategy::AppelPerFn,
         "tagged" => Strategy::Tagged,
-        other => return Err(format!("unknown strategy `{other}`")),
+        other => return Err(usage(format!("unknown strategy `{other}`"))),
     })
 }
 
 /// `reject`, `backoff[:ATTEMPTS:BASE]`, or `degrade[:MINKIND]`.
-fn parse_admission(s: &str) -> Result<tfgc::AdmissionPolicy, String> {
+fn parse_admission(s: &str) -> Result<tfgc::AdmissionPolicy, CliError> {
     let mut parts = s.split(':');
     let head = parts.next().unwrap_or_default();
     let rest: Vec<&str> = parts.collect();
-    let arg = |i: usize, what: &str| -> Result<u64, String> {
+    let arg = |i: usize, what: &str| -> Result<u64, CliError> {
         rest.get(i)
-            .ok_or(format!("--admission {head} needs {what}"))?
+            .ok_or_else(|| usage(format!("--admission {head} needs {what}")))?
             .parse()
-            .map_err(|e| format!("bad --admission {what}: {e}"))
+            .map_err(|e| usage(format!("bad --admission {what}: {e}")))
     };
     Ok(match (head, rest.len()) {
         ("reject", 0) => tfgc::AdmissionPolicy::Reject,
@@ -134,14 +164,14 @@ fn parse_admission(s: &str) -> Result<tfgc::AdmissionPolicy, String> {
             low_kind_min: arg(0, "MINKIND")? as u32,
         },
         _ => {
-            return Err(format!(
+            return Err(usage(format!(
                 "unknown --admission `{s}` (reject | backoff[:ATTEMPTS:BASE] | degrade[:MINKIND])"
-            ))
+            )))
         }
     })
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     let mut strategy = Strategy::Compiled;
     let mut heap = 1usize << 16;
     let mut force_gc = None;
@@ -152,58 +182,78 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut trace = None;
     let mut metrics = None;
     let mut events = 1usize << 16;
+    let mut trace_plans = true;
     let mut source: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--strategy" => {
                 i += 1;
-                strategy = parse_strategy(args.get(i).ok_or("--strategy needs a value")?)?;
+                strategy = parse_strategy(
+                    args.get(i)
+                        .ok_or_else(|| usage("--strategy needs a value"))?,
+                )?;
             }
             "--heap" => {
                 i += 1;
                 heap = args
                     .get(i)
-                    .ok_or("--heap needs a value")?
+                    .ok_or_else(|| usage("--heap needs a value"))?
                     .parse()
-                    .map_err(|e| format!("bad --heap: {e}"))?;
+                    .map_err(|e| usage(format!("bad --heap: {e}")))?;
             }
             "--force-gc" => {
                 i += 1;
                 force_gc = Some(
                     args.get(i)
-                        .ok_or("--force-gc needs a value")?
+                        .ok_or_else(|| usage("--force-gc needs a value"))?
                         .parse()
-                        .map_err(|e| format!("bad --force-gc: {e}"))?,
+                        .map_err(|e| usage(format!("bad --force-gc: {e}")))?,
                 );
             }
             "--refined" => refined = true,
             "--stats" => stats = true,
             "--verify-heap" => verify_heap = true,
             "--verify-oracle" => verify_oracle = true,
+            "--no-trace-plans" => trace_plans = false,
             "--trace" => {
                 i += 1;
-                trace = Some(args.get(i).ok_or("--trace needs a file path")?.clone());
+                trace = Some(
+                    args.get(i)
+                        .ok_or_else(|| usage("--trace needs a file path"))?
+                        .clone(),
+                );
             }
             "--metrics" => {
                 i += 1;
-                metrics = Some(args.get(i).ok_or("--metrics needs a file path")?.clone());
+                metrics = Some(
+                    args.get(i)
+                        .ok_or_else(|| usage("--metrics needs a file path"))?
+                        .clone(),
+                );
             }
             "--events" => {
                 i += 1;
                 events = args
                     .get(i)
-                    .ok_or("--events needs a value")?
+                    .ok_or_else(|| usage("--events needs a value"))?
                     .parse()
-                    .map_err(|e| format!("bad --events: {e}"))?;
+                    .map_err(|e| usage(format!("bad --events: {e}")))?;
             }
             "-e" => {
                 i += 1;
-                source = Some(args.get(i).ok_or("-e needs source text")?.clone());
+                source = Some(
+                    args.get(i)
+                        .ok_or_else(|| usage("-e needs source text"))?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(usage(format!("unknown option `{flag}`")));
             }
             path => {
                 let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                    .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
                 source = Some(text);
             }
         }
@@ -220,21 +270,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace,
         metrics,
         events,
-        source: source.ok_or("no program given (file path or -e SRC)")?,
+        trace_plans,
+        source: source.ok_or_else(|| usage("no program given (file path or -e SRC)"))?,
     })
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("usage: tfml <run|disasm|gcmap|analyze|compare> ... (see --help)".into());
+        return Err(usage(
+            "usage: tfml <run|disasm|gcmap|analyze|compare> ... (see --help)",
+        ));
     };
     if cmd == "--help" || cmd == "help" {
         println!(
             "tfml run|profile|disasm|gcmap|analyze|compare [--strategy S] [--heap N] \
              [--force-gc N] [--refined] [--stats] [--verify-heap] [--verify-oracle] \
-             [--trace FILE] [--metrics FILE] [--events N] <file | -e SRC>\n\
+             [--trace FILE] [--metrics FILE] [--events N] [--no-trace-plans] <file | -e SRC>\n\
              tfml serve [--strategy S|all] [--requests N] [--pool N] [--seed N] [--heap N] \
-             [--heap-max N] [--quantum N] [--window-ms N] [--sample-every N] [--json FILE] \
+             [--heap-max N] [--quantum N] [--window-ms N] [--sample-every N] \
+             [--no-trace-plans] [--json FILE] \
              [--trace FILE] [--slo-p99-latency-ms F] [--slo-p99-pause-ms F] \
              [--deadline-quanta N] [--fuel N] [--queue-cap N] \
              [--admission reject|backoff[:A:B]|degrade[:K]] [--soft-watermark PCT] \
@@ -251,26 +305,27 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return cmd_serve(rest);
     }
     let opts = parse_opts(rest)?;
-    let compiled = Compiled::compile(&opts.source).map_err(|e| e.to_string())?;
+    let compiled = Compiled::compile(&opts.source).map_err(|e| CliError::Run(e.to_string()))?;
 
     match cmd.as_str() {
-        "run" => cmd_run(&compiled, &opts),
-        "profile" => cmd_profile(&compiled, &opts),
+        "run" => cmd_run(&compiled, &opts).map_err(CliError::Run),
+        "profile" => cmd_profile(&compiled, &opts).map_err(CliError::Run),
         "disasm" => {
             print!("{}", tfgc::ir::display::disasm(&compiled.program));
             Ok(())
         }
-        "gcmap" => cmd_gcmap(&compiled, &opts),
-        "analyze" => cmd_analyze(&compiled),
-        "compare" => cmd_compare(&compiled, &opts),
-        other => Err(format!("unknown command `{other}`")),
+        "gcmap" => cmd_gcmap(&compiled, &opts).map_err(CliError::Run),
+        "analyze" => cmd_analyze(&compiled).map_err(CliError::Run),
+        "compare" => cmd_compare(&compiled, &opts).map_err(CliError::Run),
+        other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
 
 fn vm_config(opts: &Opts) -> VmConfig {
     let mut cfg = VmConfig::new(opts.strategy)
         .heap_words(opts.heap)
-        .verify_heap(opts.verify_heap);
+        .verify_heap(opts.verify_heap)
+        .trace_plans(opts.trace_plans);
     if let Some(n) = opts.force_gc {
         cfg = cfg.force_gc_every(n);
     }
@@ -367,7 +422,9 @@ fn cmd_run(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
 
 fn cmd_profile(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
     let (out, rec) = run_opts(compiled, opts, true)?;
-    let rec = rec.expect("profile always records");
+    let rec = rec.ok_or_else(|| {
+        "profile: the run produced no recorder (ring sink failed to attach)".to_string()
+    })?;
     write_exports(compiled, opts, &rec)?;
     println!("result {}", out.result);
     print!("{}", tfgc::profile_report(&rec, &compiled.program));
@@ -454,28 +511,30 @@ fn cmd_analyze(compiled: &Compiled) -> Result<(), String> {
 /// `tfml serve`: drains a seeded traffic mix through the request engine
 /// per strategy and reports steady-state telemetry, optionally gated on
 /// service-level objectives.
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut strategies: Vec<Strategy> = Strategy::ALL.to_vec();
     let mut base = tfgc::ServeConfig::new(Strategy::Compiled);
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut slo_latency_ms: Option<f64> = None;
     let mut slo_pause_ms: Option<f64> = None;
-    fn num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String>
+    fn num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, CliError>
     where
         T::Err: std::fmt::Display,
     {
         args.get(i)
-            .ok_or(format!("{flag} needs a value"))?
+            .ok_or_else(|| usage(format!("{flag} needs a value")))?
             .parse()
-            .map_err(|e| format!("bad {flag}: {e}"))
+            .map_err(|e| usage(format!("bad {flag}: {e}")))
     }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--strategy" => {
                 i += 1;
-                let v = args.get(i).ok_or("--strategy needs a value")?;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| usage("--strategy needs a value"))?;
                 strategies = if v == "all" {
                     Strategy::ALL.to_vec()
                 } else {
@@ -516,12 +575,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--json" => {
                 i += 1;
-                json_path = Some(args.get(i).ok_or("--json needs a file path")?.clone());
+                json_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| usage("--json needs a file path"))?
+                        .clone(),
+                );
             }
             "--trace" => {
                 i += 1;
-                trace_path = Some(args.get(i).ok_or("--trace needs a file path")?.clone());
+                trace_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| usage("--trace needs a file path"))?
+                        .clone(),
+                );
             }
+            "--no-trace-plans" => base.trace_plans = false,
             "--slo-p99-latency-ms" => {
                 i += 1;
                 slo_latency_ms = Some(num(args, i, "--slo-p99-latency-ms")?);
@@ -544,7 +612,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--admission" => {
                 i += 1;
-                let v = args.get(i).ok_or("--admission needs a value")?;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| usage("--admission needs a value"))?;
                 base.overload.admission = parse_admission(v)?;
             }
             "--soft-watermark" => {
@@ -571,25 +641,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 i += 1;
                 base.runaway_every = num(args, i, "--runaway-every")?;
             }
-            other => return Err(format!("serve: unknown option `{other}`")),
+            other => return Err(usage(format!("serve: unknown option `{other}`"))),
         }
         i += 1;
     }
     if trace_path.is_some() && strategies.len() != 1 {
-        return Err("serve: --trace needs a single --strategy (one trace per run)".into());
+        return Err(usage(
+            "serve: --trace needs a single --strategy (one trace per run)",
+        ));
     }
     if base.pool == 0 {
-        return Err("serve: --pool must be at least 1".into());
+        return Err(usage("serve: --pool must be at least 1"));
     }
     if base.runaway_every > 0
         && base.overload.deadline_quanta.is_none()
         && base.overload.fuel.is_none()
     {
-        return Err(
+        return Err(usage(
             "serve: --runaway-every needs --deadline-quanta or --fuel (a runaway \
-             handler never terminates on its own)"
-                .into(),
-        );
+             handler never terminates on its own)",
+        ));
     }
 
     let mut runs = Vec::new();
@@ -612,10 +683,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         std::fs::write(path, doc.to_json_pretty())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         if !overload_violations.is_empty() {
-            return Err(format!(
+            return Err(CliError::Run(format!(
                 "overload SLO violations:\n  {}",
                 overload_violations.join("\n  ")
-            ));
+            )));
         }
         eprintln!("overload SLO: pass ({} strategies)", Strategy::ALL.len());
     }
@@ -636,7 +707,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         if violations.is_empty() {
             eprintln!("SLO: pass ({} strategies)", runs.len());
         } else {
-            return Err(format!("SLO violations:\n  {}", violations.join("\n  ")));
+            return Err(CliError::Run(format!(
+                "SLO violations:\n  {}",
+                violations.join("\n  ")
+            )));
         }
     }
     Ok(())
@@ -645,7 +719,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 /// `tfml torture`: the fault-injection matrix, plus (with `--oracle`) a
 /// tagged-replay differential sweep over the benchmark suite and (with
 /// `--serve`) mid-traffic fault injection against the request server.
-fn cmd_torture(args: &[String]) -> Result<(), String> {
+fn cmd_torture(args: &[String]) -> Result<(), CliError> {
     let mut n_seeds = 8u64;
     let mut oracle = false;
     let mut serve_mode = false;
@@ -657,20 +731,20 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
                 i += 1;
                 n_seeds = args
                     .get(i)
-                    .ok_or("--seeds needs a value")?
+                    .ok_or_else(|| usage("--seeds needs a value"))?
                     .parse()
-                    .map_err(|e| format!("bad --seeds: {e}"))?;
+                    .map_err(|e| usage(format!("bad --seeds: {e}")))?;
             }
             "--oracle" => oracle = true,
             "--serve" => serve_mode = true,
             "--overload" => overload = true,
-            other => return Err(format!("torture: unknown option `{other}`")),
+            other => return Err(usage(format!("torture: unknown option `{other}`"))),
         }
         i += 1;
     }
     let seeds: Vec<u64> = (0..n_seeds).collect();
     if overload && !serve_mode {
-        return Err("torture: --overload needs --serve".into());
+        return Err(usage("torture: --overload needs --serve"));
     }
     if serve_mode && overload {
         let cases = tfgc::torture_overload(&seeds);
@@ -697,7 +771,9 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
             seeds.len()
         );
         if bad > 0 {
-            return Err(format!("{bad} overload-torture violation(s)"));
+            return Err(CliError::Run(format!(
+                "{bad} overload-torture violation(s)"
+            )));
         }
         return Ok(());
     }
@@ -724,7 +800,7 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
             }
         }
         if bad > 0 {
-            return Err(format!("{bad} serve-torture violation(s)"));
+            return Err(CliError::Run(format!("{bad} serve-torture violation(s)")));
         }
         return Ok(());
     }
@@ -742,10 +818,11 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
     }
     if oracle {
         for (name, src) in tfgc::workloads::suite() {
-            let compiled = Compiled::compile(&src).map_err(|e| format!("{name}: {e}"))?;
+            let compiled =
+                Compiled::compile(&src).map_err(|e| CliError::Run(format!("{name}: {e}")))?;
             for s in Strategy::ALL {
                 let rep = tfgc::oracle_check(&compiled, s, 1 << 16, 64)
-                    .map_err(|e| format!("oracle: {name} under {s}: {e}"))?;
+                    .map_err(|e| CliError::Run(format!("oracle: {name} under {s}: {e}")))?;
                 println!(
                     "oracle ok: {name} under {s} ({} collections)",
                     rep.collections
@@ -756,10 +833,10 @@ fn cmd_torture(args: &[String]) -> Result<(), String> {
     if report.ok() {
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::Run(format!(
             "{} case(s) ended in a raw panic",
             report.raw_panics().len()
-        ))
+        )))
     }
 }
 
@@ -768,7 +845,9 @@ fn cmd_compare(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
         "strategy", "result", "words", "GCs", "copied", "tag-ops", "meta B",
     ]);
     for s in Strategy::ALL {
-        let mut cfg = VmConfig::new(s).heap_words(opts.heap);
+        let mut cfg = VmConfig::new(s)
+            .heap_words(opts.heap)
+            .trace_plans(opts.trace_plans);
         if let Some(n) = opts.force_gc {
             cfg = cfg.force_gc_every(n);
         }
@@ -785,4 +864,94 @@ fn cmd_compare(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
     }
     println!("{}", t.render());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_usage(r: Result<(), CliError>) -> bool {
+        matches!(r, Err(CliError::Usage(_)))
+    }
+
+    #[test]
+    fn malformed_numeric_values_are_usage_errors() {
+        for bad in [
+            vec!["run", "--heap", "x", "-e", "1"],
+            vec!["run", "--heap", "-e"],
+            vec!["run", "--force-gc", "ten", "-e", "1"],
+            vec!["run", "--events", "1.5", "-e", "1"],
+            vec!["serve", "--requests", "many"],
+            vec!["serve", "--pool", "0"],
+            vec!["serve", "--soft-watermark", "ninety"],
+            vec!["serve", "--breaker-threshold", "-3"],
+            vec!["torture", "--seeds", "NaN"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                is_usage(run(args)),
+                "`tfml {}` must be a usage error (exit 2)",
+                bad.join(" ")
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_compound_values_are_usage_errors() {
+        for bad in [
+            vec!["serve", "--admission", "backoff:A:B"],
+            vec!["serve", "--admission", "backoff:3"],
+            vec!["serve", "--admission", "degrade:low"],
+            vec!["serve", "--admission", "lottery"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                is_usage(run(args)),
+                "`tfml {}` must be a usage error (exit 2)",
+                bad.join(" ")
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_are_usage_errors() {
+        for bad in [
+            vec!["run", "--frobnicate", "-e", "1"],
+            vec!["serve", "--what"],
+            vec!["torture", "--loud"],
+            vec!["conquer"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(is_usage(run(args)), "`tfml {}` must exit 2", bad.join(" "));
+        }
+        assert!(
+            is_usage(run(vec![])),
+            "no arguments at all is a usage error"
+        );
+    }
+
+    #[test]
+    fn well_formed_admission_values_parse() {
+        assert!(parse_admission("reject").is_ok());
+        assert!(parse_admission("backoff").is_ok());
+        assert!(parse_admission("backoff:4:32").is_ok());
+        assert!(parse_admission("degrade").is_ok());
+        assert!(parse_admission("degrade:1").is_ok());
+    }
+
+    #[test]
+    fn missing_program_is_a_usage_error() {
+        assert!(is_usage(run(vec!["run".to_string()])));
+    }
+
+    #[test]
+    fn runtime_failures_stay_exit_1() {
+        // A well-formed invocation of a program that does not exist is a
+        // run error, not a usage error.
+        let r = run(vec![
+            "run".to_string(),
+            "/nonexistent/definitely-not-here.tfml".to_string(),
+        ]);
+        assert!(matches!(r, Err(CliError::Run(_))));
+    }
 }

@@ -147,6 +147,9 @@ pub struct ServeConfig {
     pub sample_every: u64,
     /// Fault schedule for torture runs.
     pub fault_plan: Option<FaultPlan>,
+    /// Flattened trace-plan execution (`--no-trace-plans` turns it off
+    /// for the plans≡closures serve differential).
+    pub trace_plans: bool,
     /// Replace every `hog_every`-th request with a `req_hog` whose live
     /// set dwarfs a torture-sized heap (0 = no hogs). Hogs report as
     /// kind [`MIX`]`.len()` ("hog" in the exported mix counts).
@@ -185,6 +188,7 @@ impl ServeConfig {
             ring: 1 << 14,
             sample_every: 32,
             fault_plan: None,
+            trace_plans: true,
             hog_every: 0,
             runaway_every: 0,
             overload: OverloadConfig::none(),
@@ -270,6 +274,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeRun, String> {
     tc.policy = SuspendPolicy::EveryCall;
     tc.quantum = cfg.quantum;
     tc.fault_plan = cfg.fault_plan;
+    tc.trace_plans = cfg.trace_plans;
     let obs = Obs::serve(cfg.ring, cfg.window_ms.max(1) * 1_000_000);
     let mut overload = cfg.overload;
     overload.seed = cfg.seed;

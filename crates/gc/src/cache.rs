@@ -29,6 +29,7 @@
 
 use crate::desc::{DescArena, DescId, DescNode};
 use crate::ground::GroundTable;
+use crate::plan::PlanStore;
 use crate::rtval::{desc_to_rt, eval_sx, extract_path, param_lookup, EvalCx, RtBuildStats, RtVal};
 use crate::sx::{SxId, SxTable, TypeSx};
 use std::collections::HashMap;
@@ -55,20 +56,44 @@ pub struct RtCache {
     /// the pointer fast-path in [`RtCache::rt_id`] sound.
     nodes: Vec<RtVal>,
     interned: HashMap<RtVal, RtId>,
-    /// `Rc` payload pointer → id, valid because `nodes` pins every
+    /// Full-identity pointer key → id, valid because `nodes` pins every
     /// registered allocation for the cache's lifetime.
-    by_ptr: HashMap<usize, RtId>,
+    by_ptr: HashMap<PtrKey, RtId>,
     eval_memo: HashMap<(SxId, Box<[RtId]>), RtVal>,
     desc_memo: HashMap<DescId, RtVal>,
     extract_memo: HashMap<(RtId, Box<[u16]>), RtVal>,
+    /// Flat trace plans lowered from interned routine values (the fast
+    /// execution tier on top of this identity layer — see `plan.rs`).
+    pub plans: PlanStore,
 }
 
-/// The address of a composite node's shared payload (identity fast-path).
-fn composite_ptr(v: &RtVal) -> Option<usize> {
+/// Full identity key for the pointer fast-path: the variant tag, the
+/// datatype discriminant, and **every** component pointer.
+///
+/// Keying on a single component pointer is not injective: two distinct
+/// wrappers can share a sub-`Rc` (`Arrow(a, b1)` / `Arrow(a, b2)` built by
+/// Figure-3 extraction, or `Data(d, fs)` / `Tuple(fs)` rewrapping one
+/// field vector), and collapsing them to one `RtId` hands the collector a
+/// wrong memoized routine — heap corruption. With the variant and all
+/// components in the key, equal keys imply the components are the *same*
+/// allocations, hence the values are structurally equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PtrKey {
+    Tuple(usize),
+    Data(u32, usize),
+    Arrow(usize, usize),
+}
+
+/// The identity key of a composite node (identity fast-path).
+fn ptr_key(v: &RtVal) -> Option<PtrKey> {
     match v {
         RtVal::Const | RtVal::Ground(_) => None,
-        RtVal::Tuple(fs) | RtVal::Data(_, fs) => Some(Rc::as_ptr(fs) as usize),
-        RtVal::Arrow(a, _) => Some(Rc::as_ptr(a) as usize),
+        RtVal::Tuple(fs) => Some(PtrKey::Tuple(Rc::as_ptr(fs) as usize)),
+        RtVal::Data(d, fs) => Some(PtrKey::Data(d.0, Rc::as_ptr(fs) as usize)),
+        RtVal::Arrow(a, b) => Some(PtrKey::Arrow(
+            Rc::as_ptr(a) as usize,
+            Rc::as_ptr(b) as usize,
+        )),
     }
 }
 
@@ -85,6 +110,7 @@ impl RtCache {
             eval_memo: HashMap::new(),
             desc_memo: HashMap::new(),
             extract_memo: HashMap::new(),
+            plans: PlanStore::new(),
         }
     }
 
@@ -241,18 +267,22 @@ impl RtCache {
         }
         stats.nodes_built += 1;
         let id = RtId(self.nodes.len() as u32);
-        if let Some(p) = composite_ptr(&v) {
+        // Pin first, register second: a pointer key must never exist in
+        // `by_ptr` without `nodes` holding the allocations it names alive
+        // (a dropped-and-reused address would resurrect a stale
+        // fingerprint — ABA).
+        self.nodes.push(v.clone());
+        self.interned.insert(v.clone(), id);
+        if let Some(p) = ptr_key(&v) {
             self.by_ptr.insert(p, id);
         }
-        self.interned.insert(v.clone(), id);
-        self.nodes.push(v.clone());
         v
     }
 
     /// The interned id of a value, adopting foreign nodes (values built
     /// outside the cache, e.g. by tests) as canonical.
     fn rt_id(&mut self, v: &RtVal) -> RtId {
-        if let Some(p) = composite_ptr(v) {
+        if let Some(p) = ptr_key(v) {
             if let Some(id) = self.by_ptr.get(&p) {
                 return *id;
             }
@@ -264,11 +294,14 @@ impl RtCache {
             return *id;
         }
         let id = RtId(self.nodes.len() as u32);
-        if let Some(p) = composite_ptr(v) {
+        // Adoption pins a clone in `nodes` *before* the pointer key is
+        // registered; the clone shares every component `Rc`, so each
+        // address in the key stays alive for the cache's lifetime.
+        self.nodes.push(v.clone());
+        self.interned.insert(v.clone(), id);
+        if let Some(p) = ptr_key(v) {
             self.by_ptr.insert(p, id);
         }
-        self.interned.insert(v.clone(), id);
-        self.nodes.push(v.clone());
         id
     }
 
@@ -276,6 +309,20 @@ impl RtCache {
     fn canon(&mut self, v: RtVal) -> RtVal {
         let id = self.rt_id(&v);
         self.nodes[id.0 as usize].clone()
+    }
+
+    /// The stable fingerprint of `v` within this cache — the same
+    /// identity every memo key and trace-plan key uses. Structurally
+    /// equal values always map to one fingerprint; structurally unequal
+    /// values never collide (the aliasing property tests drive this).
+    pub fn identity(&mut self, v: &RtVal) -> u32 {
+        self.rt_id(v).0
+    }
+
+    /// The canonical interned node behind a fingerprint returned by
+    /// [`RtCache::identity`].
+    pub fn node(&self, fingerprint: u32) -> &RtVal {
+        &self.nodes[fingerprint as usize]
     }
 }
 
@@ -398,5 +445,86 @@ mod tests {
         let mut cache = RtCache::new();
         let mut stats = RtBuildStats::default();
         cache.eval(&t, id, &[], &mut stats, EvalCx::Frame { fn_id: 1, site: 2 });
+    }
+
+    // --- identity-fingerprint injectivity (the PR 8 headline bug) ---
+
+    #[test]
+    fn arrows_sharing_a_domain_rc_get_distinct_ids() {
+        // Figure-3 extraction routinely rebuilds `Arrow(a, b')` around an
+        // existing domain `Rc`. Keyed on `Rc::as_ptr(a)` alone these
+        // collapsed to one fingerprint — a wrong memo hit that hands the
+        // collector the wrong routine.
+        let mut cache = RtCache::new();
+        let a = Rc::new(RtVal::Const);
+        let b1 = Rc::new(RtVal::Const);
+        let b2 = Rc::new(RtVal::Data(LIST_DATA, Rc::new(vec![RtVal::Const])));
+        let f1 = RtVal::Arrow(a.clone(), b1);
+        let f2 = RtVal::Arrow(a, b2);
+        assert_ne!(
+            cache.identity(&f1),
+            cache.identity(&f2),
+            "arrows sharing a domain Rc must not alias"
+        );
+        let (i1, i2) = (cache.identity(&f1), cache.identity(&f2));
+        assert_eq!(cache.node(i1), &f1);
+        assert_eq!(cache.node(i2), &f2);
+    }
+
+    #[test]
+    fn data_wrappers_sharing_a_field_rc_get_distinct_ids() {
+        use tfgc_types::DataId;
+        let mut cache = RtCache::new();
+        let fs = Rc::new(vec![RtVal::Const]);
+        let d1 = RtVal::Data(LIST_DATA, fs.clone());
+        let d2 = RtVal::Data(DataId(LIST_DATA.0 + 1), fs.clone());
+        let t = RtVal::Tuple(fs);
+        let (i1, i2, i3) = (cache.identity(&d1), cache.identity(&d2), cache.identity(&t));
+        assert_ne!(i1, i2, "distinct datatypes sharing fields must not alias");
+        assert_ne!(i1, i3, "Data and Tuple sharing fields must not alias");
+        assert_ne!(i2, i3);
+    }
+
+    #[test]
+    fn identity_is_stable_for_equal_values() {
+        let mut cache = RtCache::new();
+        let v1 = RtVal::Tuple(Rc::new(vec![RtVal::Const, RtVal::Const]));
+        let v2 = RtVal::Tuple(Rc::new(vec![RtVal::Const, RtVal::Const]));
+        assert_eq!(
+            cache.identity(&v1),
+            cache.identity(&v2),
+            "structural equality implies one fingerprint"
+        );
+    }
+
+    #[test]
+    fn dropped_foreign_nodes_cannot_resurrect_stale_fingerprints() {
+        // ABA audit: adopt a foreign value, drop the caller's Rc, then
+        // allocate many fresh values (the allocator is free to reuse the
+        // dropped address). Every fingerprint must keep resolving to the
+        // value it was issued for, because adoption pinned a clone in
+        // `nodes` before registering any pointer key.
+        let mut cache = RtCache::new();
+        let mut issued: Vec<(u32, RtVal)> = Vec::new();
+        for round in 0..64u32 {
+            let v = RtVal::Tuple(Rc::new(vec![
+                RtVal::Const,
+                RtVal::Data(
+                    LIST_DATA,
+                    Rc::new(vec![RtVal::Ground(crate::ground::TypeRtId(round))]),
+                ),
+            ]));
+            let id = cache.identity(&v);
+            issued.push((id, v.clone()));
+            drop(v); // the foreign Rc dies; the cache's pin must not
+        }
+        for (id, v) in &issued {
+            assert_eq!(
+                cache.node(*id),
+                v,
+                "fingerprint {id} resurrected a different value after drops"
+            );
+            assert_eq!(cache.identity(v), *id, "re-lookup must be stable");
+        }
     }
 }

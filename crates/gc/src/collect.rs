@@ -30,8 +30,9 @@
 use crate::bytes::{BytePool, DescView};
 use crate::cache::RtCache;
 use crate::desc::{DescArena, DescId};
-use crate::ground::{GroundTable, TypeRt};
+use crate::ground::{GroundTable, TypeRt, TypeRtId};
 use crate::meta::{CalleePlan, ClosParamSrc, FnGcMeta, FrameParamSrc, GcMeta, SiteMeta};
+use crate::plan::{EnvEntryFp, EnvId, PlanId, PlanKind, PlanOp, PlanOps, VariantPlan, NOOP_PLAN};
 use crate::routines::{RoutineTable, TraceOp};
 use crate::rtval::{EvalCx, RtBuildStats, RtVal};
 use crate::stack::{walk_frames_into, FrameInfo, FRAME_HDR};
@@ -80,7 +81,13 @@ pub struct MachineRoots<'m> {
 #[derive(Debug, Clone)]
 pub(crate) enum WTy {
     Rt(RtVal),
-    Bytes { pos: u32, env: Rc<Vec<WTy>> },
+    Bytes {
+        pos: u32,
+        env: Rc<Vec<WTy>>,
+    },
+    /// A lowered trace plan (the fast tier): relocation dispatches
+    /// through the plan interpreter, not the `RtVal` walk.
+    Plan(PlanId),
 }
 
 /// Fail-fast lookup for byte-descriptor parameter environments: a
@@ -142,6 +149,9 @@ pub fn collect_tagfree(
     let nodes0 = stats.rt_nodes_built;
     let hits0 = meta.rt_cache.hits;
     let misses0 = meta.rt_cache.misses;
+    let phits0 = meta.rt_cache.plans.hits;
+    let pmisses0 = meta.rt_cache.plans.misses;
+    let pcompiled0 = meta.rt_cache.plans.compiled;
     let copied0 = heap.stats.words_copied;
     let trigger_site = roots
         .stacks
@@ -159,6 +169,7 @@ pub fn collect_tagfree(
     // and must not skew pause statistics between sink configurations.
     let t0 = Instant::now();
     let frames_buf = &mut meta.scratch.frames;
+    let plans_on = meta.rt_cache.plans.enabled;
     let mut cx = Collector {
         prog,
         heap,
@@ -179,6 +190,7 @@ pub fn collect_tagfree(
         build: RtBuildStats::default(),
         work: &mut meta.scratch.work,
         enc: Encoding::new(HeapMode::TagFree),
+        plans_on,
     };
 
     // Globals first: their routines are known statically (§1.1).
@@ -186,7 +198,7 @@ pub fn collect_tagfree(
         if let Some(sx) = g {
             cx.cur = EvalCx::Global(i as u32);
             let rt = cx.eval(*sx, &[]);
-            roots.globals[i] = cx.reloc(roots.globals[i], &WTy::Rt(rt));
+            roots.globals[i] = cx.reloc_rt_root(roots.globals[i], rt);
         }
     }
 
@@ -226,7 +238,7 @@ pub fn collect_tagfree(
         for (op, w) in ops.iter().zip(roots.operands.iter_mut()) {
             if let Some(sx) = op {
                 let rt = cx.eval(*sx, &operand_env);
-                *w = cx.reloc(*w, &WTy::Rt(rt));
+                *w = cx.reloc_rt_root(*w, rt);
             }
         }
     }
@@ -236,6 +248,9 @@ pub fn collect_tagfree(
     stats.rt_nodes_built += built;
     stats.rt_cache_hits += meta.rt_cache.hits - hits0;
     stats.rt_cache_misses += meta.rt_cache.misses - misses0;
+    stats.plan_hits += meta.rt_cache.plans.hits - phits0;
+    stats.plan_misses += meta.rt_cache.plans.misses - pmisses0;
+    stats.plans_compiled += meta.rt_cache.plans.compiled - pcompiled0;
     heap.flip();
     stats.collections += 1;
     let pause = t0.elapsed().as_nanos() as u64;
@@ -251,6 +266,9 @@ pub fn collect_tagfree(
         rt_nodes_built: stats.rt_nodes_built - nodes0,
         rt_cache_hits: meta.rt_cache.hits - hits0,
         rt_cache_misses: meta.rt_cache.misses - misses0,
+        plan_hits: meta.rt_cache.plans.hits - phits0,
+        plan_misses: meta.rt_cache.plans.misses - pmisses0,
+        plans_compiled: meta.rt_cache.plans.compiled - pcompiled0,
     });
 }
 
@@ -276,6 +294,10 @@ struct Collector<'c> {
     build: RtBuildStats,
     work: &'c mut Vec<WorkItem>,
     enc: Encoding,
+    /// Trace-plan tier enabled (`VmConfig::trace_plans`): root and field
+    /// relocations lower to flat plans and execute through the plan
+    /// interpreter instead of the `RtVal` closure walk.
+    plans_on: bool,
 }
 
 /// Head classification of a pointer-object relocation.
@@ -452,14 +474,30 @@ impl Collector<'_> {
                 TraceOp::Slot { slot, sx } => {
                     let rt = self.eval(sx, env);
                     let idx = fr.fp + FRAME_HDR + slot.0 as usize;
-                    stack[idx] = self.reloc(stack[idx], &WTy::Rt(rt));
+                    stack[idx] = self.reloc_rt_root(stack[idx], rt);
                 }
                 TraceOp::SlotBytes { slot, pos } => {
                     let benv: Rc<Vec<WTy>> = Rc::new(env.iter().cloned().map(WTy::Rt).collect());
                     let idx = fr.fp + FRAME_HDR + slot.0 as usize;
-                    stack[idx] = self.reloc(stack[idx], &WTy::Bytes { pos, env: benv });
+                    stack[idx] = if self.plans_on {
+                        let p = self.plan_for_wty(&WTy::Bytes { pos, env: benv });
+                        self.reloc_plan(stack[idx], p, false)
+                    } else {
+                        self.reloc(stack[idx], &WTy::Bytes { pos, env: benv })
+                    };
                 }
             }
+        }
+    }
+
+    /// Relocates a root word typed by an evaluated routine value, through
+    /// the plan tier when enabled.
+    fn reloc_rt_root(&mut self, w: Word, rt: RtVal) -> Word {
+        if self.plans_on {
+            let p = self.plan_for_rt(&rt);
+            self.reloc_plan(w, p, false)
+        } else {
+            self.reloc(w, &WTy::Rt(rt))
         }
     }
 
@@ -476,6 +514,10 @@ impl Collector<'_> {
     /// word and enqueueing the object's fields.
     fn reloc(&mut self, w: Word, ty: &WTy) -> Word {
         match ty {
+            // Plan items only enter the worklist from plan execution, so
+            // a pop re-enters the plan interpreter — with the spine loop
+            // enabled, because drain order is already the plan's order.
+            WTy::Plan(p) => self.reloc_plan(w, *p, true),
             WTy::Rt(RtVal::Const) => w,
             WTy::Rt(RtVal::Ground(id)) => {
                 // Cheap: TypeRt payloads sit behind `Rc`.
@@ -626,6 +668,7 @@ impl Collector<'_> {
     /// interpreted path meets a closure and needs Figure-3 extraction).
     fn wty_to_rt(&mut self, ty: &WTy) -> RtVal {
         match ty {
+            WTy::Plan(_) => unreachable!("plan items never need routine conversion"),
             WTy::Rt(rt) => rt.clone(),
             WTy::Bytes { pos, env } => {
                 let env = env.clone();
@@ -816,9 +859,416 @@ impl Collector<'_> {
         }
         for (off, sx) in &fm.closure_fields {
             let rt = self.eval_at(*sx, &env, cx);
-            self.push(new, *off, WTy::Rt(rt));
+            if self.plans_on {
+                let p = self.plan_for_rt(&rt);
+                if p != NOOP_PLAN {
+                    self.push(new, *off, WTy::Plan(p));
+                }
+            } else {
+                self.push(new, *off, WTy::Rt(rt));
+            }
         }
         self.enc.ptr(new)
+    }
+
+    // --- the trace-plan tier: lowering ---
+
+    /// The plan for an evaluated routine value, lowering on first sight.
+    /// Keyed on the cache's injective identity, so a plan is only ever
+    /// shared between structurally equal routines.
+    fn plan_for_rt(&mut self, rt: &RtVal) -> PlanId {
+        match rt {
+            RtVal::Const => NOOP_PLAN,
+            RtVal::Ground(g) => self.plan_for_ground(*g),
+            _ => {
+                let fp = self.cache.identity(rt);
+                if let Some(p) = self.cache.plans.find_rt(fp) {
+                    return p;
+                }
+                let pid = self.cache.plans.reserve_rt(fp);
+                let kind = self.lower_rt(rt, pid);
+                self.cache.plans.fill(pid, kind);
+                pid
+            }
+        }
+    }
+
+    fn lower_rt(&mut self, rt: &RtVal, self_id: PlanId) -> PlanKind {
+        match rt {
+            RtVal::Tuple(fs) => {
+                let fs = fs.clone();
+                let mut ops = PlanOps::new();
+                for (i, f) in fs.iter().enumerate() {
+                    let p = self.plan_for_rt(f);
+                    ops.push(i as u16, p);
+                }
+                PlanKind::Tuple {
+                    size: fs.len() as u32,
+                    ops: ops.finish(),
+                }
+            }
+            RtVal::Data(d, args) => {
+                let args = args.clone();
+                let reps = self.prog.ctor_reps[d.0 as usize].clone();
+                let tagged = reps
+                    .iter()
+                    .any(|r| matches!(r, CtorRep::Ptr { tag: Some(_), .. }));
+                let cx = EvalCx::Data(d.0);
+                let mut variants = Vec::new();
+                for (ctor, rep) in reps.iter().enumerate() {
+                    let CtorRep::Ptr { tag, .. } = rep else {
+                        continue;
+                    };
+                    let templates = self.data_variants[d.0 as usize][ctor].clone();
+                    let mut ops = PlanOps::new();
+                    for (i, sx) in templates.iter().enumerate() {
+                        let frt = self.eval_at(*sx, &args, cx);
+                        let p = self.plan_for_rt(&frt);
+                        ops.push(rep.field_offset(i as u16), p);
+                    }
+                    let (ops, self_tail) = ops.finish_with_tail(self_id);
+                    variants.push(VariantPlan {
+                        tag: *tag,
+                        words: rep.heap_words() as u32,
+                        ops,
+                        self_tail,
+                    });
+                }
+                PlanKind::Data {
+                    data: d.0,
+                    tagged,
+                    variants: variants.into(),
+                }
+            }
+            RtVal::Arrow(_, _) => PlanKind::Closure { rt: rt.clone() },
+            RtVal::Const | RtVal::Ground(_) => unreachable!("leaves never reserve plans"),
+        }
+    }
+
+    /// The plan for a compiled ground routine, lowering on first sight.
+    fn plan_for_ground(&mut self, g: TypeRtId) -> PlanId {
+        if self.ground.rt(g).is_prim() {
+            return NOOP_PLAN;
+        }
+        if let Some(p) = self.cache.plans.find_ground(g.0) {
+            return p;
+        }
+        let pid = self.cache.plans.reserve_ground(g.0);
+        let kind = match self.ground.rt(g).clone() {
+            TypeRt::Prim => PlanKind::Noop,
+            TypeRt::Tuple(fields) => {
+                let mut ops = PlanOps::new();
+                for (i, f) in fields.iter().enumerate() {
+                    let p = self.plan_for_ground(*f);
+                    ops.push(i as u16, p);
+                }
+                PlanKind::Tuple {
+                    size: fields.len() as u32,
+                    ops: ops.finish(),
+                }
+            }
+            TypeRt::Data { data, variants } => {
+                let tagged = variants
+                    .iter()
+                    .any(|v| matches!(v.rep, CtorRep::Ptr { tag: Some(_), .. }));
+                let mut vps = Vec::new();
+                for v in variants.iter() {
+                    let CtorRep::Ptr { tag, .. } = v.rep else {
+                        continue;
+                    };
+                    let mut ops = PlanOps::new();
+                    for (i, f) in v.fields.iter().enumerate() {
+                        let p = self.plan_for_ground(*f);
+                        ops.push(v.rep.field_offset(i as u16), p);
+                    }
+                    let (ops, self_tail) = ops.finish_with_tail(pid);
+                    vps.push(VariantPlan {
+                        tag,
+                        words: v.rep.heap_words() as u32,
+                        ops,
+                        self_tail,
+                    });
+                }
+                PlanKind::Data {
+                    data: data.0,
+                    tagged,
+                    variants: vps.into(),
+                }
+            }
+            TypeRt::Arrow(_) => PlanKind::Closure {
+                rt: RtVal::Ground(g),
+            },
+        };
+        self.cache.plans.fill(pid, kind);
+        pid
+    }
+
+    /// The plan for any tracing type: routine values key on cache
+    /// identity; byte descriptors collapse `Param` chains first, then
+    /// key on `(position, environment fingerprint)`.
+    fn plan_for_wty(&mut self, ty: &WTy) -> PlanId {
+        match ty {
+            WTy::Plan(p) => *p,
+            WTy::Rt(rt) => self.plan_for_rt(rt),
+            WTy::Bytes { pos, env } => match self.collapse(*pos, env) {
+                WTy::Plan(p) => p,
+                WTy::Rt(rt) => self.plan_for_rt(&rt),
+                WTy::Bytes { pos, env } => self.plan_for_bytes_head(pos, &env),
+            },
+        }
+    }
+
+    /// Lowers the (non-`Param`-headed) descriptor at `pos` under `env`.
+    /// The descriptor is parsed once here — execution never re-reads it.
+    fn plan_for_bytes_head(&mut self, pos: u32, env: &Rc<Vec<WTy>>) -> PlanId {
+        let eid = self.env_fp(env);
+        if let Some(p) = self.cache.plans.find_bytes(pos, eid) {
+            return p;
+        }
+        let pid = self.cache.plans.reserve_bytes(pos, eid);
+        let kind = match self.pool.parse(pos, &mut self.stats.desc_bytes_read) {
+            DescView::Prim => PlanKind::Noop,
+            DescView::Param(i) => {
+                // `collapse` resolved parameter chains before keying; a
+                // remaining Param can only mean a torn environment —
+                // surface the same fail-fast panic the walk gives.
+                let sub = byte_param(env, i).clone();
+                let p = self.plan_for_wty(&sub);
+                self.cache.plans.fill(pid, self.cache.plans.kind(p).clone());
+                return pid;
+            }
+            DescView::Tuple(fields) => {
+                let mut ops = PlanOps::new();
+                for (i, p) in fields.iter().enumerate() {
+                    let fp = self.plan_for_wty(&WTy::Bytes {
+                        pos: *p,
+                        env: env.clone(),
+                    });
+                    ops.push(i as u16, fp);
+                }
+                PlanKind::Tuple {
+                    size: fields.len() as u32,
+                    ops: ops.finish(),
+                }
+            }
+            DescView::Data(d, arg_positions) => {
+                let arg_env: Rc<Vec<WTy>> = Rc::new(
+                    arg_positions
+                        .iter()
+                        .map(|p| self.collapse(*p, env))
+                        .collect(),
+                );
+                let reps = self.prog.ctor_reps[d.0 as usize].clone();
+                let tagged = reps
+                    .iter()
+                    .any(|r| matches!(r, CtorRep::Ptr { tag: Some(_), .. }));
+                let mut variants = Vec::new();
+                for (ctor, rep) in reps.iter().enumerate() {
+                    let CtorRep::Ptr { tag, .. } = rep else {
+                        continue;
+                    };
+                    let fields = self.pool.data_fields[d.0 as usize][ctor].clone();
+                    let mut ops = PlanOps::new();
+                    for (i, p) in fields.iter().enumerate() {
+                        let fp = self.plan_for_wty(&WTy::Bytes {
+                            pos: *p,
+                            env: arg_env.clone(),
+                        });
+                        ops.push(rep.field_offset(i as u16), fp);
+                    }
+                    let (ops, self_tail) = ops.finish_with_tail(pid);
+                    variants.push(VariantPlan {
+                        tag: *tag,
+                        words: rep.heap_words() as u32,
+                        ops,
+                        self_tail,
+                    });
+                }
+                PlanKind::Data {
+                    data: d.0,
+                    tagged,
+                    variants: variants.into(),
+                }
+            }
+            DescView::Arrow(a, b) => {
+                let ra = self.wty_to_rt(&WTy::Bytes {
+                    pos: a,
+                    env: env.clone(),
+                });
+                let rb = self.wty_to_rt(&WTy::Bytes {
+                    pos: b,
+                    env: env.clone(),
+                });
+                PlanKind::Closure {
+                    rt: RtVal::Arrow(Rc::new(ra), Rc::new(rb)),
+                }
+            }
+        };
+        self.cache.plans.fill(pid, kind);
+        pid
+    }
+
+    /// Interns a byte-descriptor environment's fingerprint.
+    fn env_fp(&mut self, env: &[WTy]) -> EnvId {
+        let entries: Vec<EnvEntryFp> = env
+            .iter()
+            .map(|e| match e {
+                WTy::Rt(rt) => EnvEntryFp::Rt(self.cache.identity(rt)),
+                WTy::Bytes { pos, env } => EnvEntryFp::Bytes(*pos, self.env_fp(env)),
+                WTy::Plan(p) => EnvEntryFp::Plan(p.0),
+            })
+            .collect();
+        self.cache.plans.intern_env(entries.into())
+    }
+
+    // --- the trace-plan tier: execution ---
+
+    /// The plan interpreter: relocates one word under a lowered plan.
+    /// `spine` enables the iterative tail chase — true only when entered
+    /// from the worklist, where drain order already matches loop order;
+    /// at roots the first cell enqueues its tail like any field so
+    /// sibling roots trace in the closure walk's exact sequence.
+    fn reloc_plan(&mut self, w: Word, pid: PlanId, spine: bool) -> Word {
+        // Cheap head clone (payloads sit behind `Rc`) releasing the
+        // store borrow before heap work.
+        match self.cache.plans.kind(pid).clone() {
+            PlanKind::Noop => w,
+            PlanKind::Pending => unreachable!("executing a plan mid-lowering"),
+            PlanKind::Tuple { size, ops } => match self.head(w, size as usize) {
+                Head::Imm(w) | Head::Done(w) => w,
+                Head::Copied(new) => {
+                    self.push_plan_ops(new, &ops);
+                    self.enc.ptr(new)
+                }
+            },
+            PlanKind::Closure { rt } => self.reloc_closure(w, rt),
+            PlanKind::Data {
+                data,
+                tagged,
+                variants,
+            } => self.reloc_plan_data(w, pid, data, tagged, &variants, spine),
+        }
+    }
+
+    fn push_plan_ops(&mut self, new: Addr, ops: &[PlanOp]) {
+        for op in ops {
+            match *op {
+                PlanOp::SlotAt { offset, plan } => self.push(new, offset, WTy::Plan(plan)),
+                PlanOp::Fields { base, n, plan } => {
+                    for k in 0..n {
+                        self.push(new, base + k, WTy::Plan(plan));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Datatype relocation under a pre-resolved variant table; with
+    /// `spine`, a self-recursive tail field is chased iteratively — the
+    /// list loop — instead of round-tripping the worklist per cell.
+    fn reloc_plan_data(
+        &mut self,
+        w: Word,
+        pid: PlanId,
+        data: u32,
+        tagged: bool,
+        variants: &[VariantPlan],
+        spine: bool,
+    ) -> Word {
+        let (mut vi, first) = match self.plan_data_head(w, data, tagged, variants) {
+            PlanDataHead::Imm(w) | PlanDataHead::Done(w) => return w,
+            PlanDataHead::Copied { vi, new } => (vi, new),
+        };
+        let result = self.enc.ptr(first);
+        let mut new = first;
+        loop {
+            let vp = &variants[vi];
+            let ops = vp.ops.clone();
+            let tail = vp.self_tail;
+            self.push_plan_ops(new, &ops);
+            let Some(tail_off) = tail else { break };
+            if !spine {
+                // Root position: enqueue the tail like any field so the
+                // drain interleaves identically with sibling roots; the
+                // pop re-enters this plan with the loop enabled.
+                self.push(new, tail_off, WTy::Plan(pid));
+                break;
+            }
+            let tw = self.heap.read(new, tail_off);
+            match self.plan_data_head(tw, data, tagged, variants) {
+                PlanDataHead::Imm(x) | PlanDataHead::Done(x) => {
+                    self.heap.write(new, tail_off, x);
+                    break;
+                }
+                PlanDataHead::Copied { vi: nvi, new: nnew } => {
+                    self.heap.write(new, tail_off, self.enc.ptr(nnew));
+                    vi = nvi;
+                    new = nnew;
+                }
+            }
+        }
+        result
+    }
+
+    /// Head classification under a pre-resolved variant table — the
+    /// discriminant decode of `data_head` without touching `ctor_reps`.
+    fn plan_data_head(
+        &mut self,
+        w: Word,
+        data: u32,
+        tagged: bool,
+        variants: &[VariantPlan],
+    ) -> PlanDataHead {
+        if w < HEAP_BASE {
+            return PlanDataHead::Imm(w);
+        }
+        let a = self.enc.addr_of(w);
+        if self.heap.in_to(a) {
+            return PlanDataHead::Done(w);
+        }
+        if let Some(n) = self.heap.forward_of(a) {
+            return PlanDataHead::Done(self.enc.ptr(n));
+        }
+        let vi = if tagged {
+            let t = self.heap.read(a, 0) as u32;
+            variants
+                .iter()
+                .position(|v| v.tag == Some(t))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "heap corruption: discriminant {} at address {} (word {:#x}) matches \
+                         no variant of datatype {} — collection {}, strategy {}, reached \
+                         tracing {}",
+                        t,
+                        a.0,
+                        w,
+                        data,
+                        self.seq,
+                        self.strategy.name(),
+                        self.cur
+                    )
+                })
+        } else if variants.is_empty() {
+            panic!(
+                "heap corruption: pointer word {:#x} (address {}) typed as datatype {} \
+                 whose variants are all pointerless — collection {}, strategy {}, \
+                 reached tracing {}",
+                w,
+                a.0,
+                data,
+                self.seq,
+                self.strategy.name(),
+                self.cur
+            )
+        } else {
+            0
+        };
+        let vp = &variants[vi];
+        let words = vp.words as usize;
+        let new = self.heap.copy_out(a, words);
+        self.heap.set_forward(a, new);
+        self.copied(a, new, words);
+        PlanDataHead::Copied { vi, new }
     }
 }
 
@@ -830,4 +1280,12 @@ enum DataHead {
         rep: CtorRep,
         new: Addr,
     },
+}
+
+/// [`DataHead`]'s plan-tier twin: the variant is already resolved to an
+/// index into the plan's variant table.
+enum PlanDataHead {
+    Imm(Word),
+    Done(Word),
+    Copied { vi: usize, new: Addr },
 }

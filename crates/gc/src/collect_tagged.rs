@@ -112,6 +112,11 @@ pub fn collect_tagged(
         rt_nodes_built: 0,
         rt_cache_hits: 0,
         rt_cache_misses: 0,
+        // The tagged baseline has no routines to lower: header-directed
+        // scanning is already a linear plan.
+        plan_hits: 0,
+        plan_misses: 0,
+        plans_compiled: 0,
     });
 }
 

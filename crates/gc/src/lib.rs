@@ -15,6 +15,9 @@
 //!   traversal with type_gc_routine closures ([`rtval`], Figures 3–4);
 //!   Appel's backward-resolution comparator (§1.1.1).
 //! * [`collect_tagged`] — the tagged ML baseline (§1).
+//! * [`plan`] — flat trace plans: routines and descriptors lowered once
+//!   into linear op arrays with offsets and discriminant tables
+//!   pre-resolved, executed by a tight interpreter loop.
 //! * [`desc`] — interned runtime type descriptors: the completion
 //!   mechanism for polymorphic captures the 1991 scheme cannot recover
 //!   (see DESIGN.md).
@@ -47,6 +50,7 @@ pub mod collect_tagged;
 pub mod desc;
 pub mod ground;
 pub mod meta;
+pub mod plan;
 pub mod routines;
 pub mod rtval;
 pub mod stack;
@@ -59,6 +63,7 @@ pub use collect::{collect_tagfree, CollectorScratch, MachineRoots, StackRoots};
 pub use desc::{DescArena, DescId, DescNode};
 pub use ground::{GroundTable, TypeRt, TypeRtId};
 pub use meta::{Analyses, CalleePlan, FnGcMeta, GcMeta, SiteMeta};
+pub use plan::{PlanId, PlanKind, PlanOp, PlanOps, PlanStore, VariantPlan, NOOP_PLAN};
 pub use routines::{FrameRoutine, FrameRoutineId, RoutineTable, TraceOp, NO_TRACE};
 pub use rtval::{EvalCx, RtVal};
 pub use stack::{

@@ -28,6 +28,12 @@ pub struct GcStats {
     pub rt_cache_hits: u64,
     /// GC-time cache lookups that had to evaluate.
     pub rt_cache_misses: u64,
+    /// Trace-plan lookups that found an already-lowered plan.
+    pub plan_hits: u64,
+    /// Trace-plan lookups that triggered lowering.
+    pub plan_misses: u64,
+    /// Trace plans lowered (every miss compiles exactly one plan).
+    pub plans_compiled: u64,
     /// Total collection pause time in nanoseconds.
     pub pause_nanos: u64,
 }
@@ -58,6 +64,9 @@ impl GcStats {
         self.closure_envs_built += other.closure_envs_built;
         self.rt_cache_hits += other.rt_cache_hits;
         self.rt_cache_misses += other.rt_cache_misses;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.plans_compiled += other.plans_compiled;
         self.pause_nanos += other.pause_nanos;
     }
 
@@ -82,6 +91,26 @@ impl GcStats {
             rt_nodes_built: 0,
             rt_cache_hits: 0,
             rt_cache_misses: 0,
+            ..*self
+        }
+    }
+
+    /// A copy with wall-clock *and* every plan/cache-implementation
+    /// counter zeroed: the part of the stats that must be bit-identical
+    /// between a plan-executed and a closure-walked collection. Plans
+    /// change how much machinery runs per object (descriptors parsed
+    /// once at lowering vs per object, ctor templates evaluated eagerly
+    /// vs lazily) but nothing the mutator can observe.
+    pub fn plan_insensitive(&self) -> GcStats {
+        GcStats {
+            pause_nanos: 0,
+            rt_nodes_built: 0,
+            rt_cache_hits: 0,
+            rt_cache_misses: 0,
+            desc_bytes_read: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            plans_compiled: 0,
             ..*self
         }
     }
@@ -116,7 +145,10 @@ mod tests {
             closure_envs_built: 9,
             rt_cache_hits: 10,
             rt_cache_misses: 11,
-            pause_nanos: 12,
+            plan_hits: 12,
+            plan_misses: 13,
+            plans_compiled: 14,
+            pause_nanos: 15,
         };
         let mut b = a;
         b.merge(&a);
@@ -134,9 +166,40 @@ mod tests {
                 closure_envs_built: 18,
                 rt_cache_hits: 20,
                 rt_cache_misses: 22,
-                pause_nanos: 24,
+                plan_hits: 24,
+                plan_misses: 26,
+                plans_compiled: 28,
+                pause_nanos: 30,
             }
         );
+    }
+
+    #[test]
+    fn plan_insensitive_drops_plan_and_cache_accounting() {
+        let a = GcStats {
+            collections: 3,
+            rt_nodes_built: 5,
+            rt_cache_hits: 6,
+            rt_cache_misses: 7,
+            desc_bytes_read: 8,
+            plan_hits: 9,
+            plan_misses: 10,
+            plans_compiled: 11,
+            slots_traced: 12,
+            pause_nanos: 999,
+            ..GcStats::default()
+        };
+        let p = a.plan_insensitive();
+        assert_eq!(p.rt_nodes_built, 0);
+        assert_eq!(p.rt_cache_hits, 0);
+        assert_eq!(p.rt_cache_misses, 0);
+        assert_eq!(p.desc_bytes_read, 0);
+        assert_eq!(p.plan_hits, 0);
+        assert_eq!(p.plan_misses, 0);
+        assert_eq!(p.plans_compiled, 0);
+        assert_eq!(p.pause_nanos, 0);
+        assert_eq!(p.collections, 3);
+        assert_eq!(p.slots_traced, 12);
     }
 
     #[test]

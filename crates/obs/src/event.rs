@@ -40,6 +40,14 @@ pub enum GcEvent {
         rt_cache_hits: u64,
         /// GC-time metadata cache misses by this collection alone.
         rt_cache_misses: u64,
+        /// Trace-plan lookups resolved from the plan store by this
+        /// collection alone.
+        plan_hits: u64,
+        /// Trace-plan lookups that had to lower a new plan by this
+        /// collection alone.
+        plan_misses: u64,
+        /// Trace plans lowered by this collection alone.
+        plans_compiled: u64,
     },
     /// The collector visited one activation record.
     FrameVisit { seq: u64, fn_id: u32, site: u32 },

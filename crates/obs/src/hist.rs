@@ -39,10 +39,19 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
-        self.total += 1;
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in O(1) (bulk loads, large-count
+    /// boundary tests).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.total += n;
         self.max = self.max.max(v);
-        self.sum += u128::from(v);
+        self.sum += u128::from(v) * u128::from(n);
     }
 
     /// Number of recorded samples.
@@ -94,7 +103,7 @@ impl Histogram {
         if self.total == 0 {
             return 0;
         }
-        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let rank = ceil_rank(q, self.total).max(1);
         let mut seen = 0u64;
         for (k, c) in self.counts.iter().enumerate() {
             seen += c;
@@ -129,6 +138,43 @@ impl Histogram {
         self.total += other.total;
         self.max = self.max.max(other.max);
         self.sum += other.sum;
+    }
+}
+
+/// `⌈q · total⌉` computed exactly in integers. `f64` multiplication
+/// rounds — at `total = 10^9`, `0.99 * total` can land on the wrong side
+/// of an integer and shift the rank (and thus the reported percentile)
+/// by one sample. Instead the quantile is decomposed exactly as the
+/// dyadic rational `m · 2^e` every finite `f64` is, and the product is
+/// ceiling-shifted in `u128`.
+fn ceil_rank(q: f64, total: u64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&q));
+    if q == 0.0 {
+        return 0;
+    }
+    let bits = q.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    // m · 2^e == q, exactly. Normal numbers carry the implicit leading
+    // bit; subnormals (absurd quantiles, but total correctness is cheap)
+    // do not.
+    let (m, e) = if exp == 0 {
+        (frac, -1074i64)
+    } else {
+        (frac | (1u64 << 52), exp - 1075)
+    };
+    let prod = u128::from(m) * u128::from(total);
+    if e >= 0 {
+        // q ≥ 1 with an exact product (q == 1.0 → m = 2^52, e = -52
+        // never lands here; defensive all the same).
+        (prod << e) as u64
+    } else if e <= -128 {
+        u64::from(prod > 0)
+    } else {
+        let shift = (-e) as u32;
+        let floor = prod >> shift;
+        let rem = prod & ((1u128 << shift) - 1);
+        (floor + u128::from(rem != 0)) as u64
     }
 }
 
@@ -215,6 +261,71 @@ mod tests {
         b.record(8);
         assert_eq!(b.quantile(0.0), 8); // clamped to max within bucket
         assert_eq!(b.quantile(1.0), 8);
+    }
+
+    /// Regression for the float-rank bug: `⌈q · total⌉` must be exact at
+    /// rank-rounding edges. With 100 samples, p99 is the 99th sample;
+    /// with 101 it is the 100th (⌈99.99⌉); the f64 path was one sample
+    /// off whenever the product rounded across an integer.
+    #[test]
+    fn quantile_rank_edges_small() {
+        // 99 samples of 1, one sample of 1000: rank 99 is still a 1.
+        let mut h = Histogram::new();
+        h.record_n(1, 99);
+        h.record(1000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p99(), 1, "p99 of 100 = rank 99, inside the 1s");
+        assert_eq!(h.quantile(1.0), 1000);
+
+        // 100 samples of 1, one of 1000: ⌈0.99 · 101⌉ = 100 — still a 1.
+        let mut h = Histogram::new();
+        h.record_n(1, 100);
+        h.record(1000);
+        assert_eq!(h.p99(), 1, "p99 of 101 = rank 100, inside the 1s");
+
+        // 98 of 1, three of 1000: ⌈0.99 · 101⌉ = 100 — second 1000.
+        let mut h = Histogram::new();
+        h.record_n(1, 98);
+        h.record_n(1000, 3);
+        assert_eq!(h.p99(), 1000, "rank 100 of 101 reaches the top bucket");
+    }
+
+    /// The same edge at 10⁹ samples, where `0.99 * total as f64` rounds.
+    /// Exactly ⌈0.99 · 10⁹⌉ = 990_000_000 samples sit at value 1: rank
+    /// 990_000_000 must land on the *last* 1, not the first 1000.
+    #[test]
+    fn quantile_rank_edges_billion() {
+        const TOTAL: u64 = 1_000_000_000;
+        const LOW: u64 = 990_000_000; // == ceil(0.99 * TOTAL)
+        let mut h = Histogram::new();
+        h.record_n(1, LOW);
+        h.record_n(1000, TOTAL - LOW);
+        assert_eq!(h.count(), TOTAL);
+        assert_eq!(h.p99(), 1, "rank exactly at the 1/1000 boundary");
+
+        // One fewer low sample: rank 990_000_000 crosses into the 1000s.
+        let mut h = Histogram::new();
+        h.record_n(1, LOW - 1);
+        h.record_n(1000, TOTAL - LOW + 1);
+        assert_eq!(h.p99(), 1000, "one sample short flips the bucket");
+    }
+
+    /// The rank helper agrees with exact rational arithmetic across
+    /// awkward (q, total) pairs.
+    #[test]
+    fn ceil_rank_matches_exact_arithmetic() {
+        for &total in &[1u64, 2, 3, 99, 100, 101, 1_000_000_007, u64::MAX] {
+            assert_eq!(ceil_rank(0.0, total), 0);
+            assert_eq!(ceil_rank(1.0, total), total);
+            assert_eq!(ceil_rank(0.5, total), total / 2 + total % 2);
+        }
+        // 0.99 is not dyadic: its f64 is 0.9899999999999999911182…, so
+        // the exact ceiling at total=100 is 99 (not the 100 a naive
+        // reading of 0.99·100 suggests is borderline).
+        assert_eq!(ceil_rank(0.99, 100), 99);
+        assert_eq!(ceil_rank(0.99, 1_000_000_000), 990_000_000);
+        // Subnormal q: any positive fraction of a non-empty set is rank 1.
+        assert_eq!(ceil_rank(f64::MIN_POSITIVE / 2.0, u64::MAX), 1);
     }
 
     #[test]

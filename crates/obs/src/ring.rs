@@ -23,6 +23,9 @@ pub struct CollectionSummary {
     pub rt_nodes_built: u64,
     pub rt_cache_hits: u64,
     pub rt_cache_misses: u64,
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub plans_compiled: u64,
 }
 
 /// Records events into a bounded ring and maintains aggregates over the
@@ -124,6 +127,9 @@ impl RingRecorder {
                 rt_nodes_built,
                 rt_cache_hits,
                 rt_cache_misses,
+                plan_hits,
+                plan_misses,
+                plans_compiled,
                 ..
             } => {
                 self.pause_hist.record(pause_ns);
@@ -140,6 +146,9 @@ impl RingRecorder {
                 s.rt_nodes_built = rt_nodes_built;
                 s.rt_cache_hits = rt_cache_hits;
                 s.rt_cache_misses = rt_cache_misses;
+                s.plan_hits = plan_hits;
+                s.plan_misses = plan_misses;
+                s.plans_compiled = plans_compiled;
                 self.collections.push(s);
             }
             GcEvent::ObjectCopied {
@@ -217,6 +226,9 @@ impl RingRecorder {
                                 ("rt_nodes_built", Json::from(c.rt_nodes_built)),
                                 ("rt_cache_hits", Json::from(c.rt_cache_hits)),
                                 ("rt_cache_misses", Json::from(c.rt_cache_misses)),
+                                ("plan_hits", Json::from(c.plan_hits)),
+                                ("plan_misses", Json::from(c.plan_misses)),
+                                ("plans_compiled", Json::from(c.plans_compiled)),
                             ])
                         })
                         .collect(),
@@ -293,6 +305,9 @@ mod tests {
             rt_nodes_built: 0,
             rt_cache_hits: 0,
             rt_cache_misses: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            plans_compiled: 0,
         }
     }
 

@@ -565,6 +565,9 @@ mod tests {
             rt_nodes_built: 0,
             rt_cache_hits: 0,
             rt_cache_misses: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            plans_compiled: 0,
         }
     }
 

@@ -50,6 +50,10 @@ pub struct VmConfig {
     /// GC-time metadata cache (memoized template evaluation). On by
     /// default; disable for the unmemoized differential baseline.
     pub rt_cache: bool,
+    /// Trace-plan execution: lower routines and descriptors into flat
+    /// op arrays and trace via the plan interpreter. On by default;
+    /// disable for the plans≡closures differential baseline.
+    pub trace_plans: bool,
     /// Walk and check the whole reachable graph after every collection
     /// (`tfml run --verify-heap`).
     pub verify_heap: bool,
@@ -75,6 +79,7 @@ impl VmConfig {
             max_stack_words: 1 << 22,
             cooperative: false,
             rt_cache: true,
+            trace_plans: true,
             verify_heap: false,
             fault_plan: None,
             heap_max_words: None,
@@ -97,6 +102,12 @@ impl VmConfig {
     /// Enables or disables the GC-time metadata cache.
     pub fn rt_cache(mut self, on: bool) -> VmConfig {
         self.rt_cache = on;
+        self
+    }
+
+    /// Enables or disables flattened trace-plan execution.
+    pub fn trace_plans(mut self, on: bool) -> VmConfig {
+        self.trace_plans = on;
         self
     }
 
@@ -228,6 +239,7 @@ impl<'p> Vm<'p> {
     /// across runs).
     pub fn with_meta(prog: &'p IrProgram, cfg: VmConfig, mut meta: GcMeta) -> Vm<'p> {
         meta.rt_cache.enabled = cfg.rt_cache;
+        meta.rt_cache.plans.enabled = cfg.trace_plans;
         // Truncated-stack-map fault: drop the function's frame
         // type-parameter sources so the first collection through one of
         // its polymorphic frames hits the fail-fast "type parameter N out
