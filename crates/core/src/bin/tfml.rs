@@ -18,6 +18,12 @@
 //!                                          --serve --overload: burst /
 //!                                          deadline-storm / runaway-hog /
 //!                                          watermark-flap scenarios)
+//! tfml fuzz [FUZZ OPTS]                    differential fuzzing campaign:
+//!                                          generated programs across every
+//!                                          strategy × plans × cache × heap
+//!                                          tier, tagged-oracle snapshots,
+//!                                          seeded faults; findings shrunk
+//!                                          by typed delta-debugging
 //!
 //! OPTS:
 //!   --strategy S     compiled | compiled-nolive | interpreted | appel | tagged
@@ -68,6 +74,21 @@
 //!   --runaway-every N         replace every Nth request with a
 //!                             non-terminating handler (pair with a
 //!                             deadline or fuel budget)
+//!
+//! FUZZ OPTS (campaign is a pure function of these — same flags, same
+//! bytes):
+//!   --seeds N        seeds to run (default 50)
+//!   --seed-start N   first seed (shard campaigns by offsetting; default 0)
+//!   --shrink         minimize each finding by typed delta-debugging
+//!   --shrink-budget N  predicate evaluations per shrink (default 300)
+//!   --json FILE      write the deterministic BENCH_E14.json report
+//!   --depth N        generator: max expression depth (default 4)
+//!   --funs N         generator: helper functions per program (default 3)
+//!   --fuel N         generator: node budget per program (default 300)
+//!   --datatypes N    generator: fresh datatypes per program (default 2)
+//!   --max-rec N      generator: recursion-depth ceiling (default 48)
+//!   --no-higher-order  drop closures/partial application from the universe
+//!   --no-polymorphism  drop polymorphic instantiations from the universe
 //! ```
 
 use std::process::ExitCode;
@@ -294,12 +315,18 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
              [--admission reject|backoff[:A:B]|degrade[:K]] [--soft-watermark PCT] \
              [--hard-watermark PCT] [--breaker-threshold K] [--breaker-cooldown N] \
              [--drain-after N] [--runaway-every N]\n\
-             tfml torture [--seeds N] [--oracle] [--serve] [--overload]"
+             tfml torture [--seeds N] [--oracle] [--serve] [--overload]\n\
+             tfml fuzz [--seeds N] [--seed-start N] [--shrink] [--shrink-budget N] \
+             [--json FILE] [--depth N] [--funs N] [--fuel N] [--datatypes N] \
+             [--max-rec N] [--no-higher-order] [--no-polymorphism]"
         );
         return Ok(());
     }
     if cmd == "torture" {
         return cmd_torture(rest);
+    }
+    if cmd == "fuzz" {
+        return cmd_fuzz(rest);
     }
     if cmd == "serve" {
         return cmd_serve(rest);
@@ -836,6 +863,113 @@ fn cmd_torture(args: &[String]) -> Result<(), CliError> {
         Err(CliError::Run(format!(
             "{} case(s) ended in a raw panic",
             report.raw_panics().len()
+        )))
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = tfgc_fuzz::CampaignConfig::default();
+    let mut json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize, flag: &str| -> Result<&String, CliError> {
+            args.get(i)
+                .ok_or_else(|| usage(format!("{flag} needs a value")))
+        };
+        let num = |i: usize, flag: &str| -> Result<u64, CliError> {
+            val(i, flag)?
+                .parse()
+                .map_err(|e| usage(format!("bad {flag}: {e}")))
+        };
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                cfg.seeds = num(i, "--seeds")?;
+            }
+            "--seed-start" => {
+                i += 1;
+                cfg.seed_start = num(i, "--seed-start")?;
+            }
+            "--shrink" => cfg.shrink = true,
+            "--shrink-budget" => {
+                i += 1;
+                cfg.shrink_budget = num(i, "--shrink-budget")?;
+            }
+            "--json" => {
+                i += 1;
+                json = Some(val(i, "--json")?.clone());
+            }
+            "--depth" => {
+                i += 1;
+                cfg.gen.max_depth = num(i, "--depth")? as u32;
+            }
+            "--funs" => {
+                i += 1;
+                cfg.gen.n_funs = num(i, "--funs")? as usize;
+            }
+            "--fuel" => {
+                i += 1;
+                cfg.gen.fuel = num(i, "--fuel")? as u32;
+            }
+            "--datatypes" => {
+                i += 1;
+                cfg.gen.n_datatypes = num(i, "--datatypes")? as usize;
+            }
+            "--max-rec" => {
+                i += 1;
+                cfg.gen.max_recursion = num(i, "--max-rec")? as u32;
+            }
+            "--no-higher-order" => cfg.gen.higher_order = false,
+            "--no-polymorphism" => cfg.gen.polymorphism = false,
+            other => return Err(usage(format!("fuzz: unknown option `{other}`"))),
+        }
+        i += 1;
+    }
+    let report = tfgc_fuzz::run_campaign(&cfg);
+    let doc = tfgc_fuzz::report_json(&cfg, &report);
+    let digest = tfgc::obs::json::parse(&doc)
+        .ok()
+        .and_then(|d| match d.get("digest") {
+            Some(tfgc::obs::Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    println!(
+        "fuzz: {} seeds from {}: {} cases ({} completed, {} structured errors, {}/{} faults graceful), {} finding(s), digest {digest}",
+        report.seeds_run,
+        report.seed_start,
+        report.cases_executed,
+        report.completed,
+        report.structured_errors,
+        report.faults_graceful,
+        report.seeds_run * 5,
+        report.findings.len(),
+    );
+    for f in &report.findings {
+        println!(
+            "FINDING {} (seed {}, x{}): {}",
+            f.fingerprint, f.seed, f.count, f.detail
+        );
+        if cfg.shrink {
+            println!(
+                "  shrunk {} -> {} nodes in {} evals; reproducer:",
+                f.orig_nodes, f.shrunk_nodes, f.shrink_evals
+            );
+            for line in f.source.trim().lines() {
+                println!("  | {line}");
+            }
+        }
+    }
+    if let Some(path) = json {
+        std::fs::write(&path, &doc).map_err(|e| CliError::Run(format!("write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(CliError::Run(format!(
+            "{} differential finding(s)",
+            report.findings.len()
         )))
     }
 }

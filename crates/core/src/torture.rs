@@ -13,11 +13,9 @@
 //! graphs at every collection (§6's argument that tag-free tracing loses
 //! no information the tags carried).
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
 use crate::pipeline::Compiled;
 use tfgc_gc::Strategy;
-use tfgc_vm::{diff, is_structured_panic, FaultPlan, Vm, VmConfig, VmError};
+use tfgc_vm::{capture_panics_mut, diff, with_quiet_panics, FaultPlan, Vm, VmConfig, VmError};
 use tfgc_workloads::{generate, programs, GenConfig};
 
 /// How one torture case ended.
@@ -130,6 +128,9 @@ fn torture_workloads() -> Vec<(&'static str, String)> {
 }
 
 /// Runs one case: tight growable heap, verifier on, fault plan armed.
+/// Panic capture and classification live in the shared
+/// [`tfgc_vm::capture_panics_mut`] helper (also used by the fuzz
+/// campaign workers).
 fn run_case(compiled: &Compiled, strategy: Strategy, plan: FaultPlan) -> TortureOutcome {
     let meta = compiled.metadata(strategy);
     let cfg = VmConfig::new(strategy)
@@ -137,27 +138,12 @@ fn run_case(compiled: &Compiled, strategy: Strategy, plan: FaultPlan) -> Torture
         .heap_max_words(1 << 14)
         .verify_heap(true)
         .fault_plan(plan);
-    match catch_unwind(AssertUnwindSafe(|| compiled.run_with_meta(cfg, meta))) {
+    let context = format!("{strategy} ({})", plan.describe());
+    match capture_panics_mut(&context, || compiled.run_with_meta(cfg, meta)) {
         Ok(Ok(out)) => TortureOutcome::Completed(out.result),
         Ok(Err(e)) => TortureOutcome::Error(e),
-        Err(payload) => {
-            let msg = panic_message(payload.as_ref());
-            if is_structured_panic(&msg) {
-                TortureOutcome::FailFast(msg)
-            } else {
-                TortureOutcome::RawPanic(msg)
-            }
-        }
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
+        Err(p) if p.structured => TortureOutcome::FailFast(p.message),
+        Err(p) => TortureOutcome::RawPanic(p.describe()),
     }
 }
 
@@ -174,31 +160,30 @@ pub fn torture(seeds: &[u64]) -> TortureReport {
         })
         .collect();
 
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let mut report = TortureReport::default();
-    for &seed in seeds {
-        let plan = FaultPlan::from_seed(seed);
-        let gen_src = generate(seed, &GenConfig::default());
-        let generated = Compiled::compile(&gen_src).expect("generated program compiles");
-        let mut programs: Vec<(&str, &Compiled)> =
-            fixed.iter().map(|(n, c)| (n.as_str(), c)).collect();
-        programs.push(("generated", &generated));
-        for (name, compiled) in programs {
-            for s in Strategy::ALL {
-                let outcome = run_case(compiled, s, plan);
-                report.cases.push(TortureCase {
-                    workload: name.to_string(),
-                    strategy: s,
-                    seed,
-                    plan,
-                    outcome,
-                });
+    with_quiet_panics(|| {
+        let mut report = TortureReport::default();
+        for &seed in seeds {
+            let plan = FaultPlan::from_seed(seed);
+            let gen_src = generate(seed, &GenConfig::default());
+            let generated = Compiled::compile(&gen_src).expect("generated program compiles");
+            let mut programs: Vec<(&str, &Compiled)> =
+                fixed.iter().map(|(n, c)| (n.as_str(), c)).collect();
+            programs.push(("generated", &generated));
+            for (name, compiled) in programs {
+                for s in Strategy::ALL {
+                    let outcome = run_case(compiled, s, plan);
+                    report.cases.push(TortureCase {
+                        workload: name.to_string(),
+                        strategy: s,
+                        seed,
+                        plan,
+                        outcome,
+                    });
+                }
             }
         }
-    }
-    std::panic::set_hook(prev_hook);
-    report
+        report
+    })
 }
 
 /// Summary of a successful oracle run.
@@ -433,34 +418,28 @@ mod tests {
             corrupt_discriminant_at: Some(5),
             ..FaultPlan::none()
         };
-        let prev_hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let outcomes: Vec<(Strategy, TortureOutcome)> = Strategy::ALL
-            .into_iter()
-            .map(|s| {
-                let meta = compiled.metadata(s);
-                let cfg = VmConfig::new(s)
-                    .heap_words(1 << 12)
-                    .force_gc_every(8)
-                    .verify_heap(true)
-                    .fault_plan(plan);
-                let outcome =
-                    match catch_unwind(AssertUnwindSafe(|| compiled.run_with_meta(cfg, meta))) {
+        let outcomes: Vec<(Strategy, TortureOutcome)> = with_quiet_panics(|| {
+            Strategy::ALL
+                .into_iter()
+                .map(|s| {
+                    let meta = compiled.metadata(s);
+                    let cfg = VmConfig::new(s)
+                        .heap_words(1 << 12)
+                        .force_gc_every(8)
+                        .verify_heap(true)
+                        .fault_plan(plan);
+                    let outcome = match capture_panics_mut(&s.to_string(), || {
+                        compiled.run_with_meta(cfg, meta)
+                    }) {
                         Ok(Ok(out)) => TortureOutcome::Completed(out.result),
                         Ok(Err(e)) => TortureOutcome::Error(e),
-                        Err(p) => {
-                            let msg = panic_message(p.as_ref());
-                            if is_structured_panic(&msg) {
-                                TortureOutcome::FailFast(msg)
-                            } else {
-                                TortureOutcome::RawPanic(msg)
-                            }
-                        }
+                        Err(p) if p.structured => TortureOutcome::FailFast(p.message),
+                        Err(p) => TortureOutcome::RawPanic(p.describe()),
                     };
-                (s, outcome)
-            })
-            .collect();
-        std::panic::set_hook(prev_hook);
+                    (s, outcome)
+                })
+                .collect()
+        });
         for (s, outcome) in outcomes {
             assert!(
                 matches!(
@@ -495,38 +474,34 @@ mod tests {
             !victims.is_empty(),
             "poly_deep_alloc has polymorphic frames"
         );
-        let prev_hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let mut panics: Vec<(Strategy, u32, String)> = Vec::new();
+        let mut panics: Vec<(Strategy, u32, tfgc_vm::CapturedPanic)> = Vec::new();
         let mut detected = [0usize; 2];
-        for (si, s) in [Strategy::Compiled, Strategy::Interpreted]
-            .into_iter()
-            .enumerate()
-        {
-            for &victim in &victims {
-                let plan = FaultPlan {
-                    truncate_frame_params_of: Some(victim),
-                    ..FaultPlan::none()
-                };
-                let cfg = VmConfig::new(s)
-                    .heap_words(1 << 12)
-                    .force_gc_every(2)
-                    .fault_plan(plan);
-                let res = catch_unwind(AssertUnwindSafe(|| {
-                    compiled.run_with_meta(cfg, compiled.metadata(s))
-                }));
-                if let Err(payload) = res {
-                    detected[si] += 1;
-                    panics.push((s, victim, panic_message(payload.as_ref())));
+        with_quiet_panics(|| {
+            for (si, s) in [Strategy::Compiled, Strategy::Interpreted]
+                .into_iter()
+                .enumerate()
+            {
+                for &victim in &victims {
+                    let plan = FaultPlan {
+                        truncate_frame_params_of: Some(victim),
+                        ..FaultPlan::none()
+                    };
+                    let cfg = VmConfig::new(s)
+                        .heap_words(1 << 12)
+                        .force_gc_every(2)
+                        .fault_plan(plan);
+                    let res = capture_panics_mut(&format!("{s} fn {victim}"), || {
+                        compiled.run_with_meta(cfg, compiled.metadata(s))
+                    });
+                    if let Err(p) = res {
+                        detected[si] += 1;
+                        panics.push((s, victim, p));
+                    }
                 }
             }
-        }
-        std::panic::set_hook(prev_hook);
-        for (s, victim, msg) in &panics {
-            assert!(
-                is_structured_panic(msg),
-                "{s} fn {victim}: raw panic: {msg}"
-            );
+        });
+        for (s, victim, p) in &panics {
+            assert!(p.structured, "{s} fn {victim}: raw panic: {}", p.message);
         }
         assert!(
             detected.iter().all(|&n| n > 0),

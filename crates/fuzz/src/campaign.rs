@@ -1,0 +1,684 @@
+//! The campaign runner: one seed → one generated program → a matrix of
+//! differential cells, an oracle pass, and a fault pass; any contract
+//! violation becomes a fingerprinted [`Finding`].
+
+use std::collections::BTreeMap;
+
+use crate::{compile_src, shrink::shrink, FuzzCompiled};
+use tfgc_gc::Strategy;
+use tfgc_vm::{
+    capture_panics_mut, diff, with_quiet_panics, CanonHeap, FaultPlan, Vm, VmConfig, VmError,
+};
+use tfgc_workloads::{generate_program, GProgram, GenConfig};
+
+/// Campaign settings (all deterministic inputs).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of seeds to run.
+    pub seeds: u64,
+    /// First seed (campaigns are resumable/shardable by offsetting this).
+    pub seed_start: u64,
+    /// Generator knobs for every seed.
+    pub gen: GenConfig,
+    /// Shrink each new finding's program by typed delta-debugging.
+    pub shrink: bool,
+    /// Predicate-evaluation budget per shrink (each evaluation re-runs
+    /// the full per-seed check on a candidate).
+    pub shrink_budget: u64,
+    /// Test-only planted bug, to prove the pipeline detects and shrinks.
+    pub planted: Option<PlantedBug>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seeds: 50,
+            seed_start: 0,
+            gen: GenConfig::default(),
+            shrink: false,
+            shrink_budget: 300,
+            planted: None,
+        }
+    }
+}
+
+/// A deliberately planted divergence, used by tests to prove the
+/// campaign detects findings and the shrinker minimizes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlantedBug {
+    /// The oracle pass "lies" — reports a divergence — whenever the
+    /// program references the given generated datatype. The minimal
+    /// reproducer is therefore the smallest program still touching that
+    /// datatype.
+    OracleLiesOnDatatype(usize),
+}
+
+/// What kind of contract violation a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DivergenceKind {
+    /// The generated program failed to compile (a generator bug — the
+    /// universe is supposed to be well-typed by construction).
+    CompileFailure,
+    /// Two cells disagree on the final result (or on outcome class).
+    ResultMismatch,
+    /// Two cells disagree on printed output.
+    PrintedMismatch,
+    /// Two same-strategy cells disagree on a canonical heap snapshot.
+    SnapshotMismatch,
+    /// The post-collection heap verifier rejected a heap.
+    VerifierFailure,
+    /// The tagged-oracle node-identity pass diverged.
+    OracleFailure,
+    /// An unstructured panic in a clean (no-fault) cell.
+    RawPanic,
+    /// The seeded fault pass ended in something other than a completed
+    /// run, structured error, or structured fail-fast panic.
+    NonGracefulFault,
+}
+
+impl DivergenceKind {
+    /// Stable slug for fingerprints and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DivergenceKind::CompileFailure => "compile-failure",
+            DivergenceKind::ResultMismatch => "result-mismatch",
+            DivergenceKind::PrintedMismatch => "printed-mismatch",
+            DivergenceKind::SnapshotMismatch => "snapshot-mismatch",
+            DivergenceKind::VerifierFailure => "verifier-failure",
+            DivergenceKind::OracleFailure => "oracle-failure",
+            DivergenceKind::RawPanic => "raw-panic",
+            DivergenceKind::NonGracefulFault => "non-graceful-fault",
+        }
+    }
+}
+
+/// One deduplicated finding: the first seed that produced a fingerprint,
+/// with its (possibly shrunk) reproducer source.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub seed: u64,
+    pub kind: DivergenceKind,
+    /// `kind|error-class|strategy-pair` — the dedup key.
+    pub fingerprint: String,
+    pub detail: String,
+    /// Reproducer source (shrunk when shrinking is enabled).
+    pub source: String,
+    /// Expression-node count before shrinking.
+    pub orig_nodes: usize,
+    /// Expression-node count after shrinking (equals `orig_nodes` when
+    /// shrinking is off or made no progress).
+    pub shrunk_nodes: usize,
+    /// Seeds that reproduced this fingerprint (first one included).
+    pub count: u64,
+    /// Predicate evaluations the shrinker spent on this finding.
+    pub shrink_evals: u64,
+}
+
+/// Whole-campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    pub seeds_run: u64,
+    pub seed_start: u64,
+    /// Individual VM executions (cells + oracle runs + fault runs).
+    pub cases_executed: u64,
+    /// Clean cells that ran to completion.
+    pub completed: u64,
+    /// Clean cells that ended in a structured [`VmError`].
+    pub structured_errors: u64,
+    /// Fault-pass runs that degraded gracefully.
+    pub faults_graceful: u64,
+    /// Deduplicated findings, ordered by first appearance then
+    /// fingerprint.
+    pub findings: Vec<Finding>,
+}
+
+impl CampaignReport {
+    /// Zero findings — the campaign's pass criterion.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// A not-yet-deduplicated violation from one seed's check.
+#[derive(Debug, Clone)]
+pub(crate) struct RawFinding {
+    pub kind: DivergenceKind,
+    pub fingerprint: String,
+    pub detail: String,
+}
+
+fn error_class(e: &VmError) -> &'static str {
+    match e {
+        VmError::OutOfMemory { .. } => "oom",
+        VmError::MatchFailure { .. } => "match-failure",
+        VmError::DivideByZero { .. } => "divide-by-zero",
+        VmError::StepLimit { .. } => "step-limit",
+        VmError::StackOverflow { .. } => "stack-overflow",
+        VmError::VerificationFailed { .. } => "verification-failed",
+        VmError::DeadlineExceeded { .. } => "deadline",
+        VmError::Internal { .. } => "internal",
+    }
+}
+
+/// How one clean cell ended.
+#[derive(Debug, Clone)]
+enum CellOutcome {
+    Done {
+        result: String,
+        printed: Vec<i64>,
+        snaps: Option<Vec<CanonHeap>>,
+    },
+    Err {
+        class: &'static str,
+        msg: String,
+    },
+    FailFast(String),
+    RawPanic(String),
+}
+
+impl CellOutcome {
+    /// Outcome class used for cross-cell agreement checks.
+    fn class(&self) -> String {
+        match self {
+            CellOutcome::Done { .. } => "completed".to_string(),
+            CellOutcome::Err { class, .. } => format!("error:{class}"),
+            CellOutcome::FailFast(_) => "fail-fast".to_string(),
+            CellOutcome::RawPanic(_) => "raw-panic".to_string(),
+        }
+    }
+}
+
+/// The per-strategy heap tiers: a tiny growable heap with a forced-GC
+/// schedule (collections strike early and often, at allocation counts
+/// that are identical across cells), and the default heap (collections
+/// only where pressure puts them). The growth ceiling is sized so no
+/// generated program legitimately exhausts it — any OOM divergence is a
+/// real retention bug, not noise.
+const TINY_HEAP: usize = 1 << 10;
+const HEAP_CEILING: usize = 1 << 16;
+const FORCED_GC_PERIOD: u64 = 7;
+
+fn run_cell(
+    compiled: &FuzzCompiled,
+    strategy: Strategy,
+    plans: bool,
+    cache: bool,
+    tiny: bool,
+    seed: u64,
+) -> CellOutcome {
+    let meta = compiled.metadata(strategy);
+    // Snapshot roots always follow a tag-free metadata set; the tagged
+    // strategy's own metadata omits every gc_word, so borrow the
+    // no-liveness build (same rule as the torture oracle).
+    let root_meta = if strategy == Strategy::Tagged {
+        compiled.metadata(Strategy::CompiledNoLiveness)
+    } else {
+        meta.clone()
+    };
+    let mut cfg = VmConfig::new(strategy)
+        .heap_words(if tiny { TINY_HEAP } else { HEAP_CEILING })
+        .heap_max_words(HEAP_CEILING)
+        .verify_heap(true)
+        .rt_cache(cache)
+        .trace_plans(plans);
+    if tiny {
+        cfg = cfg.force_gc_every(FORCED_GC_PERIOD);
+    }
+    let context = format!(
+        "seed {seed} / {strategy} / plans={} cache={} heap={}",
+        plans,
+        cache,
+        if tiny { "tiny" } else { "default" }
+    );
+    let res = capture_panics_mut(&context, || {
+        let mut vm = Vm::with_meta(&compiled.program, cfg, meta);
+        if tiny {
+            vm.enable_snapshots(root_meta);
+        }
+        let out = vm.run();
+        let snaps = vm.take_snapshots();
+        (out, snaps)
+    });
+    match res {
+        Ok((Ok(out), snaps)) => CellOutcome::Done {
+            result: out.result,
+            printed: out.printed,
+            snaps: if tiny { Some(snaps) } else { None },
+        },
+        Ok((Err(e), _)) => CellOutcome::Err {
+            class: error_class(&e),
+            msg: e.to_string(),
+        },
+        Err(p) if p.structured => CellOutcome::FailFast(p.message),
+        Err(p) => CellOutcome::RawPanic(p.describe()),
+    }
+}
+
+/// The tagged-oracle node-identity pass for one strategy: same program,
+/// same heap, same forced-collection schedule, replayed under the tagged
+/// collector; the canonical reachable graphs at every collection must be
+/// byte-for-byte identical.
+fn oracle_pass(compiled: &FuzzCompiled, strategy: Strategy, seed: u64) -> Result<(), String> {
+    let heap_words = 1 << 14;
+    let force_every = 16;
+    let meta = compiled.metadata(strategy);
+    let root_meta = if strategy == Strategy::Tagged {
+        compiled.metadata(Strategy::CompiledNoLiveness)
+    } else {
+        meta.clone()
+    };
+    let context = format!("seed {seed} / oracle / {strategy}");
+    let run = |s: Strategy, m, roots: tfgc_gc::GcMeta| {
+        capture_panics_mut(&context, || {
+            let cfg = VmConfig::new(s)
+                .heap_words(heap_words)
+                .force_gc_every(force_every);
+            let mut vm = Vm::with_meta(&compiled.program, cfg, m);
+            vm.enable_snapshots(roots);
+            let out = vm.run();
+            let snaps = vm.take_snapshots();
+            (out, snaps)
+        })
+        .map_err(|p| p.describe())
+    };
+    let (out, snaps) = run(strategy, meta, root_meta.clone())?;
+    let out = out.map_err(|e| format!("{strategy}: {e}"))?;
+    let (tagged_out, tagged_snaps) = run(
+        Strategy::Tagged,
+        compiled.metadata(Strategy::Tagged),
+        root_meta,
+    )?;
+    let tagged_out = tagged_out.map_err(|e| format!("tagged oracle: {e}"))?;
+
+    if out.result != tagged_out.result {
+        return Err(format!(
+            "result differs: {} ({strategy}) vs {} (tagged)",
+            out.result, tagged_out.result
+        ));
+    }
+    if out.printed != tagged_out.printed {
+        return Err(format!(
+            "printed output differs ({} lines vs {})",
+            out.printed.len(),
+            tagged_out.printed.len()
+        ));
+    }
+    if snaps.len() != tagged_snaps.len() {
+        return Err(format!(
+            "collection count differs: {} ({strategy}) vs {} (tagged)",
+            snaps.len(),
+            tagged_snaps.len()
+        ));
+    }
+    for (i, (a, b)) in snaps.iter().zip(&tagged_snaps).enumerate() {
+        if let Some(d) = diff(a, b) {
+            return Err(format!(
+                "collection {i}: reachable graphs differ ({strategy} vs tagged): {d}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-seed statistics folded into the campaign totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SeedStats {
+    pub cases: u64,
+    pub completed: u64,
+    pub structured_errors: u64,
+    pub faults_graceful: u64,
+}
+
+/// Runs the full check matrix on one program: 40 differential cells
+/// (5 strategies × plans × cache × heap tier), 5 oracle passes, and
+/// 5 seeded-fault runs. Pure function of `(prog, seed, planted)`.
+pub(crate) fn check_program(
+    prog: &GProgram,
+    seed: u64,
+    planted: Option<PlantedBug>,
+) -> (SeedStats, Vec<RawFinding>) {
+    let mut stats = SeedStats::default();
+    let mut findings = Vec::new();
+    let src = prog.render();
+
+    stats.cases += 1; // the compile attempt
+    let compiled = match compile_src(&src) {
+        Ok(c) => c,
+        Err((stage, msg)) => {
+            findings.push(RawFinding {
+                kind: DivergenceKind::CompileFailure,
+                fingerprint: format!("compile-failure|{stage}|-"),
+                detail: msg,
+            });
+            return (stats, findings);
+        }
+    };
+
+    // --- Differential cells ---------------------------------------
+    // Outcomes keyed (strategy-index, plans, cache) per heap tier, in a
+    // fixed iteration order so comparisons and fingerprints are
+    // deterministic.
+    for tiny in [true, false] {
+        let tier = if tiny { "tiny" } else { "default" };
+        let mut cells: Vec<(Strategy, bool, bool, CellOutcome)> = Vec::new();
+        for s in Strategy::ALL {
+            for plans in [true, false] {
+                for cache in [true, false] {
+                    let out = run_cell(&compiled, s, plans, cache, tiny, seed);
+                    stats.cases += 1;
+                    match &out {
+                        CellOutcome::Done { .. } => stats.completed += 1,
+                        CellOutcome::Err { class, msg } => {
+                            stats.structured_errors += 1;
+                            if *class == "verification-failed" {
+                                findings.push(RawFinding {
+                                    kind: DivergenceKind::VerifierFailure,
+                                    fingerprint: format!("verifier-failure|{class}|{s}"),
+                                    detail: format!("{tier} plans={plans} cache={cache}: {msg}"),
+                                });
+                            }
+                        }
+                        CellOutcome::FailFast(msg) => {
+                            // No fault plan is armed in clean cells, so a
+                            // fail-fast panic means the runtime detected
+                            // corruption it produced itself.
+                            findings.push(RawFinding {
+                                kind: DivergenceKind::VerifierFailure,
+                                fingerprint: format!("verifier-failure|fail-fast|{s}"),
+                                detail: format!("{tier} plans={plans} cache={cache}: {msg}"),
+                            });
+                        }
+                        CellOutcome::RawPanic(msg) => {
+                            findings.push(RawFinding {
+                                kind: DivergenceKind::RawPanic,
+                                fingerprint: format!("raw-panic|panic|{s}"),
+                                detail: msg.clone(),
+                            });
+                        }
+                    }
+                    cells.push((s, plans, cache, out));
+                }
+            }
+        }
+
+        // Cross-cell agreement within the tier: every cell must match
+        // the reference cell's outcome class, result, and printed output.
+        let (ref_s, _, _, ref_out) = &cells[0];
+        for (s, plans, cache, out) in &cells[1..] {
+            if out.class() != ref_out.class() {
+                findings.push(RawFinding {
+                    kind: DivergenceKind::ResultMismatch,
+                    fingerprint: format!(
+                        "result-mismatch|class:{}-vs-{}|{ref_s}-vs-{s}",
+                        ref_out.class(),
+                        out.class()
+                    ),
+                    detail: format!(
+                        "{tier}: {ref_s} plans=true cache=true ended {} but {s} plans={plans} cache={cache} ended {}",
+                        ref_out.class(),
+                        out.class()
+                    ),
+                });
+                continue;
+            }
+            if let (
+                CellOutcome::Done {
+                    result: r0,
+                    printed: p0,
+                    ..
+                },
+                CellOutcome::Done {
+                    result: r1,
+                    printed: p1,
+                    ..
+                },
+            ) = (ref_out, out)
+            {
+                if r0 != r1 {
+                    findings.push(RawFinding {
+                        kind: DivergenceKind::ResultMismatch,
+                        fingerprint: format!("result-mismatch|result|{ref_s}-vs-{s}"),
+                        detail: format!(
+                            "{tier}: {ref_s} got {r0} but {s} plans={plans} cache={cache} got {r1}"
+                        ),
+                    });
+                } else if p0 != p1 {
+                    findings.push(RawFinding {
+                        kind: DivergenceKind::PrintedMismatch,
+                        fingerprint: format!("printed-mismatch|printed|{ref_s}-vs-{s}"),
+                        detail: format!(
+                            "{tier}: printed output differs between {ref_s} and {s} plans={plans} cache={cache} ({} vs {} lines)",
+                            p0.len(),
+                            p1.len()
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Snapshot identity within each strategy (tiny tier only): the
+        // metadata is fixed, so trace plans and the rt-cache must not
+        // change what a collection observes as reachable.
+        if tiny {
+            for s in Strategy::ALL {
+                let strat_cells: Vec<&(Strategy, bool, bool, CellOutcome)> =
+                    cells.iter().filter(|(cs, ..)| *cs == s).collect();
+                let base = match &strat_cells[0].3 {
+                    CellOutcome::Done {
+                        snaps: Some(sn), ..
+                    } => sn,
+                    _ => continue,
+                };
+                for (_, plans, cache, out) in &strat_cells[1..] {
+                    let other = match out {
+                        CellOutcome::Done {
+                            snaps: Some(sn), ..
+                        } => sn,
+                        _ => continue,
+                    };
+                    if base.len() != other.len() {
+                        findings.push(RawFinding {
+                            kind: DivergenceKind::SnapshotMismatch,
+                            fingerprint: format!("snapshot-mismatch|count|{s}"),
+                            detail: format!(
+                                "{s}: {} collections with plans/cache on but {} with plans={plans} cache={cache}",
+                                base.len(),
+                                other.len()
+                            ),
+                        });
+                        continue;
+                    }
+                    for (i, (a, b)) in base.iter().zip(other.iter()).enumerate() {
+                        if let Some(d) = diff(a, b) {
+                            findings.push(RawFinding {
+                                kind: DivergenceKind::SnapshotMismatch,
+                                fingerprint: format!("snapshot-mismatch|graph|{s}"),
+                                detail: format!(
+                                    "{s} collection {i} (plans={plans} cache={cache}): {d}"
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Oracle passes ---------------------------------------------
+    for s in Strategy::ALL {
+        stats.cases += 1;
+        if let Err(e) = oracle_pass(&compiled, s, seed) {
+            findings.push(RawFinding {
+                kind: DivergenceKind::OracleFailure,
+                fingerprint: format!("oracle-failure|oracle|{s}"),
+                detail: e,
+            });
+        }
+    }
+    if let Some(PlantedBug::OracleLiesOnDatatype(d)) = planted {
+        let touched = prog
+            .datatypes
+            .get(d)
+            .and_then(Option::as_ref)
+            .is_some_and(|dt| dt.variants.iter().any(|v| src.contains(&v.name)));
+        if touched {
+            findings.push(RawFinding {
+                kind: DivergenceKind::OracleFailure,
+                fingerprint: format!("oracle-failure|planted|g{d}"),
+                detail: format!(
+                    "planted oracle lie: divergence reported whenever datatype g{d} is referenced"
+                ),
+            });
+        }
+    }
+
+    // --- Seeded fault pass -----------------------------------------
+    let plan = FaultPlan::from_seed(seed);
+    for s in Strategy::ALL {
+        stats.cases += 1;
+        let meta = compiled.metadata(s);
+        let cfg = VmConfig::new(s)
+            .heap_words(TINY_HEAP)
+            .heap_max_words(1 << 14)
+            .verify_heap(true)
+            .fault_plan(plan);
+        let context = format!("seed {seed} / fault {} / {s}", plan.describe());
+        let res = capture_panics_mut(&context, || {
+            let mut vm = Vm::with_meta(&compiled.program, cfg, meta);
+            vm.run()
+        });
+        match res {
+            Ok(_) => stats.faults_graceful += 1,
+            Err(p) if p.structured => stats.faults_graceful += 1,
+            Err(p) => findings.push(RawFinding {
+                kind: DivergenceKind::NonGracefulFault,
+                fingerprint: format!("non-graceful-fault|panic|{s}"),
+                detail: format!("fault {}: {}", plan.describe(), p.describe()),
+            }),
+        }
+    }
+
+    (stats, findings)
+}
+
+/// The fingerprint set a program produces — the shrinker's predicate
+/// substrate.
+pub(crate) fn fingerprints_of(
+    prog: &GProgram,
+    seed: u64,
+    planted: Option<PlantedBug>,
+) -> Vec<String> {
+    check_program(prog, seed, planted)
+        .1
+        .into_iter()
+        .map(|f| f.fingerprint)
+        .collect()
+}
+
+/// Runs the campaign. Deterministic: the report (and its JSON rendering)
+/// is a pure function of the configuration.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    with_quiet_panics(|| {
+        let mut report = CampaignReport {
+            seed_start: cfg.seed_start,
+            ..CampaignReport::default()
+        };
+        // fingerprint → index into report.findings
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        for seed in cfg.seed_start..cfg.seed_start + cfg.seeds {
+            report.seeds_run += 1;
+            let prog = generate_program(seed, &cfg.gen);
+            let (stats, raw) = check_program(&prog, seed, cfg.planted);
+            report.cases_executed += stats.cases;
+            report.completed += stats.completed;
+            report.structured_errors += stats.structured_errors;
+            report.faults_graceful += stats.faults_graceful;
+            for rf in raw {
+                if let Some(&i) = seen.get(&rf.fingerprint) {
+                    report.findings[i].count += 1;
+                    continue;
+                }
+                let orig_nodes = prog.size();
+                let mut finding = Finding {
+                    seed,
+                    kind: rf.kind,
+                    fingerprint: rf.fingerprint.clone(),
+                    detail: rf.detail,
+                    source: prog.render(),
+                    orig_nodes,
+                    shrunk_nodes: orig_nodes,
+                    count: 1,
+                    shrink_evals: 0,
+                };
+                if cfg.shrink {
+                    let r = shrink(&prog, &rf.fingerprint, seed, cfg.planted, cfg.shrink_budget);
+                    finding.shrunk_nodes = r.program.size();
+                    finding.source = r.program.render();
+                    finding.shrink_evals = r.evals;
+                }
+                seen.insert(rf.fingerprint, report.findings.len());
+                report.findings.push(finding);
+            }
+        }
+        report.findings.sort_by(|a, b| {
+            (a.kind, &a.fingerprint, a.seed).cmp(&(b.kind, &b.fingerprint, b.seed))
+        });
+        report
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_campaign_has_no_findings() {
+        let cfg = CampaignConfig {
+            seeds: 6,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg);
+        assert_eq!(report.seeds_run, 6);
+        // 1 compile + 40 cells + 5 oracle + 5 fault per seed.
+        assert_eq!(report.cases_executed, 6 * 51);
+        assert!(
+            report.ok(),
+            "unexpected findings: {:#?}",
+            report
+                .findings
+                .iter()
+                .map(|f| (&f.fingerprint, &f.detail))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.completed > 0);
+        assert_eq!(report.faults_graceful, 6 * 5);
+    }
+
+    #[test]
+    fn campaign_reports_are_deterministic() {
+        let cfg = CampaignConfig {
+            seeds: 3,
+            seed_start: 11,
+            ..CampaignConfig::default()
+        };
+        let a = crate::report_json(&cfg, &run_campaign(&cfg));
+        let b = crate::report_json(&cfg, &run_campaign(&cfg));
+        assert_eq!(a, b, "same seeds must produce bit-identical reports");
+    }
+
+    #[test]
+    fn planted_oracle_lie_is_detected() {
+        let cfg = CampaignConfig {
+            seeds: 1,
+            seed_start: 2,
+            planted: Some(PlantedBug::OracleLiesOnDatatype(0)),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg);
+        assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+        let f = &report.findings[0];
+        assert_eq!(f.kind, DivergenceKind::OracleFailure);
+        assert_eq!(f.fingerprint, "oracle-failure|planted|g0");
+    }
+}

@@ -1,0 +1,350 @@
+//! Typed delta-debugging for campaign findings.
+//!
+//! The generator emits programs as typed trees ([`GProgram`]), so
+//! shrinking never has to guess at syntax: every transformation below
+//! preserves well-typedness by construction, and a candidate is kept iff
+//! re-running the full per-seed check still produces the finding's
+//! fingerprint. Passes, applied to a fixpoint under an evaluation
+//! budget:
+//!
+//! 1. **Drop helpers** (last to first): the helper slot becomes `None`
+//!    and every surviving `helper i` call site becomes the literal `1`.
+//! 2. **Drop datatypes**: every fold/size entry point over the datatype
+//!    becomes the literal `1`, removing all references, and the
+//!    declaration slot becomes `None`.
+//! 3. **Subexpression → typed leaf**: any non-leaf node is replaced by
+//!    the minimal closed expression of its own type, largest subtrees
+//!    first.
+//! 4. **Literal halving**: integer literals and recursion depths halve
+//!    until they stop mattering.
+
+use crate::campaign::{fingerprints_of, PlantedBug};
+use tfgc_workloads::{GExpr, GProgram};
+
+/// Outcome of a shrink: the smallest program found that still reproduces
+/// the fingerprint, and the predicate evaluations spent.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    pub program: GProgram,
+    pub evals: u64,
+}
+
+struct Shrinker<'a> {
+    target: &'a str,
+    seed: u64,
+    planted: Option<PlantedBug>,
+    budget: u64,
+    evals: u64,
+}
+
+impl Shrinker<'_> {
+    /// Does `candidate` still produce the target fingerprint? Each call
+    /// re-runs the whole per-seed check matrix on the candidate.
+    fn reproduces(&mut self, candidate: &GProgram) -> bool {
+        if self.evals >= self.budget {
+            return false;
+        }
+        self.evals += 1;
+        fingerprints_of(candidate, self.seed, self.planted)
+            .iter()
+            .any(|fp| fp == self.target)
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.evals >= self.budget
+    }
+}
+
+/// Replaces every node matching `rewrite` (pre-order; matched subtrees
+/// are not descended into).
+fn replace_nodes(e: &mut GExpr, rewrite: &dyn Fn(&GExpr) -> Option<GExpr>) {
+    if let Some(n) = rewrite(e) {
+        *e = n;
+        return;
+    }
+    for c in e.children_mut() {
+        replace_nodes(c, rewrite);
+    }
+}
+
+/// All paths to descendants of the roots, as (root index, child-index
+/// path), paired with the subtree size at that path.
+fn collect_paths(prog: &GProgram) -> Vec<(usize, Vec<usize>, usize)> {
+    fn walk(
+        e: &GExpr,
+        root: usize,
+        path: &mut Vec<usize>,
+        out: &mut Vec<(usize, Vec<usize>, usize)>,
+    ) {
+        out.push((root, path.clone(), e.size()));
+        for (i, c) in e.children().into_iter().enumerate() {
+            path.push(i);
+            walk(c, root, path, out);
+            path.pop();
+        }
+    }
+    let mut out = Vec::new();
+    let roots: Vec<&GExpr> = prog.helpers.iter().flatten().collect();
+    for (r, e) in roots.iter().enumerate() {
+        walk(e, r, &mut Vec::new(), &mut out);
+    }
+    walk(&prog.main, roots.len(), &mut Vec::new(), &mut out);
+    out
+}
+
+/// The mutable roots in the same order `collect_paths` numbered them.
+fn root_mut(prog: &mut GProgram, root: usize) -> &mut GExpr {
+    let n_helpers = prog.helpers.iter().flatten().count();
+    if root < n_helpers {
+        prog.helpers
+            .iter_mut()
+            .flatten()
+            .nth(root)
+            .expect("root index in range")
+    } else {
+        &mut prog.main
+    }
+}
+
+fn node_at_mut<'a>(root: &'a mut GExpr, path: &[usize]) -> &'a mut GExpr {
+    let mut cur = root;
+    for &i in path {
+        cur = cur
+            .children_mut()
+            .into_iter()
+            .nth(i)
+            .expect("path stays valid");
+    }
+    cur
+}
+
+/// One pass of helper dropping (last to first). Returns true on any
+/// progress.
+fn drop_helpers(prog: &mut GProgram, sh: &mut Shrinker<'_>) -> bool {
+    let mut progress = false;
+    for i in (0..prog.helpers.len()).rev() {
+        if sh.out_of_budget() || prog.helpers[i].is_none() {
+            continue;
+        }
+        let mut cand = prog.clone();
+        cand.helpers[i] = None;
+        for root in cand.roots_mut() {
+            replace_nodes(root, &|e| match e {
+                GExpr::CallHelper(j, _) if *j == i => Some(GExpr::Lit(1)),
+                _ => None,
+            });
+        }
+        if sh.reproduces(&cand) {
+            *prog = cand;
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// One pass of datatype dropping. All references to a datatype enter
+/// through its `Int`-typed fold/size nodes (datatype-typed subtrees only
+/// occur beneath them), so rewriting those to `1` severs the type from
+/// the program.
+fn drop_datatypes(prog: &mut GProgram, sh: &mut Shrinker<'_>) -> bool {
+    let mut progress = false;
+    for d in 0..prog.datatypes.len() {
+        if sh.out_of_budget() || prog.datatypes[d].is_none() {
+            continue;
+        }
+        let mut cand = prog.clone();
+        for root in cand.roots_mut() {
+            replace_nodes(root, &|e| match e {
+                GExpr::DtFold(j, _) | GExpr::DtSize(j, _) | GExpr::DtSizeBool(j, _) if *j == d => {
+                    Some(GExpr::Lit(1))
+                }
+                _ => None,
+            });
+        }
+        cand.datatypes[d] = None;
+        if sh.reproduces(&cand) {
+            *prog = cand;
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// One pass of subexpression-to-leaf substitution, largest subtrees
+/// first; restarts path collection after every success (the tree
+/// changed).
+fn leafify(prog: &mut GProgram, sh: &mut Shrinker<'_>) -> bool {
+    let mut progress = false;
+    loop {
+        if sh.out_of_budget() {
+            return progress;
+        }
+        let mut paths = collect_paths(prog);
+        paths.sort_by_key(|p| std::cmp::Reverse(p.2));
+        let mut improved = false;
+        for (root, path, _size) in paths {
+            if sh.out_of_budget() {
+                break;
+            }
+            let mut cand = prog.clone();
+            let node = node_at_mut(root_mut(&mut cand, root), &path);
+            let leaf = GExpr::leaf_of(node.ty());
+            if *node == leaf {
+                continue;
+            }
+            *node = leaf;
+            if sh.reproduces(&cand) {
+                *prog = cand;
+                progress = true;
+                improved = true;
+                break; // paths are stale; re-collect
+            }
+        }
+        if !improved {
+            return progress;
+        }
+    }
+}
+
+/// One global literal-halving round. Returns true on progress.
+fn halve_literals(prog: &mut GProgram, sh: &mut Shrinker<'_>) -> bool {
+    let mut progress = false;
+    loop {
+        if sh.out_of_budget() {
+            return progress;
+        }
+        let mut cand = prog.clone();
+        for root in cand.roots_mut() {
+            replace_nodes(root, &|e| match e {
+                GExpr::Lit(n) if *n > 0 => Some(GExpr::Lit(n / 2)),
+                GExpr::BuildDeep(k) if *k > 1 => Some(GExpr::BuildDeep(k / 2)),
+                GExpr::DtBuildDeep(d, k) if *k > 1 => Some(GExpr::DtBuildDeep(*d, k / 2)),
+                GExpr::MkFun(k) if *k > 0 => Some(GExpr::MkFun(k / 2)),
+                _ => None,
+            });
+        }
+        // `replace_nodes` has no change signal; detect via equality.
+        if cand == *prog {
+            return progress;
+        }
+        if sh.reproduces(&cand) {
+            *prog = cand;
+            progress = true;
+        } else {
+            return progress;
+        }
+    }
+}
+
+/// Shrinks `prog` to a fixpoint (or until `budget` predicate evaluations
+/// are spent) while `fingerprint` keeps reproducing under the same seed
+/// and planted-bug mode the finding came from.
+pub fn shrink(
+    prog: &GProgram,
+    fingerprint: &str,
+    seed: u64,
+    planted: Option<PlantedBug>,
+    budget: u64,
+) -> ShrinkResult {
+    let mut sh = Shrinker {
+        target: fingerprint,
+        seed,
+        planted,
+        budget,
+        evals: 0,
+    };
+    let mut best = prog.clone();
+    // Confirm the finding reproduces at all before spending budget; a
+    // flaky fingerprint (it should never be — everything is seeded)
+    // returns the original untouched.
+    if !sh.reproduces(&best) {
+        return ShrinkResult {
+            program: best,
+            evals: sh.evals,
+        };
+    }
+    loop {
+        let mut progress = false;
+        progress |= drop_helpers(&mut best, &mut sh);
+        progress |= drop_datatypes(&mut best, &mut sh);
+        progress |= leafify(&mut best, &mut sh);
+        progress |= halve_literals(&mut best, &mut sh);
+        if !progress || sh.out_of_budget() {
+            break;
+        }
+    }
+    ShrinkResult {
+        program: best,
+        evals: sh.evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig, DivergenceKind};
+    use tfgc_workloads::GenConfig;
+
+    /// Satellite: the planted-divergence drill. A lying oracle on
+    /// datatype g0 must be found, and the shrinker must reduce the
+    /// reproducer to a harness-committable handful of lines that still
+    /// references the datatype.
+    #[test]
+    fn planted_divergence_shrinks_to_minimal_reproducer() {
+        let cfg = CampaignConfig {
+            seeds: 1,
+            seed_start: 5,
+            shrink: true,
+            shrink_budget: 400,
+            planted: Some(crate::PlantedBug::OracleLiesOnDatatype(0)),
+            gen: GenConfig::default(),
+        };
+        let report = run_campaign(&cfg);
+        assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+        let f = &report.findings[0];
+        assert_eq!(f.kind, DivergenceKind::OracleFailure);
+        assert!(f.shrink_evals > 0, "shrinker never ran");
+        assert!(
+            f.shrunk_nodes < f.orig_nodes,
+            "no reduction: {} -> {}",
+            f.orig_nodes,
+            f.shrunk_nodes
+        );
+        let lines = f.source.trim().lines().count();
+        assert!(
+            lines <= 15,
+            "reproducer should be <= 15 lines, got {lines}:\n{}",
+            f.source
+        );
+        // Still references the planted datatype (otherwise it would not
+        // reproduce).
+        assert!(
+            f.source.contains("g0"),
+            "shrunk reproducer lost the datatype:\n{}",
+            f.source
+        );
+    }
+
+    #[test]
+    fn leafify_respects_types() {
+        use tfgc_workloads::{GExpr, GProgram};
+        // A program whose main is `sum (build (3 mod 7 + 1))`-ish; the
+        // shrinker must only ever substitute same-type leaves, so any
+        // reachable candidate still compiles.
+        let prog = GProgram {
+            datatypes: vec![],
+            helpers: vec![],
+            main: GExpr::Sum(Box::new(GExpr::Build(Box::new(GExpr::Lit(3))))),
+        };
+        for (root, path, _) in collect_paths(&prog) {
+            let mut cand = prog.clone();
+            let node = node_at_mut(root_mut(&mut cand, root), &path);
+            *node = GExpr::leaf_of(node.ty());
+            let src = cand.render();
+            assert!(
+                crate::compile_src(&src).is_ok(),
+                "typed leaf substitution broke compilation:\n{src}"
+            );
+        }
+    }
+}

@@ -236,12 +236,13 @@ pub fn expr_to_string(e: &Expr) -> String {
     }
 }
 
-/// Wraps expressions that extend maximally to the right (`if`, `fn`) so
-/// they can appear as operator operands without absorbing the rest of the
-/// expression on reparse.
+/// Wraps expressions the operand grammar cannot start with (`if`, `fn`,
+/// `let`) so they can appear as operator operands on reparse: `if`/`fn`
+/// would absorb the rest of the expression, and `let ... end` is only
+/// parsed at expression level, never as a bare operand.
 fn guard(e: &Expr) -> String {
     match &e.kind {
-        ExprKind::If(_, _, _) | ExprKind::Lambda(_, _) => {
+        ExprKind::If(_, _, _) | ExprKind::Lambda(_, _) | ExprKind::Let(_, _) => {
             format!("({})", expr_to_string(e))
         }
         _ => expr_to_string(e),
@@ -283,6 +284,13 @@ mod tests {
         roundtrip_expr("let val x = 1 in x end");
         roundtrip_expr("case xs of [] => 0 | x :: _ => x");
         roundtrip_expr("~5 + f 3");
+    }
+
+    #[test]
+    fn roundtrips_let_in_operand_position() {
+        roundtrip_expr("(let val x = 4 in x + 1 end) mod 7");
+        roundtrip_expr("1 + (let val x = 2 in x end)");
+        roundtrip_expr("(let val x = 2 in x end) :: []");
     }
 
     #[test]

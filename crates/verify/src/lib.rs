@@ -31,10 +31,14 @@
 
 pub mod canon;
 pub mod fault;
+pub mod panic;
 pub mod walker;
 
 pub use canon::{diff, CanonHeap, CanonObj, CanonWord};
 pub use fault::FaultPlan;
+pub use panic::{
+    capture_panics, capture_panics_mut, panic_message, with_quiet_panics, CapturedPanic,
+};
 pub use walker::{
     snapshot_tagfree, snapshot_tagged, verify_tagfree, verify_tagged, VerifyError, VerifyReport,
 };

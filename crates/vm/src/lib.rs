@@ -37,7 +37,10 @@ pub use stats::MutatorStats;
 /// Re-exported so VM embedders (scheduler, CLI, torture harness) can
 /// configure fault schedules and consume oracle snapshots without a
 /// direct tfgc-verify dependency.
-pub use tfgc_verify::{diff, is_structured_panic, CanonHeap, FaultPlan};
+pub use tfgc_verify::{
+    capture_panics_mut, diff, is_structured_panic, with_quiet_panics, CanonHeap, CapturedPanic,
+    FaultPlan,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,21 +1,52 @@
-//! Seeded random program generator (fuzzing substrate for the
-//! differential and property tests).
+//! Seeded random program generator (the fuzzing substrate for the
+//! differential campaign in `tfgc-fuzz` and for the property tests).
 //!
-//! Generates *well-typed by construction* TFML programs over a small type
-//! universe (`int`, `bool`, `int list`, pairs and lists thereof), heavy on
-//! allocation, pattern matching, and higher-order functions — the
-//! behaviors the collectors must agree on.
+//! Generates *well-typed by construction* TFML programs as a typed
+//! expression tree ([`GExpr`] inside a [`GProgram`]) that renders to
+//! source. Working on a tree rather than text is what makes typed
+//! delta-debugging possible: the shrinker can drop helpers, replace any
+//! subexpression with a minimal leaf *of the same type*, and shrink
+//! literals, and the result is still well-typed by construction.
+//!
+//! The type universe covers the corners where tag-free and tagged
+//! representations can disagree: nested lists and pairs, higher-order
+//! closures and partial application, let-polymorphism (top-level
+//! polymorphic helpers instantiated at several types, plus generalized
+//! `let val` identities), user-declared polymorphic datatypes that are
+//! *fresh per seed* (random variant counts, field shapes, and
+//! declaration order, so GC-time type reconstruction sees novel
+//! descriptors and discriminant tables on every seed), and tunable deep
+//! structural recursion.
 
 use crate::rng::SmallRng;
 use std::fmt::Write as _;
 
-/// Generator settings.
-#[derive(Debug, Clone)]
+/// Generator settings. Every field is a pure input to the deterministic
+/// generation function: same seed + same config ⇒ byte-identical source.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GenConfig {
     /// Maximum expression depth.
     pub max_depth: u32,
     /// Number of top-level helper functions.
     pub n_funs: usize,
+    /// Node budget per program (was a hard-coded 300 before the fuzz
+    /// campaign needed to scale it): when exhausted, generation falls
+    /// back to leaves, bounding program size.
+    pub fuel: u32,
+    /// Fresh polymorphic datatypes declared per program (each with a
+    /// seed-random variant/field shape plus builder/size/fold helpers).
+    pub n_datatypes: usize,
+    /// Ceiling for generated structural-recursion sizes (list lengths,
+    /// datatype spine depths). Raising it makes collections strike with
+    /// deeper stacks and longer spines.
+    pub max_recursion: u32,
+    /// Generate higher-order material: closure literals, partial
+    /// application, composition, `map`/`twice` calls.
+    pub higher_order: bool,
+    /// Generate polymorphic material: `pdup`/`plen` instantiations,
+    /// generalized `let val` identities, bool-instantiated datatype
+    /// sizes.
+    pub polymorphism: bool,
 }
 
 impl Default for GenConfig {
@@ -23,138 +54,1030 @@ impl Default for GenConfig {
         GenConfig {
             max_depth: 4,
             n_funs: 3,
+            fuel: 300,
+            n_datatypes: 2,
+            max_recursion: 48,
+            higher_order: true,
+            polymorphism: true,
         }
     }
 }
 
 /// The closed type universe of generated expressions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum GTy {
+pub enum GTy {
     Int,
     Bool,
+    /// `int list`.
     IntList,
-    Pair, // int * int list
+    /// `int list list`.
+    ListList,
+    /// `int * int list`.
+    Pair,
+    /// `int -> int`.
+    Fun,
+    /// The `n`th generated datatype, instantiated at `int`.
+    Data(usize),
 }
 
-/// Generates a deterministic random program for `seed`.
+/// One field of a generated datatype variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VField {
+    /// The type parameter `'a`.
+    TVar,
+    /// The datatype itself, `'a g{d}` (a recursive spine field).
+    Rec,
+    /// A ground `int` field.
+    Int,
+}
+
+/// One variant of a generated datatype (empty `fields` = nullary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtVariant {
+    pub name: String,
+    pub fields: Vec<VField>,
+}
+
+/// A seed-fresh polymorphic datatype declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtDecl {
+    /// Type name (`g0`, `g1`, …).
+    pub name: String,
+    pub variants: Vec<DtVariant>,
+}
+
+impl DtDecl {
+    /// Index of the first nullary variant (the recursion base case; the
+    /// generator always emits at least one).
+    pub fn nullary(&self) -> usize {
+        self.variants
+            .iter()
+            .position(|v| v.fields.is_empty())
+            .expect("generated datatypes always carry a nullary variant")
+    }
+
+    /// Index of the first variant with a recursive field.
+    pub fn recursive(&self) -> usize {
+        self.variants
+            .iter()
+            .position(|v| v.fields.contains(&VField::Rec))
+            .expect("generated datatypes always carry a recursive variant")
+    }
+
+    fn builder_name(&self) -> String {
+        format!("mk{}", self.name)
+    }
+    fn bool_builder_name(&self) -> String {
+        format!("mb{}", self.name)
+    }
+    fn size_name(&self) -> String {
+        format!("sz{}", self.name)
+    }
+    fn fold_name(&self) -> String {
+        format!("fd{}", self.name)
+    }
+}
+
+/// A typed generated expression. Every node's type is intrinsic
+/// ([`GExpr::ty`]), so a shrinker can substitute any node with a leaf of
+/// the same type and stay well-typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GExpr {
+    // ---- Int ----
+    Lit(i64),
+    /// The enclosing helper's `int` parameter (never generated in main).
+    Param,
+    /// `(p * k)`.
+    ParamScaled(i64),
+    Add(Box<GExpr>, Box<GExpr>),
+    /// `(e * k)`.
+    Mul(Box<GExpr>, i64),
+    /// `(if b then e1 else e2)` at `int`.
+    If(Box<GExpr>, Box<GExpr>, Box<GExpr>),
+    /// `sum (l)`.
+    Sum(Box<GExpr>),
+    /// `len (l)`.
+    Len(Box<GExpr>),
+    /// `plen (e)` — the polymorphic length, instantiated at the
+    /// argument's element type (`int` or `int list`).
+    PLen(Box<GExpr>),
+    /// `(case l of [] => e1 | x :: _ => x + e2)`.
+    CaseList(Box<GExpr>, Box<GExpr>, Box<GExpr>),
+    /// `(case ll of [] => e | h :: _ => sum h + e2)`.
+    CaseLL(Box<GExpr>, Box<GExpr>, Box<GExpr>),
+    /// `(case p of (a, b) => a + len b)`.
+    CasePair(Box<GExpr>),
+    /// `(f) (e)`.
+    Apply(Box<GExpr>, Box<GExpr>),
+    /// `twice (f) (e)`.
+    Twice(Box<GExpr>, Box<GExpr>),
+    /// `(let val vN = e1 in e2 + vN end)`.
+    LetVal(Box<GExpr>, Box<GExpr>),
+    /// `(let val idN = fn z => z in idN (e) + (if idN true then 1 else 0) end)`
+    /// — a generalized binding used at two instantiations.
+    LetPolyId(Box<GExpr>),
+    /// `(print (e1); e2)`.
+    PrintThen(Box<GExpr>, Box<GExpr>),
+    /// `helper{i} (e)`.
+    CallHelper(usize, Box<GExpr>),
+    /// `fd{d} (e)` — int fold over the `d`th datatype.
+    DtFold(usize, Box<GExpr>),
+    /// `sz{d} (e)` — polymorphic size at the `int` instantiation.
+    DtSize(usize, Box<GExpr>),
+    /// `sz{d} (mb{d} (e mod K + 1))` — polymorphic size at the `bool`
+    /// instantiation (a second instantiation of the same routine).
+    DtSizeBool(usize, Box<GExpr>),
+    // ---- Bool ----
+    BoolLit(bool),
+    Lt(Box<GExpr>, Box<GExpr>),
+    /// `((e) mod k = 0)`.
+    ModZero(Box<GExpr>, i64),
+    // ---- IntList ----
+    NilList,
+    /// `build ((e) mod 7 + 1)`.
+    Build(Box<GExpr>),
+    /// `build K` — the tunable deep-recursion knob.
+    BuildDeep(u32),
+    Cons(Box<GExpr>, Box<GExpr>),
+    /// `app2 (a) (b)`.
+    Append(Box<GExpr>, Box<GExpr>),
+    /// `map1 (f) (l)`.
+    MapList(Box<GExpr>, Box<GExpr>),
+    /// `pdup (e)` at `int`.
+    PdupInt(Box<GExpr>),
+    /// `[e1, e2]`.
+    ListLit2(Box<GExpr>, Box<GExpr>),
+    // ---- ListList ----
+    NilLL,
+    /// `pdup (l)` at `int list`.
+    PdupList(Box<GExpr>),
+    /// `[l1, l2]`.
+    LLLit(Box<GExpr>, Box<GExpr>),
+    // ---- Pair ----
+    MkPair(Box<GExpr>, Box<GExpr>),
+    // ---- Fun ----
+    /// `(fn z => z + k)`.
+    MkFun(i64),
+    /// `(add2 (e))` — partial application.
+    PartialAdd(Box<GExpr>),
+    /// `(comp2 (f) (g))`.
+    Compose(Box<GExpr>, Box<GExpr>),
+    // ---- Data ----
+    /// `mk{d} ((e) mod K + 1)`.
+    DtBuild(usize, Box<GExpr>),
+    /// `mk{d} K` — deep datatype spine.
+    DtBuildDeep(usize, u32),
+    /// The first nullary constructor of datatype `d`.
+    DtConLeaf(usize),
+    /// Variant `v` of datatype `d` applied to minimal leaf arguments.
+    DtConApp(usize, usize),
+}
+
+impl GExpr {
+    /// The node's type — intrinsic, so typed substitution needs no
+    /// context.
+    pub fn ty(&self) -> GTy {
+        use GExpr::*;
+        match self {
+            Lit(_) | Param | ParamScaled(_) | Add(..) | Mul(..) | If(..) | Sum(_) | Len(_)
+            | PLen(_) | CaseList(..) | CaseLL(..) | CasePair(_) | Apply(..) | Twice(..)
+            | LetVal(..) | LetPolyId(_) | PrintThen(..) | CallHelper(..) | DtFold(..)
+            | DtSize(..) | DtSizeBool(..) => GTy::Int,
+            BoolLit(_) | Lt(..) | ModZero(..) => GTy::Bool,
+            NilList | Build(_) | BuildDeep(_) | Cons(..) | Append(..) | MapList(..)
+            | PdupInt(_) | ListLit2(..) => GTy::IntList,
+            NilLL | PdupList(_) | LLLit(..) => GTy::ListList,
+            MkPair(..) => GTy::Pair,
+            MkFun(_) | PartialAdd(_) | Compose(..) => GTy::Fun,
+            DtBuild(d, _) | DtBuildDeep(d, _) | DtConLeaf(d) | DtConApp(d, _) => GTy::Data(*d),
+        }
+    }
+
+    /// The minimal closed leaf of a type (the shrinker's substitution
+    /// target; `Param`-free so it is valid in any context).
+    pub fn leaf_of(ty: GTy) -> GExpr {
+        match ty {
+            GTy::Int => GExpr::Lit(0),
+            GTy::Bool => GExpr::BoolLit(false),
+            GTy::IntList => GExpr::NilList,
+            GTy::ListList => GExpr::NilLL,
+            GTy::Pair => GExpr::MkPair(Box::new(GExpr::Lit(0)), Box::new(GExpr::NilList)),
+            GTy::Fun => GExpr::MkFun(0),
+            GTy::Data(d) => GExpr::DtConLeaf(d),
+        }
+    }
+
+    /// Immutable children, in rendering order.
+    pub fn children(&self) -> Vec<&GExpr> {
+        use GExpr::*;
+        match self {
+            Lit(_) | Param | ParamScaled(_) | BoolLit(_) | NilList | NilLL | BuildDeep(_)
+            | MkFun(_) | DtConLeaf(_) | DtConApp(..) | DtBuildDeep(..) => vec![],
+            Sum(a)
+            | Len(a)
+            | PLen(a)
+            | CasePair(a)
+            | LetPolyId(a)
+            | Mul(a, _)
+            | ModZero(a, _)
+            | Build(a)
+            | PdupInt(a)
+            | PdupList(a)
+            | PartialAdd(a)
+            | CallHelper(_, a)
+            | DtFold(_, a)
+            | DtSize(_, a)
+            | DtSizeBool(_, a)
+            | DtBuild(_, a) => vec![a],
+            Add(a, b)
+            | Lt(a, b)
+            | Cons(a, b)
+            | Append(a, b)
+            | MapList(a, b)
+            | ListLit2(a, b)
+            | LLLit(a, b)
+            | MkPair(a, b)
+            | Compose(a, b)
+            | Apply(a, b)
+            | Twice(a, b)
+            | LetVal(a, b)
+            | PrintThen(a, b) => {
+                vec![a, b]
+            }
+            If(a, b, c) | CaseList(a, b, c) | CaseLL(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Mutable children, in rendering order.
+    pub fn children_mut(&mut self) -> Vec<&mut GExpr> {
+        use GExpr::*;
+        match self {
+            Lit(_) | Param | ParamScaled(_) | BoolLit(_) | NilList | NilLL | BuildDeep(_)
+            | MkFun(_) | DtConLeaf(_) | DtConApp(..) | DtBuildDeep(..) => vec![],
+            Sum(a)
+            | Len(a)
+            | PLen(a)
+            | CasePair(a)
+            | LetPolyId(a)
+            | Mul(a, _)
+            | ModZero(a, _)
+            | Build(a)
+            | PdupInt(a)
+            | PdupList(a)
+            | PartialAdd(a)
+            | CallHelper(_, a)
+            | DtFold(_, a)
+            | DtSize(_, a)
+            | DtSizeBool(_, a)
+            | DtBuild(_, a) => vec![a],
+            Add(a, b)
+            | Lt(a, b)
+            | Cons(a, b)
+            | Append(a, b)
+            | MapList(a, b)
+            | ListLit2(a, b)
+            | LLLit(a, b)
+            | MkPair(a, b)
+            | Compose(a, b)
+            | Apply(a, b)
+            | Twice(a, b)
+            | LetVal(a, b)
+            | PrintThen(a, b) => {
+                vec![a, b]
+            }
+            If(a, b, c) | CaseList(a, b, c) | CaseLL(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Total node count (the shrinker's size metric).
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+}
+
+/// A generated program as a typed tree: seed-fresh datatype declarations,
+/// helper-function bodies (slot `i` is `fun helper{i} p{i} = …`; `None`
+/// marks a helper the shrinker dropped), and the main expression.
+///
+/// Rendering is *usage-driven*: prelude functions, datatype declarations,
+/// and per-datatype helpers are emitted only when the rendered bodies
+/// reference them, so shrunk programs stay minimal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GProgram {
+    pub datatypes: Vec<Option<DtDecl>>,
+    pub helpers: Vec<Option<GExpr>>,
+    pub main: GExpr,
+}
+
+/// The fixed prelude: each entry is (name, source line). None of them
+/// reference each other, so usage-driven emission is a per-line decision.
+const PRELUDE: &[(&str, &str)] = &[
+    (
+        "build",
+        "fun build n = if n = 0 then [] else (n mod 17) :: build (n - 1) ;",
+    ),
+    (
+        "sum",
+        "fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;",
+    ),
+    (
+        "len",
+        "fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;",
+    ),
+    (
+        "app2",
+        "fun app2 [] ys = ys | app2 (x :: xs) ys = x :: app2 xs ys ;",
+    ),
+    (
+        "map1",
+        "fun map1 f xs = case xs of [] => [] | x :: r => f x :: map1 f r ;",
+    ),
+    ("add2", "fun add2 a b = a + b ;"),
+    ("twice", "fun twice f x = f (f x) ;"),
+    ("comp2", "fun comp2 f g = fn z => f (g z) ;"),
+    ("pdup", "fun pdup x = [x, x] ;"),
+    (
+        "plen",
+        "fun plen xs = case xs of [] => 0 | _ :: t => 1 + plen t ;",
+    ),
+];
+
+/// Does `text` contain `name` as a standalone identifier (not as a
+/// substring of a longer identifier like `len` inside `plen`)?
+fn uses_ident(text: &str, name: &str) -> bool {
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let before_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+impl GProgram {
+    /// Renders the program to TFML source. Deterministic: a pure function
+    /// of the tree.
+    pub fn render(&self) -> String {
+        let mut bodies = String::new();
+        let mut fun_lines: Vec<String> = Vec::new();
+        let mut counter = 0u32;
+        for (i, h) in self.helpers.iter().enumerate() {
+            if let Some(body) = h {
+                let p = format!("p{i}");
+                let line = format!(
+                    "fun helper{i} {p} = {} ;",
+                    render_expr(body, Some(&p), &self.datatypes, &mut counter)
+                );
+                bodies.push_str(&line);
+                bodies.push('\n');
+                fun_lines.push(line);
+            }
+        }
+        let main_line = render_expr(&self.main, None, &self.datatypes, &mut counter);
+        bodies.push_str(&main_line);
+
+        let mut out = String::new();
+        // Datatype declarations + their helper functions, usage-driven.
+        for dt in self.datatypes.iter().flatten() {
+            let used_directly = dt.variants.iter().any(|v| uses_ident(&bodies, &v.name));
+            let mk = uses_ident(&bodies, &dt.builder_name());
+            let mb = uses_ident(&bodies, &dt.bool_builder_name());
+            let sz = uses_ident(&bodies, &dt.size_name());
+            let fd = uses_ident(&bodies, &dt.fold_name());
+            if !(used_directly || mk || mb || sz || fd) {
+                continue;
+            }
+            let _ = writeln!(out, "{}", render_dt_decl(dt));
+            if mk {
+                let _ = writeln!(out, "{}", render_dt_builder(dt, false));
+            }
+            if mb {
+                let _ = writeln!(out, "{}", render_dt_builder(dt, true));
+            }
+            if sz {
+                let _ = writeln!(out, "{}", render_dt_size(dt));
+            }
+            if fd {
+                let _ = writeln!(out, "{}", render_dt_fold(dt));
+            }
+        }
+        // Prelude, usage-driven.
+        for (name, line) in PRELUDE {
+            if uses_ident(&bodies, name) {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        for line in &fun_lines {
+            let _ = writeln!(out, "{line}");
+        }
+        out.push_str(&main_line);
+        out.push('\n');
+        out
+    }
+
+    /// Total expression-node count across helpers and main.
+    pub fn size(&self) -> usize {
+        self.helpers
+            .iter()
+            .flatten()
+            .map(GExpr::size)
+            .sum::<usize>()
+            + self.main.size()
+    }
+
+    /// Every live expression root (helper bodies then main), mutable.
+    pub fn roots_mut(&mut self) -> Vec<&mut GExpr> {
+        let mut v: Vec<&mut GExpr> = self.helpers.iter_mut().flatten().collect();
+        v.push(&mut self.main);
+        v
+    }
+}
+
+fn render_dt_decl(dt: &DtDecl) -> String {
+    let mut s = format!("datatype 'a {} = ", dt.name);
+    let vs: Vec<String> = dt
+        .variants
+        .iter()
+        .map(|v| {
+            if v.fields.is_empty() {
+                v.name.clone()
+            } else {
+                let fs: Vec<&str> = v
+                    .fields
+                    .iter()
+                    .map(|f| match f {
+                        VField::TVar => "'a",
+                        VField::Rec => "REC",
+                        VField::Int => "int",
+                    })
+                    .collect();
+                let fs: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        if *f == "REC" {
+                            format!("'a {}", dt.name)
+                        } else {
+                            (*f).to_string()
+                        }
+                    })
+                    .collect();
+                format!("{} of {}", v.name, fs.join(" * "))
+            }
+        })
+        .collect();
+    s.push_str(&vs.join(" | "));
+    s.push_str(" ;");
+    s
+}
+
+/// `fun mk{d} n = if n = 0 then <nullary> else <rec variant>(…)` — the
+/// spine builder at the `int` (or, for `bool_inst`, the `bool`)
+/// instantiation. Only the first recursive field recurses; later
+/// recursive fields get the nullary leaf, keeping construction linear.
+fn render_dt_builder(dt: &DtDecl, bool_inst: bool) -> String {
+    let name = if bool_inst {
+        dt.bool_builder_name()
+    } else {
+        dt.builder_name()
+    };
+    let nullary = &dt.variants[dt.nullary()].name;
+    let rec = &dt.variants[dt.recursive()];
+    let mut recursed = false;
+    let args: Vec<String> = rec
+        .fields
+        .iter()
+        .map(|f| match f {
+            VField::Rec if !recursed => {
+                recursed = true;
+                format!("{name} (n - 1)")
+            }
+            VField::Rec => nullary.clone(),
+            VField::TVar if bool_inst => "(n mod 2 = 0)".to_string(),
+            VField::TVar => "n".to_string(),
+            VField::Int => "(n * 2)".to_string(),
+        })
+        .collect();
+    format!(
+        "fun {name} n = if n = 0 then {nullary} else {} ({}) ;",
+        rec.name,
+        args.join(", ")
+    )
+}
+
+/// `fun sz{d} t = case t of …` — the polymorphic (`'a g -> int`) size:
+/// type-parameter fields are wildcards, so it stays polymorphic.
+fn render_dt_size(dt: &DtDecl) -> String {
+    let name = dt.size_name();
+    let arms: Vec<String> = dt
+        .variants
+        .iter()
+        .map(|v| {
+            if v.fields.is_empty() {
+                return format!("{} => 1", v.name);
+            }
+            let mut pats = Vec::new();
+            let mut body = String::from("1");
+            for (k, f) in v.fields.iter().enumerate() {
+                match f {
+                    VField::Rec => {
+                        pats.push(format!("t{k}"));
+                        let _ = write!(body, " + {name} t{k}");
+                    }
+                    _ => pats.push("_".to_string()),
+                }
+            }
+            format!("{} ({}) => {}", v.name, pats.join(", "), body)
+        })
+        .collect();
+    format!("fun {name} t = case t of {} ;", arms.join(" | "))
+}
+
+/// `fun fd{d} t = case t of …` — the `int`-instantiated fold: every
+/// field contributes (type-parameter and int fields add, recursive
+/// fields fold), so GC-visible payloads feed the result.
+fn render_dt_fold(dt: &DtDecl) -> String {
+    let name = dt.fold_name();
+    let arms: Vec<String> = dt
+        .variants
+        .iter()
+        .enumerate()
+        .map(|(vi, v)| {
+            if v.fields.is_empty() {
+                return format!("{} => {}", v.name, vi + 1);
+            }
+            let mut pats = Vec::new();
+            let mut body = format!("{}", vi + 1);
+            for (k, f) in v.fields.iter().enumerate() {
+                match f {
+                    VField::Rec => {
+                        pats.push(format!("t{k}"));
+                        let _ = write!(body, " + {name} t{k}");
+                    }
+                    VField::TVar | VField::Int => {
+                        pats.push(format!("x{k}"));
+                        let _ = write!(body, " + x{k}");
+                    }
+                }
+            }
+            format!("{} ({}) => {}", v.name, pats.join(", "), body)
+        })
+        .collect();
+    format!("fun {name} t = case t of {} ;", arms.join(" | "))
+}
+
+/// Minimal leaf arguments for a direct constructor application.
+fn dt_con_leaf_args(dt: &DtDecl, vi: usize) -> String {
+    let v = &dt.variants[vi];
+    if v.fields.is_empty() {
+        return v.name.clone();
+    }
+    let nullary = &dt.variants[dt.nullary()].name;
+    let args: Vec<String> = v
+        .fields
+        .iter()
+        .map(|f| match f {
+            VField::Rec => nullary.clone(),
+            VField::TVar => "3".to_string(),
+            VField::Int => "5".to_string(),
+        })
+        .collect();
+    format!("{} ({})", v.name, args.join(", "))
+}
+
+fn render_expr(
+    e: &GExpr,
+    param: Option<&str>,
+    dts: &[Option<DtDecl>],
+    counter: &mut u32,
+) -> String {
+    use GExpr::*;
+    let mut r = |e: &GExpr| render_expr(e, param, dts, counter);
+    match e {
+        Lit(n) => n.to_string(),
+        Param => param.unwrap_or("0").to_string(),
+        ParamScaled(k) => format!("({} * {k})", param.unwrap_or("1")),
+        Add(a, b) => format!("({} + {})", r(a), r(b)),
+        Mul(a, k) => format!("({} * {k})", r(a)),
+        If(c, t, f) => format!("(if {} then {} else {})", r(c), r(t), r(f)),
+        Sum(l) => format!("sum ({})", r(l)),
+        Len(l) => format!("len ({})", r(l)),
+        PLen(l) => format!("plen ({})", r(l)),
+        CaseList(l, n, c) => format!("(case {} of [] => {} | x :: _ => x + {})", r(l), r(n), r(c)),
+        CaseLL(ll, n, c) => format!(
+            "(case {} of [] => {} | h :: _ => sum h + {})",
+            r(ll),
+            r(n),
+            r(c)
+        ),
+        CasePair(p) => format!("(case {} of (a, b) => a + len b)", r(p)),
+        Apply(f, e) => format!("({}) ({})", r(f), r(e)),
+        Twice(f, e) => format!("twice ({}) ({})", r(f), r(e)),
+        LetVal(rhs, body) => {
+            let rhs_s = render_expr(rhs, param, dts, counter);
+            let body_s = render_expr(body, param, dts, counter);
+            let id = *counter;
+            *counter += 1;
+            format!("(let val v{id} = {rhs_s} in {body_s} + v{id} end)")
+        }
+        LetPolyId(e) => {
+            let e_s = render_expr(e, param, dts, counter);
+            let id = *counter;
+            *counter += 1;
+            format!("(let val id{id} = fn z => z in id{id} ({e_s}) + (if id{id} true then 1 else 0) end)")
+        }
+        PrintThen(v, e) => format!("(print ({}); {})", r(v), r(e)),
+        CallHelper(i, e) => format!("helper{i} ({})", r(e)),
+        DtFold(d, e) => format!("fdg{d} ({})", r(e)),
+        DtSize(d, e) => format!("szg{d} ({})", r(e)),
+        DtSizeBool(d, e) => format!("szg{d} (mbg{d} (({}) mod 9 + 1))", r(e)),
+        BoolLit(b) => b.to_string(),
+        Lt(a, b) => format!("({} < {})", r(a), r(b)),
+        ModZero(e, k) => format!("(({}) mod {k} = 0)", r(e)),
+        NilList | NilLL => "[]".to_string(),
+        Build(e) => format!("build (({}) mod 7 + 1)", r(e)),
+        BuildDeep(k) => format!("build {k}"),
+        Cons(h, t) => format!("({} :: {})", r(h), r(t)),
+        Append(a, b) => format!("app2 ({}) ({})", r(a), r(b)),
+        MapList(f, l) => format!("map1 ({}) ({})", r(f), r(l)),
+        PdupInt(e) | PdupList(e) => format!("pdup ({})", r(e)),
+        ListLit2(a, b) | LLLit(a, b) => format!("[{}, {}]", r(a), r(b)),
+        MkPair(a, b) => format!("({}, {})", r(a), r(b)),
+        MkFun(k) => format!("(fn z => z + {k})"),
+        PartialAdd(e) => format!("(add2 ({}))", r(e)),
+        Compose(f, g) => format!("(comp2 ({}) ({}))", r(f), r(g)),
+        DtBuild(d, e) => format!("mkg{d} (({}) mod 11 + 1)", r(e)),
+        DtBuildDeep(d, k) => format!("mkg{d} {k}"),
+        // A constructor reference needs the declaration. If the shrinker
+        // dropped the declaration while a reference survives (an internal
+        // invariant break), render a name that cannot compile — the case
+        // becomes a loud CompileFailure instead of a silent panic.
+        DtConLeaf(d) => match dts.get(*d).and_then(Option::as_ref) {
+            Some(dt) => dt.variants[dt.nullary()].name.clone(),
+            None => format!("MISSING_DT{d}"),
+        },
+        DtConApp(d, vi) => match dts.get(*d).and_then(Option::as_ref) {
+            Some(dt) => dt_con_leaf_args(dt, (*vi).min(dt.variants.len() - 1)),
+            None => format!("MISSING_DT{d}"),
+        },
+    }
+}
+
+/// Generates a deterministic random program for `seed` as source text.
 pub fn generate(seed: u64, cfg: &GenConfig) -> String {
+    generate_program(seed, cfg).render()
+}
+
+/// Generates the typed program tree for `seed` (the fuzz campaign's
+/// shrinkable form; [`generate`] is `generate_program(..).render()`).
+pub fn generate_program(seed: u64, cfg: &GenConfig) -> GProgram {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut out = String::new();
-    // A fixed prelude of helpers the generator can call.
-    out.push_str(
-        "fun build n = if n = 0 then [] else (n mod 17) :: build (n - 1) ;\n\
-         fun sum xs = case xs of [] => 0 | x :: r => x + sum r ;\n\
-         fun len xs = case xs of [] => 0 | _ :: t => 1 + len t ;\n\
-         fun app2 [] ys = ys | app2 (x :: xs) ys = x :: app2 xs ys ;\n",
-    );
+    let datatypes: Vec<Option<DtDecl>> = (0..cfg.n_datatypes)
+        .map(|d| Some(gen_datatype(&mut rng, d)))
+        .collect();
     let mut g = Gen {
         rng: &mut rng,
-        fuel: 300,
+        fuel: cfg.fuel,
+        cfg,
+        n_dts: cfg.n_datatypes,
     };
+    let mut helpers = Vec::new();
     for i in 0..cfg.n_funs {
-        let body = g.expr(GTy::Int, cfg.max_depth, &format!("p{i}"));
-        let _ = writeln!(out, "fun helper{i} p{i} = {body} ;");
+        let body = g.expr(
+            GTy::Int,
+            cfg.max_depth,
+            Ctx {
+                has_param: true,
+                helpers_below: i,
+            },
+        );
+        helpers.push(Some(body));
     }
-    // Main combines the helpers so everything is reachable.
-    let mut main = String::from("0");
+    // Main: reach every helper and every datatype, then one free-form
+    // expression; a trailing print makes the printed-output divergence
+    // channel meaningful.
+    let ctx = Ctx {
+        has_param: false,
+        helpers_below: cfg.n_funs,
+    };
+    let mut main = GExpr::Lit(0);
     for i in 0..cfg.n_funs {
-        main = format!("{main} + helper{i} {}", g.rng.gen_range(1, 10));
+        let arg = GExpr::Lit(g.rng.gen_range(1, 10));
+        main = GExpr::Add(
+            Box::new(main),
+            Box::new(GExpr::CallHelper(i, Box::new(arg))),
+        );
     }
-    let _ = writeln!(out, "{main}");
-    out
+    for d in 0..cfg.n_datatypes {
+        let depth = g.deep();
+        main = GExpr::Add(
+            Box::new(main),
+            Box::new(GExpr::DtFold(d, Box::new(GExpr::DtBuildDeep(d, depth)))),
+        );
+        if cfg.polymorphism {
+            main = GExpr::Add(
+                Box::new(main),
+                Box::new(GExpr::DtSize(d, Box::new(GExpr::DtBuildDeep(d, depth / 2)))),
+            );
+        }
+    }
+    let extra = g.expr(GTy::Int, cfg.max_depth, ctx);
+    main = GExpr::Add(Box::new(main), Box::new(extra));
+    main = GExpr::PrintThen(
+        Box::new(GExpr::Lit(g.rng.gen_range(0, 100))),
+        Box::new(main),
+    );
+    GProgram {
+        datatypes,
+        helpers,
+        main,
+    }
 }
 
-struct Gen<'r> {
+/// A fresh polymorphic datatype: 1–2 nullary variants, 0–2 payload
+/// variants, 1–2 recursive variants, in seed-shuffled declaration order
+/// (the order fixes discriminant assignment, so shuffling yields novel
+/// discriminant tables).
+fn gen_datatype(rng: &mut SmallRng, d: usize) -> DtDecl {
+    let prefix = format!("G{d}");
+    let mut variants = Vec::new();
+    let n_nullary = 1 + rng.gen_range(0, 2);
+    for k in 0..n_nullary {
+        variants.push(DtVariant {
+            name: format!("{prefix}N{k}"),
+            fields: vec![],
+        });
+    }
+    let payload_shapes: [&[VField]; 4] = [
+        &[VField::TVar],
+        &[VField::TVar, VField::Int],
+        &[VField::Int],
+        &[VField::TVar, VField::TVar],
+    ];
+    let n_payload = rng.gen_range(0, 3);
+    for k in 0..n_payload {
+        let shape = payload_shapes[rng.gen_range(0, payload_shapes.len() as i64) as usize];
+        variants.push(DtVariant {
+            name: format!("{prefix}A{k}"),
+            fields: shape.to_vec(),
+        });
+    }
+    let rec_shapes: [&[VField]; 4] = [
+        &[VField::Rec, VField::TVar],
+        &[VField::TVar, VField::Rec],
+        &[VField::Rec, VField::Int],
+        &[VField::Rec, VField::Rec, VField::TVar],
+    ];
+    let n_rec = 1 + rng.gen_range(0, 2);
+    for k in 0..n_rec {
+        let shape = rec_shapes[rng.gen_range(0, rec_shapes.len() as i64) as usize];
+        variants.push(DtVariant {
+            name: format!("{prefix}R{k}"),
+            fields: shape.to_vec(),
+        });
+    }
+    // Seed-shuffled declaration order (Fisher–Yates).
+    for i in (1..variants.len()).rev() {
+        let j = rng.gen_range(0, (i + 1) as i64) as usize;
+        variants.swap(i, j);
+    }
+    DtDecl {
+        name: format!("g{d}"),
+        variants,
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// May the expression mention `Param`?
+    has_param: bool,
+    /// Helpers with index `< helpers_below` may be called (so helper
+    /// bodies only call *earlier* helpers — no accidental mutual
+    /// recursion).
+    helpers_below: usize,
+}
+
+struct Gen<'r, 'c> {
     rng: &'r mut SmallRng,
     fuel: u32,
+    cfg: &'c GenConfig,
+    n_dts: usize,
 }
 
-impl Gen<'_> {
-    fn expr(&mut self, ty: GTy, depth: u32, var: &str) -> String {
+impl Gen<'_, '_> {
+    fn pick_dt(&mut self) -> usize {
+        self.rng.gen_range(0, self.n_dts as i64) as usize
+    }
+
+    fn deep(&mut self) -> u32 {
+        let hi = 1 + i64::from(self.cfg.max_recursion.max(1));
+        1 + self.rng.gen_range(1, hi) as u32
+    }
+
+    fn expr(&mut self, ty: GTy, depth: u32, ctx: Ctx) -> GExpr {
         if depth == 0 || self.fuel == 0 {
-            return self.leaf(ty, var);
+            return self.leaf(ty, ctx);
         }
         self.fuel = self.fuel.saturating_sub(1);
+        let d = depth - 1;
+        let ho = self.cfg.higher_order;
+        let poly = self.cfg.polymorphism;
+        let dts = self.n_dts > 0;
         match ty {
-            GTy::Int => match self.rng.gen_range(0, 8) {
-                0 | 1 => self.leaf(ty, var),
-                2 => format!(
-                    "({} + {})",
-                    self.expr(GTy::Int, depth - 1, var),
-                    self.expr(GTy::Int, depth - 1, var)
-                ),
-                3 => format!("sum {}", self.atom_list(depth - 1, var)),
-                4 => format!("len {}", self.atom_list(depth - 1, var)),
-                5 => format!(
-                    "(if {} then {} else {})",
-                    self.expr(GTy::Bool, depth - 1, var),
-                    self.expr(GTy::Int, depth - 1, var),
-                    self.expr(GTy::Int, depth - 1, var)
-                ),
-                6 => format!(
-                    "(case {} of [] => {} | x :: _ => x + {})",
-                    self.expr(GTy::IntList, depth - 1, var),
-                    self.expr(GTy::Int, depth - 1, var),
-                    self.expr(GTy::Int, depth - 1, var),
-                ),
-                _ => format!(
-                    "(case {} of (a, b) => a + len b)",
-                    self.expr(GTy::Pair, depth - 1, var)
-                ),
-            },
+            GTy::Int => {
+                let mut prods: Vec<u8> = vec![0, 0, 1, 2, 3, 4, 5, 6, 15, 16];
+                if ho {
+                    prods.extend([7, 8]);
+                }
+                if poly {
+                    prods.extend([9, 14]);
+                }
+                if dts {
+                    prods.extend([10, 11]);
+                    if poly {
+                        prods.push(12);
+                    }
+                }
+                if ctx.helpers_below > 0 {
+                    prods.push(13);
+                }
+                let tag = prods[self.rng.gen_range(0, prods.len() as i64) as usize];
+                match tag {
+                    0 => self.leaf(ty, ctx),
+                    1 => GExpr::Add(
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                    ),
+                    2 => GExpr::Sum(Box::new(self.expr(GTy::IntList, d, ctx))),
+                    3 => GExpr::Len(Box::new(self.expr(GTy::IntList, d, ctx))),
+                    4 => GExpr::If(
+                        Box::new(self.expr(GTy::Bool, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                    ),
+                    5 => GExpr::CaseList(
+                        Box::new(self.expr(GTy::IntList, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                    ),
+                    6 => GExpr::CasePair(Box::new(self.expr(GTy::Pair, d, ctx))),
+                    7 => GExpr::Apply(
+                        Box::new(self.expr(GTy::Fun, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                    ),
+                    8 => GExpr::Twice(
+                        Box::new(self.expr(GTy::Fun, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                    ),
+                    9 => {
+                        let arg = if self.rng.gen_bool() {
+                            self.expr(GTy::IntList, d, ctx)
+                        } else {
+                            self.expr(GTy::ListList, d, ctx)
+                        };
+                        GExpr::PLen(Box::new(arg))
+                    }
+                    10 => {
+                        let dt = self.pick_dt();
+                        GExpr::DtFold(dt, Box::new(self.expr(GTy::Data(dt), d, ctx)))
+                    }
+                    11 => {
+                        let dt = self.pick_dt();
+                        GExpr::DtSize(dt, Box::new(self.expr(GTy::Data(dt), d, ctx)))
+                    }
+                    12 => {
+                        let dt = self.pick_dt();
+                        GExpr::DtSizeBool(dt, Box::new(self.expr(GTy::Int, d, ctx)))
+                    }
+                    13 => {
+                        let i = self.rng.gen_range(0, ctx.helpers_below as i64) as usize;
+                        GExpr::CallHelper(i, Box::new(self.expr(GTy::Int, d, ctx)))
+                    }
+                    14 => GExpr::LetPolyId(Box::new(self.expr(GTy::Int, d, ctx))),
+                    15 => GExpr::LetVal(
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                    ),
+                    _ => GExpr::CaseLL(
+                        Box::new(self.expr(GTy::ListList, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                    ),
+                }
+            }
             GTy::Bool => match self.rng.gen_range(0, 3) {
-                0 => "true".to_string(),
-                1 => format!(
-                    "({} < {})",
-                    self.expr(GTy::Int, depth - 1, var),
-                    self.expr(GTy::Int, depth - 1, var)
+                0 => GExpr::BoolLit(self.rng.gen_bool()),
+                1 => GExpr::Lt(
+                    Box::new(self.expr(GTy::Int, d, ctx)),
+                    Box::new(self.expr(GTy::Int, d, ctx)),
                 ),
-                _ => format!("({} mod 2 = 0)", self.expr(GTy::Int, depth - 1, var)),
-            },
-            GTy::IntList => match self.rng.gen_range(0, 5) {
-                0 => "[]".to_string(),
-                1 => format!("build ({var} mod 7 + 1)"),
-                2 => format!(
-                    "({} :: {})",
-                    self.expr(GTy::Int, depth - 1, var),
-                    self.expr(GTy::IntList, depth - 1, var)
-                ),
-                3 => format!(
-                    "app2 {} {}",
-                    self.atom_list(depth - 1, var),
-                    self.atom_list(depth - 1, var)
-                ),
-                _ => format!(
-                    "(let val h = fn z => z + {} in (case {} of [] => [] | q :: qs => h q :: qs) end)",
-                    self.rng.gen_range(0, 5),
-                    self.expr(GTy::IntList, depth - 1, var)
+                _ => GExpr::ModZero(
+                    Box::new(self.expr(GTy::Int, d, ctx)),
+                    2 + self.rng.gen_range(0, 3),
                 ),
             },
-            GTy::Pair => format!(
-                "({}, {})",
-                self.expr(GTy::Int, depth - 1, var),
-                self.expr(GTy::IntList, depth - 1, var)
+            GTy::IntList => {
+                let mut prods: Vec<u8> = vec![0, 1, 2, 3, 4];
+                if ho {
+                    prods.push(5);
+                }
+                if poly {
+                    prods.push(6);
+                }
+                let tag = prods[self.rng.gen_range(0, prods.len() as i64) as usize];
+                match tag {
+                    0 => self.leaf(ty, ctx),
+                    1 => GExpr::Build(Box::new(self.expr(GTy::Int, d, ctx))),
+                    2 => GExpr::BuildDeep(self.deep()),
+                    3 => GExpr::Cons(
+                        Box::new(self.expr(GTy::Int, d, ctx)),
+                        Box::new(self.expr(GTy::IntList, d, ctx)),
+                    ),
+                    4 => GExpr::Append(
+                        Box::new(self.expr(GTy::IntList, d, ctx)),
+                        Box::new(self.expr(GTy::IntList, d, ctx)),
+                    ),
+                    5 => GExpr::MapList(
+                        Box::new(self.expr(GTy::Fun, d, ctx)),
+                        Box::new(self.expr(GTy::IntList, d, ctx)),
+                    ),
+                    _ => GExpr::PdupInt(Box::new(self.expr(GTy::Int, d, ctx))),
+                }
+            }
+            GTy::ListList => match self.rng.gen_range(0, 3) {
+                0 if self.cfg.polymorphism => {
+                    GExpr::PdupList(Box::new(self.expr(GTy::IntList, d, ctx)))
+                }
+                1 => GExpr::LLLit(
+                    Box::new(self.expr(GTy::IntList, d, ctx)),
+                    Box::new(self.expr(GTy::IntList, d, ctx)),
+                ),
+                _ => GExpr::NilLL,
+            },
+            GTy::Pair => GExpr::MkPair(
+                Box::new(self.expr(GTy::Int, d, ctx)),
+                Box::new(self.expr(GTy::IntList, d, ctx)),
             ),
+            GTy::Fun => match self.rng.gen_range(0, 3) {
+                0 => GExpr::MkFun(self.rng.gen_range(0, 9)),
+                1 => GExpr::PartialAdd(Box::new(self.expr(GTy::Int, d, ctx))),
+                _ => GExpr::Compose(
+                    Box::new(self.expr(GTy::Fun, d, ctx)),
+                    Box::new(self.expr(GTy::Fun, d, ctx)),
+                ),
+            },
+            GTy::Data(dt) => match self.rng.gen_range(0, 4) {
+                0 => GExpr::DtConLeaf(dt),
+                1 => GExpr::DtConApp(dt, 0),
+                2 => GExpr::DtBuildDeep(dt, self.deep().min(24)),
+                _ => GExpr::DtBuild(dt, Box::new(self.expr(GTy::Int, d, ctx))),
+            },
         }
     }
 
-    fn atom_list(&mut self, depth: u32, var: &str) -> String {
-        format!("({})", self.expr(GTy::IntList, depth, var))
-    }
-
-    fn leaf(&mut self, ty: GTy, var: &str) -> String {
+    fn leaf(&mut self, ty: GTy, ctx: Ctx) -> GExpr {
         match ty {
             GTy::Int => match self.rng.gen_range(0, 3) {
-                0 => self.rng.gen_range(0, 100).to_string(),
-                1 => var.to_string(),
-                _ => format!("({var} * {})", self.rng.gen_range(1, 5)),
+                0 => GExpr::Lit(self.rng.gen_range(0, 100)),
+                1 if ctx.has_param => GExpr::Param,
+                _ if ctx.has_param => GExpr::ParamScaled(self.rng.gen_range(1, 5)),
+                _ => GExpr::Lit(self.rng.gen_range(0, 100)),
             },
-            GTy::Bool => if self.rng.gen_bool() { "true" } else { "false" }.to_string(),
+            GTy::Bool => GExpr::BoolLit(self.rng.gen_bool()),
             GTy::IntList => match self.rng.gen_range(0, 2) {
-                0 => "[]".to_string(),
-                _ => format!("[{var}, 2, 3]"),
+                0 => GExpr::NilList,
+                _ => GExpr::ListLit2(
+                    Box::new(if ctx.has_param {
+                        GExpr::Param
+                    } else {
+                        GExpr::Lit(1)
+                    }),
+                    Box::new(GExpr::Lit(self.rng.gen_range(0, 10))),
+                ),
             },
-            GTy::Pair => format!("({var}, [1])"),
+            GTy::ListList => GExpr::NilLL,
+            GTy::Pair => GExpr::MkPair(
+                Box::new(if ctx.has_param {
+                    GExpr::Param
+                } else {
+                    GExpr::Lit(2)
+                }),
+                Box::new(GExpr::NilList),
+            ),
+            GTy::Fun => GExpr::MkFun(self.rng.gen_range(0, 9)),
+            GTy::Data(d) => {
+                if self.rng.gen_bool() {
+                    GExpr::DtConLeaf(d)
+                } else {
+                    GExpr::DtConApp(d, 0)
+                }
+            }
         }
     }
 }
@@ -162,13 +1085,14 @@ impl Gen<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::fnv1a64;
     use tfgc_ir::lower;
     use tfgc_syntax::parse_program;
     use tfgc_types::elaborate;
 
     #[test]
     fn generated_programs_compile() {
-        for seed in 0..40u64 {
+        for seed in 0..60u64 {
             let src = generate(seed, &GenConfig::default());
             let parsed = parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
             let typed = elaborate(&parsed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
@@ -179,9 +1103,156 @@ mod tests {
     }
 
     #[test]
+    fn generated_programs_compile_at_extreme_knobs() {
+        for (seed, cfg) in [
+            (
+                3,
+                GenConfig {
+                    max_depth: 7,
+                    n_funs: 6,
+                    fuel: 900,
+                    n_datatypes: 4,
+                    max_recursion: 200,
+                    ..GenConfig::default()
+                },
+            ),
+            (
+                11,
+                GenConfig {
+                    higher_order: false,
+                    polymorphism: false,
+                    n_datatypes: 0,
+                    ..GenConfig::default()
+                },
+            ),
+            (
+                17,
+                GenConfig {
+                    max_depth: 1,
+                    fuel: 5,
+                    ..GenConfig::default()
+                },
+            ),
+        ] {
+            let src = generate(seed, &cfg);
+            let parsed = parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let typed = elaborate(&parsed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            lower(&typed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         let a = generate(7, &GenConfig::default());
         let b = generate(7, &GenConfig::default());
         assert_eq!(a, b);
+        let pa = generate_program(7, &GenConfig::default());
+        let pb = generate_program(7, &GenConfig::default());
+        assert_eq!(pa, pb);
+        assert_eq!(pa.render(), a);
+    }
+
+    /// Golden hashes: fixed seeds must render byte-identical source on
+    /// every machine, or campaign reports stop being reproducible. If a
+    /// deliberate generator change breaks these, regenerate the
+    /// constants (printed on failure) and note the change in the PR.
+    #[test]
+    fn generation_matches_golden_hashes() {
+        let cfg = GenConfig::default();
+        let got: Vec<(u64, u64)> = [0u64, 1, 7, 42, 1999]
+            .into_iter()
+            .map(|seed| (seed, fnv1a64(generate(seed, &cfg).as_bytes())))
+            .collect();
+        let expected: &[(u64, u64)] = &GOLDEN_HASHES;
+        assert_eq!(
+            got, expected,
+            "golden generator hashes changed; new values: {got:?}"
+        );
+    }
+
+    /// Computed from the current generator; see
+    /// `generation_matches_golden_hashes`.
+    const GOLDEN_HASHES: [(u64, u64); 5] = [
+        (0, 7221828405201908571),
+        (1, 5252143447534574642),
+        (7, 1371223546943766931),
+        (42, 16874661579907619660),
+        (1999, 47971331167041827),
+    ];
+
+    #[test]
+    fn fuel_caps_program_size() {
+        let big = GenConfig {
+            fuel: 600,
+            max_depth: 8,
+            ..GenConfig::default()
+        };
+        let small = GenConfig {
+            fuel: 10,
+            max_depth: 8,
+            ..GenConfig::default()
+        };
+        let sizes =
+            |cfg: &GenConfig| -> usize { (0..8u64).map(|s| generate_program(s, cfg).size()).sum() };
+        assert!(
+            sizes(&small) < sizes(&big),
+            "fuel must bound generated size"
+        );
+    }
+
+    #[test]
+    fn datatypes_are_fresh_per_seed() {
+        let a = generate_program(1, &GenConfig::default());
+        let b = generate_program(2, &GenConfig::default());
+        assert_ne!(
+            a.datatypes, b.datatypes,
+            "datatype shapes must vary by seed"
+        );
+    }
+
+    #[test]
+    fn leaves_match_their_type() {
+        for ty in [
+            GTy::Int,
+            GTy::Bool,
+            GTy::IntList,
+            GTy::ListList,
+            GTy::Pair,
+            GTy::Fun,
+            GTy::Data(0),
+        ] {
+            assert_eq!(GExpr::leaf_of(ty).ty(), ty);
+        }
+    }
+
+    #[test]
+    fn rendering_skips_unused_prelude_and_datatypes() {
+        let p = GProgram {
+            datatypes: vec![Some(DtDecl {
+                name: "g0".to_string(),
+                variants: vec![
+                    DtVariant {
+                        name: "G0N0".to_string(),
+                        fields: vec![],
+                    },
+                    DtVariant {
+                        name: "G0R0".to_string(),
+                        fields: vec![VField::Rec, VField::TVar],
+                    },
+                ],
+            })],
+            helpers: vec![None],
+            main: GExpr::Lit(7),
+        };
+        let src = p.render();
+        assert_eq!(src.trim(), "7");
+    }
+
+    #[test]
+    fn ident_boundary_scan_rejects_substrings() {
+        assert!(uses_ident("plen xs + 1", "plen"));
+        assert!(!uses_ident("plen xs + 1", "len"));
+        assert!(uses_ident("len (plen xs)", "len"));
+        assert!(!uses_ident("mylen 3", "len"));
     }
 }

@@ -10,9 +10,11 @@ pub mod paper_examples;
 pub mod programs;
 pub mod rng;
 
-pub use generator::{generate, GenConfig};
+pub use generator::{
+    generate, generate_program, DtDecl, DtVariant, GExpr, GProgram, GTy, GenConfig, VField,
+};
 pub use programs::suite;
-pub use rng::SmallRng;
+pub use rng::{fnv1a64, SmallRng};
 
 use tfgc_ir::{lower, IrProgram};
 use tfgc_syntax::parse_program;
