@@ -10,7 +10,7 @@
 //! tfml serve [SERVE OPTS]                  drive a seeded request mix against
 //!                                          a persistent heap; steady-state
 //!                                          telemetry + SLO gate
-//! tfml torture [--seeds N] [--oracle] [--serve] [--overload]
+//! tfml torture [--seeds N] [--oracle] [--serve] [--overload] [--generational]
 //!                                          fault-injection matrix over
 //!                                          seeded workloads × strategies
 //!                                          (--serve: mid-traffic faults
@@ -37,6 +37,12 @@
 //!                    identical reachable graphs at every collection
 //!   --no-trace-plans trace with the nested-closure walk instead of the
 //!                    flattened trace plans (differential baseline)
+//!   --generational   bump-pointer nursery + minor/major cycles (barrier-
+//!                    free: the immutable heap has no old-to-young edges)
+//!   --nursery-words N  nursery size in words (implies --generational;
+//!                    default heap/4)
+//!   --promote-after K  survivals before promotion to the tenured
+//!                    generation (default 0 = promote on first survival)
 //!   --trace FILE     write a Chrome-trace-event JSONL file (run/profile)
 //!   --metrics FILE   write a JSON metrics document (run/profile)
 //!   --events N       raw events retained for --trace (default 65536)
@@ -52,6 +58,9 @@
 //!   --window-ms N             steady-state metrics window (default 10)
 //!   --sample-every N          occupancy sample period in quanta (default 32)
 //!   --no-trace-plans          closure-walk tracing (plans differential)
+//!   --generational            nursery + minor/major cycles per strategy
+//!   --nursery-words N         nursery words (implies --generational)
+//!   --promote-after K         survivals before promotion (default 0)
 //!   --json FILE               write the BENCH_SERVE.json document
 //!                             (includes the gated overload section)
 //!   --trace FILE              write a Chrome trace (single strategy only)
@@ -145,6 +154,9 @@ struct Opts {
     metrics: Option<String>,
     events: usize,
     trace_plans: bool,
+    generational: bool,
+    nursery_words: Option<usize>,
+    promote_after: u32,
     source: String,
 }
 
@@ -204,6 +216,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     let mut metrics = None;
     let mut events = 1usize << 16;
     let mut trace_plans = true;
+    let mut generational = false;
+    let mut nursery_words = None;
+    let mut promote_after = 0u32;
     let mut source: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -237,6 +252,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--verify-heap" => verify_heap = true,
             "--verify-oracle" => verify_oracle = true,
             "--no-trace-plans" => trace_plans = false,
+            "--generational" => generational = true,
+            "--nursery-words" => {
+                i += 1;
+                generational = true;
+                nursery_words = Some(
+                    args.get(i)
+                        .ok_or_else(|| usage("--nursery-words needs a value"))?
+                        .parse()
+                        .map_err(|e| usage(format!("bad --nursery-words: {e}")))?,
+                );
+            }
+            "--promote-after" => {
+                i += 1;
+                promote_after = args
+                    .get(i)
+                    .ok_or_else(|| usage("--promote-after needs a value"))?
+                    .parse()
+                    .map_err(|e| usage(format!("bad --promote-after: {e}")))?;
+            }
             "--trace" => {
                 i += 1;
                 trace = Some(
@@ -292,6 +326,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         metrics,
         events,
         trace_plans,
+        generational,
+        nursery_words,
+        promote_after,
         source: source.ok_or_else(|| usage("no program given (file path or -e SRC)"))?,
     })
 }
@@ -355,6 +392,12 @@ fn vm_config(opts: &Opts) -> VmConfig {
         .trace_plans(opts.trace_plans);
     if let Some(n) = opts.force_gc {
         cfg = cfg.force_gc_every(n);
+    }
+    if opts.generational {
+        cfg = cfg.generational(
+            opts.nursery_words.unwrap_or(opts.heap / 4),
+            opts.promote_after,
+        );
     }
     cfg
 }
@@ -545,6 +588,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut trace_path: Option<String> = None;
     let mut slo_latency_ms: Option<f64> = None;
     let mut slo_pause_ms: Option<f64> = None;
+    let mut serve_generational = false;
+    let mut serve_nursery: Option<usize> = None;
     fn num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, CliError>
     where
         T::Err: std::fmt::Display,
@@ -617,6 +662,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 );
             }
             "--no-trace-plans" => base.trace_plans = false,
+            "--generational" => serve_generational = true,
+            "--nursery-words" => {
+                i += 1;
+                serve_generational = true;
+                serve_nursery = Some(num(args, i, "--nursery-words")?);
+            }
+            "--promote-after" => {
+                i += 1;
+                base.promote_after = num(args, i, "--promote-after")?;
+            }
             "--slo-p99-latency-ms" => {
                 i += 1;
                 slo_latency_ms = Some(num(args, i, "--slo-p99-latency-ms")?);
@@ -679,6 +734,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if base.pool == 0 {
         return Err(usage("serve: --pool must be at least 1"));
+    }
+    if serve_generational {
+        // The nursery defaults to a quarter semispace — small enough
+        // that minors actually fire under the default traffic.
+        base.nursery_words = Some(serve_nursery.unwrap_or(base.heap_words / 4));
     }
     if base.runaway_every > 0
         && base.overload.deadline_quanta.is_none()
@@ -751,6 +811,7 @@ fn cmd_torture(args: &[String]) -> Result<(), CliError> {
     let mut oracle = false;
     let mut serve_mode = false;
     let mut overload = false;
+    let mut generational = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -765,6 +826,7 @@ fn cmd_torture(args: &[String]) -> Result<(), CliError> {
             "--oracle" => oracle = true,
             "--serve" => serve_mode = true,
             "--overload" => overload = true,
+            "--generational" => generational = true,
             other => return Err(usage(format!("torture: unknown option `{other}`"))),
         }
         i += 1;
@@ -772,6 +834,9 @@ fn cmd_torture(args: &[String]) -> Result<(), CliError> {
     let seeds: Vec<u64> = (0..n_seeds).collect();
     if overload && !serve_mode {
         return Err(usage("torture: --overload needs --serve"));
+    }
+    if generational && !serve_mode {
+        return Err(usage("torture: --generational needs --serve"));
     }
     if serve_mode && overload {
         let cases = tfgc::torture_overload(&seeds);
@@ -805,7 +870,7 @@ fn cmd_torture(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
     if serve_mode {
-        let cases = tfgc::torture_serve(&seeds);
+        let cases = tfgc::torture_serve(&seeds, generational);
         let mut bad = 0;
         for c in &cases {
             let status = if c.violations.is_empty() {
@@ -984,6 +1049,12 @@ fn cmd_compare(compiled: &Compiled, opts: &Opts) -> Result<(), String> {
             .trace_plans(opts.trace_plans);
         if let Some(n) = opts.force_gc {
             cfg = cfg.force_gc_every(n);
+        }
+        if opts.generational {
+            cfg = cfg.generational(
+                opts.nursery_words.unwrap_or(opts.heap / 4),
+                opts.promote_after,
+            );
         }
         let out = compiled.run_with(cfg).map_err(|e| format!("{s}: {e}"))?;
         t.row(vec![

@@ -150,6 +150,13 @@ pub struct ServeConfig {
     /// Flattened trace-plan execution (`--no-trace-plans` turns it off
     /// for the plans≡closures serve differential).
     pub trace_plans: bool,
+    /// Bump-pointer nursery size in words (`--generational`): `Some`
+    /// runs minor/major generational collection, `None` the classic
+    /// single-generation semispace.
+    pub nursery_words: Option<usize>,
+    /// Survival count after which a nursery object is promoted to the
+    /// tenured generation (0 = promote on first survival).
+    pub promote_after: u32,
     /// Replace every `hog_every`-th request with a `req_hog` whose live
     /// set dwarfs a torture-sized heap (0 = no hogs). Hogs report as
     /// kind [`MIX`]`.len()` ("hog" in the exported mix counts).
@@ -191,6 +198,8 @@ impl ServeConfig {
             trace_plans: true,
             hog_every: 0,
             runaway_every: 0,
+            nursery_words: None,
+            promote_after: 0,
             overload: OverloadConfig::none(),
         }
     }
@@ -275,6 +284,8 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeRun, String> {
     tc.quantum = cfg.quantum;
     tc.fault_plan = cfg.fault_plan;
     tc.trace_plans = cfg.trace_plans;
+    tc.nursery_words = cfg.nursery_words;
+    tc.promote_after = cfg.promote_after;
     let obs = Obs::serve(cfg.ring, cfg.window_ms.max(1) * 1_000_000);
     let mut overload = cfg.overload;
     overload.seed = cfg.seed;
@@ -380,6 +391,16 @@ pub fn serve_json(run: &ServeRun) -> Json {
         ("mix", mix),
         ("results_digest", Json::str(digest)),
         ("collections", Json::Num(r.heap.collections as f64)),
+        (
+            "minor_collections",
+            Json::Num(r.gc.minor_collections as f64),
+        ),
+        (
+            "major_collections",
+            Json::Num(r.gc.major_collections as f64),
+        ),
+        ("promoted_words", Json::Num(r.gc.promoted_words as f64)),
+        ("died_young_words", Json::Num(r.gc.died_young_words as f64)),
         ("allocations", Json::Num(r.heap.allocations as f64)),
         ("words_allocated", Json::Num(r.heap.words_allocated as f64)),
         ("words_copied", Json::Num(r.heap.words_copied as f64)),
@@ -868,7 +889,10 @@ pub struct ServeTortureCase {
 /// degradation contract is that faults quarantine individual requests —
 /// they never drop the service: every request resolves, and requests
 /// *behind* a quarantined one still complete on the recycled slot.
-pub fn torture_serve(seeds: &[u64]) -> Vec<ServeTortureCase> {
+/// `generational` reruns the matrix with a quarter-semispace nursery:
+/// refused growth must quarantine just as gracefully when minors are
+/// absorbing the churn.
+pub fn torture_serve(seeds: &[u64], generational: bool) -> Vec<ServeTortureCase> {
     let mut cases = Vec::new();
     for &seed in seeds {
         for strategy in [Strategy::Compiled, Strategy::Tagged] {
@@ -880,6 +904,9 @@ pub fn torture_serve(seeds: &[u64]) -> Vec<ServeTortureCase> {
             cfg.heap_max_words = Some(1 << 12);
             cfg.sample_every = 16;
             cfg.hog_every = 7;
+            if generational {
+                cfg.nursery_words = Some(cfg.heap_words / 4);
+            }
             // Exhaustion strikes mid-traffic at a seed-determined
             // allocation count; growth is refused from then on.
             cfg.fault_plan = Some(FaultPlan {
@@ -1018,6 +1045,44 @@ mod tests {
     }
 
     #[test]
+    fn generational_serve_matches_baseline_responses() {
+        let mut base = ServeConfig::new(Strategy::Compiled);
+        base.requests = 40;
+        base.pool = 3;
+        let a = serve(&base).unwrap();
+        let mut generational = base.clone();
+        generational.nursery_words = Some(base.heap_words / 4);
+        let b = serve(&generational).unwrap();
+        assert_eq!(
+            a.report.outcomes, b.report.outcomes,
+            "generational collection must not change any response"
+        );
+        assert_eq!(results_digest(&a.report), results_digest(&b.report));
+        assert!(
+            b.report.gc.minor_collections > 0,
+            "a tight serve heap must trigger minors: {:?}",
+            b.report.gc
+        );
+        assert!(
+            b.report.gc.promoted_words > 0,
+            "the persistent table must survive into the tenured generation"
+        );
+        assert_eq!(
+            a.report.gc.minor_collections, 0,
+            "the baseline heap has no nursery"
+        );
+        let j = serve_json(&b);
+        let det = j.get("deterministic").expect("deterministic block");
+        assert!(det.get("minor_collections").and_then(Json::as_f64).unwrap() > 0.0);
+        let again = serve(&generational).unwrap();
+        assert_eq!(
+            serve_json(&again).get("deterministic"),
+            j.get("deterministic"),
+            "generational runs must diff clean across same-seed runs"
+        );
+    }
+
+    #[test]
     fn slo_gate_passes_sane_runs_and_fails_absurd_ones() {
         let mut cfg = ServeConfig::new(Strategy::Compiled);
         cfg.requests = 30;
@@ -1100,8 +1165,25 @@ mod tests {
     }
 
     #[test]
+    fn generational_torture_quarantines_gracefully() {
+        let cases = torture_serve(&[0, 1], true);
+        assert_eq!(cases.len(), 4);
+        for c in &cases {
+            assert!(
+                c.violations.is_empty(),
+                "{} seed {} ({}): {:?}",
+                c.strategy,
+                c.seed,
+                c.plan.describe(),
+                c.violations
+            );
+            assert!(c.completed > 0, "{} seed {}", c.strategy, c.seed);
+        }
+    }
+
+    #[test]
     fn torture_survives_mid_traffic_exhaustion() {
-        let cases = torture_serve(&[0, 1, 2]);
+        let cases = torture_serve(&[0, 1, 2], false);
         assert_eq!(cases.len(), 6);
         for c in &cases {
             assert!(

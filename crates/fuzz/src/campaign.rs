@@ -204,6 +204,7 @@ fn run_cell(
     plans: bool,
     cache: bool,
     tiny: bool,
+    generational: bool,
     seed: u64,
 ) -> CellOutcome {
     let meta = compiled.metadata(strategy);
@@ -224,15 +225,27 @@ fn run_cell(
     if tiny {
         cfg = cfg.force_gc_every(FORCED_GC_PERIOD);
     }
+    if generational {
+        // A deliberately tiny nursery: minors fire constantly, promotion
+        // and survivor aging churn on every program in the universe.
+        cfg = cfg.generational(TINY_HEAP / 4, 1);
+    }
+    // Snapshots ride only on the single-generation tiny tier: the
+    // generational tier interleaves pressure-driven minors with the
+    // forced majors, so its collection sequence is not comparable
+    // across cells that allocate at identical counts but collect at
+    // nursery-relative ones.
+    let snapshots = tiny && !generational;
     let context = format!(
-        "seed {seed} / {strategy} / plans={} cache={} heap={}",
+        "seed {seed} / {strategy} / plans={} cache={} heap={}{}",
         plans,
         cache,
-        if tiny { "tiny" } else { "default" }
+        if tiny { "tiny" } else { "default" },
+        if generational { "-gen" } else { "" }
     );
     let res = capture_panics_mut(&context, || {
         let mut vm = Vm::with_meta(&compiled.program, cfg, meta);
-        if tiny {
+        if snapshots {
             vm.enable_snapshots(root_meta);
         }
         let out = vm.run();
@@ -243,7 +256,7 @@ fn run_cell(
         Ok((Ok(out), snaps)) => CellOutcome::Done {
             result: out.result,
             printed: out.printed,
-            snaps: if tiny { Some(snaps) } else { None },
+            snaps: if snapshots { Some(snaps) } else { None },
         },
         Ok((Err(e), _)) => CellOutcome::Err {
             class: error_class(&e),
@@ -358,13 +371,18 @@ pub(crate) fn check_program(
     // Outcomes keyed (strategy-index, plans, cache) per heap tier, in a
     // fixed iteration order so comparisons and fingerprints are
     // deterministic.
-    for tiny in [true, false] {
-        let tier = if tiny { "tiny" } else { "default" };
+    let mut tiny_ref: Option<CellOutcome> = None;
+    for (tiny, generational) in [(true, false), (true, true), (false, false)] {
+        let tier = match (tiny, generational) {
+            (true, false) => "tiny",
+            (true, true) => "tiny-gen",
+            _ => "default",
+        };
         let mut cells: Vec<(Strategy, bool, bool, CellOutcome)> = Vec::new();
         for s in Strategy::ALL {
             for plans in [true, false] {
                 for cache in [true, false] {
-                    let out = run_cell(&compiled, s, plans, cache, tiny, seed);
+                    let out = run_cell(&compiled, s, plans, cache, tiny, generational, seed);
                     stats.cases += 1;
                     match &out {
                         CellOutcome::Done { .. } => stats.completed += 1,
@@ -456,10 +474,68 @@ pub(crate) fn check_program(
             }
         }
 
+        // Cross-tier agreement: the generational tier must agree with
+        // the single-generation tiny tier on class, result, and printed
+        // output — nursery evacuation, survivor aging, and promotion
+        // are pure copying-plumbing and must never change semantics.
+        match (tiny, generational) {
+            (true, false) => tiny_ref = Some(ref_out.clone()),
+            (true, true) => {
+                if let Some(base) = &tiny_ref {
+                    if base.class() != ref_out.class() {
+                        findings.push(RawFinding {
+                            kind: DivergenceKind::ResultMismatch,
+                            fingerprint: format!(
+                                "result-mismatch|generational-class:{}-vs-{}|{ref_s}",
+                                base.class(),
+                                ref_out.class()
+                            ),
+                            detail: format!(
+                                "tiny ended {} but tiny-gen ended {} ({ref_s})",
+                                base.class(),
+                                ref_out.class()
+                            ),
+                        });
+                    } else if let (
+                        CellOutcome::Done {
+                            result: r0,
+                            printed: p0,
+                            ..
+                        },
+                        CellOutcome::Done {
+                            result: r1,
+                            printed: p1,
+                            ..
+                        },
+                    ) = (base, ref_out)
+                    {
+                        if r0 != r1 {
+                            findings.push(RawFinding {
+                                kind: DivergenceKind::ResultMismatch,
+                                fingerprint: format!("result-mismatch|generational|{ref_s}"),
+                                detail: format!("tiny got {r0} but tiny-gen got {r1} ({ref_s})"),
+                            });
+                        } else if p0 != p1 {
+                            findings.push(RawFinding {
+                                kind: DivergenceKind::PrintedMismatch,
+                                fingerprint: format!("printed-mismatch|generational|{ref_s}"),
+                                detail: format!(
+                                    "printed output differs between tiny and tiny-gen ({} vs {} lines)",
+                                    p0.len(),
+                                    p1.len()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+
         // Snapshot identity within each strategy (tiny tier only): the
         // metadata is fixed, so trace plans and the rt-cache must not
         // change what a collection observes as reachable.
-        if tiny {
+        if tiny && !generational {
             for s in Strategy::ALL {
                 let strat_cells: Vec<&(Strategy, bool, bool, CellOutcome)> =
                     cells.iter().filter(|(cs, ..)| *cs == s).collect();
@@ -640,8 +716,8 @@ mod tests {
         };
         let report = run_campaign(&cfg);
         assert_eq!(report.seeds_run, 6);
-        // 1 compile + 40 cells + 5 oracle + 5 fault per seed.
-        assert_eq!(report.cases_executed, 6 * 51);
+        // 1 compile + 60 cells + 5 oracle + 5 fault per seed.
+        assert_eq!(report.cases_executed, 6 * 71);
         assert!(
             report.ok(),
             "unexpected findings: {:#?}",

@@ -91,7 +91,7 @@ mod tests {
         let parsed = tfgc_obs::json::parse(&r1).expect("report parses");
         assert_eq!(
             parsed.get("cases_executed").and_then(Json::as_f64),
-            Some(2.0 * 51.0)
+            Some(2.0 * 71.0)
         );
         assert_eq!(
             parsed.get("finding_count").and_then(Json::as_f64),

@@ -42,7 +42,7 @@ use crate::sx::{SxId, SxTable};
 use std::rc::Rc;
 use std::time::Instant;
 use tfgc_ir::{CallSiteId, CtorRep, IrProgram};
-use tfgc_obs::{GcEvent, Obs};
+use tfgc_obs::{CollectionKind, GcEvent, Obs};
 use tfgc_runtime::{Addr, Encoding, Heap, HeapMode, Word, HEAP_BASE};
 use tfgc_types::DataId;
 
@@ -125,12 +125,18 @@ pub struct CollectorScratch {
     pub(crate) frames: Vec<FrameInfo>,
 }
 
-/// Runs one tag-free collection.
+/// Runs one tag-free collection. `minor` asks for a nursery-only cycle
+/// on a generational heap: the same root walk and the same relocation
+/// primitives run, but the heap's phase routes copies to the survivor
+/// half (or tenured, on promotion) and treats every tenured address as
+/// already relocated — tenured space is never touched, which is sound
+/// precisely because the immutable heap has no tenured→nursery edges.
 ///
 /// # Panics
 ///
 /// Panics if a frame is suspended at a site whose gc_word was omitted —
 /// that would falsify the §5.1 analysis — or on heap corruption.
+#[allow(clippy::too_many_arguments)]
 pub fn collect_tagfree(
     meta: &mut GcMeta,
     prog: &IrProgram,
@@ -139,9 +145,15 @@ pub fn collect_tagfree(
     stats: &mut GcStats,
     obs: &mut Obs,
     mut roots: MachineRoots<'_>,
+    minor: bool,
 ) {
     assert_ne!(meta.strategy, Strategy::Tagged, "use collect_tagged");
     let strategy = meta.strategy;
+    let kind = if minor {
+        CollectionKind::Minor
+    } else {
+        CollectionKind::Major
+    };
     let seq = stats.collections;
     // Snapshots so CollectionEnd reports this collection's work alone.
     let frames0 = stats.frames_visited;
@@ -160,6 +172,7 @@ pub fn collect_tagfree(
     obs.emit(|t_ns| GcEvent::CollectionBegin {
         t_ns,
         seq,
+        kind,
         strategy: strategy.name(),
         trigger_site,
         heap_used_before: heap.used() as u64,
@@ -168,6 +181,7 @@ pub fn collect_tagfree(
     // formatting, ring writes) is observer overhead, not collection work,
     // and must not skew pause statistics between sink configurations.
     let t0 = Instant::now();
+    heap.begin_collection(minor);
     let frames_buf = &mut meta.scratch.frames;
     let plans_on = meta.rt_cache.plans.enabled;
     let mut cx = Collector {
@@ -251,13 +265,21 @@ pub fn collect_tagfree(
     stats.plan_hits += meta.rt_cache.plans.hits - phits0;
     stats.plan_misses += meta.rt_cache.plans.misses - pmisses0;
     stats.plans_compiled += meta.rt_cache.plans.compiled - pcompiled0;
-    heap.flip();
+    heap.finish_collection();
     stats.collections += 1;
+    if minor {
+        stats.minor_collections += 1;
+        stats.promoted_words += heap.last_promoted_words();
+        stats.died_young_words += heap.last_died_young_words();
+    } else {
+        stats.major_collections += 1;
+    }
     let pause = t0.elapsed().as_nanos() as u64;
     stats.pause_nanos += pause;
     obs.emit(|t_ns| GcEvent::CollectionEnd {
         t_ns,
         seq,
+        kind,
         pause_ns: pause,
         heap_used_after: heap.used() as u64,
         words_copied: heap.stats.words_copied - copied0,

@@ -16,19 +16,28 @@ use crate::stack::{walk_frames, FRAME_HDR};
 use crate::stats::GcStats;
 use std::time::Instant;
 use tfgc_ir::IrProgram;
-use tfgc_obs::{GcEvent, Obs};
+use tfgc_obs::{CollectionKind, GcEvent, Obs};
 use tfgc_runtime::{Addr, Encoding, Heap, HeapMode, Word, HEAP_BASE};
 
 use crate::collect::MachineRoots;
 
-/// Runs one tagged collection.
+/// Runs one tagged collection. `minor` requests a nursery-only cycle on
+/// a generational heap (see `collect_tagfree`): tags still identify
+/// pointers, but the heap's phase treats tenured addresses as already
+/// relocated and routes survivors to the survivor half or tenured space.
 pub fn collect_tagged(
     prog: &IrProgram,
     heap: &mut Heap,
     stats: &mut GcStats,
     obs: &mut Obs,
     mut roots: MachineRoots<'_>,
+    minor: bool,
 ) {
+    let kind = if minor {
+        CollectionKind::Minor
+    } else {
+        CollectionKind::Major
+    };
     let seq = stats.collections;
     let frames0 = stats.frames_visited;
     let routines0 = stats.routine_invocations;
@@ -40,6 +49,7 @@ pub fn collect_tagged(
     obs.emit(|t_ns| GcEvent::CollectionBegin {
         t_ns,
         seq,
+        kind,
         strategy: "tagged",
         trigger_site,
         heap_used_before: heap.used() as u64,
@@ -47,6 +57,7 @@ pub fn collect_tagged(
     // Pause clock starts after the begin event: sink overhead must not
     // count as collection time (see collect_tagfree).
     let t0 = Instant::now();
+    heap.begin_collection(minor);
     let enc = Encoding::new(HeapMode::Tagged);
     let mut scan: Vec<(Addr, usize)> = Vec::new();
 
@@ -97,13 +108,21 @@ pub fn collect_tagged(
         }
     }
 
-    heap.flip();
+    heap.finish_collection();
     stats.collections += 1;
+    if minor {
+        stats.minor_collections += 1;
+        stats.promoted_words += heap.last_promoted_words();
+        stats.died_young_words += heap.last_died_young_words();
+    } else {
+        stats.major_collections += 1;
+    }
     let pause = t0.elapsed().as_nanos() as u64;
     stats.pause_nanos += pause;
     obs.emit(|t_ns| GcEvent::CollectionEnd {
         t_ns,
         seq,
+        kind,
         pause_ns: pause,
         heap_used_after: heap.used() as u64,
         words_copied: heap.stats.words_copied - copied0,

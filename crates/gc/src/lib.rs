@@ -39,7 +39,7 @@
 //! collect(&mut meta, prog, heap, &descs, &mut stats, &mut obs, MachineRoots {
 //!     stacks: vec![StackRoots { stack, top_fp: 0, current_site: site }],
 //!     globals, operands, operand_stack: 0,
-//! });
+//! }, false); // `true` = minor (nursery-only) cycle on a generational heap
 //! # }
 //! ```
 
@@ -79,7 +79,11 @@ use tfgc_runtime::Heap;
 
 /// Runs one collection under the metadata's strategy. Collection events
 /// (begin/end, frame visits, routine runs, object copies) flow into
-/// `obs`; pass [`Obs::null`] for an unobserved collection.
+/// `obs`; pass [`Obs::null`] for an unobserved collection. `minor`
+/// requests a nursery-only cycle on a generational heap; pass `false`
+/// for the classic full semispace flip (the only legal value on a
+/// single-generation heap).
+#[allow(clippy::too_many_arguments)]
 pub fn collect(
     meta: &mut GcMeta,
     prog: &IrProgram,
@@ -88,9 +92,10 @@ pub fn collect(
     stats: &mut GcStats,
     obs: &mut Obs,
     roots: MachineRoots<'_>,
+    minor: bool,
 ) {
     match meta.strategy {
-        Strategy::Tagged => collect_tagged::collect_tagged(prog, heap, stats, obs, roots),
-        _ => collect_tagfree(meta, prog, heap, descs, stats, obs, roots),
+        Strategy::Tagged => collect_tagged::collect_tagged(prog, heap, stats, obs, roots, minor),
+        _ => collect_tagfree(meta, prog, heap, descs, stats, obs, roots, minor),
     }
 }

@@ -34,6 +34,17 @@ pub struct GcStats {
     pub plan_misses: u64,
     /// Trace plans lowered (every miss compiles exactly one plan).
     pub plans_compiled: u64,
+    /// Nursery-only (minor) collections. Zero on single-generation heaps;
+    /// `minor_collections + major_collections == collections` otherwise.
+    pub minor_collections: u64,
+    /// Full semispace flips (major collections).
+    pub major_collections: u64,
+    /// Words promoted from the nursery into tenured space by minor
+    /// collections.
+    pub promoted_words: u64,
+    /// Nursery words that did not survive their minor collection — the
+    /// generational hypothesis's payoff, measured.
+    pub died_young_words: u64,
     /// Total collection pause time in nanoseconds.
     pub pause_nanos: u64,
 }
@@ -67,6 +78,10 @@ impl GcStats {
         self.plan_hits += other.plan_hits;
         self.plan_misses += other.plan_misses;
         self.plans_compiled += other.plans_compiled;
+        self.minor_collections += other.minor_collections;
+        self.major_collections += other.major_collections;
+        self.promoted_words += other.promoted_words;
+        self.died_young_words += other.died_young_words;
         self.pause_nanos += other.pause_nanos;
     }
 
@@ -148,7 +163,11 @@ mod tests {
             plan_hits: 12,
             plan_misses: 13,
             plans_compiled: 14,
-            pause_nanos: 15,
+            minor_collections: 15,
+            major_collections: 16,
+            promoted_words: 17,
+            died_young_words: 18,
+            pause_nanos: 19,
         };
         let mut b = a;
         b.merge(&a);
@@ -169,7 +188,11 @@ mod tests {
                 plan_hits: 24,
                 plan_misses: 26,
                 plans_compiled: 28,
-                pause_nanos: 30,
+                minor_collections: 30,
+                major_collections: 32,
+                promoted_words: 34,
+                died_young_words: 36,
+                pause_nanos: 38,
             }
         );
     }

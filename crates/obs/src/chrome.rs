@@ -94,12 +94,14 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
             t_ns,
             heap_words,
             live_words,
+            nursery_words,
             in_flight,
         } = *ev
         {
             for (name, v) in [
                 ("heap_words", heap_words),
                 ("live_words", live_words),
+                ("nursery_words", nursery_words),
                 ("in_flight_requests", u64::from(in_flight)),
             ] {
                 out.push_str(&counter_line(name, us(t_ns), v).to_json());
@@ -150,6 +152,7 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
             GcEvent::CollectionEnd {
                 t_ns,
                 seq,
+                kind,
                 pause_ns,
                 heap_used_after,
                 words_copied,
@@ -167,6 +170,7 @@ pub fn write_chrome_trace(events: &[GcEvent]) -> String {
                     Some(us(pause_ns)),
                     Json::obj([
                         ("strategy", Json::str(strategy)),
+                        ("kind", Json::str(kind.name())),
                         ("words_copied", Json::from(words_copied)),
                         ("heap_used_after", Json::from(heap_used_after)),
                         ("frames_visited", Json::from(frames_visited)),
@@ -377,6 +381,7 @@ mod tests {
             GcEvent::CollectionBegin {
                 t_ns: 20_000,
                 seq: 0,
+                kind: crate::event::CollectionKind::Major,
                 strategy: "compiled",
                 trigger_site: 3,
                 heap_used_before: 64,
@@ -390,6 +395,7 @@ mod tests {
             GcEvent::CollectionEnd {
                 t_ns: 45_000,
                 seq: 0,
+                kind: crate::event::CollectionKind::Major,
                 pause_ns: 25_000,
                 heap_used_after: 4,
                 words_copied: 4,
@@ -451,6 +457,7 @@ mod tests {
                 t_ns: 10_000,
                 heap_words: 512,
                 live_words: 128,
+                nursery_words: 32,
                 in_flight: 4,
             },
             GcEvent::RequestStart {
@@ -463,6 +470,7 @@ mod tests {
                 t_ns: 20_000,
                 heap_words: 640,
                 live_words: 130,
+                nursery_words: 48,
                 in_flight: 4,
             },
             GcEvent::RequestEnd {
@@ -476,6 +484,7 @@ mod tests {
                 t_ns: 30_000,
                 heap_words: 64,
                 live_words: 64,
+                nursery_words: 0,
                 in_flight: 3,
             },
         ];
@@ -509,9 +518,14 @@ mod tests {
                 _ => {}
             }
         }
-        // Three series per sample, three samples.
-        assert_eq!(counters.len(), 9);
-        for series in ["heap_words", "live_words", "in_flight_requests"] {
+        // Four series per sample, three samples.
+        assert_eq!(counters.len(), 12);
+        for series in [
+            "heap_words",
+            "live_words",
+            "nursery_words",
+            "in_flight_requests",
+        ] {
             let ts: Vec<f64> = counters
                 .iter()
                 .filter(|(n, _, _)| n == series)

@@ -6,6 +6,27 @@
 //! [`crate::Obs`] was created; they never feed back into program
 //! behavior, only into exported traces.
 
+/// Whether a collection was a generational nursery cycle or a full
+/// semispace flip. Single-generation heaps only ever run `Major`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectionKind {
+    /// Nursery-only cycle: roots traced, survivors evacuated to the
+    /// survivor half or promoted to tenured; tenured space untouched.
+    Minor,
+    /// Full semispace flip (the nursery, if any, is evacuated too).
+    Major,
+}
+
+impl CollectionKind {
+    /// A short stable name (trace/export labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectionKind::Minor => "minor",
+            CollectionKind::Major => "major",
+        }
+    }
+}
+
 /// One observable runtime occurrence.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GcEvent {
@@ -14,6 +35,7 @@ pub enum GcEvent {
     CollectionBegin {
         t_ns: u64,
         seq: u64,
+        kind: CollectionKind,
         strategy: &'static str,
         /// The call/allocation site the triggering task is suspended at.
         trigger_site: u32,
@@ -24,6 +46,7 @@ pub enum GcEvent {
     CollectionEnd {
         t_ns: u64,
         seq: u64,
+        kind: CollectionKind,
         pause_ns: u64,
         /// Live words after the flip.
         heap_used_after: u64,
@@ -132,11 +155,14 @@ pub enum GcEvent {
     /// deterministic cadence (quantum counts and request boundaries, not
     /// wall clock). `heap_words` is from-space in use, `live_words` the
     /// survivors of the most recent collection, `in_flight` the number
-    /// of pool slots with an active request.
+    /// of pool slots with an active request, `nursery_words` the
+    /// generational nursery's bump position (0 in single-generation
+    /// mode).
     HeapSample {
         t_ns: u64,
         heap_words: u64,
         live_words: u64,
+        nursery_words: u64,
         in_flight: u32,
     },
     /// Overload management: a request was shed at admission instead of

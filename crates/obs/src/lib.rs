@@ -44,7 +44,7 @@ pub mod sink;
 pub mod sites;
 
 pub use chrome::write_chrome_trace;
-pub use event::GcEvent;
+pub use event::{CollectionKind, GcEvent};
 pub use hist::Histogram;
 pub use json::Json;
 pub use ring::{CollectionSummary, RingRecorder};

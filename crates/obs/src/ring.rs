@@ -13,6 +13,8 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CollectionSummary {
     pub seq: u64,
+    /// True for a generational minor (nursery-only) collection.
+    pub minor: bool,
     pub trigger_site: u32,
     pub heap_used_before: u64,
     pub heap_used_after: u64,
@@ -103,6 +105,7 @@ impl RingRecorder {
         match *ev {
             GcEvent::CollectionBegin {
                 seq,
+                kind,
                 strategy,
                 trigger_site,
                 heap_used_before,
@@ -112,6 +115,7 @@ impl RingRecorder {
                 self.sites.on_collection_begin();
                 self.open = Some(CollectionSummary {
                     seq,
+                    minor: kind == crate::event::CollectionKind::Minor,
                     trigger_site,
                     heap_used_before,
                     ..CollectionSummary::default()
@@ -216,6 +220,7 @@ impl RingRecorder {
                         .map(|c| {
                             Json::obj([
                                 ("seq", Json::from(c.seq)),
+                                ("kind", Json::from(if c.minor { "minor" } else { "major" })),
                                 ("trigger_site", Json::from(c.trigger_site)),
                                 ("heap_used_before", Json::from(c.heap_used_before)),
                                 ("heap_used_after", Json::from(c.heap_used_after)),
@@ -287,6 +292,7 @@ mod tests {
         GcEvent::CollectionBegin {
             t_ns: 0,
             seq,
+            kind: crate::event::CollectionKind::Major,
             strategy: "compiled",
             trigger_site: 1,
             heap_used_before: 100,
@@ -297,6 +303,7 @@ mod tests {
         GcEvent::CollectionEnd {
             t_ns: 0,
             seq,
+            kind: crate::event::CollectionKind::Major,
             pause_ns,
             heap_used_after: 40,
             words_copied: 40,

@@ -67,6 +67,8 @@ pub struct OccupancyPoint {
     pub t_ns: u64,
     pub heap_words: u64,
     pub live_words: u64,
+    /// Generational nursery words in use (0 in single-generation mode).
+    pub nursery_words: u64,
     pub in_flight: u32,
 }
 
@@ -98,6 +100,10 @@ pub struct ServeRecorder {
     windows: Vec<ServeWindow>,
     latency: Histogram,
     pauses: Vec<PauseInterval>,
+    /// Pause distribution of minor (nursery-only) collections alone.
+    minor_pause: Histogram,
+    /// Pause distribution of major (full-flip) collections alone.
+    major_pause: Histogram,
     samples: Vec<OccupancyPoint>,
     started: u64,
     completed: u64,
@@ -113,6 +119,7 @@ pub struct ServeRecorder {
     watermark_samples: [u64; 3],
     peak_heap_words: u64,
     peak_live_words: u64,
+    peak_nursery_words: u64,
     max_in_flight: u32,
     /// Largest timestamp seen — the run's wall-clock extent.
     last_t_ns: u64,
@@ -134,6 +141,8 @@ impl ServeRecorder {
             windows: Vec::new(),
             latency: Histogram::new(),
             pauses: Vec::new(),
+            minor_pause: Histogram::new(),
+            major_pause: Histogram::new(),
             samples: Vec::new(),
             started: 0,
             completed: 0,
@@ -148,6 +157,7 @@ impl ServeRecorder {
             watermark_samples: [0; 3],
             peak_heap_words: 0,
             peak_live_words: 0,
+            peak_nursery_words: 0,
             max_in_flight: 0,
             last_t_ns: 0,
         }
@@ -171,6 +181,17 @@ impl ServeRecorder {
     /// Whole-run pause distribution (delegates to the ring).
     pub fn pause_hist(&self) -> &Histogram {
         self.ring.pause_hist()
+    }
+
+    /// Pause distribution of minor (nursery-only) collections alone.
+    /// Empty in single-generation runs.
+    pub fn minor_pause_hist(&self) -> &Histogram {
+        &self.minor_pause
+    }
+
+    /// Pause distribution of major (full-flip) collections alone.
+    pub fn major_pause_hist(&self) -> &Histogram {
+        &self.major_pause
     }
 
     /// The steady-state windows, oldest first. Window `i` covers
@@ -265,6 +286,12 @@ impl ServeRecorder {
     /// Peak sampled live words.
     pub fn peak_live_words(&self) -> u64 {
         self.peak_live_words
+    }
+
+    /// Peak sampled nursery occupancy in words (0 in single-generation
+    /// runs).
+    pub fn peak_nursery_words(&self) -> u64 {
+        self.peak_nursery_words
     }
 
     /// Most pool slots simultaneously holding an active request.
@@ -425,6 +452,8 @@ impl ServeRecorder {
             ),
             ("latency_ns", hist_json(&self.latency)),
             ("pause_ns", hist_json(self.ring.pause_hist())),
+            ("minor_pause_ns", hist_json(&self.minor_pause)),
+            ("major_pause_ns", hist_json(&self.major_pause)),
             (
                 "utilization",
                 Json::obj([
@@ -439,6 +468,7 @@ impl ServeRecorder {
                 Json::obj([
                     ("peak_heap_words", Json::from(self.peak_heap_words)),
                     ("peak_live_words", Json::from(self.peak_live_words)),
+                    ("peak_nursery_words", Json::from(self.peak_nursery_words)),
                     ("max_in_flight", Json::from(self.max_in_flight)),
                     ("samples", Json::from(self.samples.len())),
                 ]),
@@ -458,11 +488,20 @@ impl GcEventSink for ServeRecorder {
                 w.allocs += 1;
                 w.alloc_words += u64::from(words);
             }
-            GcEvent::CollectionEnd { t_ns, pause_ns, .. } => {
+            GcEvent::CollectionEnd {
+                t_ns,
+                kind,
+                pause_ns,
+                ..
+            } => {
                 self.touch(t_ns);
                 let w = self.window_mut(t_ns);
                 w.collections += 1;
                 w.pause.record(pause_ns);
+                match kind {
+                    crate::event::CollectionKind::Minor => self.minor_pause.record(pause_ns),
+                    crate::event::CollectionKind::Major => self.major_pause.record(pause_ns),
+                }
                 self.pauses.push(PauseInterval {
                     end_ns: t_ns,
                     pause_ns,
@@ -491,16 +530,19 @@ impl GcEventSink for ServeRecorder {
                 t_ns,
                 heap_words,
                 live_words,
+                nursery_words,
                 in_flight,
             } => {
                 self.touch(t_ns);
                 self.peak_heap_words = self.peak_heap_words.max(heap_words);
                 self.peak_live_words = self.peak_live_words.max(live_words);
+                self.peak_nursery_words = self.peak_nursery_words.max(nursery_words);
                 self.max_in_flight = self.max_in_flight.max(in_flight);
                 self.samples.push(OccupancyPoint {
                     t_ns,
                     heap_words,
                     live_words,
+                    nursery_words,
                     in_flight,
                 });
             }
@@ -557,6 +599,7 @@ mod tests {
         GcEvent::CollectionEnd {
             t_ns,
             seq: 0,
+            kind: crate::event::CollectionKind::Major,
             pause_ns,
             heap_used_after: 0,
             words_copied: 0,
@@ -637,18 +680,88 @@ mod tests {
     #[test]
     fn occupancy_peaks_track_samples() {
         let mut r = ServeRecorder::new(16, 1_000);
-        for (t, heap, live, inf) in [(10, 100, 40, 2), (20, 400, 90, 4), (30, 50, 50, 1)] {
+        for (t, heap, live, nur, inf) in [
+            (10, 100, 40, 8, 2),
+            (20, 400, 90, 16, 4),
+            (30, 50, 50, 2, 1),
+        ] {
             r.record(GcEvent::HeapSample {
                 t_ns: t,
                 heap_words: heap,
                 live_words: live,
+                nursery_words: nur,
                 in_flight: inf,
             });
         }
         assert_eq!(r.peak_heap_words(), 400);
         assert_eq!(r.peak_live_words(), 90);
+        assert_eq!(r.peak_nursery_words(), 16);
         assert_eq!(r.max_in_flight(), 4);
         assert_eq!(r.samples().len(), 3);
+    }
+
+    #[test]
+    fn pause_histograms_split_by_collection_kind() {
+        let mut r = ServeRecorder::new(16, 1_000);
+        let minor_end = |t_ns, pause_ns| match end(t_ns, pause_ns) {
+            GcEvent::CollectionEnd {
+                t_ns,
+                seq,
+                pause_ns,
+                heap_used_after,
+                words_copied,
+                frames_visited,
+                routine_invocations,
+                rt_nodes_built,
+                rt_cache_hits,
+                rt_cache_misses,
+                plan_hits,
+                plan_misses,
+                plans_compiled,
+                ..
+            } => GcEvent::CollectionEnd {
+                t_ns,
+                seq,
+                kind: crate::event::CollectionKind::Minor,
+                pause_ns,
+                heap_used_after,
+                words_copied,
+                frames_visited,
+                routine_invocations,
+                rt_nodes_built,
+                rt_cache_hits,
+                rt_cache_misses,
+                plan_hits,
+                plan_misses,
+                plans_compiled,
+            },
+            _ => unreachable!(),
+        };
+        r.record(minor_end(100, 50));
+        r.record(minor_end(200, 70));
+        r.record(end(900, 400));
+        assert_eq!(r.minor_pause_hist().count(), 2);
+        assert_eq!(r.minor_pause_hist().max(), 70);
+        assert_eq!(r.major_pause_hist().count(), 1);
+        assert_eq!(r.major_pause_hist().max(), 400);
+        assert_eq!(r.pause_hist().count(), 3);
+        let back = crate::json::parse(&r.serve_json().to_json_pretty()).expect("parses");
+        assert_eq!(
+            back.get("minor_pause_ns")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            back.get("major_pause_ns")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
     }
 
     /// MMU on a constructed schedule: a 200ns pause ending at 500 inside
@@ -808,6 +921,7 @@ mod tests {
             t_ns: 950,
             heap_words: 64,
             live_words: 32,
+            nursery_words: 0,
             in_flight: 1,
         });
         let doc = r.serve_json();

@@ -47,6 +47,12 @@ pub struct OccupancySample {
     /// Live words surviving the most recent collection (0 before the
     /// first collection).
     pub live_words: u64,
+    /// Nursery words currently in use (eden bump plus the occupied
+    /// survivor half; 0 in single-generation mode).
+    pub nursery_words: u64,
+    /// Nursery capacity visible to the mutator (0 in single-generation
+    /// mode).
+    pub nursery_capacity_words: u64,
 }
 
 impl OccupancySample {

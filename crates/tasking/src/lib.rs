@@ -121,6 +121,11 @@ pub struct TaskConfig {
     pub trace_plans: bool,
     /// Deterministic fault schedule injected into the VM.
     pub fault_plan: Option<FaultPlan>,
+    /// Generational tier: nursery size in words (`None` = classic
+    /// single-generation heap). See `VmConfig::nursery_words`.
+    pub nursery_words: Option<usize>,
+    /// Minor survivals before promotion (see `VmConfig::promote_after`).
+    pub promote_after: u32,
 }
 
 impl TaskConfig {
@@ -136,6 +141,8 @@ impl TaskConfig {
             verify_heap: false,
             trace_plans: true,
             fault_plan: None,
+            nursery_words: None,
+            promote_after: 0,
         }
     }
 }
@@ -491,6 +498,8 @@ pub fn serve_requests_overload(
     vm_cfg.verify_heap = cfg.verify_heap;
     vm_cfg.trace_plans = cfg.trace_plans;
     vm_cfg.fault_plan = cfg.fault_plan;
+    vm_cfg.nursery_words = cfg.nursery_words;
+    vm_cfg.promote_after = cfg.promote_after;
     let mut vm = Vm::new(prog, vm_cfg);
     vm.obs = obs;
 
@@ -1192,6 +1201,7 @@ impl Scheduler<'_> {
             t_ns,
             heap_words: occ.heap_words,
             live_words: occ.live_words,
+            nursery_words: occ.nursery_words,
             in_flight,
         });
     }

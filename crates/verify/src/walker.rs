@@ -90,6 +90,16 @@ pub enum VerifyError {
         env_len: usize,
         origin: String,
     },
+    /// A tenured object holds a pointer into the nursery. The
+    /// generational design is barrier-free *because* this edge cannot
+    /// exist (the heap is immutable and the nursery is younger than
+    /// every tenured object); finding one after a collection means a
+    /// minor mistraced.
+    TenuredToNursery {
+        from: u64,
+        addr: u64,
+        origin: String,
+    },
     /// A frame is suspended at a site whose gc_word was omitted.
     MissingGcWord { site: u32 },
     /// A tagged object's header length word is implausible.
@@ -169,6 +179,11 @@ impl fmt::Display for VerifyError {
                 f,
                 "byte descriptor parameter {index} exceeds its environment of {env_len} \
                  routine(s) — reached tracing {origin}"
+            ),
+            VerifyError::TenuredToNursery { from, addr, origin } => write!(
+                f,
+                "tenured object at {from:#x} holds pointer {addr:#x} into the nursery — \
+                 the barrier-free invariant is violated — reached tracing {origin}"
             ),
             VerifyError::MissingGcWord { site } => write!(
                 f,
@@ -262,6 +277,10 @@ struct TypedWalker<'a> {
     data_variants: &'a [Vec<Vec<SxId>>],
     build: RtBuildStats,
     cur: EvalCx,
+    /// Address of the object whose fields are being enumerated (`None`
+    /// while walking roots) — the source end of the tenured→nursery
+    /// edge check.
+    container: Option<Addr>,
     visited: HashMap<u64, u32>,
     extents: BTreeMap<u64, usize>,
     sizes: Vec<usize>,
@@ -306,6 +325,7 @@ impl<'a> TypedWalker<'a> {
             data_variants,
             build: RtBuildStats::default(),
             cur: EvalCx::None,
+            container: None,
             visited: HashMap::new(),
             extents: BTreeMap::new(),
             sizes: Vec::new(),
@@ -653,11 +673,23 @@ impl<'a> TypedWalker<'a> {
             return Ok(CanonWord::Imm(w as i64));
         }
         let a = Addr(w);
-        if !self.heap.in_from(a) {
+        // `span_of` admits exactly the regions a surviving pointer may
+        // land in: tenured from-space, the eden prefix, or the occupied
+        // survivor half of a generational nursery.
+        let Some((_, live_end)) = self.heap.span_of(a) else {
             return Err(VerifyError::NotInFromSpace {
                 addr: w,
                 origin: self.cur.to_string(),
             });
+        };
+        if let Some(c) = self.container {
+            if self.heap.in_nursery(a) && !self.heap.in_nursery(c) {
+                return Err(VerifyError::TenuredToNursery {
+                    from: c.0,
+                    addr: w,
+                    origin: self.cur.to_string(),
+                });
+            }
         }
         let (size, resolved) = match shape {
             Shape::Tuple(ftys) => (ftys.len(), Resolved::Tuple(ftys)),
@@ -695,7 +727,6 @@ impl<'a> TypedWalker<'a> {
             }
             return Ok(CanonWord::Ref(idx));
         }
-        let (_, live_end) = self.heap.live_span();
         if a.0 + size as u64 > live_end {
             return Err(VerifyError::OutOfBounds {
                 addr: a.0,
@@ -757,6 +788,7 @@ impl<'a> TypedWalker<'a> {
         while let Some(item) = self.queue.pop_front() {
             self.cur = item.origin;
             let addr = item.addr;
+            self.container = Some(addr);
             let fields = match item.resolved {
                 Resolved::Tuple(ftys) => {
                     let mut out = Vec::with_capacity(ftys.len());
@@ -920,6 +952,8 @@ struct TaggedWalker<'a> {
     prog: &'a IrProgram,
     heap: &'a Heap,
     enc: Encoding,
+    /// Source object of the fields being enumerated (see `TypedWalker`).
+    container: Option<Addr>,
     visited: HashMap<u64, u32>,
     extents: BTreeMap<u64, usize>,
     queue: VecDeque<(u32, Addr, usize)>,
@@ -932,6 +966,7 @@ impl<'a> TaggedWalker<'a> {
             prog,
             heap,
             enc: Encoding::new(HeapMode::Tagged),
+            container: None,
             visited: HashMap::new(),
             extents: BTreeMap::new(),
             queue: VecDeque::new(),
@@ -944,17 +979,25 @@ impl<'a> TaggedWalker<'a> {
             return Ok(CanonWord::Imm(self.enc.int_of(w)));
         }
         let a = self.enc.addr_of(w);
-        if !self.heap.in_from(a) {
+        let Some((_, live_end)) = self.heap.span_of(a) else {
             return Err(VerifyError::NotInFromSpace {
                 addr: a.0,
                 origin: "tagged walk".to_string(),
             });
+        };
+        if let Some(c) = self.container {
+            if self.heap.in_nursery(a) && !self.heap.in_nursery(c) {
+                return Err(VerifyError::TenuredToNursery {
+                    from: c.0,
+                    addr: a.0,
+                    origin: "tagged walk".to_string(),
+                });
+            }
         }
         if let Some(&idx) = self.visited.get(&a.0) {
             return Ok(CanonWord::Ref(idx));
         }
         let len = self.heap.read(a, 0);
-        let (_, live_end) = self.heap.live_span();
         if len >= (1 << 16) || a.0 + 1 + len > live_end {
             return Err(VerifyError::BadHeader {
                 addr: a.0,
@@ -973,6 +1016,7 @@ impl<'a> TaggedWalker<'a> {
 
     fn drain(&mut self) -> Result<(), VerifyError> {
         while let Some((idx, a, len)) = self.queue.pop_front() {
+            self.container = Some(a);
             let mut fields = Vec::with_capacity(len);
             for i in 0..len {
                 let w = self.heap.read(a, (i + 1) as u16);

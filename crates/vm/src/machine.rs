@@ -66,6 +66,16 @@ pub struct VmConfig {
     /// Growth factor in percent (200 = double). Values ≤ 100 are treated
     /// as the minimum useful step.
     pub heap_growth_pct: u32,
+    /// Generational tier: bump-pointer nursery size in words (`None` =
+    /// classic single-generation semispace heap). Nursery exhaustion
+    /// triggers a *minor* collection — roots only, tenured untouched —
+    /// which is sound without write barriers because the heap is
+    /// immutable (no tenured→nursery edge can exist).
+    pub nursery_words: Option<usize>,
+    /// Minor collections an object survives in the nursery before being
+    /// promoted to tenured space (0 = promote on first survival; the
+    /// nursery then has no survivor half).
+    pub promote_after: u32,
 }
 
 impl VmConfig {
@@ -84,7 +94,18 @@ impl VmConfig {
             fault_plan: None,
             heap_max_words: None,
             heap_growth_pct: 200,
+            nursery_words: None,
+            promote_after: 0,
         }
+    }
+
+    /// Enables the generational tier: a `nursery_words` bump-pointer
+    /// nursery with minor collections, promoting survivors after
+    /// `promote_after` survivals (0 = first survival).
+    pub fn generational(mut self, nursery_words: usize, promote_after: u32) -> VmConfig {
+        self.nursery_words = Some(nursery_words);
+        self.promote_after = promote_after;
+        self
     }
 
     /// Sets the semispace size.
@@ -207,6 +228,10 @@ pub struct Vm<'p> {
     allocs_since_force: u64,
     /// Monotone allocation sequence number (fault-plan trigger key).
     alloc_seq: u64,
+    /// Largest request a parked task is blocked on that a minor
+    /// collection cannot satisfy (exceeds eden); forces the scheduler's
+    /// next collection to be a major. Cleared by every major.
+    pending_oversize: usize,
     /// Differential-oracle state, when snapshots are enabled.
     oracle: Option<Box<OracleState>>,
 }
@@ -254,7 +279,10 @@ impl<'p> Vm<'p> {
             }
         }
         let enc = Encoding::new(cfg.strategy.heap_mode());
-        let heap = Heap::new(cfg.heap_words);
+        let heap = match cfg.nursery_words {
+            Some(n) => Heap::new_generational(cfg.heap_words, n, cfg.promote_after),
+            None => Heap::new(cfg.heap_words),
+        };
         let globals = vec![enc.int(0); prog.globals.len()];
         let mut vm = Vm {
             prog,
@@ -272,6 +300,7 @@ impl<'p> Vm<'p> {
             cfg,
             allocs_since_force: 0,
             alloc_seq: 0,
+            pending_oversize: 0,
             oracle: None,
         };
         vm.spawn_thread(prog.main, &[]);
@@ -788,7 +817,11 @@ impl<'p> Vm<'p> {
                 self.allocs_since_force += 1;
                 if self.allocs_since_force >= n {
                     self.allocs_since_force = 0;
-                    self.collect_now(site, operands)?;
+                    // Forced collections are always full: the liveness
+                    // experiments compare retained bytes at identical
+                    // program points, which a nursery-only cycle would
+                    // understate.
+                    self.collect_now(site, operands, false)?;
                 }
             }
         }
@@ -813,10 +846,19 @@ impl<'p> Vm<'p> {
         };
         let addr = match first {
             Some(a) => a,
-            None if self.cfg.cooperative => return Ok(None),
+            None if self.cfg.cooperative => {
+                if self.heap.generational() && total > self.heap.eden_capacity() {
+                    // A minor cannot satisfy this request (it exceeds
+                    // the eden); the scheduler's next collection must
+                    // be a full one.
+                    self.pending_oversize = self.pending_oversize.max(total);
+                }
+                return Ok(None);
+            }
             None => {
-                self.collect_now(site, operands)?;
-                match self.alloc_with_growth(site, operands, total)? {
+                let minor = self.next_collection_is_minor(total);
+                self.collect_now(site, operands, minor)?;
+                match self.alloc_with_growth(site, operands, total, minor)? {
                     Some(a) => a,
                     None => {
                         return Err(VmError::OutOfMemory {
@@ -868,21 +910,40 @@ impl<'p> Vm<'p> {
         Ok(Some(self.enc.ptr(addr)))
     }
 
+    /// True when the next collection can be a nursery-only (minor)
+    /// cycle: the heap is generational, the blocked request fits the
+    /// eden (a minor empties it), and tenured from-space has headroom
+    /// for the worst case where every nursery word is promoted.
+    fn next_collection_is_minor(&self, requested: usize) -> bool {
+        self.heap.generational()
+            && requested <= self.heap.eden_capacity()
+            && self.heap.available() >= self.heap.nursery_used()
+    }
+
     /// Retries a post-collection allocation under the bounded growth
     /// policy: grow the to-space, collect again (the flip relocates into
     /// the larger space — growth itself never moves an object), bring the
-    /// new to-space up to the same capacity, retry.
+    /// new to-space up to the same capacity, retry. `after_minor` says
+    /// the preceding collection was a nursery-only cycle: if the retry
+    /// still fails, escalate to a full collection before growing.
     fn alloc_with_growth(
         &mut self,
         site: CallSiteId,
         operands: &mut [Word],
         total: usize,
+        after_minor: bool,
     ) -> VmResult<Option<tfgc_runtime::Addr>> {
         if let Some(a) = self.heap.alloc(total) {
             return Ok(Some(a));
         }
+        if after_minor {
+            self.collect_now(site, operands, false)?;
+            if let Some(a) = self.heap.alloc(total) {
+                return Ok(Some(a));
+            }
+        }
         while self.try_grow(total) {
-            self.collect_now(site, operands)?;
+            self.collect_now(site, operands, false)?;
             let cap = self.heap.capacity();
             self.heap.reserve_to_space(cap);
             if let Some(a) = self.heap.alloc(total) {
@@ -949,8 +1010,37 @@ impl<'p> Vm<'p> {
     /// Panics (structured: "collection while task …") if another live
     /// task is not parked at a call site — a scheduler invariant
     /// violation, not a recoverable error.
-    fn collect_now(&mut self, site: CallSiteId, operands: &mut [Word]) -> VmResult<()> {
+    fn collect_now(
+        &mut self,
+        site: CallSiteId,
+        operands: &mut [Word],
+        minor: bool,
+    ) -> VmResult<()> {
         self.capture_snapshot(site, operands)?;
+        self.run_collection(site, operands, minor);
+        let mut major_ran = !minor;
+        if minor && self.heap.minor_survivor_overflowed() {
+            // The survivor half overflowed and a young object was
+            // tenured out of age order, which can leave tenured→nursery
+            // edges behind. Restore the barrier-free invariant before
+            // the mutator (and the verifier) sees the heap: a full
+            // collection in the same pause evacuates the whole nursery.
+            self.run_collection(site, operands, false);
+            major_ran = true;
+        }
+        if major_ran {
+            // A major emptied the nursery; any blocked oversize request
+            // can now take the direct-tenured path.
+            self.pending_oversize = 0;
+        }
+        self.verify_now(site, operands)
+    }
+
+    /// Gathers every live thread's stack as roots and runs one
+    /// collection cycle. Factored out of [`Vm::collect_now`] so a minor
+    /// whose survivor half overflowed can escalate to a major within
+    /// the same pause.
+    fn run_collection(&mut self, site: CallSiteId, operands: &mut [Word], minor: bool) {
         let prog = self.prog;
         let cur = self.cur;
         let mut stacks = Vec::new();
@@ -996,8 +1086,8 @@ impl<'p> Vm<'p> {
                 operands,
                 operand_stack,
             },
+            minor,
         );
-        self.verify_now(site, operands)
     }
 
     /// Oracle hook: renders everything reachable from the collector's
@@ -1038,6 +1128,17 @@ impl<'p> Vm<'p> {
             return Ok(());
         }
         let seq = self.gc_stats.collections.saturating_sub(1);
+        // Cheap structural invariants first (bump bounds, survivor-to
+        // empty, no leaked forwarding state); the walk below then checks
+        // every surviving pointer, including that no tenured object
+        // points into the nursery.
+        if let Err(detail) = self.heap.check_generational_invariants() {
+            return Err(VmError::VerificationFailed {
+                collection: seq,
+                strategy: self.cfg.strategy.name(),
+                detail,
+            });
+        }
         let roots = build_roots_view(&self.threads, &self.globals, operands, self.cur, site);
         let res = if self.cfg.strategy == Strategy::Tagged {
             verify_tagged(self.prog, &self.heap, &roots)
@@ -1083,7 +1184,8 @@ impl<'p> Vm<'p> {
     /// Propagates [`VmError::VerificationFailed`] from the verifier or
     /// oracle, when enabled.
     pub fn collect_parked(&mut self, site: CallSiteId) -> VmResult<()> {
-        self.collect_now(site, &mut [])
+        let minor = self.pending_oversize == 0 && self.next_collection_is_minor(0);
+        self.collect_now(site, &mut [], minor)
     }
 
     /// Tasking: one growth step with every task parked — grow the
@@ -1094,7 +1196,7 @@ impl<'p> Vm<'p> {
         if !self.try_grow(0) {
             return Ok(false);
         }
-        self.collect_now(site, &mut [])?;
+        self.collect_now(site, &mut [], false)?;
         let cap = self.heap.capacity();
         self.heap.reserve_to_space(cap);
         Ok(true)

@@ -32,6 +32,52 @@ fn corpus_is_not_empty() {
 }
 
 #[test]
+fn corpus_replays_identically_under_generational_collection() {
+    // Same agreement contract as the single-generation replay, but with a
+    // tiny bump-pointer nursery so every reproducer exercises minor
+    // collections, survivor aging, and promotion under the heap verifier.
+    for path in corpus_files() {
+        let name = path
+            .file_name()
+            .expect("corpus file name")
+            .to_string_lossy()
+            .into_owned();
+        let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: read: {e}"));
+        let compiled = Compiled::compile(&src).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+        let mut reference: Option<(String, Vec<i64>)> = None;
+        for s in Strategy::ALL {
+            for generational in [false, true] {
+                let mut cfg = VmConfig::new(s)
+                    .heap_words(1 << 10)
+                    .heap_max_words(1 << 16)
+                    .force_gc_every(7)
+                    .verify_heap(true)
+                    .trace_plans(true);
+                if generational {
+                    cfg = cfg.generational(1 << 8, 1);
+                }
+                let out = compiled
+                    .run_with_meta(cfg, compiled.metadata(s))
+                    .unwrap_or_else(|e| panic!("{name} under {s} gen={generational}: {e}"));
+                match &reference {
+                    None => reference = Some((out.result, out.printed)),
+                    Some((r0, p0)) => {
+                        assert_eq!(
+                            &out.result, r0,
+                            "{name}: result under {s} gen={generational}"
+                        );
+                        assert_eq!(
+                            &out.printed, p0,
+                            "{name}: printed under {s} gen={generational}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn corpus_replays_identically_across_strategies_and_plans() {
     for path in corpus_files() {
         let name = path
